@@ -1,0 +1,339 @@
+package optibfs
+
+// One benchmark family per paper artifact:
+//
+//	BenchmarkTable5a / BenchmarkTable5b  — Table V(a,b) running times
+//	BenchmarkFig2                        — Figure 2 scalability sweep
+//	BenchmarkFig3                        — Figure 3 TEPS
+//	BenchmarkTable6                      — Table VI steal statistics
+//	BenchmarkAblation*                   — design-choice ablations
+//
+// Each benchmark reports, besides ns/op on this host, the cost-model
+// metrics used in EXPERIMENTS.md: modeled-ms (target machine time) and
+// TEPS. Graphs are the Table IV stand-ins scaled by benchScale.
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"optibfs/internal/core"
+	"optibfs/internal/costmodel"
+	"optibfs/internal/graph"
+	"optibfs/internal/harness"
+	"optibfs/internal/stats"
+)
+
+// benchScale divides the paper's graph sizes for benchmarking.
+const benchScale = 256
+
+var (
+	benchGraphs   = map[string]*graph.CSR{}
+	benchGraphsMu sync.Mutex
+)
+
+func benchGraph(b *testing.B, name string) *graph.CSR {
+	b.Helper()
+	benchGraphsMu.Lock()
+	defer benchGraphsMu.Unlock()
+	if g, ok := benchGraphs[name]; ok {
+		return g
+	}
+	spec, err := harness.SpecByName(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g, err := spec.Generate(benchScale)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchGraphs[name] = g
+	return g
+}
+
+// runBench executes one (algorithm, graph, workers) cell b.N times and
+// reports modeled milliseconds and TEPS for the machine.
+func runBench(b *testing.B, g *graph.CSR, algo harness.AlgoSpec, workers int, m costmodel.Machine, opt core.Options) {
+	b.Helper()
+	opt.Workers = workers
+	if algo.IsSerial() {
+		opt.Workers = 1
+	}
+	src := harness.PickSources(g, 1, 0xbe7c)[0]
+	var modeled, teps float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt.Seed = uint64(i) + 1
+		res, err := algo.Run(g, src, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		mt := costmodel.Modeled(m, algo.Shape(), res)
+		modeled += mt
+		teps += stats.TEPS(res.EdgesTraversed, mt)
+	}
+	b.StopTimer()
+	b.ReportMetric(modeled/float64(b.N)*1e3, "modeled-ms")
+	b.ReportMetric(teps/float64(b.N)/1e6, "modeled-MTEPS")
+}
+
+// table5 runs the Table V benchmark family for one machine profile.
+func table5(b *testing.B, m costmodel.Machine) {
+	for _, gname := range []string{"wikipedia", "cage14", "kkt-power", "rmat-10M-100M"} {
+		g := benchGraph(b, gname)
+		for _, algo := range harness.TableAlgos {
+			b.Run(fmt.Sprintf("%s/%s", gname, algo.Name), func(b *testing.B) {
+				runBench(b, g, algo, m.Cores, m, core.Options{})
+			})
+		}
+	}
+}
+
+func BenchmarkTable5a(b *testing.B) { table5(b, costmodel.Lonestar) }
+func BenchmarkTable5b(b *testing.B) { table5(b, costmodel.Trestles) }
+
+// BenchmarkFig2 sweeps worker counts for the lockfree variants on the
+// wikipedia stand-in (the paper's scalability figure).
+func BenchmarkFig2(b *testing.B) {
+	g := benchGraph(b, "wikipedia")
+	for _, algo := range harness.LockfreeAlgos {
+		for _, p := range []int{1, 2, 4, 8, 12, 32} {
+			m := costmodel.Lonestar
+			if p > m.Cores {
+				m = costmodel.Trestles
+			}
+			b.Run(fmt.Sprintf("%s/p%d", algo.Name, p), func(b *testing.B) {
+				runBench(b, g, algo, p, m, core.Options{})
+			})
+		}
+	}
+}
+
+// BenchmarkFig3 reports TEPS for every algorithm on the real-world
+// stand-ins (the modeled-MTEPS metric is the figure's y-axis).
+func BenchmarkFig3(b *testing.B) {
+	for _, gname := range []string{"cage15", "freescale", "wikipedia"} {
+		g := benchGraph(b, gname)
+		for _, algo := range harness.TableAlgos {
+			b.Run(fmt.Sprintf("%s/%s", gname, algo.Name), func(b *testing.B) {
+				runBench(b, g, algo, costmodel.Lonestar.Cores, costmodel.Lonestar, core.Options{})
+			})
+		}
+	}
+}
+
+// BenchmarkTable6 measures the steal machinery of BFS_WS vs BFS_WSL,
+// reporting the steal taxonomy as metrics.
+func BenchmarkTable6(b *testing.B) {
+	g := benchGraph(b, "wikipedia")
+	for _, algo := range []core.Algorithm{core.BFSWS, core.BFSWSL} {
+		b.Run(string(algo), func(b *testing.B) {
+			src := harness.PickSources(g, 1, 77)[0]
+			var agg stats.Counters
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := core.Run(g, src, algo, core.Options{Workers: 12, Seed: uint64(i)})
+				if err != nil {
+					b.Fatal(err)
+				}
+				agg.Add(&res.Counters)
+			}
+			b.StopTimer()
+			n := float64(b.N)
+			b.ReportMetric(float64(agg.StealAttempts)/n, "steals/op")
+			b.ReportMetric(float64(agg.StealSuccess)/n, "steal-ok/op")
+			b.ReportMetric(float64(agg.StealVictimIdle)/n, "victim-idle/op")
+			b.ReportMetric(float64(agg.StealTooSmall)/n, "too-small/op")
+			b.ReportMetric(float64(agg.StealStale+agg.StealInvalid)/n, "stale+invalid/op")
+			b.ReportMetric(float64(agg.StealVictimLocked)/n, "victim-locked/op")
+			b.ReportMetric(float64(agg.LockAcquisitions)/n, "locks/op")
+		})
+	}
+}
+
+// BenchmarkAblationLockfree pairs each locked variant with its lockfree
+// counterpart (the paper's headline comparison).
+func BenchmarkAblationLockfree(b *testing.B) {
+	g := benchGraph(b, "wikipedia")
+	pairs := [][2]core.Algorithm{
+		{core.BFSC, core.BFSCL},
+		{core.BFSW, core.BFSWL},
+		{core.BFSWS, core.BFSWSL},
+	}
+	for _, pair := range pairs {
+		for _, algo := range pair {
+			spec := harness.AlgoSpec{}
+			for _, a := range harness.TableAlgos {
+				if a.Name == string(algo) {
+					spec = a
+				}
+			}
+			b.Run(string(algo), func(b *testing.B) {
+				runBench(b, g, spec, 12, costmodel.Lonestar, core.Options{})
+			})
+		}
+	}
+}
+
+// BenchmarkAblationSegment sweeps the centralized dispatch segment size
+// (fixed values vs the paper's adaptive rule, SegmentSize=0).
+func BenchmarkAblationSegment(b *testing.B) {
+	g := benchGraph(b, "cage14")
+	spec, err := harness.AlgoByName(string(core.BFSCL))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, s := range []int{0, 1, 16, 256, 4096} {
+		name := fmt.Sprintf("s%d", s)
+		if s == 0 {
+			name = "adaptive"
+		}
+		b.Run(name, func(b *testing.B) {
+			runBench(b, g, spec, 12, costmodel.Lonestar, core.Options{SegmentSize: s})
+		})
+	}
+}
+
+// BenchmarkAblationPools sweeps BFS_DL's decentralization degree j.
+func BenchmarkAblationPools(b *testing.B) {
+	g := benchGraph(b, "wikipedia")
+	spec, err := harness.AlgoByName(string(core.BFSDL))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, j := range []int{1, 2, 4, 8, 12} {
+		b.Run(fmt.Sprintf("j%d", j), func(b *testing.B) {
+			runBench(b, g, spec, 12, costmodel.Lonestar, core.Options{Pools: j})
+		})
+	}
+}
+
+// BenchmarkAblationScaleFree sweeps the hot-vertex threshold and the
+// paper's optional phase-2 stealing and §IV-D parent-claim filter.
+func BenchmarkAblationScaleFree(b *testing.B) {
+	g := benchGraph(b, "wikipedia")
+	spec, err := harness.AlgoByName(string(core.BFSWSL))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, thr := range []int64{16, 64, 256, 1024} {
+		b.Run(fmt.Sprintf("threshold%d", thr), func(b *testing.B) {
+			runBench(b, g, spec, 12, costmodel.Lonestar, core.Options{HighDegreeThreshold: thr})
+		})
+	}
+	b.Run("phase2stealing", func(b *testing.B) {
+		runBench(b, g, spec, 12, costmodel.Lonestar, core.Options{Phase2Stealing: true})
+	})
+	b.Run("parentclaim", func(b *testing.B) {
+		runBench(b, g, spec, 12, costmodel.Lonestar, core.Options{ParentClaim: true})
+	})
+}
+
+// BenchmarkAblationNUMA compares unbiased vs socket-biased stealing.
+func BenchmarkAblationNUMA(b *testing.B) {
+	g := benchGraph(b, "wikipedia")
+	spec, err := harness.AlgoByName(string(core.BFSWL))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, cfg := range []struct {
+		name    string
+		sockets int
+		bias    float64
+	}{
+		{"flat", 1, 0},
+		{"2sockets-bias0.9", 2, 0.9},
+		{"4sockets-bias0.9", 4, 0.9},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			runBench(b, g, spec, 12, costmodel.Lonestar,
+				core.Options{Sockets: cfg.sockets, SameSocketBias: cfg.bias})
+		})
+	}
+}
+
+// BenchmarkExtensionEdgePartition compares the §IV-D future-work
+// edge-partitioned variant (BFS_EL) against vertex-partitioned BFS_CL
+// on a uniform mesh and a hub-heavy scale-free graph — edge division
+// should shine exactly where vertex degrees are skewed.
+func BenchmarkExtensionEdgePartition(b *testing.B) {
+	for _, gname := range []string{"cage14", "wikipedia"} {
+		g := benchGraph(b, gname)
+		for _, name := range []string{string(core.BFSCL), string(core.BFSEL)} {
+			spec, err := harness.AlgoByName(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Run(fmt.Sprintf("%s/%s", gname, name), func(b *testing.B) {
+				runBench(b, g, spec, 12, costmodel.Lonestar, core.Options{})
+			})
+		}
+	}
+}
+
+// BenchmarkAblationReorder measures the locality effect of vertex
+// relabeling (BFS order / degree order) on serial BFS wall time on
+// this host — a real-cache effect, so ns/op is the relevant metric.
+func BenchmarkAblationReorder(b *testing.B) {
+	g := benchGraph(b, "wikipedia")
+	src := harness.PickSources(g, 1, 5)[0]
+	variants := map[string]*graph.CSR{"original": g}
+	if g2, _, err := ReorderByBFS(g, src); err == nil {
+		variants["bfs-order"] = g2
+	} else {
+		b.Fatal(err)
+	}
+	if g3, _, err := ReorderByDegree(g); err == nil {
+		variants["degree-order"] = g3
+	} else {
+		b.Fatal(err)
+	}
+	for _, name := range []string{"original", "bfs-order", "degree-order"} {
+		gg := variants[name]
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Run(gg, 0, core.Serial, core.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPersistentWorkers compares per-level goroutine
+// spawning against long-lived workers with a reusable barrier (the Go
+// analogue of the paper's §IV-D cilk-vs-OpenMP question), on a
+// high-diameter graph where per-level overheads accumulate most.
+func BenchmarkAblationPersistentWorkers(b *testing.B) {
+	g := benchGraph(b, "freescale")
+	spec, err := harness.AlgoByName(string(core.BFSCL))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, cfg := range []struct {
+		name       string
+		persistent bool
+	}{{"spawn-per-level", false}, {"persistent", true}} {
+		b.Run(cfg.name, func(b *testing.B) {
+			runBench(b, g, spec, 12, costmodel.Lonestar,
+				core.Options{PersistentWorkers: cfg.persistent})
+		})
+	}
+}
+
+// BenchmarkSerialBaseline pins the sbfs number every speedup in
+// EXPERIMENTS.md is relative to.
+func BenchmarkSerialBaseline(b *testing.B) {
+	for _, gname := range []string{"wikipedia", "cage14"} {
+		g := benchGraph(b, gname)
+		spec, err := harness.AlgoByName(string(core.Serial))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(gname, func(b *testing.B) {
+			runBench(b, g, spec, 1, costmodel.Lonestar, core.Options{})
+		})
+	}
+}

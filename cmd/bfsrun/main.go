@@ -1,0 +1,185 @@
+// Command bfsrun executes one BFS algorithm on a graph file (or a
+// generated graph) and prints timing, work, and steal statistics.
+//
+// Usage:
+//
+//	bfsrun -algo BFS_WSL -graph wiki.bin -src 0 -workers 8
+//	bfsrun -algo BFS_CL -suite wikipedia -scale 128 -sources 16
+//	bfsrun -algo Baseline1(bag) -suite cage14 -validate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"optibfs/internal/core"
+	"optibfs/internal/costmodel"
+	"optibfs/internal/graph"
+	"optibfs/internal/harness"
+	"optibfs/internal/mmio"
+	"optibfs/internal/stats"
+)
+
+func main() {
+	var (
+		algoName  = flag.String("algo", "BFS_WSL", "algorithm (see bfsbench tables for names)")
+		graphPath = flag.String("graph", "", "graph file (.bin, .mtx, or edge list by extension)")
+		suite     = flag.String("suite", "", "generate a Table IV stand-in instead of loading a file")
+		scale     = flag.Int("scale", 64, "size divisor for -suite")
+		src       = flag.Int("src", -1, "source vertex (-1 = random non-isolated)")
+		sources   = flag.Int("sources", 1, "number of sources to run (random when -src=-1)")
+		workers   = flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
+		seed      = flag.Uint64("seed", 1, "run seed")
+		validate  = flag.Bool("validate", true, "validate distances against serial BFS")
+		machine   = flag.String("machine", "Lonestar", "cost-model machine: Lonestar|Trestles|Local")
+		profile   = flag.Bool("profile", false, "print the per-level frontier histogram of the last source")
+		balance   = flag.Bool("balance", false, "print per-worker load balance of the last source")
+	)
+	flag.Parse()
+	if err := run(*algoName, *graphPath, *suite, *scale, *src, *sources, *workers, *seed, *validate, *machine, *profile, *balance); err != nil {
+		fmt.Fprintln(os.Stderr, "bfsrun:", err)
+		os.Exit(1)
+	}
+}
+
+func loadGraph(path, suite string, scale int) (*graph.CSR, error) {
+	if suite != "" {
+		spec, err := harness.SpecByName(suite)
+		if err != nil {
+			return nil, err
+		}
+		return spec.Generate(scale)
+	}
+	if path == "" {
+		return nil, fmt.Errorf("need -graph or -suite")
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	switch {
+	case hasSuffix(path, ".bin"):
+		return mmio.ReadBinary(f)
+	case hasSuffix(path, ".mtx"):
+		return mmio.ReadMatrixMarket(f)
+	default:
+		return mmio.ReadEdgeList(f)
+	}
+}
+
+func hasSuffix(s, suf string) bool {
+	return len(s) >= len(suf) && s[len(s)-len(suf):] == suf
+}
+
+func run(algoName, graphPath, suite string, scale, src, sources, workers int, seed uint64, validate bool, machineName string, profile, balance bool) error {
+	algo, err := harness.AlgoByName(algoName)
+	if err != nil {
+		return err
+	}
+	var machine costmodel.Machine
+	switch machineName {
+	case "Lonestar":
+		machine = costmodel.Lonestar
+	case "Trestles":
+		machine = costmodel.Trestles
+	case "Local":
+		// Calibrate the cost constants on this host (microbenchmarks,
+		// a few tens of ms) so modeled times describe this machine.
+		machine = costmodel.Calibrate(0)
+	default:
+		return fmt.Errorf("unknown machine %q (Lonestar|Trestles|Local)", machineName)
+	}
+	g, err := loadGraph(graphPath, suite, scale)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph: n=%d m=%d avg-deg=%.1f\n", g.NumVertices(), g.NumEdges(), g.AvgDegree())
+
+	var srcs []int32
+	if src >= 0 {
+		srcs = []int32{int32(src)}
+	} else {
+		srcs = harness.PickSources(g, sources, seed)
+	}
+	opt := core.Options{Workers: workers, Seed: seed}
+	var agg stats.Counters
+	var measured, modeled float64
+	var lastLevels []int64
+	var lastPerWorker []stats.PaddedCounters
+	for _, s := range srcs {
+		start := time.Now()
+		res, err := algo.Run(g, s, opt)
+		if err != nil {
+			return err
+		}
+		elapsed := time.Since(start)
+		if validate {
+			want := graph.ReferenceBFS(g, s)
+			if err := graph.EqualDistances(res.Dist, want); err != nil {
+				return fmt.Errorf("validation failed from source %d: %w", s, err)
+			}
+		}
+		model := costmodel.Modeled(machine, algo.Shape(), res)
+		measured += elapsed.Seconds()
+		modeled += model
+		agg.Add(&res.Counters)
+		fmt.Printf("src=%-8d levels=%-4d reached=%-9d dup=%-7d measured=%8.3fms modeled(%s)=%8.3fms\n",
+			s, res.Levels, res.Reached, res.Duplicates(), elapsed.Seconds()*1e3, machine.Name, model*1e3)
+		lastLevels = res.LevelSizes
+		lastPerWorker = res.PerWorker
+	}
+	if balance && len(lastPerWorker) > 0 {
+		var total, max int64
+		for i := range lastPerWorker {
+			e := lastPerWorker[i].EdgesScanned
+			total += e
+			if e > max {
+				max = e
+			}
+		}
+		fmt.Println("\nper-worker load (edges scanned, last source):")
+		for i := range lastPerWorker {
+			e := lastPerWorker[i].EdgesScanned
+			bar := 0
+			if max > 0 {
+				bar = int(e * 40 / max)
+			}
+			fmt.Printf("  worker %2d %10d %s\n", i, e, strings.Repeat("#", bar))
+		}
+		if total > 0 && len(lastPerWorker) > 0 {
+			avg := float64(total) / float64(len(lastPerWorker))
+			fmt.Printf("  imbalance (max/avg): %.2f\n", float64(max)/avg)
+		}
+	}
+	if profile && len(lastLevels) > 0 {
+		var peak int64 = 1
+		for _, sz := range lastLevels {
+			if sz > peak {
+				peak = sz
+			}
+		}
+		fmt.Println("\nfrontier profile (last source):")
+		for d, sz := range lastLevels {
+			bar := int(sz * 50 / peak)
+			fmt.Printf("  level %3d %9d %s\n", d, sz, strings.Repeat("#", bar))
+		}
+	}
+	k := float64(len(srcs))
+	fmt.Printf("\nmean over %d sources: measured=%.3fms modeled=%.3fms\n", len(srcs), measured/k*1e3, modeled/k*1e3)
+	fmt.Printf("work: pops=%d edges=%d discovered=%d\n", agg.VerticesPopped, agg.EdgesScanned, agg.Discovered)
+	fmt.Printf("dispatch: fetches=%d retries=%d locks=%d trylock-fails=%d atomic-rmw=%d\n",
+		agg.Fetches, agg.FetchRetries, agg.LockAcquisitions, agg.LockTryFails, agg.AtomicRMW)
+	if agg.StealAttempts > 0 {
+		fmt.Printf("steals: attempts=%d ok=%d victim-locked=%d victim-idle=%d too-small=%d stale=%d invalid=%d\n",
+			agg.StealAttempts, agg.StealSuccess, agg.StealVictimLocked, agg.StealVictimIdle,
+			agg.StealTooSmall, agg.StealStale, agg.StealInvalid)
+	}
+	if validate {
+		fmt.Println("validation: OK (distances match serial BFS)")
+	}
+	return nil
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"optibfs/internal/gen"
+	"optibfs/internal/mmio"
+)
+
+func TestRunOnSuiteGraph(t *testing.T) {
+	if err := run("BFS_WSL", "", "kkt-power", 4096, -1, 2, 4, 1, true, "Lonestar", false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFixedSource(t *testing.T) {
+	if err := run("BFS_CL", "", "cage14", 4096, 0, 1, 2, 1, true, "Trestles", false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunOnGraphFiles(t *testing.T) {
+	dir := t.TempDir()
+	g, err := gen.ErdosRenyi(200, 1200, 3, gen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	binPath := filepath.Join(dir, "g.bin")
+	f, err := os.Create(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mmio.WriteBinary(f, g); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := run("sbfs", binPath, "", 1, 0, 1, 1, 1, true, "Lonestar", true, false); err != nil {
+		t.Fatal(err)
+	}
+
+	mtxPath := filepath.Join(dir, "g.mtx")
+	f, err = os.Create(mtxPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mmio.WriteMatrixMarket(f, g); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := run("Baseline1(bag)", mtxPath, "", 1, 0, 1, 2, 1, true, "Lonestar", false, false); err != nil {
+		t.Fatal(err)
+	}
+
+	edgePath := filepath.Join(dir, "g.edges")
+	f, err = os.Create(edgePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mmio.WriteEdgeList(f, g); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	if err := run("BFS_EL", edgePath, "", 1, 0, 1, 2, 1, true, "Local", true, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run("BFS_XXL", "", "cage14", 4096, 0, 1, 1, 1, false, "Lonestar", false, false); err == nil {
+		t.Fatal("accepted unknown algorithm")
+	}
+	if err := run("sbfs", "", "", 1, 0, 1, 1, 1, false, "Lonestar", false, false); err == nil {
+		t.Fatal("accepted missing graph")
+	}
+	if err := run("sbfs", "/does/not/exist.bin", "", 1, 0, 1, 1, 1, false, "Lonestar", false, false); err == nil {
+		t.Fatal("accepted missing file")
+	}
+	if err := run("sbfs", "", "cage14", 4096, 0, 1, 1, 1, false, "Cray", false, false); err == nil {
+		t.Fatal("accepted unknown machine")
+	}
+}

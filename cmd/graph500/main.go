@@ -1,0 +1,149 @@
+// Command graph500 runs the Graph500-style BFS benchmark procedure the
+// paper's introduction motivates ("BFS is being used as a graph
+// benchmark application for ranking supercomputers"):
+//
+//  1. generate an RMAT graph at a given scale (2^scale vertices,
+//     edgefactor × 2^scale edges, the paper's a=.45/b=.15/c=.15),
+//  2. run BFS from `rounds` random non-isolated sources,
+//  3. validate each search (distances structurally, parents if tracked),
+//  4. report per-round TEPS and the harmonic mean TEPS.
+//
+// Usage:
+//
+//	graph500 -scale 18 -edgefactor 16 -algo BFS_WSL -rounds 16
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"optibfs/internal/core"
+	"optibfs/internal/costmodel"
+	"optibfs/internal/gen"
+	"optibfs/internal/graph"
+	"optibfs/internal/harness"
+	"optibfs/internal/stats"
+)
+
+func main() {
+	var (
+		scale      = flag.Int("scale", 16, "log2 of the vertex count")
+		edgefactor = flag.Int64("edgefactor", 16, "edges per vertex")
+		algoName   = flag.String("algo", "BFS_WSL", "algorithm to benchmark")
+		rounds     = flag.Int("rounds", 16, "BFS rounds (Graph500 uses 64)")
+		workers    = flag.Int("workers", 0, "worker count (0 = GOMAXPROCS)")
+		seed       = flag.Uint64("seed", 2, "generator/run seed")
+		skipVal    = flag.Bool("skip-validation", false, "skip per-round validation")
+		machine    = flag.String("machine", "Lonestar", "cost-model machine for modeled TEPS")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *scale, *edgefactor, *algoName, *rounds, *workers, *seed, *skipVal, *machine); err != nil {
+		fmt.Fprintln(os.Stderr, "graph500:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w *os.File, scale int, edgefactor int64, algoName string, rounds, workers int, seed uint64, skipVal bool, machineName string) error {
+	if scale < 1 || scale > 30 {
+		return fmt.Errorf("scale %d out of [1,30]", scale)
+	}
+	if rounds < 1 {
+		return fmt.Errorf("rounds %d < 1", rounds)
+	}
+	algo, err := harness.AlgoByName(algoName)
+	if err != nil {
+		return err
+	}
+	var machine costmodel.Machine
+	switch machineName {
+	case "Lonestar":
+		machine = costmodel.Lonestar
+	case "Trestles":
+		machine = costmodel.Trestles
+	case "Local":
+		// Calibrate the cost constants on this host (microbenchmarks,
+		// a few tens of ms) so modeled times describe this machine.
+		machine = costmodel.Calibrate(0)
+	default:
+		return fmt.Errorf("unknown machine %q (Lonestar|Trestles|Local)", machineName)
+	}
+
+	n := int32(1) << scale
+	m := edgefactor * int64(n)
+	genStart := time.Now()
+	g, err := gen.Graph500RMAT(n, m, seed, gen.Options{})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "graph500: scale=%d n=%d m=%d (generated in %.2fs)\n",
+		scale, g.NumVertices(), g.NumEdges(), time.Since(genStart).Seconds())
+
+	sources := harness.PickSources(g, rounds, seed^0x9e3779b9)
+	opt := core.Options{Workers: workers, TrackParents: !skipVal}
+
+	var harmonicAcc, modeledHarmonicAcc float64
+	valid := 0
+	for i, src := range sources {
+		opt.Seed = seed + uint64(i) + 1
+		start := time.Now()
+		res, err := algo.Run(g, src, opt)
+		if err != nil {
+			return err
+		}
+		elapsed := time.Since(start).Seconds()
+		measuredTEPS := stats.TEPS(res.EdgesTraversed, elapsed)
+		modeledTEPS := stats.TEPS(res.EdgesTraversed, costmodel.Modeled(machine, algo.Shape(), res))
+
+		status := "skipped"
+		if !skipVal {
+			if err := graph.ValidateDistances(g, src, res.Dist); err != nil {
+				return fmt.Errorf("round %d: %w", i, err)
+			}
+			if res.Parent != nil {
+				if err := graph.ValidateParents(g, src, res.Dist, res.Parent); err != nil {
+					return fmt.Errorf("round %d: %w", i, err)
+				}
+			}
+			status = "ok"
+			valid++
+		}
+		fmt.Fprintf(w, "round %2d: src=%-9d reached=%-9d levels=%-3d teps=%s modeled=%s validation=%s\n",
+			i, src, res.Reached, res.Levels, fmtTEPS(measuredTEPS), fmtTEPS(modeledTEPS), status)
+		if measuredTEPS > 0 {
+			harmonicAcc += 1 / measuredTEPS
+		}
+		if modeledTEPS > 0 {
+			modeledHarmonicAcc += 1 / modeledTEPS
+		}
+	}
+	k := float64(len(sources))
+	fmt.Fprintf(w, "\nharmonic-mean TEPS: measured=%s modeled(%s)=%s over %d rounds\n",
+		fmtTEPS(harmonic(k, harmonicAcc)), machine.Name, fmtTEPS(harmonic(k, modeledHarmonicAcc)), len(sources))
+	if !skipVal {
+		fmt.Fprintf(w, "validation: %d/%d rounds passed\n", valid, len(sources))
+	}
+	return nil
+}
+
+func harmonic(k, accOfInverses float64) float64 {
+	if accOfInverses == 0 {
+		return 0
+	}
+	return k / accOfInverses
+}
+
+func fmtTEPS(t float64) string {
+	switch {
+	case t >= 1e9:
+		return fmt.Sprintf("%.2fGTEPS", t/1e9)
+	case t >= 1e6:
+		return fmt.Sprintf("%.1fMTEPS", t/1e6)
+	case math.IsNaN(t) || t <= 0:
+		return "n/a"
+	default:
+		return fmt.Sprintf("%.0fTEPS", t)
+	}
+}

@@ -1,0 +1,88 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"optibfs/internal/mmio"
+)
+
+func genFile(t *testing.T, kind, suite, format, out string) error {
+	t.Helper()
+	return run(kind, suite, 64, 256, 5, 2.2, 8, 8, 4, 4096, 1, format, out)
+}
+
+func TestGenerateEveryKind(t *testing.T) {
+	dir := t.TempDir()
+	for _, kind := range []string{"rmat", "powerlaw", "layered", "er", "ba", "smallworld", "grid2d", "grid3d", "star", "path", "complete", "tree"} {
+		out := filepath.Join(dir, kind+".bin")
+		if err := genFile(t, kind, "", "bin", out); err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		f, err := os.Open(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := mmio.ReadBinary(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: reload: %v", kind, err)
+		}
+		if g.NumVertices() == 0 {
+			t.Fatalf("%s: empty graph", kind)
+		}
+	}
+}
+
+func TestGenerateSuiteGraph(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "wiki.mtx")
+	if err := genFile(t, "", "wikipedia", "mtx", out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := mmio.ReadMatrixMarket(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() == 0 {
+		t.Fatal("suite graph empty")
+	}
+}
+
+func TestGenerateEdgeListFormat(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "g.edges")
+	if err := genFile(t, "er", "", "edges", out); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	g, err := mmio.ReadEdgeList(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 256 {
+		t.Fatalf("m=%d", g.NumEdges())
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	if err := genFile(t, "hypercube", "", "bin", ""); err == nil {
+		t.Fatal("accepted unknown kind")
+	}
+	if err := genFile(t, "", "unknown-suite", "bin", ""); err == nil {
+		t.Fatal("accepted unknown suite graph")
+	}
+	if err := genFile(t, "er", "", "parquet", os.DevNull); err == nil {
+		t.Fatal("accepted unknown format")
+	}
+}

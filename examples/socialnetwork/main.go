@@ -1,0 +1,74 @@
+// Social-network analysis: the workload class the paper's scale-free
+// optimization targets. Builds a power-law graph (like a follower
+// network), finds its hubs, and measures how the two-phase scale-free
+// BFS (BFS_WSL) deals with hot vertices compared to plain lockfree
+// work stealing (BFS_WL): reach, levels, hot-vertex deferrals, and
+// duplicate work from several starting users.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"optibfs"
+)
+
+func main() {
+	// A follower-style network: 100k users, ~1.6M follows, power-law
+	// exponent 2.1 (heavy head — a few celebrity hubs).
+	const users = 100_000
+	g, err := optibfs.NewPowerLaw(users, 1_600_000, 2.1, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Who are the hubs?
+	type hub struct {
+		id  int32
+		deg int64
+	}
+	hubs := make([]hub, 0, 10)
+	for v := int32(0); v < g.NumVertices(); v++ {
+		hubs = append(hubs, hub{v, g.OutDegree(v)})
+	}
+	sort.Slice(hubs, func(i, j int) bool { return hubs[i].deg > hubs[j].deg })
+	fmt.Println("top-5 hubs (user, followees):")
+	for _, h := range hubs[:5] {
+		fmt.Printf("  user %-6d degree %d\n", h.id, h.deg)
+	}
+
+	// BFS from a hub and from a peripheral user: how many hops does
+	// the network need to reach everyone? (The small-world question.)
+	sources := []int32{hubs[0].id, hubs[len(hubs)/2].id}
+	for _, src := range sources {
+		for _, algo := range []optibfs.Algorithm{optibfs.BFSWL, optibfs.BFSWSL} {
+			res, err := optibfs.BFS(g, src, algo, &optibfs.Options{Workers: 8, Seed: 3})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := optibfs.Validate(g, src, res.Dist); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-8s from user %-6d: reach %6d users, %d hops, %5d duplicate explorations, %3d hot vertices deferred\n",
+				algo, src, res.Reached, res.Levels-1, res.Duplicates(), res.Counters.HotVertices)
+		}
+	}
+
+	// Distance histogram from the top hub — the "degrees of
+	// separation" curve.
+	res, err := optibfs.BFS(g, hubs[0].id, optibfs.BFSWSL, &optibfs.Options{Workers: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	counts := map[int32]int{}
+	for _, d := range res.Dist {
+		if d != optibfs.Unreached {
+			counts[d]++
+		}
+	}
+	fmt.Printf("\ndegrees of separation from user %d:\n", hubs[0].id)
+	for d := int32(0); d < res.Levels; d++ {
+		fmt.Printf("  %d hop(s): %6d users\n", d, counts[d])
+	}
+}

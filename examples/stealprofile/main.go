@@ -1,0 +1,90 @@
+// Steal profile: rebuilds the paper's Table VI analysis on a generated
+// scale-free graph — the success/failure taxonomy of work-stealing
+// attempts under the locked (BFS_WS) and lockfree (BFS_WSL) schedulers.
+//
+// The lockfree variant has no "victim locked" failures (there are no
+// locks) but gains "stale" and "invalid" segment rejections — the
+// price of optimistic index updates — while typically converting a
+// larger share of attempts into successful steals.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"optibfs"
+)
+
+func main() {
+	g, err := optibfs.NewPowerLaw(200_000, 2_400_000, 2.2, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wikipedia-like graph: n=%d m=%d\n\n", g.NumVertices(), g.NumEdges())
+
+	const sources = 20
+	for _, algo := range []optibfs.Algorithm{optibfs.BFSWS, optibfs.BFSWSL} {
+		var agg optibfs.Counters
+		for s := 0; s < sources; s++ {
+			src := int32(s * 9973 % int(g.NumVertices()))
+			res, err := optibfs.BFS(g, src, algo, &optibfs.Options{Workers: 8, Seed: uint64(s)})
+			if err != nil {
+				log.Fatal(err)
+			}
+			agg.Add(&res.Counters)
+		}
+		pct := func(v int64) string {
+			if agg.StealAttempts == 0 {
+				return "0.00%"
+			}
+			return fmt.Sprintf("%6.2f%%", 100*float64(v)/float64(agg.StealAttempts))
+		}
+		fmt.Printf("%s over %d sources:\n", algo, sources)
+		fmt.Printf("  total steal attempts: %d\n", agg.StealAttempts)
+		fmt.Printf("  successful:           %9d (%s)\n", agg.StealSuccess, pct(agg.StealSuccess))
+		if algo == optibfs.BFSWS {
+			fmt.Printf("  failed, victim locked:%9d (%s)\n", agg.StealVictimLocked, pct(agg.StealVictimLocked))
+		} else {
+			fmt.Printf("  failed, victim locked:      N/A (no locks)\n")
+		}
+		fmt.Printf("  failed, victim idle:  %9d (%s)\n", agg.StealVictimIdle, pct(agg.StealVictimIdle))
+		fmt.Printf("  failed, too small:    %9d (%s)\n", agg.StealTooSmall, pct(agg.StealTooSmall))
+		if algo == optibfs.BFSWSL {
+			fmt.Printf("  failed, stale seg:    %9d (%s)\n", agg.StealStale, pct(agg.StealStale))
+			fmt.Printf("  failed, invalid seg:  %9d (%s)\n", agg.StealInvalid, pct(agg.StealInvalid))
+		}
+		fmt.Printf("  locks taken: %d, atomic RMW: %d\n\n", agg.LockAcquisitions, agg.AtomicRMW)
+	}
+
+	// Event trace: replay one instrumented run and show how steal
+	// activity concentrates at each level's end (the paper's
+	// explanation for its large failed-attempt counts).
+	res, err := optibfs.BFS(g, 0, optibfs.BFSWSL, &optibfs.Options{
+		Workers: 8, Seed: 1, TraceCapacity: 1 << 16,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	perLevel := map[int32][2]int{} // level -> [attempts, successes]
+	for _, events := range res.Events {
+		for _, e := range events {
+			v := perLevel[e.Level]
+			switch e.Kind {
+			case optibfs.EventStealOK:
+				v[0]++
+				v[1]++
+			case optibfs.EventFetch:
+				// not a steal
+			default:
+				v[0]++
+			}
+			perLevel[e.Level] = v
+		}
+	}
+	fmt.Println("steal activity by BFS level (one traced BFS_WSL run):")
+	for lvl := int32(0); lvl < res.Levels; lvl++ {
+		v := perLevel[lvl]
+		fmt.Printf("  level %2d: frontier %7d, steal attempts %6d (%d successful)\n",
+			lvl, res.LevelSizes[lvl], v[0], v[1])
+	}
+}

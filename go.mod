@@ -1,0 +1,3 @@
+module optibfs
+
+go 1.22

@@ -1,0 +1,225 @@
+// Package analysis provides the graph analyses the reproduced paper's
+// introduction motivates BFS with: connected components, unweighted
+// shortest-path infrastructure, and diameter estimation. Everything is
+// built on the repository's parallel BFS runtimes, exercising them as
+// the "building block for several other important algorithms" the
+// paper describes.
+package analysis
+
+import (
+	"fmt"
+
+	"optibfs/internal/core"
+	"optibfs/internal/graph"
+)
+
+// Components labels weakly-connected components. For a directed graph
+// it symmetrizes reachability by searching the graph and its transpose
+// together (equivalent to BFS on the underlying undirected graph).
+// Returns the component id of every vertex (dense ids from 0) and the
+// component sizes.
+func Components(g *graph.CSR, opt core.Options) (labels []int32, sizes []int64, err error) {
+	if g == nil {
+		return nil, nil, fmt.Errorf("analysis: nil graph")
+	}
+	n := g.NumVertices()
+	labels = make([]int32, n)
+	for i := range labels {
+		labels[i] = -1
+	}
+	if n == 0 {
+		return labels, nil, nil
+	}
+	// Build the symmetrized graph once; component structure is defined
+	// on it.
+	sym := symmetrize(g)
+	for v := int32(0); v < n; v++ {
+		if labels[v] != -1 {
+			continue
+		}
+		comp := int32(len(sizes))
+		if sym.OutDegree(v) == 0 {
+			labels[v] = comp
+			sizes = append(sizes, 1)
+			continue
+		}
+		res, rerr := core.Run(sym, v, core.BFSCL, opt)
+		if rerr != nil {
+			return nil, nil, rerr
+		}
+		var size int64
+		for u := int32(0); u < n; u++ {
+			if res.Dist[u] != graph.Unreached && labels[u] == -1 {
+				labels[u] = comp
+				size++
+			}
+		}
+		sizes = append(sizes, size)
+	}
+	return labels, sizes, nil
+}
+
+// symmetrize returns g with every edge doubled in both directions
+// (duplicates are harmless for reachability).
+func symmetrize(g *graph.CSR) *graph.CSR {
+	n := g.NumVertices()
+	deg := make([]int64, n+1)
+	for u := int32(0); u < n; u++ {
+		for _, w := range g.Neighbors(u) {
+			deg[u+1]++
+			deg[w+1]++
+		}
+	}
+	offsets := make([]int64, n+1)
+	for v := int32(0); v < n; v++ {
+		offsets[v+1] = offsets[v] + deg[v+1]
+	}
+	edges := make([]int32, offsets[n])
+	cursor := make([]int64, n)
+	copy(cursor, offsets[:n])
+	for u := int32(0); u < n; u++ {
+		for _, w := range g.Neighbors(u) {
+			edges[cursor[u]] = w
+			cursor[u]++
+			edges[cursor[w]] = u
+			cursor[w]++
+		}
+	}
+	return &graph.CSR{Offsets: offsets, Edges: edges}
+}
+
+// DoubleSweep estimates the diameter of the component containing src
+// with the classic two-BFS lower bound: find the farthest vertex a
+// from src, then the farthest vertex from a; the second eccentricity
+// is a (usually tight) lower bound on the true diameter.
+func DoubleSweep(g *graph.CSR, src int32, opt core.Options) (int32, error) {
+	if g == nil {
+		return 0, fmt.Errorf("analysis: nil graph")
+	}
+	if src < 0 || src >= g.NumVertices() {
+		return 0, fmt.Errorf("analysis: source %d out of range", src)
+	}
+	first, err := core.Run(g, src, core.BFSCL, opt)
+	if err != nil {
+		return 0, err
+	}
+	far := src
+	var farDist int32
+	for v := int32(0); v < g.NumVertices(); v++ {
+		if d := first.Dist[v]; d != graph.Unreached && d > farDist {
+			farDist, far = d, v
+		}
+	}
+	second, err := core.Run(g, far, core.BFSCL, opt)
+	if err != nil {
+		return 0, err
+	}
+	return graph.Eccentricity(second.Dist), nil
+}
+
+// Eccentricities runs BFS from every vertex in sources and returns
+// each eccentricity; max over a good source sample approximates the
+// diameter, min approximates the radius.
+func Eccentricities(g *graph.CSR, sources []int32, opt core.Options) ([]int32, error) {
+	out := make([]int32, len(sources))
+	for i, s := range sources {
+		if s < 0 || s >= g.NumVertices() {
+			return nil, fmt.Errorf("analysis: source %d out of range", s)
+		}
+		res, err := core.Run(g, s, core.BFSCL, opt)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = graph.Eccentricity(res.Dist)
+	}
+	return out, nil
+}
+
+// Betweenness computes (unnormalized) betweenness centrality by
+// Brandes' algorithm, restricted to the given sources — the exact
+// values when sources covers every vertex, an unbiased sample estimate
+// otherwise. This is the paper's flagship "BFS as building block"
+// application (§I cites the betweenness centrality problem; its ref
+// [17] is a BFS-based BC system): each source contributes one BFS
+// (level structure + path counts) plus a reverse dependency sweep.
+// Parallel edges are counted as distinct shortest paths.
+func Betweenness(g *graph.CSR, sources []int32, opt core.Options) ([]float64, error) {
+	if g == nil {
+		return nil, fmt.Errorf("analysis: nil graph")
+	}
+	n := g.NumVertices()
+	bc := make([]float64, n)
+	if n == 0 {
+		return bc, nil
+	}
+	gT := g.Transpose()
+	sigma := make([]float64, n)
+	delta := make([]float64, n)
+	order := make([]int32, 0, n)
+	for _, s := range sources {
+		if s < 0 || s >= n {
+			return nil, fmt.Errorf("analysis: source %d out of range", s)
+		}
+		res, err := core.Run(g, s, core.BFSCL, opt)
+		if err != nil {
+			return nil, err
+		}
+		dist := res.Dist
+		// Vertices in level order (counting sort by distance).
+		order = order[:0]
+		starts := make([]int32, len(res.LevelSizes)+1)
+		for d, sz := range res.LevelSizes {
+			starts[d+1] = starts[d] + int32(sz)
+		}
+		order = order[:starts[len(starts)-1]]
+		cursor := append([]int32(nil), starts[:len(starts)-1]...)
+		for v := int32(0); v < n; v++ {
+			if d := dist[v]; d != graph.Unreached {
+				order[cursor[d]] = v
+				cursor[d]++
+			}
+		}
+		// Forward: shortest-path counts via predecessors.
+		for i := range sigma {
+			sigma[i], delta[i] = 0, 0
+		}
+		sigma[s] = 1
+		for _, v := range order {
+			if v == s {
+				continue
+			}
+			for _, u := range gT.Neighbors(v) {
+				if dist[u] == dist[v]-1 {
+					sigma[v] += sigma[u]
+				}
+			}
+		}
+		// Backward: dependency accumulation, deepest level first.
+		for i := len(order) - 1; i >= 0; i-- {
+			v := order[i]
+			if v == s {
+				continue
+			}
+			for _, u := range gT.Neighbors(v) {
+				if dist[u] == dist[v]-1 && sigma[v] > 0 {
+					delta[u] += sigma[u] / sigma[v] * (1 + delta[v])
+				}
+			}
+			bc[v] += delta[v]
+		}
+	}
+	return bc, nil
+}
+
+// IsConnected reports whether every vertex is reachable from src in
+// the symmetrized sense (one weakly-connected component).
+func IsConnected(g *graph.CSR, opt core.Options) (bool, error) {
+	if g.NumVertices() == 0 {
+		return true, nil
+	}
+	_, sizes, err := Components(g, opt)
+	if err != nil {
+		return false, err
+	}
+	return len(sizes) == 1, nil
+}

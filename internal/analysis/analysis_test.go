@@ -1,0 +1,253 @@
+package analysis
+
+import (
+	"testing"
+
+	"optibfs/internal/core"
+	"optibfs/internal/gen"
+	"optibfs/internal/graph"
+)
+
+func TestComponentsDisjoint(t *testing.T) {
+	// Two triangles and two isolated vertices.
+	g, err := graph.FromEdges(8, []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 0},
+		{Src: 3, Dst: 4}, {Src: 4, Dst: 5}, {Src: 5, Dst: 3},
+	}, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels, sizes, err := Components(g, core.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sizes) != 4 {
+		t.Fatalf("components %d, want 4 (sizes %v)", len(sizes), sizes)
+	}
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Fatalf("triangle split: %v", labels)
+	}
+	if labels[0] == labels[3] {
+		t.Fatal("distinct triangles merged")
+	}
+	if labels[6] == labels[7] {
+		t.Fatal("isolated vertices merged")
+	}
+	var total int64
+	for _, s := range sizes {
+		total += s
+	}
+	if total != 8 {
+		t.Fatalf("sizes sum %d", total)
+	}
+}
+
+func TestComponentsDirectedChain(t *testing.T) {
+	// Directed edges only: weak connectivity must still join them.
+	g, err := graph.FromEdges(4, []graph.Edge{{Src: 1, Dst: 0}, {Src: 1, Dst: 2}, {Src: 3, Dst: 2}}, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sizes, err := Components(g, core.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sizes) != 1 || sizes[0] != 4 {
+		t.Fatalf("weak connectivity broken: %v", sizes)
+	}
+}
+
+func TestComponentsEmptyAndNil(t *testing.T) {
+	labels, sizes, err := Components(&graph.CSR{}, core.Options{})
+	if err != nil || len(labels) != 0 || len(sizes) != 0 {
+		t.Fatalf("empty graph: %v %v %v", labels, sizes, err)
+	}
+	if _, _, err := Components(nil, core.Options{}); err == nil {
+		t.Fatal("accepted nil graph")
+	}
+}
+
+func TestIsConnected(t *testing.T) {
+	conn, err := gen.Cycle(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := IsConnected(conn, core.Options{Workers: 2})
+	if err != nil || !ok {
+		t.Fatalf("cycle not connected: %v %v", ok, err)
+	}
+	disc, err := graph.FromEdges(3, []graph.Edge{{Src: 0, Dst: 1}}, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err = IsConnected(disc, core.Options{Workers: 2})
+	if err != nil || ok {
+		t.Fatalf("disconnected graph reported connected")
+	}
+}
+
+func TestDoubleSweepPath(t *testing.T) {
+	g, err := gen.Path(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// From the middle, single BFS sees ecc 50; double sweep finds 99.
+	est, err := DoubleSweep(g, 50, core.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est != 99 {
+		t.Fatalf("double sweep estimate %d, want 99", est)
+	}
+	if _, err := DoubleSweep(g, -1, core.Options{}); err == nil {
+		t.Fatal("accepted bad source")
+	}
+	if _, err := DoubleSweep(nil, 0, core.Options{}); err == nil {
+		t.Fatal("accepted nil graph")
+	}
+}
+
+func TestDoubleSweepGrid(t *testing.T) {
+	g, err := gen.Grid2D(10, 10, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	est, err := DoubleSweep(g, 55, core.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est != 18 { // corner-to-corner Manhattan distance
+		t.Fatalf("grid diameter estimate %d, want 18", est)
+	}
+}
+
+func TestEccentricities(t *testing.T) {
+	g, err := gen.Path(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eccs, err := Eccentricities(g, []int32{0, 4, 8}, core.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eccs[0] != 8 || eccs[1] != 4 || eccs[2] != 8 {
+		t.Fatalf("eccs %v", eccs)
+	}
+	if _, err := Eccentricities(g, []int32{99}, core.Options{}); err == nil {
+		t.Fatal("accepted bad source")
+	}
+}
+
+func allSources(n int32) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(i)
+	}
+	return out
+}
+
+func TestBetweennessPath(t *testing.T) {
+	// Undirected path 0-1-2-3-4: exact BC (directed-pair counting) is
+	// [0, 6, 8, 6, 0].
+	g, err := gen.Path(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := Betweenness(g, allSources(5), core.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{0, 6, 8, 6, 0}
+	for v, w := range want {
+		if diff := bc[v] - w; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("bc[%d]=%g want %g (full %v)", v, bc[v], w, bc)
+		}
+	}
+}
+
+func TestBetweennessStarHub(t *testing.T) {
+	// Star with n spokes: every spoke pair's path crosses the hub —
+	// bc[hub] = (n-1)(n-2) ordered pairs, spokes 0.
+	const n = 12
+	g, err := gen.Star(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := Betweenness(g, allSources(n), core.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := float64((n - 1) * (n - 2)); bc[0] != want {
+		t.Fatalf("hub bc %g want %g", bc[0], want)
+	}
+	for v := 1; v < n; v++ {
+		if bc[v] != 0 {
+			t.Fatalf("spoke %d bc %g", v, bc[v])
+		}
+	}
+}
+
+func TestBetweennessCycleSymmetry(t *testing.T) {
+	g, err := gen.Cycle(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := Betweenness(g, allSources(8), core.Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v < 8; v++ {
+		if diff := bc[v] - bc[0]; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("cycle BC not uniform: %v", bc)
+		}
+	}
+	if bc[0] <= 0 {
+		t.Fatalf("cycle BC zero: %v", bc)
+	}
+}
+
+func TestBetweennessSampledSubset(t *testing.T) {
+	g, err := gen.ChungLu(500, 4000, 2.2, 7, gen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := Betweenness(g, []int32{0, 10, 99}, core.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonZero := 0
+	for _, v := range bc {
+		if v < 0 {
+			t.Fatalf("negative centrality %g", v)
+		}
+		if v > 0 {
+			nonZero++
+		}
+	}
+	if nonZero == 0 {
+		t.Fatal("sampled BC all zero")
+	}
+	if _, err := Betweenness(g, []int32{-1}, core.Options{}); err == nil {
+		t.Fatal("accepted bad source")
+	}
+	if _, err := Betweenness(nil, nil, core.Options{}); err == nil {
+		t.Fatal("accepted nil graph")
+	}
+}
+
+func TestComponentsOnGeneratedSuite(t *testing.T) {
+	g, err := gen.LayeredRandom(2000, 12000, 10, 5, gen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, sizes, err := Components(g, core.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sizes) != 1 {
+		t.Fatalf("layered graph should be one component, got %d", len(sizes))
+	}
+	if sizes[0] != int64(g.NumVertices()) {
+		t.Fatalf("component size %d", sizes[0])
+	}
+}

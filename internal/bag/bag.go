@@ -1,0 +1,195 @@
+// Package bag implements the pennant/bag data structure of Leiserson &
+// Schardl's work-efficient parallel BFS (SPAA 2010), the substrate of
+// the reproduced paper's Baseline1. A bag is an unordered multiset of
+// vertices supporting O(1) insert (amortized), O(log n) union, and a
+// split into halves, represented as a "binary counter" of pennants —
+// complete binary trees of 2^k elements.
+//
+// The paper under reproduction contrasts its simple array queues with
+// exactly this structure ("a complicated data structure (called a
+// bag)"), so fidelity to the published shape matters more than raw
+// speed here.
+package bag
+
+// Pennant is a tree of 2^k elements: a root holding one element whose
+// Left child is a complete binary tree of 2^k - 1 elements. Right is
+// used only while a pennant is linked into larger pennants.
+type Pennant struct {
+	Value       int32
+	Left, Right *Pennant
+}
+
+// NewPennant returns a size-1 pennant holding v.
+func NewPennant(v int32) *Pennant {
+	return &Pennant{Value: v}
+}
+
+// Union combines two pennants of identical size 2^k into one of size
+// 2^(k+1) in O(1) (SPAA'10 Fig. 2).
+func Union(x, y *Pennant) *Pennant {
+	y.Right = x.Left
+	x.Left = y
+	return x
+}
+
+// Split undoes Union: it splits a pennant of size 2^(k+1) into two of
+// size 2^k, returning the detached half. The receiver keeps the other
+// half. Must not be called on a size-1 pennant.
+func Split(x *Pennant) *Pennant {
+	y := x.Left
+	x.Left = y.Right
+	y.Right = nil
+	return y
+}
+
+// Walk calls fn for every element of the pennant. The traversal is
+// iterative with an explicit stack so deep pennants cannot overflow
+// the goroutine stack.
+func (p *Pennant) Walk(fn func(int32)) {
+	if p == nil {
+		return
+	}
+	stack := make([]*Pennant, 0, 64)
+	stack = append(stack, p)
+	for len(stack) > 0 {
+		node := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		fn(node.Value)
+		if node.Left != nil {
+			stack = append(stack, node.Left)
+		}
+		if node.Right != nil {
+			stack = append(stack, node.Right)
+		}
+	}
+}
+
+// Count returns the number of elements in the pennant.
+func (p *Pennant) Count() int {
+	n := 0
+	p.Walk(func(int32) { n++ })
+	return n
+}
+
+// MaxBackbone bounds bag capacity at 2^MaxBackbone elements.
+const MaxBackbone = 40
+
+// Bag is the pennant array: Spine[k] is nil or a pennant of exactly
+// 2^k elements, so insertion works like binary-counter increment.
+type Bag struct {
+	Spine [MaxBackbone]*Pennant
+	size  int64
+}
+
+// New returns an empty bag.
+func New() *Bag { return &Bag{} }
+
+// Size returns the number of elements.
+func (b *Bag) Size() int64 { return b.size }
+
+// IsEmpty reports whether the bag has no elements.
+func (b *Bag) IsEmpty() bool { return b.size == 0 }
+
+// Insert adds v (binary-counter increment: carry pennants upward).
+func (b *Bag) Insert(v int32) {
+	p := NewPennant(v)
+	k := 0
+	for b.Spine[k] != nil {
+		p = Union(b.Spine[k], p)
+		b.Spine[k] = nil
+		k++
+		if k >= MaxBackbone {
+			panic("bag: capacity exceeded")
+		}
+	}
+	b.Spine[k] = p
+	b.size++
+}
+
+// UnionWith merges other into b, emptying other (full-adder per slot,
+// SPAA'10 Fig. 3).
+func (b *Bag) UnionWith(other *Bag) {
+	var carry *Pennant
+	for k := 0; k < MaxBackbone; k++ {
+		x, y := b.Spine[k], other.Spine[k]
+		other.Spine[k] = nil
+		// Full adder on (x, y, carry).
+		switch {
+		case x == nil && y == nil:
+			b.Spine[k], carry = carry, nil
+		case x != nil && y == nil && carry == nil:
+			// keep x
+		case x == nil && y != nil && carry == nil:
+			b.Spine[k] = y
+		case x != nil && y != nil && carry == nil:
+			b.Spine[k], carry = nil, Union(x, y)
+		case x != nil && y == nil && carry != nil:
+			b.Spine[k], carry = nil, Union(x, carry)
+		case x == nil && y != nil && carry != nil:
+			b.Spine[k], carry = nil, Union(y, carry)
+		default: // all three
+			b.Spine[k], carry = x, Union(y, carry)
+		}
+	}
+	if carry != nil {
+		panic("bag: union overflow")
+	}
+	b.size += other.size
+	other.size = 0
+}
+
+// SplitHalf removes roughly half of b's elements into a new bag
+// (SPAA'10 Fig. 4): every pennant of size 2^k (k>0) is split, with one
+// half staying and one leaving; a size-1 pennant stays behind.
+func (b *Bag) SplitHalf() *Bag {
+	other := New()
+	spare := b.Spine[0]
+	b.Spine[0] = nil
+	var moved int64
+	for k := 1; k < MaxBackbone; k++ {
+		if b.Spine[k] == nil {
+			continue
+		}
+		half := Split(b.Spine[k])
+		other.Spine[k-1] = half
+		b.Spine[k-1] = b.Spine[k]
+		b.Spine[k] = nil
+		moved += int64(1) << (k - 1)
+	}
+	if spare != nil {
+		// Re-insert the spare singleton into b.
+		b.size = b.size - moved - 1
+		other.size = moved
+		b.Insert(spare.Value)
+	} else {
+		b.size -= moved
+		other.size = moved
+	}
+	return other
+}
+
+// Walk calls fn for every element in the bag.
+func (b *Bag) Walk(fn func(int32)) {
+	for _, p := range b.Spine {
+		p.Walk(fn)
+	}
+}
+
+// Pennants returns the non-nil pennants with their sizes, largest
+// first — the parallel work units of PBFS.
+func (b *Bag) Pennants() []*Pennant {
+	var out []*Pennant
+	for k := MaxBackbone - 1; k >= 0; k-- {
+		if b.Spine[k] != nil {
+			out = append(out, b.Spine[k])
+		}
+	}
+	return out
+}
+
+// Elements returns the bag's contents as a slice (test helper).
+func (b *Bag) Elements() []int32 {
+	out := make([]int32, 0, b.size)
+	b.Walk(func(v int32) { out = append(out, v) })
+	return out
+}

@@ -1,0 +1,222 @@
+package bag
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPennantUnionSplit(t *testing.T) {
+	a, b := NewPennant(1), NewPennant(2)
+	u := Union(a, b) // size 2
+	if u.Count() != 2 {
+		t.Fatalf("union size %d", u.Count())
+	}
+	c := Union(Union(NewPennant(3), NewPennant(4)), u) // wrong sizes on purpose? no: both size 2
+	if c.Count() != 4 {
+		t.Fatalf("union size %d", c.Count())
+	}
+	y := Split(c)
+	if c.Count() != 2 || y.Count() != 2 {
+		t.Fatalf("split sizes %d/%d", c.Count(), y.Count())
+	}
+}
+
+func TestPennantWalkNil(t *testing.T) {
+	var p *Pennant
+	called := false
+	p.Walk(func(int32) { called = true })
+	if called {
+		t.Fatal("nil pennant walked elements")
+	}
+}
+
+func TestBagInsertAndSize(t *testing.T) {
+	b := New()
+	if !b.IsEmpty() {
+		t.Fatal("new bag not empty")
+	}
+	for i := int32(0); i < 1000; i++ {
+		b.Insert(i)
+	}
+	if b.Size() != 1000 {
+		t.Fatalf("size %d", b.Size())
+	}
+	got := b.Elements()
+	if len(got) != 1000 {
+		t.Fatalf("elements %d", len(got))
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	for i, v := range got {
+		if v != int32(i) {
+			t.Fatalf("element %d = %d", i, v)
+		}
+	}
+}
+
+func TestBagSpineIsBinaryCounter(t *testing.T) {
+	b := New()
+	for i := int32(0); i < 13; i++ { // 13 = 0b1101
+		b.Insert(i)
+	}
+	wantBits := []int{0, 2, 3}
+	for k := 0; k < MaxBackbone; k++ {
+		has := b.Spine[k] != nil
+		want := false
+		for _, wb := range wantBits {
+			if wb == k {
+				want = true
+			}
+		}
+		if has != want {
+			t.Fatalf("spine[%d] presence %v, want %v", k, has, want)
+		}
+		if has && b.Spine[k].Count() != 1<<k {
+			t.Fatalf("spine[%d] has %d elements, want %d", k, b.Spine[k].Count(), 1<<k)
+		}
+	}
+}
+
+func TestBagUnion(t *testing.T) {
+	a, b := New(), New()
+	for i := int32(0); i < 37; i++ {
+		a.Insert(i)
+	}
+	for i := int32(100); i < 164; i++ {
+		b.Insert(i)
+	}
+	a.UnionWith(b)
+	if a.Size() != 37+64 {
+		t.Fatalf("union size %d", a.Size())
+	}
+	if !b.IsEmpty() || b.Size() != 0 {
+		t.Fatal("source bag not emptied")
+	}
+	seen := map[int32]int{}
+	a.Walk(func(v int32) { seen[v]++ })
+	for i := int32(0); i < 37; i++ {
+		if seen[i] != 1 {
+			t.Fatalf("element %d count %d", i, seen[i])
+		}
+	}
+	for i := int32(100); i < 164; i++ {
+		if seen[i] != 1 {
+			t.Fatalf("element %d count %d", i, seen[i])
+		}
+	}
+}
+
+func TestBagSplitHalf(t *testing.T) {
+	for _, n := range []int32{0, 1, 2, 3, 7, 8, 100, 1023, 1024} {
+		b := New()
+		for i := int32(0); i < n; i++ {
+			b.Insert(i)
+		}
+		other := b.SplitHalf()
+		if b.Size()+other.Size() != int64(n) {
+			t.Fatalf("n=%d: sizes %d+%d != %d", n, b.Size(), other.Size(), n)
+		}
+		diff := b.Size() - other.Size()
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 1 {
+			t.Fatalf("n=%d: unbalanced split %d/%d", n, b.Size(), other.Size())
+		}
+		// Element conservation.
+		seen := map[int32]int{}
+		b.Walk(func(v int32) { seen[v]++ })
+		other.Walk(func(v int32) { seen[v]++ })
+		for i := int32(0); i < n; i++ {
+			if seen[i] != 1 {
+				t.Fatalf("n=%d: element %d count %d", n, i, seen[i])
+			}
+		}
+	}
+}
+
+func TestBagPennantsOrdering(t *testing.T) {
+	b := New()
+	for i := int32(0); i < 21; i++ { // 0b10101: slots 0,2,4
+		b.Insert(i)
+	}
+	ps := b.Pennants()
+	if len(ps) != 3 {
+		t.Fatalf("pennant count %d", len(ps))
+	}
+	sizes := []int{ps[0].Count(), ps[1].Count(), ps[2].Count()}
+	if sizes[0] != 16 || sizes[1] != 4 || sizes[2] != 1 {
+		t.Fatalf("pennant sizes %v, want [16 4 1]", sizes)
+	}
+}
+
+func TestBagDuplicateValuesAllowed(t *testing.T) {
+	b := New()
+	for i := 0; i < 5; i++ {
+		b.Insert(7)
+	}
+	if b.Size() != 5 {
+		t.Fatalf("multiset size %d", b.Size())
+	}
+	count := 0
+	b.Walk(func(v int32) {
+		if v == 7 {
+			count++
+		}
+	})
+	if count != 5 {
+		t.Fatalf("multiset count %d", count)
+	}
+}
+
+// Property: union conserves multiset contents for arbitrary sizes.
+func TestPropertyUnionConserves(t *testing.T) {
+	f := func(na, nb uint16) bool {
+		a, b := New(), New()
+		for i := int32(0); i < int32(na%500); i++ {
+			a.Insert(i)
+		}
+		for i := int32(0); i < int32(nb%500); i++ {
+			b.Insert(i + 1000)
+		}
+		total := a.Size() + b.Size()
+		a.UnionWith(b)
+		if a.Size() != total || !b.IsEmpty() {
+			return false
+		}
+		n := 0
+		a.Walk(func(int32) { n++ })
+		return int64(n) == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: repeated SplitHalf always conserves elements and reaches
+// single-element bags (termination of PBFS's divide phase).
+func TestPropertySplitTerminates(t *testing.T) {
+	f := func(n uint16) bool {
+		b := New()
+		size := int64(n % 2000)
+		for i := int64(0); i < size; i++ {
+			b.Insert(int32(i))
+		}
+		work := []*Bag{b}
+		var leaves int64
+		for len(work) > 0 {
+			cur := work[len(work)-1]
+			work = work[:len(work)-1]
+			if cur.Size() <= 4 {
+				leaves += cur.Size()
+				continue
+			}
+			half := cur.SplitHalf()
+			work = append(work, cur, half)
+		}
+		return leaves == size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,57 @@
+package bag
+
+import "testing"
+
+// Bag operation costs: the reproduced paper argues its flat array
+// queues beat this structure exactly because of these per-op numbers.
+
+func BenchmarkInsert(b *testing.B) {
+	b.ReportAllocs()
+	bag := New()
+	for i := 0; i < b.N; i++ {
+		bag.Insert(int32(i))
+	}
+}
+
+func BenchmarkUnion(b *testing.B) {
+	b.ReportAllocs()
+	b.StopTimer()
+	for i := 0; i < b.N; i++ {
+		x, y := New(), New()
+		for j := int32(0); j < 1024; j++ {
+			x.Insert(j)
+			y.Insert(j + 2000)
+		}
+		b.StartTimer()
+		x.UnionWith(y)
+		b.StopTimer()
+	}
+}
+
+func BenchmarkSplitHalf(b *testing.B) {
+	b.ReportAllocs()
+	b.StopTimer()
+	for i := 0; i < b.N; i++ {
+		x := New()
+		for j := int32(0); j < 4096; j++ {
+			x.Insert(j)
+		}
+		b.StartTimer()
+		x.SplitHalf()
+		b.StopTimer()
+	}
+}
+
+func BenchmarkWalk(b *testing.B) {
+	bag := New()
+	for j := int32(0); j < 1<<14; j++ {
+		bag.Insert(j)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sink int64
+	for i := 0; i < b.N; i++ {
+		bag.Walk(func(v int32) { sink += int64(v) })
+	}
+	_ = sink
+}

@@ -1,0 +1,10 @@
+package baseline1
+
+import "sync/atomic"
+
+// Thin wrappers so the benign-race discipline reads like the SPAA'10
+// pseudocode while staying defined under the Go memory model (plain
+// MOV-class instructions, no RMW — same rule as internal/core).
+
+func loadInt32(p *int32) int32     { return atomic.LoadInt32(p) }
+func storeInt32(p *int32, v int32) { atomic.StoreInt32(p, v) }

@@ -1,0 +1,188 @@
+package baseline1
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"optibfs/internal/core"
+	"optibfs/internal/gen"
+	"optibfs/internal/graph"
+)
+
+func check(t *testing.T, g *graph.CSR, src int32, workers int) *core.Result {
+	t.Helper()
+	res, err := Run(g, src, core.Options{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := graph.ReferenceBFS(g, src)
+	if err := graph.EqualDistances(res.Dist, want); err != nil {
+		t.Fatalf("workers=%d: %v", workers, err)
+	}
+	if err := graph.ValidateDistances(g, src, res.Dist); err != nil {
+		t.Fatal(err)
+	}
+	if res.Levels != graph.Eccentricity(want)+1 {
+		t.Fatalf("levels=%d want %d", res.Levels, graph.Eccentricity(want)+1)
+	}
+	return res
+}
+
+func TestPBFSCorrectness(t *testing.T) {
+	graphs := []struct {
+		name string
+		mk   func() (*graph.CSR, error)
+	}{
+		{"path", func() (*graph.CSR, error) { return gen.Path(300) }},
+		{"star", func() (*graph.CSR, error) { return gen.Star(500) }},
+		{"tree", func() (*graph.CSR, error) { return gen.BinaryTree(1023) }},
+		{"grid", func() (*graph.CSR, error) { return gen.Grid2D(20, 25, false) }},
+		{"rmat", func() (*graph.CSR, error) { return gen.Graph500RMAT(4096, 32768, 3, gen.Options{}) }},
+		{"chunglu", func() (*graph.CSR, error) { return gen.ChungLu(2048, 16384, 2.2, 5, gen.Options{}) }},
+		{"complete", func() (*graph.CSR, error) { return gen.Complete(60) }},
+	}
+	for _, tc := range graphs {
+		g, err := tc.mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			t.Run(fmt.Sprintf("%s/p%d", tc.name, workers), func(t *testing.T) {
+				check(t, g, 0, workers)
+			})
+		}
+	}
+}
+
+func TestPBFSSingleVertex(t *testing.T) {
+	g, err := graph.FromEdges(1, nil, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := check(t, g, 0, 4)
+	if res.Reached != 1 {
+		t.Fatalf("reached %d", res.Reached)
+	}
+}
+
+func TestPBFSInputValidation(t *testing.T) {
+	g, _ := gen.Path(5)
+	if _, err := Run(nil, 0, core.Options{}); err == nil {
+		t.Fatal("accepted nil graph")
+	}
+	if _, err := Run(g, 9, core.Options{}); err == nil {
+		t.Fatal("accepted bad source")
+	}
+	if _, err := Run(g, -1, core.Options{}); err == nil {
+		t.Fatal("accepted negative source")
+	}
+}
+
+func TestPBFSCountsWork(t *testing.T) {
+	g, err := gen.ErdosRenyi(2000, 16000, 7, gen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := check(t, g, 0, 4)
+	if res.Counters.EdgesScanned == 0 || res.Counters.VerticesPopped == 0 {
+		t.Fatalf("no work recorded: %+v", res.Counters)
+	}
+	if res.Pops < res.Reached {
+		t.Fatalf("pops %d < reached %d", res.Pops, res.Reached)
+	}
+}
+
+func TestPBFSRepeatedRuns(t *testing.T) {
+	g, err := gen.ChungLu(4096, 32768, 2.1, 9, gen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := graph.ReferenceBFS(g, 0)
+	for rep := 0; rep < 8; rep++ {
+		res, err := Run(g, 0, core.Options{Workers: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := graph.EqualDistances(res.Dist, want); err != nil {
+			t.Fatalf("rep %d: %v", rep, err)
+		}
+	}
+}
+
+func TestPBFSPerWorkerCounters(t *testing.T) {
+	g, err := gen.ErdosRenyi(8000, 64000, 3, gen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := check(t, g, 0, 4)
+	if len(res.PerWorker) != 4 {
+		t.Fatalf("PerWorker len %d", len(res.PerWorker))
+	}
+	busy := 0
+	for i := range res.PerWorker {
+		if res.PerWorker[i].EdgesScanned > 0 {
+			busy++
+		}
+	}
+	if busy < 2 {
+		t.Fatalf("only %d workers did any work", busy)
+	}
+	var sum int64
+	for i := range res.PerWorker {
+		sum += res.PerWorker[i].VerticesPopped
+	}
+	if sum != res.Counters.VerticesPopped {
+		t.Fatalf("per-worker pops %d != total %d", sum, res.Counters.VerticesPopped)
+	}
+}
+
+func TestPBFSParents(t *testing.T) {
+	g, err := gen.ChungLu(2048, 16384, 2.2, 4, gen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(g, 0, core.Options{Workers: 4, TrackParents: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.ValidateParents(g, 0, res.Dist, res.Parent); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPBFSLevelSizes(t *testing.T) {
+	g, err := gen.BinaryTree(15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := check(t, g, 0, 2)
+	want := []int64{1, 2, 4, 8}
+	if len(res.LevelSizes) != len(want) {
+		t.Fatalf("LevelSizes %v", res.LevelSizes)
+	}
+	for i, w := range want {
+		if res.LevelSizes[i] != w {
+			t.Fatalf("level %d: %d want %d", i, res.LevelSizes[i], w)
+		}
+	}
+}
+
+func TestPropertyPBFSCorrect(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := int32(2 + seed%200)
+		g, err := gen.Graph500RMAT(n, int64(seed%1500), seed, gen.Options{})
+		if err != nil {
+			return false
+		}
+		src := int32(seed % uint64(n))
+		res, err := Run(g, src, core.Options{Workers: 1 + int(seed%6)})
+		if err != nil {
+			return false
+		}
+		return graph.EqualDistances(res.Dist, graph.ReferenceBFS(g, src)) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

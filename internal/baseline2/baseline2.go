@@ -1,0 +1,409 @@
+// Package baseline2 reimplements the comparison system the reproduced
+// paper calls Baseline2: the multicore CPU BFS variants of Hong,
+// Oguntebi & Olukotun, "Efficient Parallel Graph Exploration on
+// Multi-Core CPU and GPU" (PACT 2011). In contrast to the paper's
+// algorithms these rely on atomic read-modify-write instructions —
+// fetch-add cursors for queue dispatch and a compare-and-swap visited
+// bitmap for duplicate elimination — which is exactly the contrast the
+// reproduction measures (see the AtomicRMW counter).
+package baseline2
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"optibfs/internal/core"
+	"optibfs/internal/graph"
+	"optibfs/internal/stats"
+)
+
+// Variant selects one of Baseline2's CPU strategies.
+type Variant string
+
+const (
+	// QueueCAS uses one shared next-level queue: workers reserve output
+	// slots with atomic fetch-add and eliminate duplicates with a CAS
+	// visited bitmap.
+	QueueCAS Variant = "queue+cas"
+	// ReadArray is Hong's read-based method: no queues at all; every
+	// level each worker scans its static share of the whole vertex
+	// array for frontier vertices.
+	ReadArray Variant = "read"
+	// LocalQueue gives each worker a private output queue (concatenated
+	// between levels); the input frontier is dispatched in chunks via a
+	// fetch-add cursor. No visited bitmap: the dist check alone guards
+	// discovery, so duplicates can appear (and are benign).
+	LocalQueue Variant = "localq"
+	// LocalQueueBitmap is LocalQueue plus the CAS visited bitmap — the
+	// configuration the reproduced paper reports as
+	// "Local queue + read + bitmap", its strongest Baseline2.
+	LocalQueueBitmap Variant = "localq+bitmap"
+	// Hybrid is Hong's per-level strategy picker: serial processing for
+	// tiny frontiers, ReadArray for huge frontiers, LocalQueueBitmap
+	// otherwise.
+	Hybrid Variant = "hybrid"
+)
+
+// Variants lists all Baseline2 strategies in presentation order.
+var Variants = []Variant{QueueCAS, ReadArray, LocalQueue, LocalQueueBitmap, Hybrid}
+
+// chunk is the frontier dispatch granularity for the fetch-add cursors.
+const chunk = 64
+
+// Hybrid thresholds: frontiers smaller than hybridSerialMax vertices
+// are processed serially; frontiers larger than n/hybridReadFrac
+// switch to the read-based scan.
+const (
+	hybridSerialMax = 128
+	hybridReadFrac  = 4
+)
+
+// Run executes the chosen Baseline2 variant on g from src.
+func Run(g *graph.CSR, src int32, variant Variant, opt core.Options) (*core.Result, error) {
+	if g == nil {
+		return nil, fmt.Errorf("baseline2: nil graph")
+	}
+	if src < 0 || src >= g.NumVertices() {
+		return nil, fmt.Errorf("baseline2: source %d out of range [0,%d)", src, g.NumVertices())
+	}
+	switch variant {
+	case QueueCAS, ReadArray, LocalQueue, LocalQueueBitmap, Hybrid:
+	default:
+		return nil, fmt.Errorf("baseline2: unknown variant %q", variant)
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	r := &runner{
+		g:        g,
+		variant:  variant,
+		workers:  workers,
+		dist:     make([]int32, g.NumVertices()),
+		counters: stats.NewPerWorker(workers),
+		yield:    workers > runtime.GOMAXPROCS(0),
+	}
+	for i := range r.dist {
+		r.dist[i] = graph.Unreached
+	}
+	r.dist[src] = 0
+	if variant == QueueCAS || variant == LocalQueueBitmap || variant == Hybrid {
+		r.bitmap = make([]uint64, (int(g.NumVertices())+63)/64)
+		r.setBitSerial(src)
+	}
+	r.run(src)
+
+	total := stats.Sum(r.counters)
+	res := &core.Result{
+		Dist:      r.dist,
+		Levels:    r.levels,
+		Workers:   workers,
+		Counters:  total,
+		PerWorker: r.counters,
+		Pops:      total.VerticesPopped,
+	}
+	res.Reached, res.EdgesTraversed = graph.ReachedCount(g, r.dist)
+	return res, nil
+}
+
+type runner struct {
+	g        *graph.CSR
+	variant  Variant
+	workers  int
+	dist     []int32
+	bitmap   []uint64 // nil when the variant has no visited bitmap
+	counters []stats.PaddedCounters
+	levels   int32
+	// yield: cooperative scheduling on oversubscribed hosts, so chunk
+	// dispatch round-robins and per-worker counters stay meaningful
+	// (same rationale as internal/core's state.yield).
+	yield bool
+}
+
+// maybeYield hands the thread over at chunk boundaries when
+// oversubscribed.
+func (r *runner) maybeYield() {
+	if r.yield {
+		runtime.Gosched()
+	}
+}
+
+// setBitSerial marks v visited without atomics (pre-run setup).
+func (r *runner) setBitSerial(v int32) {
+	r.bitmap[v>>6] |= 1 << (uint(v) & 63)
+}
+
+// testAndSet atomically sets v's visited bit, reporting whether this
+// call was the one that set it. Every CAS attempt is an atomic RMW.
+func (r *runner) testAndSet(v int32, c *stats.Counters) bool {
+	w := &r.bitmap[v>>6]
+	mask := uint64(1) << (uint(v) & 63)
+	for {
+		old := atomic.LoadUint64(w)
+		if old&mask != 0 {
+			return false
+		}
+		c.AtomicRMW++
+		if atomic.CompareAndSwapUint64(w, old, old|mask) {
+			return true
+		}
+	}
+}
+
+// parallel runs fn(id) on `workers` goroutines and waits.
+func (r *runner) parallel(fn func(id int)) {
+	var wg sync.WaitGroup
+	wg.Add(r.workers)
+	for id := 0; id < r.workers; id++ {
+		go func(id int) {
+			defer wg.Done()
+			fn(id)
+		}(id)
+	}
+	wg.Wait()
+}
+
+func (r *runner) run(src int32) {
+	switch r.variant {
+	case ReadArray:
+		r.runReadArray()
+	default:
+		r.runQueued(src)
+	}
+}
+
+// runReadArray is the no-queue method: each level every worker scans
+// its static slice of the vertex array for vertices at the current
+// level. Termination uses a per-level discovered flag.
+func (r *runner) runReadArray() {
+	n := int(r.g.NumVertices())
+	var found int32 // atomic flag: any discovery this level
+	for level := int32(0); ; level++ {
+		atomic.StoreInt32(&found, 0)
+		r.parallel(func(id int) {
+			c := &r.counters[id].Counters
+			lo := n * id / r.workers
+			hi := n * (id + 1) / r.workers
+			localFound := false
+			for v := lo; v < hi; v++ {
+				if atomic.LoadInt32(&r.dist[v]) != level {
+					continue
+				}
+				c.VerticesPopped++
+				nb := r.g.Neighbors(int32(v))
+				c.EdgesScanned += int64(len(nb))
+				for _, w := range nb {
+					if atomic.LoadInt32(&r.dist[w]) == graph.Unreached {
+						atomic.StoreInt32(&r.dist[w], level+1)
+						c.Discovered++
+						localFound = true
+					}
+				}
+			}
+			if localFound {
+				atomic.StoreInt32(&found, 1)
+			}
+		})
+		r.levels = level + 1
+		if atomic.LoadInt32(&found) == 0 {
+			return
+		}
+	}
+}
+
+// runQueued drives the queue-based variants (and Hybrid's picker).
+func (r *runner) runQueued(src int32) {
+	n := int(r.g.NumVertices())
+	frontier := make([]int32, 1, 1024)
+	frontier[0] = src
+
+	// QueueCAS shares one output array across workers.
+	var sharedNext []int32
+	var sharedLen int64
+	if r.variant == QueueCAS {
+		sharedNext = make([]int32, n)
+	}
+	outs := make([][]int32, r.workers)
+	for i := range outs {
+		outs[i] = make([]int32, 0, 256)
+	}
+
+	for level := int32(0); len(frontier) > 0; level++ {
+		r.levels = level + 1
+		mode := r.variant
+		if r.variant == Hybrid {
+			switch {
+			case len(frontier) <= hybridSerialMax:
+				mode = "serial"
+			case len(frontier) >= n/hybridReadFrac:
+				mode = ReadArray
+			default:
+				mode = LocalQueueBitmap
+			}
+		}
+
+		switch mode {
+		case "serial":
+			// Tiny frontier: one worker, no dispatch overhead at all.
+			c := &r.counters[0].Counters
+			out := outs[0][:0]
+			for _, v := range frontier {
+				out = r.explore(v, level, out, c)
+			}
+			outs[0] = out
+			frontier = frontier[:0]
+			frontier = append(frontier, out...)
+
+		case ReadArray:
+			// Scan mode for one level, then rebuild the frontier from
+			// the dist array (parallel range collection).
+			r.scanLevel(level)
+			frontier = r.collectLevel(level + 1)
+
+		case QueueCAS:
+			atomic.StoreInt64(&sharedLen, 0)
+			var cursor int64
+			r.parallel(func(id int) {
+				c := &r.counters[id].Counters
+				for {
+					c.AtomicRMW++
+					start := atomic.AddInt64(&cursor, chunk) - chunk
+					if start >= int64(len(frontier)) {
+						return
+					}
+					end := start + chunk
+					if end > int64(len(frontier)) {
+						end = int64(len(frontier))
+					}
+					c.Fetches++
+					for _, v := range frontier[start:end] {
+						c.VerticesPopped++
+						nb := r.g.Neighbors(v)
+						c.EdgesScanned += int64(len(nb))
+						for _, w := range nb {
+							if r.testAndSet(w, c) {
+								atomic.StoreInt32(&r.dist[w], level+1)
+								c.Discovered++
+								c.AtomicRMW++
+								slot := atomic.AddInt64(&sharedLen, 1) - 1
+								sharedNext[slot] = w
+							}
+						}
+					}
+					r.maybeYield()
+				}
+			})
+			frontier = frontier[:0]
+			frontier = append(frontier, sharedNext[:atomic.LoadInt64(&sharedLen)]...)
+
+		default: // LocalQueue / LocalQueueBitmap
+			var cursor int64
+			r.parallel(func(id int) {
+				c := &r.counters[id].Counters
+				out := outs[id][:0]
+				for {
+					c.AtomicRMW++
+					start := atomic.AddInt64(&cursor, chunk) - chunk
+					if start >= int64(len(frontier)) {
+						break
+					}
+					end := start + chunk
+					if end > int64(len(frontier)) {
+						end = int64(len(frontier))
+					}
+					c.Fetches++
+					for _, v := range frontier[start:end] {
+						out = r.explore(v, level, out, c)
+					}
+					r.maybeYield()
+				}
+				outs[id] = out
+			})
+			frontier = frontier[:0]
+			for id := range outs {
+				frontier = append(frontier, outs[id]...)
+			}
+		}
+	}
+}
+
+// explore expands v at the given level into out, using the bitmap when
+// the variant has one and the benign dist race otherwise.
+func (r *runner) explore(v int32, level int32, out []int32, c *stats.Counters) []int32 {
+	c.VerticesPopped++
+	nb := r.g.Neighbors(v)
+	c.EdgesScanned += int64(len(nb))
+	for _, w := range nb {
+		if r.bitmap != nil {
+			if r.testAndSet(w, c) {
+				atomic.StoreInt32(&r.dist[w], level+1)
+				c.Discovered++
+				out = append(out, w)
+			}
+			continue
+		}
+		if atomic.LoadInt32(&r.dist[w]) == graph.Unreached {
+			atomic.StoreInt32(&r.dist[w], level+1)
+			c.Discovered++
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// scanLevel explores every vertex at `level` by scanning the vertex
+// array (read mode used inside Hybrid).
+func (r *runner) scanLevel(level int32) {
+	n := int(r.g.NumVertices())
+	r.parallel(func(id int) {
+		c := &r.counters[id].Counters
+		lo := n * id / r.workers
+		hi := n * (id + 1) / r.workers
+		for v := lo; v < hi; v++ {
+			if atomic.LoadInt32(&r.dist[v]) != level {
+				continue
+			}
+			c.VerticesPopped++
+			nb := r.g.Neighbors(int32(v))
+			c.EdgesScanned += int64(len(nb))
+			for _, w := range nb {
+				if r.bitmap != nil {
+					if r.testAndSet(w, c) {
+						atomic.StoreInt32(&r.dist[w], level+1)
+						c.Discovered++
+					}
+					continue
+				}
+				if atomic.LoadInt32(&r.dist[w]) == graph.Unreached {
+					atomic.StoreInt32(&r.dist[w], level+1)
+					c.Discovered++
+				}
+			}
+		}
+	})
+}
+
+// collectLevel gathers all vertices at `level` into a fresh frontier
+// slice (parallel scan, per-worker buffers, ordered concatenation).
+func (r *runner) collectLevel(level int32) []int32 {
+	n := int(r.g.NumVertices())
+	parts := make([][]int32, r.workers)
+	r.parallel(func(id int) {
+		lo := n * id / r.workers
+		hi := n * (id + 1) / r.workers
+		var part []int32
+		for v := lo; v < hi; v++ {
+			if atomic.LoadInt32(&r.dist[v]) == level {
+				part = append(part, int32(v))
+			}
+		}
+		parts[id] = part
+	})
+	var out []int32
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+package baseline2
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"optibfs/internal/core"
+	"optibfs/internal/gen"
+	"optibfs/internal/graph"
+)
+
+func check(t *testing.T, g *graph.CSR, src int32, v Variant, workers int) *core.Result {
+	t.Helper()
+	res, err := Run(g, src, v, core.Options{Workers: workers})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := graph.ReferenceBFS(g, src)
+	if err := graph.EqualDistances(res.Dist, want); err != nil {
+		t.Fatalf("%s workers=%d: %v", v, workers, err)
+	}
+	if err := graph.ValidateDistances(g, src, res.Dist); err != nil {
+		t.Fatalf("%s: %v", v, err)
+	}
+	if res.Levels != graph.Eccentricity(want)+1 {
+		t.Fatalf("%s: levels=%d want %d", v, res.Levels, graph.Eccentricity(want)+1)
+	}
+	return res
+}
+
+func TestAllVariantsAllGraphs(t *testing.T) {
+	graphs := map[string]func() (*graph.CSR, error){
+		"single":   func() (*graph.CSR, error) { return graph.FromEdges(1, nil, graph.BuildOptions{}) },
+		"path":     func() (*graph.CSR, error) { return gen.Path(200) },
+		"star":     func() (*graph.CSR, error) { return gen.Star(400) },
+		"grid":     func() (*graph.CSR, error) { return gen.Grid2D(15, 21, false) },
+		"rmat":     func() (*graph.CSR, error) { return gen.Graph500RMAT(2048, 16384, 3, gen.Options{}) },
+		"chunglu":  func() (*graph.CSR, error) { return gen.ChungLu(2048, 16384, 2.2, 5, gen.Options{}) },
+		"complete": func() (*graph.CSR, error) { return gen.Complete(50) },
+		"disjoint": func() (*graph.CSR, error) {
+			return graph.FromEdges(20, []graph.Edge{{Src: 0, Dst: 1}, {Src: 5, Dst: 6}}, graph.BuildOptions{})
+		},
+	}
+	for name, mk := range graphs {
+		g, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, variant := range Variants {
+			for _, workers := range []int{1, 3, 8} {
+				t.Run(fmt.Sprintf("%s/%s/p%d", name, variant, workers), func(t *testing.T) {
+					check(t, g, 0, variant, workers)
+				})
+			}
+		}
+	}
+}
+
+func TestInputValidation(t *testing.T) {
+	g, _ := gen.Path(5)
+	if _, err := Run(nil, 0, QueueCAS, core.Options{}); err == nil {
+		t.Fatal("accepted nil graph")
+	}
+	if _, err := Run(g, 99, QueueCAS, core.Options{}); err == nil {
+		t.Fatal("accepted bad source")
+	}
+	if _, err := Run(g, 0, Variant("bogus"), core.Options{}); err == nil {
+		t.Fatal("accepted unknown variant")
+	}
+}
+
+func TestAtomicRMWAccounting(t *testing.T) {
+	g, err := gen.ErdosRenyi(2000, 16000, 7, gen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every variant that dispatches or deduplicates must report RMW use.
+	for _, v := range []Variant{QueueCAS, LocalQueue, LocalQueueBitmap, Hybrid} {
+		res := check(t, g, 0, v, 4)
+		if res.Counters.AtomicRMW == 0 {
+			t.Fatalf("%s reported no atomic RMW", v)
+		}
+	}
+	// ReadArray uses no cursors and no bitmap: zero RMW.
+	res := check(t, g, 0, ReadArray, 4)
+	if res.Counters.AtomicRMW != 0 {
+		t.Fatalf("ReadArray reported %d RMW", res.Counters.AtomicRMW)
+	}
+}
+
+func TestBitmapPreventsDuplicates(t *testing.T) {
+	// On a dense graph the bitmap variants must pop each vertex exactly
+	// once, while LocalQueue (dist-check only) may pop duplicates.
+	g, err := gen.Complete(200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range []Variant{QueueCAS, LocalQueueBitmap} {
+		res := check(t, g, 0, v, 8)
+		if res.Duplicates() != 0 {
+			t.Fatalf("%s popped %d duplicates despite bitmap", v, res.Duplicates())
+		}
+	}
+}
+
+func TestReadArrayScansWithoutQueues(t *testing.T) {
+	g, err := gen.LayeredRandom(1000, 6000, 10, 2, gen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := check(t, g, 0, ReadArray, 4)
+	if res.Counters.Fetches != 0 {
+		t.Fatalf("ReadArray recorded %d queue fetches", res.Counters.Fetches)
+	}
+}
+
+func TestHybridHandlesAllRegimes(t *testing.T) {
+	// A path keeps every frontier tiny (serial mode); a complete graph
+	// makes one huge frontier (read mode); ChungLu exercises the middle.
+	for _, mk := range []func() (*graph.CSR, error){
+		func() (*graph.CSR, error) { return gen.Path(300) },
+		func() (*graph.CSR, error) { return gen.Complete(300) },
+		func() (*graph.CSR, error) { return gen.ChungLu(4096, 32768, 2.2, 3, gen.Options{}) },
+	} {
+		g, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(t, g, 0, Hybrid, 4)
+	}
+}
+
+func TestRepeatedRuns(t *testing.T) {
+	g, err := gen.ChungLu(4096, 32768, 2.1, 11, gen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := graph.ReferenceBFS(g, 0)
+	for _, v := range Variants {
+		for rep := 0; rep < 5; rep++ {
+			res, err := Run(g, 0, v, core.Options{Workers: 8})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := graph.EqualDistances(res.Dist, want); err != nil {
+				t.Fatalf("%s rep %d: %v", v, rep, err)
+			}
+		}
+	}
+}
+
+func TestPropertyVariantsCorrect(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := int32(2 + seed%250)
+		g, err := gen.Graph500RMAT(n, int64(seed%1500), seed, gen.Options{})
+		if err != nil {
+			return false
+		}
+		src := int32(seed % uint64(n))
+		variant := Variants[seed%uint64(len(Variants))]
+		res, err := Run(g, src, variant, core.Options{Workers: 1 + int(seed%6)})
+		if err != nil {
+			return false
+		}
+		return graph.EqualDistances(res.Dist, graph.ReferenceBFS(g, src)) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,272 @@
+// Package beamer implements direction-optimizing BFS (Beamer, Asanović
+// & Patterson, SC 2012), the hybrid of top-down (parent→child) and
+// bottom-up (child→parent) edge exploration the reproduced paper
+// discusses in its prior-work section (§II, ref [5]). It is provided
+// as an additional comparison point and extension: on low-diameter,
+// high-degree graphs the bottom-up phases skip most edge inspections
+// once the frontier is large.
+//
+// The bottom-up step is naturally race-free — every unvisited vertex
+// scans its own in-edges and writes only its own state — so, unlike
+// the original (which used atomics in its top-down step), this
+// implementation needs only the same benign-race discipline as
+// internal/core: atomic loads/stores, no RMW, no locks.
+package beamer
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"optibfs/internal/core"
+	"optibfs/internal/graph"
+	"optibfs/internal/stats"
+)
+
+// Options extends core.Options with the Beamer switching thresholds.
+type Options struct {
+	core.Options
+	// Alpha: switch top-down -> bottom-up when the frontier's
+	// out-edge count exceeds (unexplored out-edges)/Alpha. Default 15.
+	Alpha int64
+	// Beta: switch bottom-up -> top-down when the frontier shrinks
+	// below n/Beta. Default 18.
+	Beta int64
+	// Transpose supplies the reverse graph for bottom-up steps; if nil
+	// it is computed (O(n+m)) at the start of the run.
+	Transpose *graph.CSR
+}
+
+// Run executes direction-optimizing BFS on g from src.
+func Run(g *graph.CSR, src int32, opt Options) (*core.Result, error) {
+	if g == nil {
+		return nil, fmt.Errorf("beamer: nil graph")
+	}
+	n := g.NumVertices()
+	if src < 0 || src >= n {
+		return nil, fmt.Errorf("beamer: source %d out of range [0,%d)", src, n)
+	}
+	if opt.Alpha <= 0 {
+		opt.Alpha = 15
+	}
+	if opt.Beta <= 0 {
+		opt.Beta = 18
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	gT := opt.Transpose
+	if gT == nil {
+		gT = g.Transpose()
+	}
+	if gT.NumVertices() != n {
+		return nil, fmt.Errorf("beamer: transpose has %d vertices, graph has %d", gT.NumVertices(), n)
+	}
+
+	r := &runner{
+		g: g, gT: gT, workers: workers,
+		dist:     make([]int32, n),
+		counters: stats.NewPerWorker(workers),
+		yield:    workers > runtime.GOMAXPROCS(0),
+	}
+	for i := range r.dist {
+		r.dist[i] = graph.Unreached
+	}
+	r.dist[src] = 0
+	if opt.TrackParents {
+		r.parent = make([]int32, n)
+		for i := range r.parent {
+			r.parent[i] = -1
+		}
+		r.parent[src] = src
+	}
+
+	frontier := []int32{src}
+	frontierBits := make([]uint64, (int(n)+63)/64)
+	// Unexplored out-edge budget, maintained incrementally for the
+	// alpha test.
+	unexplored := g.NumEdges() - g.OutDegree(src)
+
+	bottomUp := false
+	var levels int32
+	prevNf := int64(0)
+	for {
+		nf := int64(len(frontier))
+		if nf == 0 {
+			break
+		}
+		// Direction choice (Beamer's heuristics): go bottom-up when the
+		// frontier's out-edges dominate the unexplored edges AND the
+		// frontier is still growing; return top-down once the frontier
+		// shrinks below n/beta.
+		var mf int64
+		for _, v := range frontier {
+			mf += g.OutDegree(v)
+		}
+		if !bottomUp && mf > unexplored/opt.Alpha && nf > prevNf {
+			bottomUp = true
+		} else if bottomUp && nf < int64(n)/opt.Beta {
+			bottomUp = false
+		}
+		prevNf = nf
+
+		level := levels
+		if bottomUp {
+			setBits(frontierBits, frontier)
+			next := r.stepBottomUp(frontierBits, level)
+			clearBits(frontierBits, frontier)
+			frontier = next
+		} else {
+			frontier = r.stepTopDown(frontier, level)
+		}
+		for _, v := range frontier {
+			unexplored -= g.OutDegree(v)
+		}
+		levels++
+		if len(frontier) == 0 {
+			break
+		}
+	}
+
+	total := stats.Sum(r.counters)
+	res := &core.Result{
+		Dist:       r.dist,
+		Parent:     r.parent,
+		Levels:     levels,
+		Workers:    workers,
+		Counters:   total,
+		PerWorker:  r.counters,
+		Pops:       total.VerticesPopped,
+		LevelSizes: make([]int64, levels),
+	}
+	for v := int32(0); v < n; v++ {
+		if d := r.dist[v]; d != graph.Unreached {
+			res.Reached++
+			res.EdgesTraversed += g.OutDegree(v)
+			res.LevelSizes[d]++
+		}
+	}
+	return res, nil
+}
+
+type runner struct {
+	g, gT    *graph.CSR
+	workers  int
+	dist     []int32
+	parent   []int32
+	counters []stats.PaddedCounters
+	yield    bool
+}
+
+func (r *runner) parallel(fn func(id int)) {
+	var wg sync.WaitGroup
+	wg.Add(r.workers)
+	for id := 0; id < r.workers; id++ {
+		go func(id int) {
+			defer wg.Done()
+			fn(id)
+		}(id)
+	}
+	wg.Wait()
+}
+
+// stepTopDown explores the frontier parent→child with per-worker
+// output queues and the benign dist race (no RMW).
+func (r *runner) stepTopDown(frontier []int32, level int32) []int32 {
+	outs := make([][]int32, r.workers)
+	r.parallel(func(id int) {
+		c := &r.counters[id].Counters
+		if id == 0 {
+			c.TopDownLevels++
+		}
+		lo := len(frontier) * id / r.workers
+		hi := len(frontier) * (id + 1) / r.workers
+		var out []int32
+		for i, v := range frontier[lo:hi] {
+			c.VerticesPopped++
+			nb := r.g.Neighbors(v)
+			c.EdgesScanned += int64(len(nb))
+			for _, w := range nb {
+				if atomic.LoadInt32(&r.dist[w]) == graph.Unreached {
+					atomic.StoreInt32(&r.dist[w], level+1)
+					if r.parent != nil {
+						atomic.StoreInt32(&r.parent[w], v)
+					}
+					c.Discovered++
+					out = append(out, w)
+				}
+			}
+			if r.yield && i%64 == 63 {
+				runtime.Gosched()
+			}
+		}
+		outs[id] = out
+	})
+	var next []int32
+	for _, out := range outs {
+		next = append(next, out...)
+	}
+	return next
+}
+
+// stepBottomUp scans all unvisited vertices child→parent: a vertex
+// joins the next frontier when any in-neighbor is in the current one.
+// Race-free: each vertex's state is written only by its range owner.
+func (r *runner) stepBottomUp(frontierBits []uint64, level int32) []int32 {
+	n := int(r.g.NumVertices())
+	outs := make([][]int32, r.workers)
+	r.parallel(func(id int) {
+		c := &r.counters[id].Counters
+		if id == 0 {
+			c.BottomUpLevels++
+		}
+		lo := n * id / r.workers
+		hi := n * (id + 1) / r.workers
+		var out []int32
+		for v := lo; v < hi; v++ {
+			if r.dist[v] != graph.Unreached {
+				continue
+			}
+			for _, u := range r.gT.Neighbors(int32(v)) {
+				c.EdgesScanned++
+				if testBit(frontierBits, u) {
+					r.dist[v] = level + 1
+					if r.parent != nil {
+						r.parent[v] = u
+					}
+					c.Discovered++
+					c.VerticesPopped++
+					out = append(out, int32(v))
+					break
+				}
+			}
+			if r.yield && v%1024 == 1023 {
+				runtime.Gosched()
+			}
+		}
+		outs[id] = out
+	})
+	var next []int32
+	for _, out := range outs {
+		next = append(next, out...)
+	}
+	return next
+}
+
+func setBits(bits []uint64, vs []int32) {
+	for _, v := range vs {
+		bits[v>>6] |= 1 << (uint(v) & 63)
+	}
+}
+
+func clearBits(bits []uint64, vs []int32) {
+	for _, v := range vs {
+		bits[v>>6] &^= 1 << (uint(v) & 63)
+	}
+}
+
+func testBit(bits []uint64, v int32) bool {
+	return bits[v>>6]&(1<<(uint(v)&63)) != 0
+}

@@ -1,0 +1,159 @@
+package beamer
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"optibfs/internal/core"
+	"optibfs/internal/gen"
+	"optibfs/internal/graph"
+)
+
+func check(t *testing.T, g *graph.CSR, src int32, opt Options) *core.Result {
+	t.Helper()
+	res, err := Run(g, src, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := graph.ReferenceBFS(g, src)
+	if err := graph.EqualDistances(res.Dist, want); err != nil {
+		t.Fatalf("workers=%d: %v", opt.Workers, err)
+	}
+	if err := graph.ValidateDistances(g, src, res.Dist); err != nil {
+		t.Fatal(err)
+	}
+	if res.Levels != graph.Eccentricity(want)+1 {
+		t.Fatalf("levels=%d want %d", res.Levels, graph.Eccentricity(want)+1)
+	}
+	return res
+}
+
+func TestBeamerCorrectness(t *testing.T) {
+	graphs := map[string]func() (*graph.CSR, error){
+		"path":     func() (*graph.CSR, error) { return gen.Path(300) },
+		"star":     func() (*graph.CSR, error) { return gen.Star(1000) },
+		"grid":     func() (*graph.CSR, error) { return gen.Grid2D(20, 20, false) },
+		"rmat":     func() (*graph.CSR, error) { return gen.Graph500RMAT(4096, 65536, 3, gen.Options{}) },
+		"complete": func() (*graph.CSR, error) { return gen.Complete(80) },
+		"chunglu":  func() (*graph.CSR, error) { return gen.ChungLu(4096, 32768, 2.1, 7, gen.Options{}) },
+		"disjoint": func() (*graph.CSR, error) {
+			return graph.FromEdges(30, []graph.Edge{{Src: 0, Dst: 1}, {Src: 9, Dst: 8}}, graph.BuildOptions{})
+		},
+	}
+	for name, mk := range graphs {
+		g, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 4, 8} {
+			t.Run(fmt.Sprintf("%s/p%d", name, workers), func(t *testing.T) {
+				check(t, g, 0, Options{Options: core.Options{Workers: workers}})
+			})
+		}
+	}
+}
+
+func TestBeamerSwitchesDirections(t *testing.T) {
+	// A dense low-diameter graph must trigger bottom-up levels; a path
+	// must stay entirely top-down.
+	dense, err := gen.Graph500RMAT(8192, 262144, 5, gen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := check(t, dense, 0, Options{Options: core.Options{Workers: 4}})
+	if res.Counters.BottomUpLevels == 0 {
+		t.Fatal("dense graph never went bottom-up")
+	}
+
+	path, err := gen.Path(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res = check(t, path, 0, Options{Options: core.Options{Workers: 4}})
+	if res.Counters.BottomUpLevels != 0 {
+		t.Fatalf("path used %d bottom-up levels", res.Counters.BottomUpLevels)
+	}
+	if res.Counters.TopDownLevels == 0 {
+		t.Fatal("no top-down levels counted")
+	}
+}
+
+func TestBeamerBottomUpSavesEdges(t *testing.T) {
+	// On a complete graph the bottom-up step should scan far fewer
+	// edges than the m a pure top-down BFS scans.
+	g, err := gen.Complete(500) // m = 249500
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := check(t, g, 0, Options{Options: core.Options{Workers: 4}})
+	if res.Counters.EdgesScanned >= g.NumEdges() {
+		t.Fatalf("hybrid scanned %d edges of %d: no savings", res.Counters.EdgesScanned, g.NumEdges())
+	}
+}
+
+func TestBeamerParents(t *testing.T) {
+	g, err := gen.ChungLu(4096, 65536, 2.1, 9, gen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := check(t, g, 0, Options{Options: core.Options{Workers: 4, TrackParents: true}})
+	if err := graph.ValidateParents(g, 0, res.Dist, res.Parent); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBeamerPrecomputedTranspose(t *testing.T) {
+	g, err := gen.Graph500RMAT(1024, 8192, 2, gen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gT := g.Transpose()
+	check(t, g, 0, Options{Options: core.Options{Workers: 4}, Transpose: gT})
+
+	// Mismatched transpose must be rejected.
+	small, _ := gen.Path(5)
+	if _, err := Run(g, 0, Options{Transpose: small}); err == nil {
+		t.Fatal("accepted wrong-size transpose")
+	}
+}
+
+func TestBeamerInputValidation(t *testing.T) {
+	g, _ := gen.Path(5)
+	if _, err := Run(nil, 0, Options{}); err == nil {
+		t.Fatal("accepted nil graph")
+	}
+	if _, err := Run(g, 9, Options{}); err == nil {
+		t.Fatal("accepted bad source")
+	}
+}
+
+func TestBeamerNoRMWNoLocks(t *testing.T) {
+	g, err := gen.Graph500RMAT(4096, 65536, 4, gen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := check(t, g, 0, Options{Options: core.Options{Workers: 8}})
+	if res.Counters.AtomicRMW != 0 || res.Counters.LockAcquisitions != 0 {
+		t.Fatalf("beamer used RMW/locks: %+v", res.Counters)
+	}
+}
+
+func TestPropertyBeamerCorrect(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := int32(2 + seed%300)
+		g, err := gen.Graph500RMAT(n, int64(seed%3000), seed, gen.Options{})
+		if err != nil {
+			return false
+		}
+		src := int32(seed % uint64(n))
+		res, err := Run(g, src, Options{Options: core.Options{Workers: 1 + int(seed%6)}})
+		if err != nil {
+			return false
+		}
+		return graph.EqualDistances(res.Dist, graph.ReferenceBFS(g, src)) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,274 @@
+// Package core implements the paper's parallel BFS algorithms:
+// level-synchronous breadth-first searches with dynamic load balancing
+// over simple array queues, in locked and lockfree (optimistic) forms.
+//
+// Naming follows the paper's Table II:
+//
+//	sbfs    serial BFS
+//	BFS_C   centralized queue, global lock
+//	BFS_CL  centralized queue, lockfree optimistic
+//	BFS_DL  decentralized queue pools, lockfree optimistic
+//	BFS_W   randomized work stealing, per-thread locks
+//	BFS_WL  randomized work stealing, lockfree optimistic
+//	BFS_WS  work stealing + scale-free two-phase, locks
+//	BFS_WSL work stealing + scale-free two-phase, lockfree
+//
+// The lockfree variants contain no mutexes and no atomic
+// read-modify-write instructions: shared queue indices and queue slots
+// are accessed with sync/atomic Load/Store only, which compile to plain
+// loads and stores (no bus-locked operations) on mainstream
+// architectures, while keeping the deliberate races well-defined under
+// the Go memory model. Duplicate exploration caused by stale or
+// overlapping segments is benign for BFS (every racing write to dist
+// stores the same level value), which is the paper's central
+// observation.
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+
+	"optibfs/internal/graph"
+	"optibfs/internal/stats"
+)
+
+// Algorithm selects a BFS variant by its paper acronym.
+type Algorithm string
+
+// Algorithms, named per the paper's Table II.
+const (
+	Serial Algorithm = "sbfs"
+	BFSC   Algorithm = "BFS_C"
+	BFSCL  Algorithm = "BFS_CL"
+	BFSDL  Algorithm = "BFS_DL"
+	BFSW   Algorithm = "BFS_W"
+	BFSWL  Algorithm = "BFS_WL"
+	BFSWS  Algorithm = "BFS_WS"
+	BFSWSL Algorithm = "BFS_WSL"
+	// BFSEL is the edge-partitioned lockfree variant the paper
+	// proposes as future work in §IV-D: dynamic load balancing over
+	// evenly divided edges rather than vertices.
+	BFSEL Algorithm = "BFS_EL"
+)
+
+// Algorithms lists every variant in presentation order.
+var Algorithms = []Algorithm{Serial, BFSC, BFSCL, BFSDL, BFSW, BFSWL, BFSWS, BFSWSL, BFSEL}
+
+// Lockfree reports whether the algorithm avoids locks and atomic RMW.
+func (a Algorithm) Lockfree() bool {
+	switch a {
+	case BFSCL, BFSDL, BFSWL, BFSWSL, BFSEL:
+		return true
+	}
+	return false
+}
+
+// Options configures a parallel BFS run. The zero value is usable:
+// every field has a documented default applied by withDefaults.
+type Options struct {
+	// Workers is the number of worker goroutines p. Default: GOMAXPROCS.
+	Workers int
+	// SegmentSize fixes the centralized-queue dispatch segment length s.
+	// 0 selects the paper's adaptive sizing (recomputed per dispatch
+	// from the remaining work and worker count).
+	SegmentSize int
+	// MaxStealFactor is c in the MAX_STEAL = c·p·log2(p) bound on
+	// consecutive failed steal attempts (and c·j·log2(j) pool retries
+	// for BFS_DL). The paper requires a small constant c > 1;
+	// default 2.
+	MaxStealFactor int
+	// Pools is j, the number of centralized queue pools for BFS_DL,
+	// clamped to [1, Workers]. Default 1 (the configuration the paper
+	// benchmarked; footnote 6).
+	Pools int
+	// HighDegreeThreshold routes vertices with out-degree >= threshold
+	// to the scale-free second phase in BFS_WS/BFS_WSL. 0 selects
+	// max(64, 4·avgDegree).
+	HighDegreeThreshold int64
+	// Phase2Stealing enables the paper's alternative BFS_WSL phase-2
+	// variant in which adjacency chunks of hot vertices are dispatched
+	// dynamically rather than split statically (§IV-B3; usually worse).
+	Phase2Stealing bool
+	// LockBatch is how many vertices a locked work-stealing victim
+	// (BFS_W / BFS_WS) reserves from its own segment per lock
+	// acquisition. Batching keeps the lock out of the per-vertex path
+	// (the paper's locked variants lose to lockfree by percents, not
+	// multiples). Default 16; 1 degenerates to per-pop locking.
+	LockBatch int
+	// ParentClaim enables the §IV-D duplicate-exploration filter:
+	// discoverers record a claim for each vertex with an arbitrary
+	// concurrent write, and only the claiming queue's copy is explored.
+	ParentClaim bool
+	// PersistentWorkers reuses one long-lived goroutine per worker
+	// across all BFS levels, synchronizing with a reusable barrier,
+	// instead of spawning p goroutines per level. This is the Go
+	// analogue of the OpenMP-parallel-region vs cilk-spawn comparison
+	// the paper raises in §IV-D; it matters for high-diameter graphs
+	// where per-level spawn overhead accumulates.
+	PersistentWorkers bool
+	// TraceCapacity, when positive, records up to this many dispatch
+	// events (fetches, steal attempts with outcomes) per worker into
+	// Result.Events for offline analysis. 0 disables tracing.
+	TraceCapacity int
+	// TrackParents records a BFS parent for every reached vertex using
+	// the arbitrary-concurrent-write discipline the paper cites from
+	// Blelloch & Maggs (§IV-D): racing discoverers may each store their
+	// own id, any one survives, and every survivor is a valid parent
+	// because all racing writers are at the same level. Needed for
+	// Graph500-style parent validation and path reconstruction.
+	TrackParents bool
+	// Seed drives victim and pool selection. Runs with the same seed
+	// make the same random choices (thread interleaving still varies).
+	Seed uint64
+	// Sockets simulates a NUMA topology by partitioning workers into
+	// socket groups; victim/pool selection prefers the local group with
+	// probability SameSocketBias. Default 1 (no NUMA policy).
+	Sockets int
+	// SameSocketBias is the probability of restricting a steal attempt
+	// to the local socket group when Sockets > 1. Default 0.9.
+	SameSocketBias float64
+
+	// ctx carries RunContext's cancellation; nil means background.
+	// Unexported: set it via RunContext, not by struct literal.
+	ctx context.Context
+}
+
+// withDefaults returns a copy of o with defaults filled in.
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.MaxStealFactor <= 0 {
+		o.MaxStealFactor = 2
+	}
+	if o.LockBatch <= 0 {
+		o.LockBatch = 16
+	}
+	if o.Pools <= 0 {
+		o.Pools = 1
+	}
+	if o.Pools > o.Workers {
+		o.Pools = o.Workers
+	}
+	if o.Sockets <= 0 {
+		o.Sockets = 1
+	}
+	if o.Sockets > o.Workers {
+		o.Sockets = o.Workers
+	}
+	if o.SameSocketBias == 0 {
+		o.SameSocketBias = 0.9
+	}
+	return o
+}
+
+// maxSteal returns the MAX_STEAL bound c·k·log2(k) for k targets,
+// at least 1.
+func maxSteal(factor, k int) int {
+	if k <= 1 {
+		return 1
+	}
+	v := float64(factor) * float64(k) * math.Log2(float64(k))
+	if v < 1 {
+		return 1
+	}
+	return int(v)
+}
+
+// Result reports the outcome of one BFS run.
+type Result struct {
+	// Dist holds the BFS level of every vertex (graph.Unreached if not
+	// reachable from the source).
+	Dist []int32
+	// Parent holds a valid BFS-tree parent per reached vertex (the
+	// source's parent is itself; -1 elsewhere). Nil unless
+	// Options.TrackParents was set.
+	Parent []int32
+	// LevelSizes[d] is the number of vertices at BFS level d — the
+	// frontier-size profile that drives per-level strategy choices
+	// (e.g. Baseline2's hybrid picker).
+	LevelSizes []int64
+	// Levels is the number of BFS levels explored (depth+1 of the tree).
+	Levels int32
+	// Reached is the number of vertices reached, including the source.
+	Reached int64
+	// EdgesTraversed is the number of edges incident to reached
+	// vertices — the TEPS numerator.
+	EdgesTraversed int64
+	// Pops counts queue pops including duplicate explorations;
+	// Pops - Reached is the duplicated work the optimistic scheme paid.
+	Pops int64
+	// Workers is the worker count the run actually used.
+	Workers int
+	// Pools is the number of shared centralized-queue pools the run
+	// dispatched from (BFS_CL/BFS_DL only; 0 otherwise). The cost
+	// model uses it to scale shared-descriptor contention.
+	Pools int
+	// Counters aggregates all workers' instrumentation.
+	Counters stats.Counters
+	// PerWorker holds each worker's counters (nil for sbfs).
+	PerWorker []stats.PaddedCounters
+	// Events holds each worker's recorded dispatch events when
+	// Options.TraceCapacity was set (nil otherwise).
+	Events [][]Event
+}
+
+// Duplicates returns the number of duplicate explorations.
+func (r *Result) Duplicates() int64 { return r.Pops - r.Reached }
+
+// Run executes the selected algorithm on g from src.
+func Run(g *graph.CSR, src int32, algo Algorithm, opt Options) (*Result, error) {
+	return RunContext(context.Background(), g, src, algo, opt)
+}
+
+// RunContext is Run with cancellation: the search checks ctx at every
+// level boundary (workers always finish the level in flight, so
+// cancellation latency is one level) and returns ctx's error with a
+// nil result if it fires. The per-level check costs one atomic load.
+func RunContext(ctx context.Context, g *graph.CSR, src int32, algo Algorithm, opt Options) (*Result, error) {
+	opt.ctx = ctx
+	res, err := run(g, src, algo, opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+func run(g *graph.CSR, src int32, algo Algorithm, opt Options) (*Result, error) {
+	if g == nil {
+		return nil, fmt.Errorf("core: nil graph")
+	}
+	if src < 0 || src >= g.NumVertices() {
+		return nil, fmt.Errorf("core: source %d out of range [0,%d)", src, g.NumVertices())
+	}
+	opt = opt.withDefaults()
+	switch algo {
+	case Serial:
+		return runSerial(g, src, opt), nil
+	case BFSC:
+		return runCentralized(g, src, opt, true), nil
+	case BFSCL:
+		// BFS_CL is BFS_DL with a single pool (paper §IV-A3).
+		opt.Pools = 1
+		return runDecentralized(g, src, opt), nil
+	case BFSDL:
+		return runDecentralized(g, src, opt), nil
+	case BFSW:
+		return runWorkStealing(g, src, opt, true, false), nil
+	case BFSWL:
+		return runWorkStealing(g, src, opt, false, false), nil
+	case BFSWS:
+		return runWorkStealing(g, src, opt, true, true), nil
+	case BFSWSL:
+		return runWorkStealing(g, src, opt, false, true), nil
+	case BFSEL:
+		return runEdgePartitioned(g, src, opt), nil
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %q", algo)
+	}
+}

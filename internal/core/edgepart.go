@@ -1,0 +1,124 @@
+package core
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"optibfs/internal/graph"
+)
+
+// runEdgePartitioned implements BFS_EL, the variant the paper sketches
+// as future work in §IV-D: "divide the edges evenly instead of the
+// vertices, while using dynamic load-balancing as before. We expect
+// this approach to be more scalable."
+//
+// Per level the frontier's adjacency lists are treated as one virtual
+// edge array of length E (a prefix-sum over frontier out-degrees maps
+// an edge index back to its frontier vertex). Workers fetch fixed-size
+// edge ranges from a shared cursor with the same optimistic plain
+// load/store protocol as BFS_CL — concurrent fetches may overlap or
+// move the cursor backwards, costing only duplicate edge scans — so
+// the dispatch unit is work (edges), not vertices, and a single
+// high-degree hotspot is automatically spread across many segments.
+func runEdgePartitioned(g *graph.CSR, src int32, opt Options) *Result {
+	st := newState(g, src, opt)
+	p := opt.Workers
+
+	// Per-level shared state: the flattened frontier, the prefix sums
+	// of its degrees, and the optimistic edge cursor.
+	var (
+		frontier []int32
+		prefix   []int64 // prefix[i] = edges before frontier[i]; len+1
+		cursor   int64   // atomic; next edge index to dispatch
+	)
+
+	setup := func() {
+		frontier = frontier[:0]
+		for qi := range st.in {
+			q := &st.in[qi]
+			for _, slot := range q.buf[:q.origR] {
+				frontier = append(frontier, slot-1)
+			}
+		}
+		if cap(prefix) < len(frontier)+1 {
+			prefix = make([]int64, len(frontier)+1)
+		}
+		prefix = prefix[:len(frontier)+1]
+		prefix[0] = 0
+		for i, v := range frontier {
+			d := g.OutDegree(v)
+			prefix[i+1] = prefix[i] + d
+			if d == 0 {
+				// Zero-degree frontier vertices own no edge range, so
+				// the dispatch loop never visits them; account their
+				// pop here to keep Pops >= Reached.
+				st.counters[0].VerticesPopped++
+			}
+		}
+		atomic.StoreInt64(&cursor, 0)
+	}
+
+	perLevel := func(id int) {
+		c := &st.counters[id].Counters
+		out := st.out[id]
+		totalEdges := prefix[len(prefix)-1]
+		// Edge segments sized like the centralized vertex segments,
+		// but in edge units.
+		seg := totalEdges/int64(8*p) + 1
+		const maxSeg = 8192
+		if seg > maxSeg {
+			seg = maxSeg
+		}
+		for {
+			// Optimistic fetch: plain load + plain store. Two workers
+			// can both observe the same cursor (overlapping ranges) or
+			// store an older value (backward motion); both only cause
+			// duplicate edge scans, never omissions, because every
+			// stored value e+seg covers the range it was read from.
+			e := atomic.LoadInt64(&cursor)
+			if e >= totalEdges {
+				break
+			}
+			end := e + seg
+			if end > totalEdges {
+				end = totalEdges
+			}
+			atomic.StoreInt64(&cursor, end)
+			c.Fetches++
+			st.traceEvent(id, EventFetch, -1, end-e)
+
+			// Map the edge range back to (vertex, offset) pairs.
+			// sort.Search finds the first frontier slot whose prefix
+			// exceeds e, i.e. the vertex owning edge e.
+			i := sort.Search(len(frontier), func(k int) bool { return prefix[k+1] > e })
+			for ; i < len(frontier) && prefix[i] < end; i++ {
+				v := frontier[i]
+				nb := g.Neighbors(v)
+				lo := e - prefix[i]
+				if lo < 0 {
+					lo = 0
+				}
+				hi := end - prefix[i]
+				if hi > int64(len(nb)) {
+					hi = int64(len(nb))
+				}
+				if lo == 0 {
+					// Count the vertex once per full-list owner: the
+					// worker that scans an adjacency list's first edge
+					// accounts for the pop.
+					c.VerticesPopped++
+				}
+				c.EdgesScanned += hi - lo
+				for _, w := range nb[lo:hi] {
+					out = st.discover(id, v, w, out)
+				}
+			}
+			st.maybeYield()
+		}
+		st.out[id] = out
+	}
+
+	res := st.runLevels(setup, perLevel)
+	res.Pools = 1 // one shared edge cursor: same contention shape as BFS_CL
+	return res
+}

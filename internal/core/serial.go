@@ -1,0 +1,75 @@
+package core
+
+import (
+	"optibfs/internal/graph"
+	"optibfs/internal/stats"
+)
+
+// runSerial is sbfs, the serial array-queue BFS used as the paper's
+// single-thread baseline. It shares no state machinery with the
+// parallel variants so that it stays an independent oracle.
+func runSerial(g *graph.CSR, src int32, opt Options) *Result {
+	n := g.NumVertices()
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = graph.Unreached
+	}
+	dist[src] = 0
+	var parent []int32
+	if opt.TrackParents {
+		parent = make([]int32, n)
+		for i := range parent {
+			parent[i] = -1
+		}
+		parent[src] = src
+	}
+	var c stats.Counters
+	queue := make([]int32, 0, 1024)
+	queue = append(queue, src)
+	var levels int32
+	for head := 0; head < len(queue); head++ {
+		if opt.ctx != nil && head&4095 == 0 && opt.ctx.Err() != nil {
+			break
+		}
+		u := queue[head]
+		du := dist[u]
+		if du+1 > levels {
+			levels = du + 1
+		}
+		c.VerticesPopped++
+		nb := g.Neighbors(u)
+		c.EdgesScanned += int64(len(nb))
+		for _, w := range nb {
+			if dist[w] == graph.Unreached {
+				dist[w] = du + 1
+				if parent != nil {
+					parent[w] = u
+				}
+				c.Discovered++
+				queue = append(queue, w)
+			}
+		}
+	}
+	res := &Result{
+		Dist:       dist,
+		Parent:     parent,
+		Levels:     levels,
+		Workers:    1,
+		Counters:   c,
+		Pops:       c.VerticesPopped,
+		LevelSizes: make([]int64, levels),
+	}
+	for v := int32(0); v < n; v++ {
+		if d := dist[v]; d != graph.Unreached {
+			res.Reached++
+			res.EdgesTraversed += g.OutDegree(v)
+			// A cancelled run can leave discovered-but-unpopped
+			// vertices one level beyond the popped maximum; the
+			// result is discarded by RunContext, so just stay safe.
+			if int(d) < len(res.LevelSizes) {
+				res.LevelSizes[d]++
+			}
+		}
+	}
+	return res
+}

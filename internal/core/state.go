@@ -1,0 +1,315 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"optibfs/internal/graph"
+	"optibfs/internal/stats"
+)
+
+// Queue slots hold vertex+1 so that 0 can serve simultaneously as the
+// "empty / already explored" mark and as the end-of-queue sentinel
+// (paper §IV: "We always add a sentinel (0) at the end of each queue").
+const emptySlot int32 = 0
+
+// sharedQueue is one input queue of the current BFS level. buf holds
+// origR encoded vertices followed by a sentinel 0 slot; the lockfree
+// algorithms read and clear slots with atomic loads/stores. front is
+// the racy shared front pointer used by the centralized variants,
+// padded so neighboring queues' hot fields do not share a cache line.
+type sharedQueue struct {
+	buf   []int32
+	front int64 // atomic; next index to dispatch
+	origR int64 // number of valid entries; buf[origR] == 0 sentinel
+	_     [24]byte
+}
+
+// state carries everything shared by one BFS run.
+type state struct {
+	g    *graph.CSR
+	opt  Options
+	dist []int32 // atomic load/store in parallel variants
+
+	in  []sharedQueue // p input queues for the current level
+	out [][]int32     // p private output buffers (no sentinel while open)
+
+	// claim implements the §IV-D ParentClaim filter when enabled:
+	// claim[v] is the worker id whose output queue "owns" v.
+	claim []int32
+
+	// parent records a BFS-tree parent per vertex when TrackParents is
+	// set (arbitrary concurrent write: racing same-level discoverers
+	// each store their own id and any winner is valid).
+	parent []int32
+
+	counters []stats.PaddedCounters
+	events   [][]Event // per-worker dispatch traces; nil unless enabled
+	level    int32     // current BFS level being produced (dist of children)
+
+	// yield enables cooperative runtime.Gosched() calls at dispatch
+	// boundaries when the run is oversubscribed (more workers than
+	// GOMAXPROCS). Without it an oversubscribed run degenerates into
+	// one goroutine executing a whole level before the others are
+	// scheduled, which would make per-worker load-balance counters —
+	// and the cost model built on them — meaningless. On a machine
+	// with enough cores it is never enabled and the hot paths are
+	// untouched.
+	yield bool
+
+	pops int64 // total pops, accumulated across levels after barriers
+}
+
+func newState(g *graph.CSR, src int32, opt Options) *state {
+	p := opt.Workers
+	n := g.NumVertices()
+	st := &state{
+		g:        g,
+		opt:      opt,
+		dist:     make([]int32, n),
+		in:       make([]sharedQueue, p),
+		out:      make([][]int32, p),
+		counters: stats.NewPerWorker(p),
+		yield:    p > runtime.GOMAXPROCS(0),
+	}
+	for i := range st.dist {
+		st.dist[i] = graph.Unreached
+	}
+	if opt.ParentClaim {
+		st.claim = make([]int32, n)
+		for i := range st.claim {
+			st.claim[i] = -1
+		}
+	}
+	if opt.TrackParents {
+		st.parent = make([]int32, n)
+		for i := range st.parent {
+			st.parent[i] = -1
+		}
+		st.parent[src] = src
+	}
+	st.dist[src] = 0
+	// Seed: the source sits in worker 0's queue; all other queues are
+	// empty (a single sentinel slot).
+	st.in[0].buf = []int32{src + 1, emptySlot}
+	st.in[0].origR = 1
+	for i := 1; i < p; i++ {
+		st.in[i].buf = []int32{emptySlot}
+	}
+	for i := range st.out {
+		st.out[i] = make([]int32, 0, 256)
+	}
+	if opt.ParentClaim {
+		st.claim[src] = 0
+	}
+	st.initTrace()
+	return st
+}
+
+// volume returns the total number of valid entries across input queues.
+func (st *state) volume() int64 {
+	var v int64
+	for i := range st.in {
+		v += st.in[i].origR
+	}
+	return v
+}
+
+// swap promotes the output buffers to input queues for the next level,
+// appending the sentinel, and recycles the old input buffers as output
+// buffers. Called between level barriers, so plain accesses are safe.
+func (st *state) swap() {
+	for i := range st.in {
+		old := st.in[i].buf
+		next := append(st.out[i], emptySlot)
+		st.in[i].buf = next
+		st.in[i].origR = int64(len(next) - 1)
+		atomic.StoreInt64(&st.in[i].front, 0)
+		st.out[i] = old[:0]
+	}
+}
+
+// discover processes edge u->w for worker id at the current level:
+// if w is undiscovered it is assigned level+1 and appended to the
+// worker's private output queue. The dist check-then-store is the
+// paper's benign race: two workers may both discover w, both stores
+// write the same value, and w appears in (at most) both their output
+// queues.
+func (st *state) discover(id int, u, w int32, out []int32) []int32 {
+	if atomic.LoadInt32(&st.dist[w]) == graph.Unreached {
+		atomic.StoreInt32(&st.dist[w], st.level+1)
+		if st.claim != nil {
+			atomic.StoreInt32(&st.claim[w], int32(id))
+		}
+		if st.parent != nil {
+			// Arbitrary concurrent write: racing discoverers are all
+			// at the same level, so whichever store survives names a
+			// valid BFS-tree parent.
+			atomic.StoreInt32(&st.parent[w], u)
+		}
+		st.counters[id].Discovered++
+		out = append(out, w+1)
+	}
+	return out
+}
+
+// exploreVertex scans v's adjacency, discovering neighbors into out.
+func (st *state) exploreVertex(id int, v int32, out []int32) []int32 {
+	c := &st.counters[id]
+	c.VerticesPopped++
+	nb := st.g.Neighbors(v)
+	c.EdgesScanned += int64(len(nb))
+	for _, w := range nb {
+		out = st.discover(id, v, w, out)
+	}
+	return out
+}
+
+// claimAllows reports whether the ParentClaim filter permits worker
+// queue `qid`'s copy of v to be explored. Always true when disabled.
+func (st *state) claimAllows(qid int, v int32) bool {
+	if st.claim == nil {
+		return true
+	}
+	return atomic.LoadInt32(&st.claim[v]) == int32(qid)
+}
+
+// runLevels drives the level-synchronous loop: setup (optional) resets
+// the algorithm's shared dispatch state before each level's workers
+// start; perLevel must explore every input-queue entry (with the
+// algorithm's own load balancing) and fill the private output buffers.
+// It is invoked with worker ids 0..p-1 on separate goroutines and must
+// return only when the worker is done with the level. The spawn/wait
+// pair is the level-synchronization barrier every algorithm in the
+// paper requires; the load balancing *within* a level is where the
+// locked and lockfree variants differ.
+func (st *state) runLevels(setup func(), perLevel func(id int)) *Result {
+	if st.opt.PersistentWorkers {
+		return st.runLevelsPersistent(setup, perLevel)
+	}
+	p := st.opt.Workers
+	for {
+		if st.volume() == 0 || st.canceled() {
+			break
+		}
+		if setup != nil {
+			setup()
+		}
+		var wg sync.WaitGroup
+		wg.Add(p)
+		for id := 0; id < p; id++ {
+			go func(id int) {
+				defer wg.Done()
+				perLevel(id)
+			}(id)
+		}
+		wg.Wait()
+		st.level++
+		st.swap()
+	}
+	return st.finish()
+}
+
+// runLevelsPersistent is runLevels with one long-lived goroutine per
+// worker — the Go analogue of an OpenMP parallel region (§IV-D raises
+// the cilk-vs-OpenMP question). Levels are separated by two passes
+// through a reusable barrier: one after the work, one after worker 0
+// performs the swap/setup transition, so every worker observes the
+// next level's queues through the barrier's synchronization.
+func (st *state) runLevelsPersistent(setup func(), perLevel func(id int)) *Result {
+	p := st.opt.Workers
+	if st.volume() == 0 {
+		return st.finish()
+	}
+	if setup != nil {
+		setup()
+	}
+	b := newBarrier(p)
+	done := false
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for id := 0; id < p; id++ {
+		go func(id int) {
+			defer wg.Done()
+			for {
+				perLevel(id)
+				b.wait() // all workers finished the level
+				if id == 0 {
+					st.level++
+					st.swap()
+					if st.volume() == 0 || st.canceled() {
+						done = true
+					} else if setup != nil {
+						setup()
+					}
+				}
+				b.wait() // transition published to everyone
+				if done {
+					return
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	return st.finish()
+}
+
+// finish assembles the Result after the final barrier.
+func (st *state) finish() *Result {
+	total := stats.Sum(st.counters)
+	res := &Result{
+		Dist:       st.dist,
+		Parent:     st.parent,
+		Levels:     st.level,
+		Workers:    st.opt.Workers,
+		Counters:   total,
+		PerWorker:  st.counters,
+		Pops:       total.VerticesPopped,
+		LevelSizes: make([]int64, st.level),
+		Events:     st.events,
+	}
+	for v := int32(0); v < st.g.NumVertices(); v++ {
+		if d := st.dist[v]; d != graph.Unreached {
+			res.Reached++
+			res.EdgesTraversed += st.g.OutDegree(v)
+			// A cancelled run can leave discovered vertices beyond the
+			// last completed level; the result is discarded by
+			// RunContext, so just stay in bounds.
+			if int(d) < len(res.LevelSizes) {
+				res.LevelSizes[d]++
+			}
+		}
+	}
+	return res
+}
+
+// maybeYield hands the OS thread to another runnable goroutine when
+// the run is oversubscribed. Called at dispatch boundaries only.
+func (st *state) maybeYield() {
+	if st.yield {
+		runtime.Gosched()
+	}
+}
+
+// canceled reports whether the run's context (if any) has fired.
+// Checked at level boundaries only.
+func (st *state) canceled() bool {
+	return st.opt.ctx != nil && st.opt.ctx.Err() != nil
+}
+
+// segmentSize returns the dispatch segment length for a queue with
+// `remaining` undispatched entries: the fixed Options.SegmentSize if
+// set, else the paper's adaptive rule — shrink segments as the level
+// drains so late fetches stay balanced across p workers.
+func (st *state) segmentSize(remaining int64) int64 {
+	if st.opt.SegmentSize > 0 {
+		return int64(st.opt.SegmentSize)
+	}
+	s := remaining/int64(8*st.opt.Workers) + 1
+	const maxSeg = 1024
+	if s > maxSeg {
+		s = maxSeg
+	}
+	return s
+}

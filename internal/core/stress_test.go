@@ -1,0 +1,186 @@
+package core
+
+// Long-running randomized stress tests. They hammer every algorithm
+// with high worker counts, tiny segments (maximizing index contention),
+// and many repetitions on graphs engineered to provoke the optimistic
+// protocol's failure modes. Skipped under -short.
+
+import (
+	"fmt"
+	"testing"
+
+	"optibfs/internal/gen"
+	"optibfs/internal/graph"
+)
+
+func TestStressAllAlgorithmsHighContention(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	// Wide shallow graph: every level is one huge frontier, so all
+	// workers fight over the same queues the whole run.
+	g, err := gen.ChungLu(30000, 300000, 2.0, 31, gen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := graph.ReferenceBFS(g, 0)
+	for _, algo := range parallelAlgos {
+		algo := algo
+		t.Run(string(algo), func(t *testing.T) {
+			t.Parallel()
+			for rep := 0; rep < 6; rep++ {
+				res, err := Run(g, 0, algo, Options{
+					Workers:     16,
+					SegmentSize: 1, // worst case: every slot is a fetch
+					Seed:        uint64(rep) * 77,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := graph.EqualDistances(res.Dist, want); err != nil {
+					t.Fatalf("rep %d: %v", rep, err)
+				}
+			}
+		})
+	}
+}
+
+func TestStressDeepGraphManyLevels(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	// 400 levels: the level-synchronization machinery runs 400 times
+	// per search; any barrier or swap bug compounds.
+	g, err := gen.LayeredRandom(20000, 100000, 400, 13, gen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := graph.ReferenceBFS(g, 0)
+	for _, algo := range parallelAlgos {
+		res, err := Run(g, 0, algo, Options{Workers: 8, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := graph.EqualDistances(res.Dist, want); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if res.Levels != 400 && res.Levels != 401 {
+			t.Fatalf("%s: levels %d", algo, res.Levels)
+		}
+	}
+}
+
+func TestStressManyOptionsMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	g, err := gen.Graph500RMAT(8192, 131072, 3, gen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := graph.ReferenceBFS(g, 0)
+	type cfg struct {
+		algo Algorithm
+		opt  Options
+	}
+	var cfgs []cfg
+	for _, algo := range parallelAlgos {
+		for _, workers := range []int{2, 7, 13} {
+			for _, claim := range []bool{false, true} {
+				cfgs = append(cfgs, cfg{algo, Options{
+					Workers: workers, Seed: 9, ParentClaim: claim,
+					TrackParents: true, Pools: workers / 2, Sockets: 2,
+				}})
+			}
+		}
+	}
+	for i, c := range cfgs {
+		res, err := Run(g, 0, c.algo, c.opt)
+		if err != nil {
+			t.Fatalf("cfg %d (%s): %v", i, c.algo, err)
+		}
+		if err := graph.EqualDistances(res.Dist, want); err != nil {
+			t.Fatalf("cfg %d (%s %+v): %v", i, c.algo, c.opt, err)
+		}
+		if err := graph.ValidateParents(g, 0, res.Dist, res.Parent); err != nil {
+			t.Fatalf("cfg %d (%s): %v", i, c.algo, err)
+		}
+	}
+}
+
+func TestStressEveryVertexAsSource(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	// Small graph, every vertex as source, every algorithm: catches
+	// source-position edge cases (first/last queue, isolated, etc).
+	g, err := gen.ChungLu(150, 900, 2.3, 17, gen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for src := int32(0); src < g.NumVertices(); src++ {
+		want := graph.ReferenceBFS(g, src)
+		for _, algo := range parallelAlgos {
+			res, err := Run(g, src, algo, Options{Workers: 5, Seed: uint64(src)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := graph.EqualDistances(res.Dist, want); err != nil {
+				t.Fatalf("%s from %d: %v", algo, src, err)
+			}
+		}
+	}
+}
+
+func TestStressDuplicateHeavyDenseGraph(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	// Dense two-level graph: every level-1 vertex has every other as
+	// parent candidate — the paper's duplicate-storm scenario
+	// (rmat-10M-1B discussion in §V).
+	g, err := gen.Complete(600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := graph.ReferenceBFS(g, 0)
+	var maxDup int64
+	for rep := 0; rep < 5; rep++ {
+		for _, algo := range []Algorithm{BFSCL, BFSWL, BFSEL} {
+			res, err := Run(g, 0, algo, Options{Workers: 12, SegmentSize: 2, Seed: uint64(rep)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := graph.EqualDistances(res.Dist, want); err != nil {
+				t.Fatalf("%s: %v", algo, err)
+			}
+			if d := res.Duplicates(); d > maxDup {
+				maxDup = d
+			}
+		}
+	}
+	// Duplicates are allowed — just log how many the host produced.
+	t.Logf("max duplicates observed: %d", maxDup)
+}
+
+func TestStressRepeatedSameSeedIsSafe(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	// Same seed, same graph, 30 reps: scheduling still varies, results
+	// must not.
+	g, err := gen.ErdosRenyi(5000, 40000, 21, gen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := graph.ReferenceBFS(g, 0)
+	for rep := 0; rep < 30; rep++ {
+		res, err := Run(g, 0, BFSWSL, Options{Workers: 10, Seed: 42})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := graph.EqualDistances(res.Dist, want); err != nil {
+			t.Fatal(fmt.Errorf("rep %d: %w", rep, err))
+		}
+	}
+}

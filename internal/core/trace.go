@@ -1,0 +1,90 @@
+package core
+
+// Optional event tracing: when Options.TraceCapacity > 0, every worker
+// records its dispatch events (segment fetches, steal attempts and
+// outcomes) into a private pre-allocated buffer. Tracing costs one
+// branch per *dispatch* operation (never per edge), so it is cheap
+// enough to leave on while profiling steal behaviour — it is how the
+// examples/stealprofile analysis can be replayed event by event.
+
+// EventKind classifies a trace event.
+type EventKind uint8
+
+// Trace event kinds.
+const (
+	// EventFetch: a centralized/edge segment fetch; Value = segment length.
+	EventFetch EventKind = iota
+	// EventStealOK: successful steal; Victim set; Value = stolen length.
+	EventStealOK
+	// EventStealVictimLocked: TryLock on the victim failed.
+	EventStealVictimLocked
+	// EventStealVictimIdle: victim had quit or had no work.
+	EventStealVictimIdle
+	// EventStealTooSmall: victim's segment was below the split minimum.
+	EventStealTooSmall
+	// EventStealStale: segment looked valid but was already explored.
+	EventStealStale
+	// EventStealInvalid: the (q,f,r) sanity check failed.
+	EventStealInvalid
+)
+
+// String names the kind for logs.
+func (k EventKind) String() string {
+	switch k {
+	case EventFetch:
+		return "fetch"
+	case EventStealOK:
+		return "steal-ok"
+	case EventStealVictimLocked:
+		return "victim-locked"
+	case EventStealVictimIdle:
+		return "victim-idle"
+	case EventStealTooSmall:
+		return "too-small"
+	case EventStealStale:
+		return "stale"
+	case EventStealInvalid:
+		return "invalid"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one recorded dispatch event.
+type Event struct {
+	Level  int32
+	Kind   EventKind
+	Worker int16
+	Victim int16 // -1 when not a steal
+	Value  int64 // kind-specific payload (segment length etc.)
+}
+
+// initTrace allocates per-worker buffers when tracing is enabled.
+func (st *state) initTrace() {
+	if st.opt.TraceCapacity <= 0 {
+		return
+	}
+	st.events = make([][]Event, st.opt.Workers)
+	for i := range st.events {
+		st.events[i] = make([]Event, 0, st.opt.TraceCapacity)
+	}
+}
+
+// traceEvent appends an event to worker id's buffer (dropping once the
+// buffer is full; the cap keeps tracing allocation-free mid-run).
+func (st *state) traceEvent(id int, kind EventKind, victim int, value int64) {
+	if st.events == nil {
+		return
+	}
+	buf := st.events[id]
+	if len(buf) >= cap(buf) {
+		return
+	}
+	st.events[id] = append(buf, Event{
+		Level:  st.level,
+		Kind:   kind,
+		Worker: int16(id),
+		Victim: int16(victim),
+		Value:  value,
+	})
+}

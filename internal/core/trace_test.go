@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+
+	"optibfs/internal/gen"
+)
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	g, err := gen.ErdosRenyi(500, 3000, 1, gen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(g, 0, BFSCL, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Events != nil {
+		t.Fatal("events recorded without TraceCapacity")
+	}
+}
+
+func TestTraceRecordsFetches(t *testing.T) {
+	g, err := gen.ErdosRenyi(2000, 16000, 2, gen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []Algorithm{BFSC, BFSCL, BFSDL, BFSEL} {
+		res, err := Run(g, 0, algo, Options{Workers: 4, TraceCapacity: 10000, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Events) != 4 {
+			t.Fatalf("%s: event buffers %d", algo, len(res.Events))
+		}
+		var fetches int64
+		for id, evs := range res.Events {
+			for _, e := range evs {
+				if int(e.Worker) != id {
+					t.Fatalf("%s: event worker %d in buffer %d", algo, e.Worker, id)
+				}
+				if e.Kind == EventFetch {
+					fetches++
+					if e.Value <= 0 {
+						t.Fatalf("%s: fetch with non-positive length %d", algo, e.Value)
+					}
+					if e.Victim != -1 {
+						t.Fatalf("%s: fetch with victim %d", algo, e.Victim)
+					}
+				}
+				if e.Level < 0 || e.Level >= res.Levels {
+					t.Fatalf("%s: event level %d out of range", algo, e.Level)
+				}
+			}
+		}
+		if fetches == 0 {
+			t.Fatalf("%s: no fetch events recorded", algo)
+		}
+		if fetches != res.Counters.Fetches {
+			t.Fatalf("%s: %d fetch events vs %d counted fetches", algo, fetches, res.Counters.Fetches)
+		}
+	}
+}
+
+func TestTraceRecordsStealOutcomes(t *testing.T) {
+	g, err := gen.ErdosRenyi(8000, 64000, 3, gen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []Algorithm{BFSW, BFSWL} {
+		res, err := Run(g, 0, algo, Options{Workers: 8, TraceCapacity: 100000, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := map[EventKind]int64{}
+		for _, evs := range res.Events {
+			for _, e := range evs {
+				counts[e.Kind]++
+				if e.Kind != EventFetch && e.Victim < 0 {
+					t.Fatalf("%s: steal event without victim", algo)
+				}
+			}
+		}
+		if counts[EventStealOK] != res.Counters.StealSuccess {
+			t.Fatalf("%s: %d steal-ok events vs %d counted", algo, counts[EventStealOK], res.Counters.StealSuccess)
+		}
+		if counts[EventStealVictimIdle] != res.Counters.StealVictimIdle {
+			t.Fatalf("%s: idle events %d vs counted %d", algo, counts[EventStealVictimIdle], res.Counters.StealVictimIdle)
+		}
+	}
+}
+
+func TestTraceCapacityBounds(t *testing.T) {
+	g, err := gen.ErdosRenyi(8000, 64000, 5, gen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(g, 0, BFSWL, Options{Workers: 8, TraceCapacity: 3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for id, evs := range res.Events {
+		if len(evs) > 3 {
+			t.Fatalf("worker %d recorded %d events over capacity", id, len(evs))
+		}
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	kinds := []EventKind{EventFetch, EventStealOK, EventStealVictimLocked,
+		EventStealVictimIdle, EventStealTooSmall, EventStealStale, EventStealInvalid}
+	seen := map[string]bool{}
+	for _, k := range kinds {
+		s := k.String()
+		if s == "" || s == "unknown" || seen[s] {
+			t.Fatalf("bad kind string %q", s)
+		}
+		seen[s] = true
+	}
+	if EventKind(200).String() != "unknown" {
+		t.Fatal("unknown kind not handled")
+	}
+}

@@ -1,0 +1,458 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"optibfs/internal/graph"
+	"optibfs/internal/rng"
+	"optibfs/internal/stats"
+)
+
+// minStealSize is the smallest segment worth splitting: with fewer than
+// two remaining vertices the thief's half would be empty.
+const minStealSize = 2
+
+// segDesc is one worker's published segment descriptor: the queue id q
+// its current segment lives in, and the segment's front and rear. In
+// the lockfree variants thieves read (q, f, r) with plain atomic loads
+// — possibly observing a torn *combination* (each load is itself
+// untorn) — and write r with a plain atomic store; the thief-side
+// sanity check f' < r' <= origR(q') rejects inconsistent combinations
+// (paper §IV-B2). In the locked variants mu protects the descriptor
+// and thieves use TryLock so their wait time is O(1).
+type segDesc struct {
+	mu   sync.Mutex
+	q    int64 // atomic in lockfree mode
+	f    int64
+	r    int64
+	idle int32    // 1 once the worker quit the current level/phase
+	_    [28]byte // pad to 64 bytes so descriptors do not false-share
+}
+
+// wsContext is the per-level shared state of the work-stealing runs.
+type wsContext struct {
+	descs []segDesc
+	// Scale-free phase-2 inputs: hot[i] holds worker i's deferred
+	// high-degree vertices; filled in phase 1, read-only in phase 2.
+	hot [][]int32
+	// phase2Cursor dispatches (vertex, chunk) units in the
+	// Phase2Stealing variant; advanced with optimistic load/store in
+	// lockfree mode and under phase2Mu in locked mode.
+	phase2Cursor int64
+	phase2Mu     sync.Mutex
+	barrier      *barrier
+}
+
+// runWorkStealing implements BFS_W / BFS_WL (scaleFree=false) and
+// BFS_WS / BFS_WSL (scaleFree=true), §IV-B.
+func runWorkStealing(g *graph.CSR, src int32, opt Options, locked, scaleFree bool) *Result {
+	st := newState(g, src, opt)
+	p := opt.Workers
+
+	threshold := opt.HighDegreeThreshold
+	if scaleFree && threshold <= 0 {
+		threshold = int64(4 * g.AvgDegree())
+		if threshold < 64 {
+			threshold = 64
+		}
+	}
+
+	ctx := &wsContext{
+		descs:   make([]segDesc, p),
+		barrier: newBarrier(p),
+	}
+	if scaleFree {
+		ctx.hot = make([][]int32, p)
+		for i := range ctx.hot {
+			ctx.hot[i] = make([]int32, 0, 64)
+		}
+	}
+	rngs := make([]*rng.Xoshiro256, p)
+	for i := range rngs {
+		rngs[i] = rng.NewXoshiro256(opt.Seed ^ rng.Mix64(uint64(i)+0x5151))
+	}
+	maxStealAttempts := maxSteal(opt.MaxStealFactor, p)
+
+	setup := func() {
+		for i := range ctx.descs {
+			d := &ctx.descs[i]
+			atomic.StoreInt64(&d.q, int64(i))
+			atomic.StoreInt64(&d.f, 0)
+			atomic.StoreInt64(&d.r, st.in[i].origR)
+			atomic.StoreInt32(&d.idle, 0)
+		}
+		if scaleFree {
+			for i := range ctx.hot {
+				ctx.hot[i] = ctx.hot[i][:0]
+			}
+		}
+		atomic.StoreInt64(&ctx.phase2Cursor, 0)
+	}
+
+	perLevel := func(id int) {
+		w := &wsWorker{
+			st: st, ctx: ctx, id: id, locked: locked,
+			c: &st.counters[id].Counters, r: rngs[id],
+			threshold: threshold,
+			out:       st.out[id],
+		}
+		w.phase1(maxStealAttempts)
+		if scaleFree {
+			ctx.barrier.wait()
+			w.phase2()
+		}
+		st.out[id] = w.out
+	}
+
+	return st.runLevels(setup, perLevel)
+}
+
+// wsWorker bundles one worker's view of a work-stealing level.
+type wsWorker struct {
+	st        *state
+	ctx       *wsContext
+	id        int
+	locked    bool
+	c         *stats.Counters
+	r         *rng.Xoshiro256
+	threshold int64 // 0 when not in scale-free mode
+	out       []int32
+}
+
+// process explores popped vertex v from queue qid, or defers it to
+// phase 2 if it is a scale-free hot spot.
+func (w *wsWorker) process(qid int, v int32) {
+	w.c.VerticesPopped++
+	if !w.st.claimAllows(qid, v) {
+		return
+	}
+	if w.threshold > 0 && w.st.g.OutDegree(v) >= w.threshold {
+		w.ctx.hot[w.id] = append(w.ctx.hot[w.id], v)
+		w.c.HotVertices++
+		return
+	}
+	nb := w.st.g.Neighbors(v)
+	w.c.EdgesScanned += int64(len(nb))
+	for _, u := range nb {
+		w.out = w.st.discover(w.id, v, u, w.out)
+	}
+}
+
+// phase1 runs the work-stealing loop for one level: drain own segment,
+// then steal halves from random victims until MAX_STEAL consecutive
+// failures (paper: c·p·log2(p), from the balls-and-bins bound).
+func (w *wsWorker) phase1(maxStealAttempts int) {
+	d := &w.ctx.descs[w.id]
+	w.drainOwn(d)
+	p := w.st.opt.Workers
+	if p == 1 {
+		w.setIdle(d)
+		return
+	}
+	fails := 0
+	for fails < maxStealAttempts {
+		victim := w.pickVictim()
+		w.c.StealAttempts++
+		ok := false
+		if w.locked {
+			ok = w.stealLocked(victim, d)
+		} else {
+			ok = w.stealLockfree(victim, d)
+		}
+		if ok {
+			w.c.StealSuccess++
+			fails = 0
+			w.drainOwn(d)
+		} else {
+			fails++
+			// Let a potential victim make progress before retrying
+			// (only when oversubscribed; no-op on real multicore).
+			w.st.maybeYield()
+		}
+	}
+	w.setIdle(d)
+}
+
+// yieldEvery is the pop granularity at which an oversubscribed worker
+// offers its thread to peers while draining a segment.
+const yieldEvery = 16
+
+// drainOwn explores the worker's current segment.
+//
+// Lockfree mode reproduces the paper's protocol exactly: read a slot,
+// clear it, publish the advanced front, explore; stop only at a 0 slot
+// — never by checking the (possibly thief-modified) rear — so stolen-
+// ahead regions produce at most duplicate work and nothing is skipped.
+// Locked mode advances the front under the worker's own mutex and does
+// check the rear, because locking makes it trustworthy.
+func (w *wsWorker) drainOwn(d *segDesc) {
+	popped := 0
+	if w.locked {
+		// The victim reserves LockBatch vertices per acquisition so the
+		// mutex stays off the per-vertex path; thieves steal from the
+		// unreserved remainder [f, r).
+		batch := int64(w.st.opt.LockBatch)
+		for {
+			d.mu.Lock()
+			w.c.LockAcquisitions++
+			if d.f >= d.r {
+				d.mu.Unlock()
+				return
+			}
+			take := batch
+			if rem := d.r - d.f; take > rem {
+				take = rem
+			}
+			qi, start := d.q, d.f
+			d.f += take
+			d.mu.Unlock()
+			buf := w.st.in[qi].buf
+			for j := start; j < start+take; j++ {
+				w.process(int(qi), buf[j]-1)
+			}
+			popped += int(take)
+			if popped >= yieldEvery {
+				popped = 0
+				w.st.maybeYield()
+			}
+		}
+	}
+	qi := atomic.LoadInt64(&d.q)
+	buf := w.st.in[qi].buf
+	j := atomic.LoadInt64(&d.f)
+	for {
+		slot := atomic.LoadInt32(&buf[j])
+		if slot == emptySlot {
+			return
+		}
+		atomic.StoreInt32(&buf[j], emptySlot)
+		j++
+		atomic.StoreInt64(&d.f, j)
+		w.process(int(qi), slot-1)
+		if popped++; popped%yieldEvery == 0 {
+			w.st.maybeYield()
+		}
+	}
+}
+
+// stealLockfree attempts to take the right half of victim's segment
+// without locks or atomic RMW (§IV-B2). On success the thief's own
+// descriptor points at [mid, r') of the victim's queue.
+func (w *wsWorker) stealLockfree(victim int, me *segDesc) bool {
+	vd := &w.ctx.descs[victim]
+	if atomic.LoadInt32(&vd.idle) == 1 {
+		w.c.StealVictimIdle++
+		w.st.traceEvent(w.id, EventStealVictimIdle, victim, 0)
+		return false
+	}
+	q := atomic.LoadInt64(&vd.q)
+	f := atomic.LoadInt64(&vd.f)
+	r := atomic.LoadInt64(&vd.r)
+	// Sanity check: the trio may be mutually inconsistent (the victim
+	// moved on, or another thief raced us). f' < r' <= Qin[q'].r with
+	// valid q' is the paper's validity predicate; rejecting it is what
+	// makes the racy reads safe.
+	if q < 0 || q >= int64(len(w.st.in)) || r > w.st.in[q].origR {
+		w.c.StealInvalid++
+		w.st.traceEvent(w.id, EventStealInvalid, victim, 0)
+		return false
+	}
+	if f >= r {
+		w.c.StealVictimIdle++
+		w.st.traceEvent(w.id, EventStealVictimIdle, victim, 0)
+		return false
+	}
+	if r-f < minStealSize {
+		w.c.StealTooSmall++
+		w.st.traceEvent(w.id, EventStealTooSmall, victim, r-f)
+		return false
+	}
+	mid := f + (r-f)/2
+	// Take the right half: shrink the victim, point ourselves at it.
+	// These plain stores can race with the victim's own progress or
+	// another thief; any resulting overlap is duplicate work only.
+	atomic.StoreInt64(&vd.r, mid)
+	atomic.StoreInt64(&me.q, q)
+	atomic.StoreInt64(&me.f, mid)
+	atomic.StoreInt64(&me.r, r)
+	if atomic.LoadInt32(&w.st.in[q].buf[mid]) == emptySlot {
+		// The victim (or a previous thief) already explored past mid:
+		// the segment is stale (valid-looking but spent).
+		w.c.StealStale++
+		w.st.traceEvent(w.id, EventStealStale, victim, 0)
+		return false
+	}
+	w.st.traceEvent(w.id, EventStealOK, victim, r-mid)
+	return true
+}
+
+// stealLocked attempts the same half-steal with the victim's mutex,
+// using TryLock so the thief's wait time is O(1) (§V).
+func (w *wsWorker) stealLocked(victim int, me *segDesc) bool {
+	vd := &w.ctx.descs[victim]
+	if !vd.mu.TryLock() {
+		w.c.LockTryFails++
+		w.c.StealVictimLocked++
+		w.st.traceEvent(w.id, EventStealVictimLocked, victim, 0)
+		return false
+	}
+	w.c.LockAcquisitions++
+	if atomic.LoadInt32(&vd.idle) == 1 || vd.f >= vd.r {
+		vd.mu.Unlock()
+		w.c.StealVictimIdle++
+		w.st.traceEvent(w.id, EventStealVictimIdle, victim, 0)
+		return false
+	}
+	if rem := vd.r - vd.f; rem < minStealSize {
+		vd.mu.Unlock()
+		w.c.StealTooSmall++
+		w.st.traceEvent(w.id, EventStealTooSmall, victim, rem)
+		return false
+	}
+	q, f, r := vd.q, vd.f, vd.r
+	mid := f + (r-f)/2
+	vd.r = mid
+	vd.mu.Unlock()
+	me.mu.Lock()
+	w.c.LockAcquisitions++
+	me.q, me.f, me.r = q, mid, r
+	me.mu.Unlock()
+	w.st.traceEvent(w.id, EventStealOK, victim, r-mid)
+	return true
+}
+
+// setIdle publishes that this worker has quit the current phase.
+func (w *wsWorker) setIdle(d *segDesc) {
+	if w.locked {
+		d.mu.Lock()
+		atomic.StoreInt32(&d.idle, 1)
+		d.mu.Unlock()
+		return
+	}
+	atomic.StoreInt32(&d.idle, 1)
+}
+
+// pickVictim chooses a random victim != id, preferring the local
+// simulated socket with probability SameSocketBias when Sockets > 1.
+func (w *wsWorker) pickVictim() int {
+	p := w.st.opt.Workers
+	sockets := w.st.opt.Sockets
+	if sockets > 1 && w.r.Float64() < w.st.opt.SameSocketBias {
+		lo, hi := socketRange(socketOf(w.id, p, sockets), p, sockets)
+		if hi-lo > 1 {
+			v := lo + w.r.Intn(hi-lo)
+			if v == w.id {
+				v = lo + (v+1-lo)%(hi-lo)
+			}
+			w.c.StealSameSocket++
+			return v
+		}
+	}
+	v := w.r.Intn(p - 1)
+	if v >= w.id {
+		v++
+	}
+	if sockets > 1 {
+		if socketOf(v, p, sockets) == socketOf(w.id, p, sockets) {
+			w.c.StealSameSocket++
+		} else {
+			w.c.StealCrossSocket++
+		}
+	}
+	return v
+}
+
+// phase2 explores the adjacency lists of the hot vertices deferred in
+// phase 1. In the default (paper-preferred) form each hot vertex's
+// list is split statically into p chunks and worker i explores chunk i
+// of every list — no synchronization needed because chunk boundaries
+// are pure functions of (vertex, p). With Phase2Stealing the
+// (vertex, chunk) units are dispatched from a shared cursor instead:
+// optimistic load/store in lockfree mode (duplicate units are benign),
+// mutex in locked mode.
+func (w *wsWorker) phase2() {
+	p := w.st.opt.Workers
+	g := w.st.g
+	exploreChunk := func(v int32, chunk int) {
+		nb := g.Neighbors(v)
+		lo := len(nb) * chunk / p
+		hi := len(nb) * (chunk + 1) / p
+		w.c.HotChunks++
+		w.c.EdgesScanned += int64(hi - lo)
+		for _, u := range nb[lo:hi] {
+			w.out = w.st.discover(w.id, v, u, w.out)
+		}
+	}
+	if !w.st.opt.Phase2Stealing {
+		for owner := 0; owner < p; owner++ {
+			for _, v := range w.ctx.hot[owner] {
+				exploreChunk(v, w.id)
+				w.st.maybeYield()
+			}
+		}
+		return
+	}
+	// Dynamic dispatch over the flattened (vertex, chunk) unit space.
+	var flat []int32
+	for owner := 0; owner < p; owner++ {
+		flat = append(flat, w.ctx.hot[owner]...)
+	}
+	totalUnits := int64(len(flat)) * int64(p)
+	for {
+		var unit int64
+		if w.locked {
+			w.ctx.phase2Mu.Lock()
+			w.c.LockAcquisitions++
+			unit = w.ctx.phase2Cursor
+			w.ctx.phase2Cursor = unit + 1
+			w.ctx.phase2Mu.Unlock()
+		} else {
+			// Optimistic advance: racing workers may both take the
+			// same unit (duplicate exploration) — benign, as ever.
+			unit = atomic.LoadInt64(&w.ctx.phase2Cursor)
+			atomic.StoreInt64(&w.ctx.phase2Cursor, unit+1)
+		}
+		if unit >= totalUnits {
+			return
+		}
+		exploreChunk(flat[unit/int64(p)], int(unit%int64(p)))
+		w.st.maybeYield()
+	}
+}
+
+// barrier is a reusable cyclic barrier used between the scale-free
+// phases inside one level. (Level synchronization itself — like the
+// cilk sync the paper relies on — is runtime scaffolding, distinct
+// from the lock-freedom claim about the load-balancing fast path.)
+type barrier struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	n     int
+	count int
+	gen   int
+}
+
+func newBarrier(n int) *barrier {
+	b := &barrier{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// wait blocks until n workers have called it, then releases them all.
+func (b *barrier) wait() {
+	b.mu.Lock()
+	gen := b.gen
+	b.count++
+	if b.count == b.n {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		b.mu.Unlock()
+		return
+	}
+	for gen == b.gen {
+		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}

@@ -1,0 +1,121 @@
+package costmodel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"optibfs/internal/rng"
+)
+
+// Calibrate measures this host's cost constants with short microloops
+// and returns a Machine profile named "LocalHost" with the given core
+// count (0 = runtime.NumCPU()). It lets the model report modeled times
+// for the machine the code actually runs on rather than the paper's
+// clusters. The whole calibration takes a few tens of milliseconds.
+func Calibrate(cores int) Machine {
+	if cores <= 0 {
+		cores = runtime.NumCPU()
+	}
+	m := Machine{
+		Name:  "LocalHost",
+		Cores: cores,
+
+		TEdge:           timeEdgeScan(),
+		TLock:           timeLock(),
+		TRMW:            timeRMW(),
+		TSteal:          timeSteal(),
+		TFetch:          timeFetch(),
+		TWait:           timeLock() / 2, // per-waiter handoff ~ half a lock round trip
+		TBarrierBase:    1e-6,
+		TBarrierPerCore: 0.1e-6,
+	}
+	// Derived costs that are hard to isolate in microloops but track
+	// the measured primitives closely.
+	m.TVertex = 3 * m.TEdge
+	m.TFetchContend = m.TRMW / 3
+	m.TBagInsert = 5 * m.TEdge * 4 // pointer alloc + link ≈ several cache touches
+	m.TBagMergePerCore = 10 * m.TEdge * 4
+	return m
+}
+
+// repeat runs fn over `iters` iterations and returns seconds per
+// iteration.
+func repeat(iters int, fn func(n int)) float64 {
+	start := time.Now()
+	fn(iters)
+	return time.Since(start).Seconds() / float64(iters)
+}
+
+// timeEdgeScan measures per-int32 cost of a pseudo-random gather —
+// the BFS inner loop's memory pattern.
+func timeEdgeScan() float64 {
+	const size = 1 << 20
+	data := make([]int32, size)
+	r := rng.NewXoshiro256(1)
+	for i := range data {
+		data[i] = r.Int32n(size)
+	}
+	var sink int32
+	sec := repeat(1<<21, func(n int) {
+		idx := int32(0)
+		for i := 0; i < n; i++ {
+			idx = data[idx]
+		}
+		sink = idx
+	})
+	_ = sink
+	return sec
+}
+
+func timeLock() float64 {
+	var mu sync.Mutex
+	return repeat(1<<20, func(n int) {
+		for i := 0; i < n; i++ {
+			mu.Lock()
+			mu.Unlock() //nolint:staticcheck // deliberate empty critical section
+		}
+	})
+}
+
+func timeRMW() float64 {
+	var x int64
+	return repeat(1<<20, func(n int) {
+		for i := 0; i < n; i++ {
+			atomic.AddInt64(&x, 1)
+		}
+	})
+}
+
+// timeSteal approximates a steal attempt: three atomic loads of remote
+// descriptor fields plus the sanity comparison.
+func timeSteal() float64 {
+	var q, f, r int64
+	atomic.StoreInt64(&r, 100)
+	var sink int64
+	sec := repeat(1<<20, func(n int) {
+		for i := 0; i < n; i++ {
+			qq := atomic.LoadInt64(&q)
+			ff := atomic.LoadInt64(&f)
+			rr := atomic.LoadInt64(&r)
+			if ff < rr && qq >= 0 {
+				sink++
+			}
+		}
+	})
+	_ = sink
+	return sec
+}
+
+// timeFetch approximates an optimistic fetch: atomic load + store on a
+// shared cursor.
+func timeFetch() float64 {
+	var cur int64
+	return repeat(1<<20, func(n int) {
+		for i := 0; i < n; i++ {
+			v := atomic.LoadInt64(&cur)
+			atomic.StoreInt64(&cur, v+1)
+		}
+	})
+}

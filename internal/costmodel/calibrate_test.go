@@ -1,0 +1,38 @@
+package costmodel
+
+import "testing"
+
+func TestCalibrateProducesValidMachine(t *testing.T) {
+	m := Calibrate(0)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Name != "LocalHost" || m.Cores < 1 {
+		t.Fatalf("machine %+v", m)
+	}
+	// Microloop sanity: every primitive must land in a plausible range
+	// (sub-nanosecond to sub-microsecond on any machine this runs on).
+	checks := map[string]float64{
+		"TEdge":  m.TEdge,
+		"TLock":  m.TLock,
+		"TRMW":   m.TRMW,
+		"TSteal": m.TSteal,
+		"TFetch": m.TFetch,
+	}
+	for name, v := range checks {
+		if v <= 0 || v > 1e-5 {
+			t.Fatalf("%s = %g s implausible", name, v)
+		}
+	}
+	// A lock round trip costs more than a plain RMW on every platform.
+	if m.TLock < m.TRMW/4 {
+		t.Fatalf("lock (%g) implausibly cheaper than RMW (%g)", m.TLock, m.TRMW)
+	}
+}
+
+func TestCalibrateRespectsCores(t *testing.T) {
+	m := Calibrate(24)
+	if m.Cores != 24 {
+		t.Fatalf("cores %d", m.Cores)
+	}
+}

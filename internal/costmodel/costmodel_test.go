@@ -1,0 +1,184 @@
+package costmodel
+
+import (
+	"testing"
+
+	"optibfs/internal/core"
+	"optibfs/internal/gen"
+	"optibfs/internal/stats"
+)
+
+func TestMachineProfilesValid(t *testing.T) {
+	for _, m := range []Machine{Lonestar, Trestles} {
+		if err := m.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := (Machine{Name: "bad", Cores: 0}).Validate(); err == nil {
+		t.Fatal("accepted zero cores")
+	}
+	if err := (Machine{Name: "bad", Cores: 4, TEdge: -1}).Validate(); err == nil {
+		t.Fatal("accepted negative cost")
+	}
+}
+
+func TestShapeOf(t *testing.T) {
+	if ShapeOf(core.BFSC) != ShapeGlobalLock {
+		t.Fatal("BFS_C should be global-lock")
+	}
+	if ShapeOf(core.BFSW) != ShapePerWorkerLock || ShapeOf(core.BFSWS) != ShapePerWorkerLock {
+		t.Fatal("BFS_W/WS should be per-worker-lock")
+	}
+	for _, a := range []core.Algorithm{core.BFSCL, core.BFSDL} {
+		if ShapeOf(a) != ShapeSharedPool {
+			t.Fatalf("%s should be shared-pool", a)
+		}
+	}
+	for _, a := range []core.Algorithm{core.Serial, core.BFSWL, core.BFSWSL} {
+		if ShapeOf(a) != ShapeNone {
+			t.Fatalf("%s should be lock-none", a)
+		}
+	}
+}
+
+func TestSharedPoolContentionGrowsWithWorkersAndShrinksWithPools(t *testing.T) {
+	mk := func(p, pools int) *core.Result {
+		res := synthetic(p, func(i int, c *stats.Counters) {
+			c.Fetches = 1000
+			c.EdgesScanned = 10000
+		})
+		res.Pools = pools
+		return res
+	}
+	t4 := Modeled(Trestles, ShapeSharedPool, mk(4, 1))
+	t32 := Modeled(Trestles, ShapeSharedPool, mk(32, 1))
+	if t32 <= t4 {
+		t.Fatalf("shared-pool contention should grow with p: %g vs %g", t4, t32)
+	}
+	// More pools -> fewer peers per pool -> cheaper.
+	pooled := Modeled(Trestles, ShapeSharedPool, mk(32, 8))
+	if pooled >= t32 {
+		t.Fatalf("pooling should reduce contention: j=8 %g vs j=1 %g", pooled, t32)
+	}
+}
+
+// synthetic builds a Result with per-worker counters.
+func synthetic(workers int, fill func(i int, c *stats.Counters)) *core.Result {
+	per := stats.NewPerWorker(workers)
+	for i := range per {
+		fill(i, &per[i].Counters)
+	}
+	return &core.Result{
+		Workers:   workers,
+		Levels:    10,
+		PerWorker: per,
+		Counters:  stats.Sum(per),
+	}
+}
+
+func TestModeledMakespanIsMaxWorker(t *testing.T) {
+	res := synthetic(4, func(i int, c *stats.Counters) {
+		c.EdgesScanned = int64(1000 * (i + 1)) // worker 3 is the straggler
+	})
+	got := Modeled(Lonestar, ShapeNone, res)
+	barrier := Lonestar.TBarrierBase + 4*Lonestar.TBarrierPerCore
+	want := 4000*Lonestar.TEdge + 10*barrier
+	if diff := got - want; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("modeled %g want %g", got, want)
+	}
+}
+
+func TestGlobalLockWaitGrowsWithWorkers(t *testing.T) {
+	mk := func(p int) *core.Result {
+		return synthetic(p, func(i int, c *stats.Counters) {
+			c.LockAcquisitions = 1000
+			c.EdgesScanned = 10000
+		})
+	}
+	t4 := Modeled(Lonestar, ShapeGlobalLock, mk(4))
+	t12 := Modeled(Lonestar, ShapeGlobalLock, mk(12))
+	if t12 <= t4 {
+		t.Fatalf("global lock wait should grow with p: t4=%g t12=%g", t4, t12)
+	}
+	// Per-worker locks must NOT grow with p in the same way.
+	w4 := Modeled(Lonestar, ShapePerWorkerLock, mk(4))
+	w12 := Modeled(Lonestar, ShapePerWorkerLock, mk(12))
+	if w12-w4 > (t12-t4)/2 {
+		t.Fatalf("try-lock wait grew like a global lock: Δglobal=%g Δper=%g", t12-t4, w12-w4)
+	}
+}
+
+func TestOversubscriptionPenalty(t *testing.T) {
+	res := synthetic(24, func(i int, c *stats.Counters) { c.EdgesScanned = 1000 })
+	over := Modeled(Lonestar, ShapeNone, res) // 24 workers on 12 cores
+	res12 := synthetic(12, func(i int, c *stats.Counters) { c.EdgesScanned = 1000 })
+	fit := Modeled(Lonestar, ShapeNone, res12)
+	if over <= fit {
+		t.Fatalf("oversubscription not penalized: %g <= %g", over, fit)
+	}
+}
+
+func TestSerialFallback(t *testing.T) {
+	res := &core.Result{
+		Workers: 1,
+		Levels:  3,
+		Counters: stats.Counters{
+			EdgesScanned:   1000,
+			VerticesPopped: 100,
+		},
+	}
+	got := Modeled(Lonestar, ShapeNone, res)
+	if got <= 0 {
+		t.Fatalf("modeled %g", got)
+	}
+}
+
+func TestModeledEndToEnd(t *testing.T) {
+	// A real run's modeled time must be positive and scale with the
+	// graph's size.
+	small, err := gen.ErdosRenyi(500, 2500, 1, gen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := gen.ErdosRenyi(5000, 50000, 1, gen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := core.Run(small, 0, core.BFSCL, core.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := core.Run(big, 0, core.BFSCL, core.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, mb := Modeled(Lonestar, ShapeNone, rs), Modeled(Lonestar, ShapeNone, rb)
+	if ms <= 0 || mb <= ms {
+		t.Fatalf("modeled times not ordered: small=%g big=%g", ms, mb)
+	}
+	if mm := ModeledMillis(Lonestar, ShapeNone, rs); mm != ms*1e3 {
+		t.Fatalf("ModeledMillis mismatch")
+	}
+}
+
+func TestLockfreeBeatsGlobalLockOnModel(t *testing.T) {
+	// The paper's headline: on the same measured workload, the global
+	// lock's Θ(p) wait makes BFS_C slower than BFS_CL at high p.
+	g, err := gen.ChungLu(8192, 65536, 2.2, 3, gen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	locked, err := core.Run(g, 0, core.BFSC, core.Options{Workers: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lockfree, err := core.Run(g, 0, core.BFSCL, core.Options{Workers: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tl := Modeled(Lonestar, ShapeOf(core.BFSC), locked)
+	tf := Modeled(Lonestar, ShapeOf(core.BFSCL), lockfree)
+	if tf >= tl {
+		t.Fatalf("modeled lockfree (%g) not faster than locked (%g)", tf, tl)
+	}
+}

@@ -1,0 +1,42 @@
+package gen
+
+import "testing"
+
+// Generator throughput benchmarks: edges generated per op. These bound
+// how long full-scale (-scale 1) experiment setup takes.
+
+func BenchmarkRMAT(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Graph500RMAT(1<<14, 1<<18, uint64(i), Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkChungLu(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ChungLu(1<<14, 1<<18, 2.2, uint64(i), Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLayeredRandom(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := LayeredRandom(1<<14, 1<<18, 50, uint64(i), Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkErdosRenyi(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ErdosRenyi(1<<14, 1<<18, uint64(i), Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

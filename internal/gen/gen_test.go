@@ -1,0 +1,428 @@
+package gen
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"optibfs/internal/graph"
+)
+
+func TestRMATBasicShape(t *testing.T) {
+	g, err := Graph500RMAT(1000, 8000, 42, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 1000 {
+		t.Fatalf("n=%d", g.NumVertices())
+	}
+	if g.NumEdges() != 8000 {
+		t.Fatalf("m=%d", g.NumEdges())
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRMATDeterministic(t *testing.T) {
+	a, _ := Graph500RMAT(512, 2048, 7, Options{})
+	b, _ := Graph500RMAT(512, 2048, 7, Options{})
+	if err := graph.EqualDistances(a.Edges, b.Edges); err != nil {
+		t.Fatalf("same-seed RMAT differs: %v", err)
+	}
+	c, _ := Graph500RMAT(512, 2048, 8, Options{})
+	same := true
+	for i := range c.Edges {
+		if c.Edges[i] != a.Edges[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical RMAT graphs")
+	}
+}
+
+func TestRMATSkewedDegrees(t *testing.T) {
+	// With a=0.45 the degree distribution must be strongly skewed:
+	// max degree far above average.
+	g, _ := Graph500RMAT(4096, 65536, 1, Options{})
+	maxDeg, _ := g.MaxDegree()
+	if avg := g.AvgDegree(); float64(maxDeg) < 5*avg {
+		t.Fatalf("RMAT not skewed: max=%d avg=%.1f", maxDeg, avg)
+	}
+}
+
+func TestRMATRejectsBadParams(t *testing.T) {
+	if _, err := RMAT(0, 10, 0.45, 0.15, 0.15, 1, Options{}); err == nil {
+		t.Fatal("accepted n=0")
+	}
+	if _, err := RMAT(10, 10, 0.7, 0.3, 0.2, 1, Options{}); err == nil {
+		t.Fatal("accepted a+b+c>1")
+	}
+	if _, err := RMAT(10, 10, -0.1, 0.5, 0.5, 1, Options{}); err == nil {
+		t.Fatal("accepted negative probability")
+	}
+}
+
+func TestRMATNonPowerOfTwoN(t *testing.T) {
+	g, err := Graph500RMAT(1000000/1024+3, 5000, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRMATDirectMatchesRMAT(t *testing.T) {
+	// The two-pass builder must produce the exact same multigraph as
+	// the edge-list path (same seed, same stream).
+	a, err := RMAT(777, 5000, 0.45, 0.15, 0.15, 13, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RMATDirect(777, 5000, 0.45, 0.15, 0.15, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Validate() != nil || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("shape differs: %v vs %v", a, b)
+	}
+	// Same per-vertex multiset of neighbors (order may differ).
+	for v := int32(0); v < a.NumVertices(); v++ {
+		na := append([]int32(nil), a.Neighbors(v)...)
+		nb := append([]int32(nil), b.Neighbors(v)...)
+		if len(na) != len(nb) {
+			t.Fatalf("degree of %d differs: %d vs %d", v, len(na), len(nb))
+		}
+		count := map[int32]int{}
+		for _, w := range na {
+			count[w]++
+		}
+		for _, w := range nb {
+			count[w]--
+		}
+		for w, c := range count {
+			if c != 0 {
+				t.Fatalf("vertex %d neighbor %d multiset differs", v, w)
+			}
+		}
+	}
+}
+
+func TestRMATDirectErrors(t *testing.T) {
+	if _, err := RMATDirect(0, 10, 0.45, 0.15, 0.15, 1); err == nil {
+		t.Fatal("accepted n=0")
+	}
+	if _, err := RMATDirect(10, 10, 0.9, 0.2, 0.2, 1); err == nil {
+		t.Fatal("accepted bad probabilities")
+	}
+}
+
+func TestChungLuPowerLaw(t *testing.T) {
+	g, err := ChungLu(8192, 1<<17, 2.2, 5, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Vertex 0 has the largest weight; its degree must dominate the
+	// average by a wide margin for a scale-free graph.
+	d0 := g.OutDegree(0)
+	if float64(d0) < 10*g.AvgDegree() {
+		t.Fatalf("ChungLu head degree %d not >> avg %.1f", d0, g.AvgDegree())
+	}
+	// Tail vertices should have small degrees.
+	var tail int64
+	for v := g.NumVertices() - 100; v < g.NumVertices(); v++ {
+		tail += g.OutDegree(v)
+	}
+	if float64(tail)/100 > g.AvgDegree() {
+		t.Fatalf("ChungLu tail avg %.1f exceeds overall avg %.1f", float64(tail)/100, g.AvgDegree())
+	}
+}
+
+func TestChungLuRejectsBadParams(t *testing.T) {
+	if _, err := ChungLu(0, 10, 2.2, 1, Options{}); err == nil {
+		t.Fatal("accepted n=0")
+	}
+	if _, err := ChungLu(10, 10, 1.0, 1, Options{}); err == nil {
+		t.Fatal("accepted gamma=1")
+	}
+}
+
+func TestErdosRenyi(t *testing.T) {
+	g, err := ErdosRenyi(500, 3000, 9, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 3000 || g.NumVertices() != 500 {
+		t.Fatalf("n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+	// Near-uniform degrees: max should be modest (Poisson tail).
+	maxDeg, _ := g.MaxDegree()
+	if float64(maxDeg) > 6*g.AvgDegree()+10 {
+		t.Fatalf("ER unexpectedly skewed: max=%d avg=%.1f", maxDeg, g.AvgDegree())
+	}
+	if _, err := ErdosRenyi(0, 1, 1, Options{}); err == nil {
+		t.Fatal("accepted n=0")
+	}
+}
+
+func TestLayeredRandomDiameter(t *testing.T) {
+	for _, layers := range []int32{1, 5, 20, 53} {
+		g, err := LayeredRandom(4000, 20000, layers, 11, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		dist := graph.ReferenceBFS(g, 0)
+		reached, _ := graph.ReachedCount(g, dist)
+		if reached != int64(g.NumVertices()) {
+			t.Fatalf("layers=%d: only %d/%d vertices reached", layers, reached, g.NumVertices())
+		}
+		ecc := graph.Eccentricity(dist)
+		if ecc != layers-1 && ecc != layers { // last layer can fold into one extra hop
+			t.Fatalf("layers=%d: BFS depth %d, want ~%d", layers, ecc, layers-1)
+		}
+	}
+}
+
+func TestLayeredRandomEdgeBudget(t *testing.T) {
+	g, err := LayeredRandom(1000, 8000, 10, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() < 8000 || g.NumEdges() > 8000+2*int64(g.NumVertices()) {
+		t.Fatalf("m=%d, want within [8000, 10000]", g.NumEdges())
+	}
+}
+
+func TestLayeredRandomReachableFromAnySource(t *testing.T) {
+	// Mesh stand-ins must be fully reachable from arbitrary sources
+	// (the harness samples random sources, like the paper).
+	g, err := LayeredRandom(3000, 15000, 30, 7, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range []int32{0, 1499, 2999} {
+		dist := graph.ReferenceBFS(g, src)
+		if r, _ := graph.ReachedCount(g, dist); r != int64(g.NumVertices()) {
+			t.Fatalf("src %d: reached %d/%d", src, r, g.NumVertices())
+		}
+	}
+}
+
+func TestLayeredRandomRejectsBadParams(t *testing.T) {
+	if _, err := LayeredRandom(10, 10, 0, 1, Options{}); err == nil {
+		t.Fatal("accepted layers=0")
+	}
+	if _, err := LayeredRandom(10, 10, 11, 1, Options{}); err == nil {
+		t.Fatal("accepted layers>n")
+	}
+	if _, err := LayeredRandom(0, 10, 1, 1, Options{}); err == nil {
+		t.Fatal("accepted n=0")
+	}
+}
+
+func TestLayeredRandomMoreLayersThanPerfectSplit(t *testing.T) {
+	// n not divisible by layers: remainder folds into the last layer.
+	g, err := LayeredRandom(103, 500, 10, 2, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := graph.ReferenceBFS(g, 0)
+	if r, _ := graph.ReachedCount(g, dist); r != 103 {
+		t.Fatalf("reached %d/103", r)
+	}
+}
+
+func TestGrid2D(t *testing.T) {
+	g, err := Grid2D(5, 7, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 35 {
+		t.Fatalf("n=%d", g.NumVertices())
+	}
+	// Undirected lattice: 2*(rows*(cols-1) + cols*(rows-1)) directed edges.
+	want := int64(2 * (5*6 + 7*4))
+	if g.NumEdges() != want {
+		t.Fatalf("m=%d want %d", g.NumEdges(), want)
+	}
+	dist := graph.ReferenceBFS(g, 0)
+	if ecc := graph.Eccentricity(dist); ecc != 4+6 {
+		t.Fatalf("grid ecc=%d want 10", ecc)
+	}
+	if err := graph.ValidateDistances(g, 0, dist); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrid2DTorus(t *testing.T) {
+	g, err := Grid2D(4, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dist := graph.ReferenceBFS(g, 0)
+	if ecc := graph.Eccentricity(dist); ecc != 4 {
+		t.Fatalf("torus ecc=%d want 4", ecc)
+	}
+}
+
+func TestGrid3D(t *testing.T) {
+	g, err := Grid3D(3, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 60 {
+		t.Fatalf("n=%d", g.NumVertices())
+	}
+	dist := graph.ReferenceBFS(g, 0)
+	if ecc := graph.Eccentricity(dist); ecc != 2+3+4 {
+		t.Fatalf("grid3d ecc=%d want 9", ecc)
+	}
+}
+
+func TestStarPathCycleCompleteTree(t *testing.T) {
+	star, err := Star(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d, v := star.MaxDegree(); d != 99 || v != 0 {
+		t.Fatalf("star hub degree %d at %d", d, v)
+	}
+	dist := graph.ReferenceBFS(star, 5)
+	if graph.Eccentricity(dist) != 2 {
+		t.Fatalf("star ecc from spoke = %d", graph.Eccentricity(dist))
+	}
+
+	path, err := Path(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ecc := graph.Eccentricity(graph.ReferenceBFS(path, 0)); ecc != 49 {
+		t.Fatalf("path ecc=%d", ecc)
+	}
+
+	cyc, err := Cycle(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ecc := graph.Eccentricity(graph.ReferenceBFS(cyc, 0)); ecc != 5 {
+		t.Fatalf("cycle ecc=%d", ecc)
+	}
+
+	comp, err := Complete(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.NumEdges() != 380 {
+		t.Fatalf("complete m=%d", comp.NumEdges())
+	}
+	if ecc := graph.Eccentricity(graph.ReferenceBFS(comp, 3)); ecc != 1 {
+		t.Fatalf("complete ecc=%d", ecc)
+	}
+
+	tree, err := BinaryTree(31)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ecc := graph.Eccentricity(graph.ReferenceBFS(tree, 0)); ecc != 4 {
+		t.Fatalf("tree depth=%d", ecc)
+	}
+}
+
+func TestDeterministicGeneratorsRejectBadN(t *testing.T) {
+	if _, err := Star(0); err == nil {
+		t.Fatal("Star accepted 0")
+	}
+	if _, err := Path(0); err == nil {
+		t.Fatal("Path accepted 0")
+	}
+	if _, err := Cycle(2); err == nil {
+		t.Fatal("Cycle accepted 2")
+	}
+	if _, err := Complete(0); err == nil {
+		t.Fatal("Complete accepted 0")
+	}
+	if _, err := BinaryTree(0); err == nil {
+		t.Fatal("BinaryTree accepted 0")
+	}
+	if _, err := Grid2D(0, 3, false); err == nil {
+		t.Fatal("Grid2D accepted 0")
+	}
+	if _, err := Grid3D(1, 0, 1); err == nil {
+		t.Fatal("Grid3D accepted 0")
+	}
+}
+
+func TestOptionsDedupAndLoops(t *testing.T) {
+	g, err := ErdosRenyi(10, 500, 3, Options{Dedup: true, DropSelfLoops: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() > 90 {
+		t.Fatalf("dedup left %d edges on 10 vertices", g.NumEdges())
+	}
+	seen := map[[2]int32]bool{}
+	for v := int32(0); v < g.NumVertices(); v++ {
+		for _, w := range g.Neighbors(v) {
+			if v == w {
+				t.Fatalf("self loop survived at %d", v)
+			}
+			k := [2]int32{v, w}
+			if seen[k] {
+				t.Fatalf("duplicate edge survived: %v", k)
+			}
+			seen[k] = true
+		}
+	}
+}
+
+// Property: every random generator emits structurally valid graphs with
+// the requested vertex count for arbitrary seeds.
+func TestPropertyGeneratorsValid(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := int32(2 + seed%50)
+		m := int64(3 * n)
+		for _, mk := range []func() (*graph.CSR, error){
+			func() (*graph.CSR, error) { return Graph500RMAT(n, m, seed, Options{}) },
+			func() (*graph.CSR, error) { return ChungLu(n, m, 2.5, seed, Options{}) },
+			func() (*graph.CSR, error) { return ErdosRenyi(n, m, seed, Options{}) },
+			func() (*graph.CSR, error) { return LayeredRandom(n, m, 1+int32(seed%uint64(n)), seed, Options{}) },
+		} {
+			g, err := mk()
+			if err != nil || g.NumVertices() != n || g.Validate() != nil {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChungLuExponentAffectsSkew(t *testing.T) {
+	// Smaller gamma -> heavier head. Compare hub mass fractions.
+	frac := func(gamma float64) float64 {
+		g, err := ChungLu(4096, 1<<16, gamma, 77, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var head int64
+		for v := int32(0); v < 10; v++ {
+			head += g.OutDegree(v)
+		}
+		return float64(head) / float64(g.NumEdges())
+	}
+	f21, f29 := frac(2.1), frac(2.9)
+	if !(f21 > f29) || math.IsNaN(f21) {
+		t.Fatalf("hub mass should shrink with gamma: gamma2.1=%.3f gamma2.9=%.3f", f21, f29)
+	}
+}

@@ -1,0 +1,105 @@
+package gen
+
+import (
+	"fmt"
+
+	"optibfs/internal/graph"
+	"optibfs/internal/rng"
+)
+
+// BarabasiAlbert generates an undirected scale-free graph by
+// preferential attachment: starting from a small clique, each new
+// vertex attaches `attach` edges to existing vertices chosen with
+// probability proportional to their current degree. The classic
+// mechanism behind the power-law degree distributions the paper's
+// scale-free discussion (§IV) targets; degree exponent ≈ 3.
+func BarabasiAlbert(n int32, attach int, seed uint64, opt Options) (*graph.CSR, error) {
+	if attach < 1 {
+		return nil, fmt.Errorf("gen: BarabasiAlbert needs attach >= 1, got %d", attach)
+	}
+	if int64(n) < int64(attach)+1 {
+		return nil, fmt.Errorf("gen: BarabasiAlbert needs n > attach, got n=%d attach=%d", n, attach)
+	}
+	r := rng.NewXoshiro256(seed)
+	// endpointBag holds one entry per half-edge; sampling uniformly
+	// from it is sampling proportional to degree.
+	endpointBag := make([]int32, 0, 2*int(n)*attach)
+	edges := make([]graph.Edge, 0, 2*int(n)*attach)
+	add := func(u, v int32) {
+		edges = append(edges,
+			graph.Edge{Src: u, Dst: v},
+			graph.Edge{Src: v, Dst: u})
+		endpointBag = append(endpointBag, u, v)
+	}
+	// Seed clique over the first attach+1 vertices.
+	core := int32(attach) + 1
+	for u := int32(0); u < core; u++ {
+		for v := u + 1; v < core; v++ {
+			add(u, v)
+		}
+	}
+	chosen := make([]int32, 0, attach)
+	for v := core; v < n; v++ {
+		chosen = chosen[:0]
+		for len(chosen) < attach {
+			t := endpointBag[r.Intn(len(endpointBag))]
+			if t == v {
+				continue
+			}
+			dup := false
+			for _, c := range chosen {
+				if c == t {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				chosen = append(chosen, t)
+			}
+		}
+		// Deterministic order: edges appended in selection order.
+		for _, t := range chosen {
+			add(v, t)
+		}
+	}
+	return opt.build(n, edges), nil
+}
+
+// WattsStrogatz generates the small-world model: an undirected ring
+// lattice where each vertex connects to its k nearest neighbors (k
+// even), with each lattice edge rewired to a random endpoint with
+// probability beta. beta=0 is a pure lattice (high diameter), beta=1
+// is essentially random (low diameter); small beta gives the
+// high-clustering/low-diameter regime.
+func WattsStrogatz(n int32, k int, beta float64, seed uint64, opt Options) (*graph.CSR, error) {
+	if k < 2 || k%2 != 0 {
+		return nil, fmt.Errorf("gen: WattsStrogatz needs even k >= 2, got %d", k)
+	}
+	if int64(n) <= int64(k) {
+		return nil, fmt.Errorf("gen: WattsStrogatz needs n > k, got n=%d k=%d", n, k)
+	}
+	if beta < 0 || beta > 1 {
+		return nil, fmt.Errorf("gen: WattsStrogatz needs beta in [0,1], got %g", beta)
+	}
+	r := rng.NewXoshiro256(seed)
+	edges := make([]graph.Edge, 0, int(n)*k)
+	for u := int32(0); u < n; u++ {
+		for d := 1; d <= k/2; d++ {
+			v := (u + int32(d)) % n
+			if beta > 0 && r.Float64() < beta {
+				// Rewire the far endpoint to a uniform non-self target.
+				for {
+					cand := r.Int32n(n)
+					if cand != u {
+						v = cand
+						break
+					}
+				}
+			}
+			edges = append(edges,
+				graph.Edge{Src: u, Dst: v},
+				graph.Edge{Src: v, Dst: u})
+		}
+	}
+	return opt.build(n, edges), nil
+}

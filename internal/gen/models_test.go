@@ -1,0 +1,104 @@
+package gen
+
+import (
+	"testing"
+
+	"optibfs/internal/graph"
+)
+
+func TestBarabasiAlbertShape(t *testing.T) {
+	g, err := BarabasiAlbert(2000, 4, 7, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Undirected: ~2*(clique + attach per new vertex) directed edges.
+	wantMin := int64(2 * 4 * (2000 - 5))
+	if g.NumEdges() < wantMin {
+		t.Fatalf("m=%d < %d", g.NumEdges(), wantMin)
+	}
+	// Preferential attachment must produce hubs.
+	maxDeg, _ := g.MaxDegree()
+	if float64(maxDeg) < 5*g.AvgDegree() {
+		t.Fatalf("no hubs: max=%d avg=%.1f", maxDeg, g.AvgDegree())
+	}
+	// Connected by construction.
+	dist := graph.ReferenceBFS(g, 0)
+	if r, _ := graph.ReachedCount(g, dist); r != 2000 {
+		t.Fatalf("reached %d/2000", r)
+	}
+}
+
+func TestBarabasiAlbertErrors(t *testing.T) {
+	if _, err := BarabasiAlbert(10, 0, 1, Options{}); err == nil {
+		t.Fatal("accepted attach=0")
+	}
+	if _, err := BarabasiAlbert(3, 4, 1, Options{}); err == nil {
+		t.Fatal("accepted n <= attach")
+	}
+}
+
+func TestBarabasiAlbertDeterministic(t *testing.T) {
+	a, _ := BarabasiAlbert(300, 3, 5, Options{})
+	b, _ := BarabasiAlbert(300, 3, 5, Options{})
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same-seed BA differs")
+	}
+	for i := range a.Edges {
+		if a.Edges[i] != b.Edges[i] {
+			t.Fatal("same-seed BA differs")
+		}
+	}
+}
+
+func TestWattsStrogatzLattice(t *testing.T) {
+	// beta=0: pure ring lattice with k=4 -> every vertex degree 4,
+	// diameter ~ n/(k) hops.
+	g, err := WattsStrogatz(100, 4, 0, 1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := int32(0); v < g.NumVertices(); v++ {
+		if g.OutDegree(v) != 4 {
+			t.Fatalf("lattice degree of %d = %d", v, g.OutDegree(v))
+		}
+	}
+	ecc := graph.Eccentricity(graph.ReferenceBFS(g, 0))
+	if ecc != 25 { // ceil(100/2 / 2)
+		t.Fatalf("lattice ecc=%d want 25", ecc)
+	}
+}
+
+func TestWattsStrogatzSmallWorldEffect(t *testing.T) {
+	// A little rewiring must slash the diameter versus the lattice.
+	lattice, err := WattsStrogatz(2000, 6, 0, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := WattsStrogatz(2000, 6, 0.1, 3, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eccL := graph.Eccentricity(graph.ReferenceBFS(lattice, 0))
+	eccS := graph.Eccentricity(graph.ReferenceBFS(small, 0))
+	if eccS*3 > eccL {
+		t.Fatalf("no small-world effect: lattice %d, beta=0.1 %d", eccL, eccS)
+	}
+}
+
+func TestWattsStrogatzErrors(t *testing.T) {
+	if _, err := WattsStrogatz(10, 3, 0.1, 1, Options{}); err == nil {
+		t.Fatal("accepted odd k")
+	}
+	if _, err := WattsStrogatz(10, 0, 0.1, 1, Options{}); err == nil {
+		t.Fatal("accepted k=0")
+	}
+	if _, err := WattsStrogatz(4, 4, 0.1, 1, Options{}); err == nil {
+		t.Fatal("accepted n <= k")
+	}
+	if _, err := WattsStrogatz(10, 2, 1.5, 1, Options{}); err == nil {
+		t.Fatal("accepted beta > 1")
+	}
+}

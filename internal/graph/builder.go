@@ -1,0 +1,128 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Edge is one directed edge used when building graphs from edge lists.
+type Edge struct {
+	Src, Dst int32
+}
+
+// BuildOptions controls edge-list to CSR conversion.
+type BuildOptions struct {
+	// Dedup removes parallel edges (duplicate (src,dst) pairs).
+	Dedup bool
+	// DropSelfLoops removes edges with Src == Dst.
+	DropSelfLoops bool
+	// Symmetrize adds the reverse of every edge, producing the directed
+	// representation of an undirected graph.
+	Symmetrize bool
+	// SortAdjacency sorts each adjacency list ascending. Sorted lists
+	// improve locality and make graphs canonical for tests.
+	SortAdjacency bool
+}
+
+// FromEdges builds a CSR with n vertices from an edge list.
+// It returns an error if any endpoint is outside [0, n).
+func FromEdges(n int32, edges []Edge, opt BuildOptions) (*CSR, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("graph: negative vertex count %d", n)
+	}
+	for i, e := range edges {
+		if e.Src < 0 || e.Src >= n || e.Dst < 0 || e.Dst >= n {
+			return nil, fmt.Errorf("graph: edge %d (%d->%d) out of range [0,%d)", i, e.Src, e.Dst, n)
+		}
+	}
+	work := edges
+	if opt.Symmetrize {
+		work = make([]Edge, 0, 2*len(edges))
+		work = append(work, edges...)
+		for _, e := range edges {
+			work = append(work, Edge{Src: e.Dst, Dst: e.Src})
+		}
+	} else if opt.DropSelfLoops || opt.Dedup {
+		// The filters below mutate order; work on a copy so the caller's
+		// slice is untouched.
+		work = append([]Edge(nil), edges...)
+	}
+	if opt.DropSelfLoops {
+		kept := work[:0]
+		for _, e := range work {
+			if e.Src != e.Dst {
+				kept = append(kept, e)
+			}
+		}
+		work = kept
+	}
+	if opt.Dedup {
+		sort.Slice(work, func(i, j int) bool {
+			if work[i].Src != work[j].Src {
+				return work[i].Src < work[j].Src
+			}
+			return work[i].Dst < work[j].Dst
+		})
+		kept := work[:0]
+		for i, e := range work {
+			if i == 0 || e != work[i-1] {
+				kept = append(kept, e)
+			}
+		}
+		work = kept
+	}
+
+	offsets := make([]int64, n+1)
+	for _, e := range work {
+		offsets[e.Src+1]++
+	}
+	for v := int32(0); v < n; v++ {
+		offsets[v+1] += offsets[v]
+	}
+	adj := make([]int32, len(work))
+	cursor := make([]int64, n)
+	copy(cursor, offsets[:n])
+	for _, e := range work {
+		adj[cursor[e.Src]] = e.Dst
+		cursor[e.Src]++
+	}
+	g := &CSR{Offsets: offsets, Edges: adj}
+	if opt.SortAdjacency {
+		for v := int32(0); v < n; v++ {
+			nb := g.Edges[offsets[v]:offsets[v+1]]
+			sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
+		}
+	}
+	return g, nil
+}
+
+// MustFromEdges is FromEdges for tests and generators with known-good
+// input; it panics on error.
+func MustFromEdges(n int32, edges []Edge, opt BuildOptions) *CSR {
+	g, err := FromEdges(n, edges, opt)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// FromAdjacency builds a CSR directly from adjacency lists.
+func FromAdjacency(adj [][]int32) (*CSR, error) {
+	n := int32(len(adj))
+	offsets := make([]int64, n+1)
+	var m int64
+	for v, nb := range adj {
+		m += int64(len(nb))
+		offsets[v+1] = m
+	}
+	edges := make([]int32, 0, m)
+	for v, nb := range adj {
+		for _, w := range nb {
+			if w < 0 || w >= n {
+				return nil, fmt.Errorf("graph: adjacency of %d has target %d out of range [0,%d)", v, w, n)
+			}
+			edges = append(edges, w)
+		}
+	}
+	return &CSR{Offsets: offsets, Edges: edges}, nil
+}

@@ -1,0 +1,6 @@
+package graph
+
+import "fmt"
+
+// errf is a tiny alias used by tests and validators in this package.
+func errf(format string, args ...any) error { return fmt.Errorf(format, args...) }

@@ -1,0 +1,83 @@
+package graph
+
+import "testing"
+
+// parentFixture: diamond 0->1,0->2,1->3,2->3 with a valid BFS tree.
+func parentFixture(t *testing.T) (*CSR, []int32, []int32) {
+	t.Helper()
+	g := MustFromEdges(4, []Edge{{0, 1}, {0, 2}, {1, 3}, {2, 3}}, BuildOptions{})
+	dist := []int32{0, 1, 1, 2}
+	parent := []int32{0, 0, 0, 1}
+	return g, dist, parent
+}
+
+func TestValidateParentsAccepts(t *testing.T) {
+	g, dist, parent := parentFixture(t)
+	if err := ValidateParents(g, 0, dist, parent); err != nil {
+		t.Fatal(err)
+	}
+	// The other valid tree (3's parent is 2) must also pass —
+	// arbitrary-concurrent-write can produce either.
+	parent[3] = 2
+	if err := ValidateParents(g, 0, dist, parent); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateParentsRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(dist, parent []int32)
+	}{
+		{"src-not-self", func(d, p []int32) { p[0] = 1 }},
+		{"wrong-level", func(d, p []int32) { p[3] = 0 }},
+		{"missing-edge", func(d, p []int32) { p[2] = 1 }},
+		{"out-of-range", func(d, p []int32) { p[1] = 99 }},
+		{"negative", func(d, p []int32) { p[1] = -1 }},
+		{"unreached-with-parent", func(d, p []int32) { d[3] = Unreached }},
+	}
+	for _, tc := range cases {
+		g, dist, parent := parentFixture(t)
+		tc.mutate(dist, parent)
+		if err := ValidateParents(g, 0, dist, parent); err == nil {
+			t.Fatalf("%s: accepted invalid parents", tc.name)
+		}
+	}
+}
+
+func TestValidateParentsLengthMismatch(t *testing.T) {
+	g, dist, _ := parentFixture(t)
+	if err := ValidateParents(g, 0, dist, []int32{0}); err == nil {
+		t.Fatal("accepted short parent array")
+	}
+}
+
+func TestValidateParentsUnreached(t *testing.T) {
+	g := MustFromEdges(3, []Edge{{0, 1}}, BuildOptions{})
+	dist := []int32{0, 1, Unreached}
+	parent := []int32{0, 0, -1}
+	if err := ValidateParents(g, 0, dist, parent); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathTo(t *testing.T) {
+	_, _, parent := parentFixture(t)
+	path := PathTo(parent, 3)
+	if len(path) != 3 || path[0] != 0 || path[2] != 3 {
+		t.Fatalf("path %v", path)
+	}
+	if p := PathTo(parent, 0); len(p) != 1 || p[0] != 0 {
+		t.Fatalf("source path %v", p)
+	}
+	if p := PathTo([]int32{0, -1}, 1); p != nil {
+		t.Fatalf("unreached path %v", p)
+	}
+	if p := PathTo(parent, 99); p != nil {
+		t.Fatal("out of range accepted")
+	}
+	// Corrupt cycle must not loop forever.
+	if p := PathTo([]int32{1, 0}, 1); p != nil {
+		t.Fatalf("cycle returned %v", p)
+	}
+}

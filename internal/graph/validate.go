@@ -1,0 +1,209 @@
+package graph
+
+import "fmt"
+
+// ReferenceBFS is a deliberately simple, obviously-correct serial BFS
+// used as the oracle for validating every parallel algorithm. It returns
+// the distance (level) of each vertex from src, with Unreached (-1) for
+// vertices not reachable.
+func ReferenceBFS(g *CSR, src int32) []int32 {
+	n := g.NumVertices()
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = Unreached
+	}
+	if n == 0 {
+		return dist
+	}
+	dist[src] = 0
+	queue := make([]int32, 0, 1024)
+	queue = append(queue, src)
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		du := dist[u]
+		for _, w := range g.Neighbors(u) {
+			if dist[w] == Unreached {
+				dist[w] = du + 1
+				queue = append(queue, w)
+			}
+		}
+	}
+	return dist
+}
+
+// ValidateDistances checks a BFS distance array against the structure of
+// the graph, Graph500-style, without recomputing a reference BFS:
+//
+//  1. dist[src] == 0 and src is the only vertex at level 0.
+//  2. Every edge u->w with u reached satisfies dist[w] != Unreached and
+//     dist[w] <= dist[u]+1 (no level is skipped forward).
+//  3. Every reached vertex other than src has an in-neighbor exactly one
+//     level closer (it was discovered by someone).
+//
+// Together with level-synchronous execution these imply dist is exactly
+// the BFS level assignment. Returns nil if consistent.
+func ValidateDistances(g *CSR, src int32, dist []int32) error {
+	n := g.NumVertices()
+	if int32(len(dist)) != n {
+		return fmt.Errorf("graph: dist length %d != n %d", len(dist), n)
+	}
+	if n == 0 {
+		return nil
+	}
+	if dist[src] != 0 {
+		return fmt.Errorf("graph: dist[src=%d] = %d, want 0", src, dist[src])
+	}
+	for v := int32(0); v < n; v++ {
+		if dist[v] == 0 && v != src {
+			return fmt.Errorf("graph: vertex %d at level 0 but is not the source", v)
+		}
+		if dist[v] < Unreached {
+			return fmt.Errorf("graph: vertex %d has invalid distance %d", v, dist[v])
+		}
+	}
+	// Rule 2: edges from reached vertices.
+	for u := int32(0); u < n; u++ {
+		if dist[u] == Unreached {
+			continue
+		}
+		for _, w := range g.Neighbors(u) {
+			if dist[w] == Unreached {
+				return fmt.Errorf("graph: edge %d->%d reaches unreached vertex (dist[u]=%d)", u, w, dist[u])
+			}
+			if dist[w] > dist[u]+1 {
+				return fmt.Errorf("graph: edge %d->%d skips levels (%d -> %d)", u, w, dist[u], dist[w])
+			}
+		}
+	}
+	// Rule 3: every reached vertex has a discovering in-neighbor.
+	// Use the transpose to check in one pass.
+	tr := g.Transpose()
+	for v := int32(0); v < n; v++ {
+		if dist[v] <= 0 { // unreached or source
+			continue
+		}
+		found := false
+		for _, u := range tr.Neighbors(v) {
+			if dist[u] == dist[v]-1 {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("graph: vertex %d at level %d has no in-neighbor at level %d", v, dist[v], dist[v]-1)
+		}
+	}
+	return nil
+}
+
+// ValidateParents checks a BFS parent array against a distance array,
+// completing the Graph500-style validation:
+//
+//  1. parent[src] == src; unreached vertices have parent -1.
+//  2. Every reached v != src has a reached parent exactly one level
+//     closer, and the edge parent[v] -> v exists in the graph.
+func ValidateParents(g *CSR, src int32, dist, parent []int32) error {
+	n := g.NumVertices()
+	if int32(len(parent)) != n || int32(len(dist)) != n {
+		return fmt.Errorf("graph: parent/dist length mismatch (%d/%d vs n=%d)", len(parent), len(dist), n)
+	}
+	if n == 0 {
+		return nil
+	}
+	if parent[src] != src {
+		return fmt.Errorf("graph: parent[src=%d] = %d, want self", src, parent[src])
+	}
+	for v := int32(0); v < n; v++ {
+		p := parent[v]
+		if dist[v] == Unreached {
+			if p != -1 {
+				return fmt.Errorf("graph: unreached vertex %d has parent %d", v, p)
+			}
+			continue
+		}
+		if v == src {
+			continue
+		}
+		if p < 0 || p >= n {
+			return fmt.Errorf("graph: vertex %d has out-of-range parent %d", v, p)
+		}
+		if dist[p] != dist[v]-1 {
+			return fmt.Errorf("graph: parent %d of %d at level %d, want %d", p, v, dist[p], dist[v]-1)
+		}
+		found := false
+		for _, w := range g.Neighbors(p) {
+			if w == v {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("graph: claimed tree edge %d->%d does not exist", p, v)
+		}
+	}
+	return nil
+}
+
+// PathTo reconstructs the BFS path from the source to v using a parent
+// array, returning vertices source-first. It returns nil if v was not
+// reached.
+func PathTo(parent []int32, v int32) []int32 {
+	if v < 0 || int(v) >= len(parent) || parent[v] == -1 {
+		return nil
+	}
+	var rev []int32
+	for {
+		rev = append(rev, v)
+		p := parent[v]
+		if p == v {
+			break
+		}
+		if len(rev) > len(parent) {
+			return nil // cycle: corrupt parent array
+		}
+		v = p
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev
+}
+
+// EqualDistances reports whether two distance arrays are identical and,
+// if not, describes the first difference.
+func EqualDistances(a, b []int32) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("graph: distance arrays differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Errorf("graph: dist[%d] differs: %d vs %d", i, a[i], b[i])
+		}
+	}
+	return nil
+}
+
+// ReachedCount returns the number of vertices with dist != Unreached and
+// the number of edges incident to them (the edges a BFS traverses),
+// which is the numerator of the TEPS metric.
+func ReachedCount(g *CSR, dist []int32) (vertices int64, edges int64) {
+	for v := int32(0); v < g.NumVertices(); v++ {
+		if dist[v] != Unreached {
+			vertices++
+			edges += g.OutDegree(v)
+		}
+	}
+	return vertices, edges
+}
+
+// Eccentricity returns the maximum finite distance in dist — the depth
+// of the BFS tree, i.e. the number of levels minus one.
+func Eccentricity(dist []int32) int32 {
+	var ecc int32
+	for _, d := range dist {
+		if d > ecc {
+			ecc = d
+		}
+	}
+	return ecc
+}

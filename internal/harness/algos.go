@@ -1,0 +1,119 @@
+package harness
+
+import (
+	"fmt"
+
+	"optibfs/internal/baseline1"
+	"optibfs/internal/baseline2"
+	"optibfs/internal/beamer"
+	"optibfs/internal/core"
+	"optibfs/internal/costmodel"
+	"optibfs/internal/graph"
+)
+
+// family tags which runtime an AlgoSpec dispatches to.
+type family int
+
+const (
+	familyCore family = iota
+	familyBaseline1
+	familyBaseline2
+	familyBeamer
+)
+
+// AlgoSpec identifies one algorithm column/row of the experiments —
+// the paper's own variants plus both baselines under one interface.
+type AlgoSpec struct {
+	// Name is the display name used in tables.
+	Name string
+
+	fam  family
+	algo core.Algorithm
+	b2   baseline2.Variant
+}
+
+// Core algorithm specs (paper Table II acronyms).
+func coreSpec(a core.Algorithm) AlgoSpec {
+	return AlgoSpec{Name: string(a), fam: familyCore, algo: a}
+}
+
+// TableAlgos is the algorithm set of Table V: the paper's variants,
+// Baseline1 (PBFS/bag), and the two strongest Baseline2 configurations.
+var TableAlgos = []AlgoSpec{
+	coreSpec(core.Serial),
+	coreSpec(core.BFSC),
+	coreSpec(core.BFSCL),
+	coreSpec(core.BFSDL),
+	coreSpec(core.BFSW),
+	coreSpec(core.BFSWL),
+	coreSpec(core.BFSWS),
+	coreSpec(core.BFSWSL),
+	{Name: "Baseline1(bag)", fam: familyBaseline1},
+	{Name: "Baseline2(lq+read+bmp)", fam: familyBaseline2, b2: baseline2.LocalQueueBitmap},
+	{Name: "Baseline2(queue+cas)", fam: familyBaseline2, b2: baseline2.QueueCAS},
+}
+
+// LockfreeAlgos is the Figure 2 set: the paper plots the scalability of
+// its lockfree variants only.
+var LockfreeAlgos = []AlgoSpec{
+	coreSpec(core.BFSCL),
+	coreSpec(core.BFSDL),
+	coreSpec(core.BFSWSL),
+}
+
+// ExtensionAlgos are this repository's implementations of the paper's
+// future-work sketches (§IV-D); they are benchmarked as ablations, not
+// in the paper-faithful tables.
+var ExtensionAlgos = []AlgoSpec{
+	coreSpec(core.BFSEL),
+	{Name: "DirectionOptimizing", fam: familyBeamer},
+}
+
+// AlgoByName resolves a display name (for CLI flags).
+func AlgoByName(name string) (AlgoSpec, error) {
+	for _, a := range TableAlgos {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	for _, a := range ExtensionAlgos {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return AlgoSpec{}, fmt.Errorf("harness: unknown algorithm %q", name)
+}
+
+// Run executes the algorithm on g from src.
+func (a AlgoSpec) Run(g *graph.CSR, src int32, opt core.Options) (*core.Result, error) {
+	switch a.fam {
+	case familyCore:
+		return core.Run(g, src, a.algo, opt)
+	case familyBaseline1:
+		return baseline1.Run(g, src, opt)
+	case familyBaseline2:
+		return baseline2.Run(g, src, a.b2, opt)
+	case familyBeamer:
+		return beamer.Run(g, src, beamer.Options{Options: opt})
+	default:
+		return nil, fmt.Errorf("harness: bad algorithm family %d", a.fam)
+	}
+}
+
+// Shape returns the cost shape the model should assume.
+func (a AlgoSpec) Shape() costmodel.Shape {
+	switch a.fam {
+	case familyCore:
+		return costmodel.ShapeOf(a.algo)
+	case familyBaseline1:
+		return costmodel.ShapeBag
+	default:
+		return costmodel.ShapeNone
+	}
+}
+
+// IsSerial reports whether the spec is the serial baseline (always run
+// with one worker regardless of the experiment's p).
+func (a AlgoSpec) IsSerial() bool {
+	return a.fam == familyCore && a.algo == core.Serial
+}

@@ -1,0 +1,338 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"optibfs/internal/core"
+	"optibfs/internal/costmodel"
+	"optibfs/internal/graph"
+	"optibfs/internal/stats"
+)
+
+// Table5 reproduces Table V: per-source running times (ms) of every
+// algorithm on every suite graph for the configured machine.
+// Both modeled (machine) and measured (this host) times are emitted;
+// the modeled column is the Table V analogue (see DESIGN.md §5).
+func Table5(w io.Writer, cfg Config) (*Table, error) {
+	cfg = cfg.WithDefaults()
+	t := &Table{
+		Title:   fmt.Sprintf("Table V — running times (modeled ms per source, %s, p=%d, scale 1/%d)", cfg.Machine.Name, cfg.Workers, cfg.ScaleDiv),
+		Headers: append([]string{"algorithm"}, suiteNames()...),
+		Notes: []string{
+			"modeled ms from measured counters via internal/costmodel (this host cannot express multicore wall-clock)",
+			fmt.Sprintf("averaged over %d random non-isolated sources per graph", cfg.Sources),
+		},
+	}
+	cells := make(map[string][]string)
+	for _, algo := range TableAlgos {
+		cells[algo.Name] = []string{algo.Name}
+	}
+	for _, spec := range Suite {
+		g, err := spec.Generate(cfg.ScaleDiv)
+		if err != nil {
+			return nil, err
+		}
+		for _, algo := range TableAlgos {
+			cell, err := RunCell(g, algo, cfg)
+			if err != nil {
+				return nil, err
+			}
+			cells[algo.Name] = append(cells[algo.Name], fmtMS(cell.ModeledMS))
+		}
+	}
+	for _, algo := range TableAlgos {
+		t.AddRow(cells[algo.Name]...)
+	}
+	if w != nil {
+		if err := t.Render(w); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+func suiteNames() []string {
+	names := make([]string, len(Suite))
+	for i, s := range Suite {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// Fig2 reproduces Figure 2: scalability of the lockfree variants on
+// the Wikipedia (scale-free) graph as worker count grows to the
+// machine's core count. Emits modeled ms and speedup per p.
+func Fig2(w io.Writer, cfg Config) (*Table, error) {
+	cfg = cfg.WithDefaults()
+	spec, err := SpecByName("wikipedia")
+	if err != nil {
+		return nil, err
+	}
+	g, err := spec.Generate(cfg.ScaleDiv)
+	if err != nil {
+		return nil, err
+	}
+	ps := workerSweep(cfg.Machine.Cores)
+	headers := []string{"algorithm"}
+	for _, p := range ps {
+		headers = append(headers, fmt.Sprintf("p=%d", p))
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("Figure 2 — scalability on wikipedia (modeled ms, %s, scale 1/%d)", cfg.Machine.Name, cfg.ScaleDiv),
+		Headers: headers,
+		Notes:   []string{"second row per algorithm: speedup vs p=1"},
+	}
+	for _, algo := range LockfreeAlgos {
+		times := make([]float64, 0, len(ps))
+		for _, p := range ps {
+			c := cfg
+			c.Workers = p
+			cell, err := RunCell(g, algo, c)
+			if err != nil {
+				return nil, err
+			}
+			times = append(times, cell.ModeledMS)
+		}
+		row := []string{algo.Name}
+		speed := []string{algo.Name + " (speedup)"}
+		for _, ms := range times {
+			row = append(row, fmtMS(ms))
+			speed = append(speed, fmt.Sprintf("%.2fx", times[0]/ms))
+		}
+		t.AddRow(row...)
+		t.AddRow(speed...)
+	}
+	if w != nil {
+		if err := t.Render(w); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// workerSweep returns the p values for a scalability sweep up to cores.
+func workerSweep(cores int) []int {
+	ps := []int{1, 2, 4}
+	for p := 8; p < cores; p += 4 {
+		ps = append(ps, p)
+	}
+	out := ps[:0]
+	for _, p := range ps {
+		if p < cores {
+			out = append(out, p)
+		}
+	}
+	return append(out, cores)
+}
+
+// Fig3 reproduces Figure 3: TEPS (traversed edges per modeled second)
+// of every algorithm on the real-world suite graphs.
+func Fig3(w io.Writer, cfg Config) (*Table, error) {
+	cfg = cfg.WithDefaults()
+	realWorld := []string{"cage15", "cage14", "freescale", "wikipedia", "kkt-power"}
+	t := &Table{
+		Title:   fmt.Sprintf("Figure 3 — TEPS on real-world graphs (modeled, %s, p=%d, scale 1/%d)", cfg.Machine.Name, cfg.Workers, cfg.ScaleDiv),
+		Headers: append([]string{"algorithm"}, realWorld...),
+	}
+	rows := make(map[string][]string)
+	for _, algo := range TableAlgos {
+		rows[algo.Name] = []string{algo.Name}
+	}
+	for _, name := range realWorld {
+		spec, err := SpecByName(name)
+		if err != nil {
+			return nil, err
+		}
+		g, err := spec.Generate(cfg.ScaleDiv)
+		if err != nil {
+			return nil, err
+		}
+		for _, algo := range TableAlgos {
+			cell, err := RunCell(g, algo, cfg)
+			if err != nil {
+				return nil, err
+			}
+			rows[algo.Name] = append(rows[algo.Name], fmtTEPS(cell.ModeledTEPS))
+		}
+	}
+	for _, algo := range TableAlgos {
+		t.AddRow(rows[algo.Name]...)
+	}
+	if w != nil {
+		if err := t.Render(w); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Table6 reproduces Table VI: steal-attempt statistics of BFS_WS vs
+// BFS_WSL on the Wikipedia graph, averaged over `Reps` independent
+// repetitions of Sources runs.
+func Table6(w io.Writer, cfg Config, reps int) (*Table, error) {
+	cfg = cfg.WithDefaults()
+	if reps <= 0 {
+		reps = 5
+	}
+	spec, err := SpecByName("wikipedia")
+	if err != nil {
+		return nil, err
+	}
+	g, err := spec.Generate(cfg.ScaleDiv)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title: fmt.Sprintf("Table VI — steal statistics on wikipedia (%s, p=%d, %d sources x %d reps)",
+			cfg.Machine.Name, cfg.Workers, cfg.Sources, reps),
+		Headers: []string{"program", "modeled-ms", "attempts", "victim-locked", "victim-idle", "too-small", "stale", "invalid", "failed-total", "successful"},
+	}
+	for _, algo := range []AlgoSpec{
+		{Name: string(core.BFSWS), fam: familyCore, algo: core.BFSWS},
+		{Name: string(core.BFSWSL), fam: familyCore, algo: core.BFSWSL},
+	} {
+		var agg stats.Counters
+		var modeled float64
+		runs := 0
+		for rep := 0; rep < reps; rep++ {
+			c := cfg
+			c.Seed = cfg.Seed + uint64(rep)*0x1234567
+			cell, err := RunCell(g, algo, c)
+			if err != nil {
+				return nil, err
+			}
+			agg.Add(&cell.Counters)
+			modeled += cell.ModeledMS
+			runs += cell.Runs
+		}
+		attempts := agg.StealAttempts
+		na := func(v int64, lockfreeOnly, lockedOnly bool) string {
+			isLockfree := algo.algo.Lockfree()
+			if (lockfreeOnly && !isLockfree) || (lockedOnly && isLockfree) {
+				return "N/A"
+			}
+			return fmt.Sprintf("%s (%s)", fmtCount(v), fmtPct(v, attempts))
+		}
+		t.AddRow(
+			algo.Name,
+			fmtMS(modeled/float64(reps)),
+			fmtCount(attempts)+" (100%)",
+			na(agg.StealVictimLocked, false, true),
+			fmt.Sprintf("%s (%s)", fmtCount(agg.StealVictimIdle), fmtPct(agg.StealVictimIdle, attempts)),
+			fmt.Sprintf("%s (%s)", fmtCount(agg.StealTooSmall), fmtPct(agg.StealTooSmall, attempts)),
+			na(agg.StealStale, true, false),
+			na(agg.StealInvalid, true, false),
+			fmt.Sprintf("%s (%s)", fmtCount(agg.FailedSteals()), fmtPct(agg.FailedSteals(), attempts)),
+			fmt.Sprintf("%s (%s)", fmtCount(agg.StealSuccess), fmtPct(agg.StealSuccess, attempts)),
+		)
+	}
+	if w != nil {
+		if err := t.Render(w); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Extensions benchmarks this repository's implementations of the
+// paper's future-work sketches (BFS_EL edge partitioning,
+// direction-optimizing traversal) against the paper's best lockfree
+// variants on the full suite. Not a paper artifact — an extension.
+func Extensions(w io.Writer, cfg Config) (*Table, error) {
+	cfg = cfg.WithDefaults()
+	algos := []AlgoSpec{coreSpec(core.BFSCL), coreSpec(core.BFSWSL)}
+	algos = append(algos, ExtensionAlgos...)
+	t := &Table{
+		Title:   fmt.Sprintf("Extensions — future-work variants vs the paper's lockfree BFS (modeled ms, %s, p=%d, scale 1/%d)", cfg.Machine.Name, cfg.Workers, cfg.ScaleDiv),
+		Headers: append([]string{"algorithm"}, suiteNames()...),
+		Notes:   []string{"BFS_EL and DirectionOptimizing implement the paper's §IV-D / §II sketches; not part of Table V"},
+	}
+	rows := make(map[string][]string)
+	for _, algo := range algos {
+		rows[algo.Name] = []string{algo.Name}
+	}
+	for _, spec := range Suite {
+		g, err := spec.Generate(cfg.ScaleDiv)
+		if err != nil {
+			return nil, err
+		}
+		for _, algo := range algos {
+			cell, err := RunCell(g, algo, cfg)
+			if err != nil {
+				return nil, err
+			}
+			rows[algo.Name] = append(rows[algo.Name], fmtMS(cell.ModeledMS))
+		}
+	}
+	for _, algo := range algos {
+		t.AddRow(rows[algo.Name]...)
+	}
+	if w != nil {
+		if err := t.Render(w); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// GraphsTable reproduces Table IV: the generated suite with its actual
+// (scaled) sizes and BFS-explored diameters.
+func GraphsTable(w io.Writer, cfg Config) (*Table, error) {
+	cfg = cfg.WithDefaults()
+	t := &Table{
+		Title:   fmt.Sprintf("Table IV — graph suite (generated stand-ins, scale 1/%d)", cfg.ScaleDiv),
+		Headers: []string{"graph", "n", "m", "avg-deg", "max-deg", "bfs-diameter", "paper-diameter", "description"},
+	}
+	for _, spec := range Suite {
+		g, err := spec.Generate(cfg.ScaleDiv)
+		if err != nil {
+			return nil, err
+		}
+		src := PickSources(g, 1, cfg.Seed)[0]
+		dist := graph.ReferenceBFS(g, src)
+		maxDeg, _ := g.MaxDegree()
+		t.AddRow(
+			spec.Name,
+			fmtCount(int64(g.NumVertices())),
+			fmtCount(g.NumEdges()),
+			fmt.Sprintf("%.1f", g.AvgDegree()),
+			fmtCount(maxDeg),
+			fmt.Sprintf("%d", graph.Eccentricity(dist)),
+			fmt.Sprintf("%d", spec.Diameter),
+			spec.Description,
+		)
+	}
+	if w != nil {
+		if err := t.Render(w); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// MachinesTable reproduces Table III: the modeled machine profiles.
+func MachinesTable(w io.Writer) (*Table, error) {
+	t := &Table{
+		Title:   "Table III — simulated machine profiles (see internal/costmodel)",
+		Headers: []string{"machine", "cores", "t-edge", "t-lock", "t-wait/worker", "t-steal", "t-rmw", "t-barrier"},
+	}
+	for _, m := range []costmodel.Machine{costmodel.Lonestar, costmodel.Trestles} {
+		t.AddRow(
+			m.Name,
+			fmt.Sprintf("%d", m.Cores),
+			fmt.Sprintf("%.2gns", m.TEdge*1e9),
+			fmt.Sprintf("%.2gns", m.TLock*1e9),
+			fmt.Sprintf("%.2gns", m.TWait*1e9),
+			fmt.Sprintf("%.2gns", m.TSteal*1e9),
+			fmt.Sprintf("%.2gns", m.TRMW*1e9),
+			fmt.Sprintf("%.2gus", (m.TBarrierBase+float64(m.Cores)*m.TBarrierPerCore)*1e6),
+		)
+	}
+	if w != nil {
+		if err := t.Render(w); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}

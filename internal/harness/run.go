@@ -1,0 +1,129 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"optibfs/internal/core"
+	"optibfs/internal/costmodel"
+	"optibfs/internal/graph"
+	"optibfs/internal/rng"
+	"optibfs/internal/stats"
+)
+
+// Config parameterizes one experiment run.
+type Config struct {
+	// Machine is the modeled target (Table III); its core count is the
+	// default worker count.
+	Machine costmodel.Machine
+	// Workers overrides the worker count (0 = Machine.Cores).
+	Workers int
+	// Sources is how many random non-isolated sources to average over
+	// (the paper used 1000; scaled runs default lower).
+	Sources int
+	// ScaleDiv divides the paper's graph sizes (1 = full scale).
+	ScaleDiv int
+	// Seed drives source sampling and the algorithms' RNGs.
+	Seed uint64
+	// Opt is the base algorithm options (Workers/Seed are overridden).
+	Opt core.Options
+}
+
+// WithDefaults fills unset fields.
+func (c Config) WithDefaults() Config {
+	if c.Machine.Cores == 0 {
+		c.Machine = costmodel.Lonestar
+	}
+	if c.Workers <= 0 {
+		c.Workers = c.Machine.Cores
+	}
+	if c.Sources <= 0 {
+		c.Sources = 8
+	}
+	if c.ScaleDiv <= 0 {
+		c.ScaleDiv = 64
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x0b5f5
+	}
+	return c
+}
+
+// PickSources samples `count` random sources with non-zero out-degree
+// (the paper: "1000 random non-zero degree source vertices"). If the
+// graph has none, vertex 0 is used.
+func PickSources(g *graph.CSR, count int, seed uint64) []int32 {
+	r := rng.NewXoshiro256(seed)
+	n := g.NumVertices()
+	out := make([]int32, 0, count)
+	for tries := 0; len(out) < count && tries < count*100; tries++ {
+		v := r.Int32n(n)
+		if g.OutDegree(v) > 0 {
+			out = append(out, v)
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, 0)
+	}
+	return out
+}
+
+// Cell is one (algorithm, graph) measurement averaged over sources.
+type Cell struct {
+	Algo AlgoSpec
+
+	// MeasuredMS is mean wall-clock per source on this host.
+	MeasuredMS float64
+	// ModeledMS is the cost-model mean per source for Config.Machine.
+	ModeledMS float64
+	// ModeledTEPS is edges traversed / modeled seconds (Figure 3).
+	ModeledTEPS float64
+	// Counters aggregates all sources' runs.
+	Counters stats.Counters
+	// Levels / Reached / Duplicates are per-source means.
+	Levels     float64
+	Reached    float64
+	Duplicates float64
+	// Runs is the number of source runs aggregated.
+	Runs int
+}
+
+// RunCell measures algo on g over the configured sources.
+func RunCell(g *graph.CSR, algo AlgoSpec, cfg Config) (Cell, error) {
+	cfg = cfg.WithDefaults()
+	sources := PickSources(g, cfg.Sources, cfg.Seed^rng.Mix64(uint64(len(algo.Name))))
+	cell := Cell{Algo: algo}
+	opt := cfg.Opt
+	opt.Workers = cfg.Workers
+	if algo.IsSerial() {
+		opt.Workers = 1
+	}
+	shape := algo.Shape()
+	var measured, modeled, teps float64
+	for i, src := range sources {
+		opt.Seed = cfg.Seed + uint64(i)*0x9e37 + 1
+		start := time.Now()
+		res, err := algo.Run(g, src, opt)
+		if err != nil {
+			return cell, fmt.Errorf("harness: %s on source %d: %w", algo.Name, src, err)
+		}
+		elapsed := time.Since(start).Seconds()
+		model := costmodel.Modeled(cfg.Machine, shape, res)
+		measured += elapsed
+		modeled += model
+		teps += stats.TEPS(res.EdgesTraversed, model)
+		cell.Counters.Add(&res.Counters)
+		cell.Levels += float64(res.Levels)
+		cell.Reached += float64(res.Reached)
+		cell.Duplicates += float64(res.Duplicates())
+		cell.Runs++
+	}
+	k := float64(cell.Runs)
+	cell.MeasuredMS = measured / k * 1e3
+	cell.ModeledMS = modeled / k * 1e3
+	cell.ModeledTEPS = teps / k
+	cell.Levels /= k
+	cell.Reached /= k
+	cell.Duplicates /= k
+	return cell, nil
+}

@@ -1,0 +1,132 @@
+// Package harness assembles graphs, algorithms, and measurement into
+// the paper's experiments: Table V(a,b) running times, Figure 2
+// scalability, Figure 3 TEPS, and Table VI steal statistics, plus the
+// descriptive Tables III (machines) and IV (graph suite).
+package harness
+
+import (
+	"fmt"
+
+	"optibfs/internal/gen"
+	"optibfs/internal/graph"
+)
+
+// Kind selects the generator class a suite graph uses.
+type Kind string
+
+const (
+	// KindLayered is the mesh/circuit stand-in: near-uniform degrees
+	// with a controlled number of BFS levels.
+	KindLayered Kind = "layered"
+	// KindPowerLaw is the scale-free (Chung–Lu) stand-in.
+	KindPowerLaw Kind = "powerlaw"
+	// KindRMAT is the Graph500 RMAT generator with the paper's
+	// parameters.
+	KindRMAT Kind = "rmat"
+)
+
+// GraphSpec describes one graph of the paper's Table IV suite with its
+// full-scale parameters; Generate scales it down by an integer divisor.
+type GraphSpec struct {
+	Name        string
+	Description string
+	N           int32 // full-scale vertices (paper Table IV)
+	M           int64 // full-scale edges
+	Diameter    int32 // BFS-explored diameter reported by the paper
+	Kind        Kind
+	Gamma       float64 // power-law exponent for KindPowerLaw
+	Seed        uint64
+}
+
+// Suite is the paper's Table IV graph suite, as synthetic stand-ins
+// (see DESIGN.md §5 for the substitution rationale).
+var Suite = []GraphSpec{
+	{
+		Name:        "cage15",
+		Description: "DNA electrophoresis, 15 monomers in polymer (mesh-like stand-in)",
+		N:           5_200_000, M: 99_200_000, Diameter: 53,
+		Kind: KindLayered, Seed: 1501,
+	},
+	{
+		Name:        "cage14",
+		Description: "DNA electrophoresis, 14 monomers in polymer (mesh-like stand-in)",
+		N:           1_500_000, M: 27_100_000, Diameter: 42,
+		Kind: KindLayered, Seed: 1401,
+	},
+	{
+		Name:        "freescale",
+		Description: "Large circuit, Freescale Semiconductor (long-diameter stand-in)",
+		N:           3_400_000, M: 18_900_000, Diameter: 141,
+		Kind: KindLayered, Seed: 3301,
+	},
+	{
+		Name:        "wikipedia",
+		Description: "Gleich/Wikipedia-20070206 (scale-free stand-in)",
+		N:           3_600_000, M: 45_000_000, Diameter: 14,
+		Kind: KindPowerLaw, Gamma: 2.2, Seed: 7701,
+	},
+	{
+		Name:        "kkt-power",
+		Description: "Optimal power flow, nonlinear optimization KKT (stand-in)",
+		N:           2_000_000, M: 8_100_000, Diameter: 11,
+		Kind: KindLayered, Seed: 1101,
+	},
+	{
+		Name:        "rmat-10M-100M",
+		Description: "Graph500 RMAT (a=.45,b=.15,c=.15)",
+		N:           10_000_000, M: 100_000_000, Diameter: 12,
+		Kind: KindRMAT, Seed: 5001,
+	},
+	{
+		Name:        "rmat-10M-1B",
+		Description: "Graph500 RMAT, densest graph in the suite",
+		N:           10_000_000, M: 1_000_000_000, Diameter: 5,
+		Kind: KindRMAT, Seed: 5002,
+	},
+}
+
+// SpecByName finds a suite spec.
+func SpecByName(name string) (GraphSpec, error) {
+	for _, s := range Suite {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return GraphSpec{}, fmt.Errorf("harness: unknown suite graph %q", name)
+}
+
+// Generate builds the spec's graph scaled down by scaleDiv (1 = the
+// paper's full size). Degree structure and level structure are
+// preserved; only the vertex/edge counts shrink.
+func (s GraphSpec) Generate(scaleDiv int) (*graph.CSR, error) {
+	if scaleDiv < 1 {
+		return nil, fmt.Errorf("harness: scale divisor %d < 1", scaleDiv)
+	}
+	n := s.N / int32(scaleDiv)
+	m := s.M / int64(scaleDiv)
+	if n < 2 {
+		n = 2
+	}
+	if m < int64(n) {
+		m = int64(n)
+	}
+	switch s.Kind {
+	case KindLayered:
+		layers := s.Diameter
+		if layers > n {
+			layers = n
+		}
+		return gen.LayeredRandom(n, m, layers, s.Seed, gen.Options{})
+	case KindPowerLaw:
+		return gen.ChungLu(n, m, s.Gamma, s.Seed, gen.Options{})
+	case KindRMAT:
+		if m >= 1<<26 {
+			// The two-pass builder halves peak memory, which is what
+			// makes the billion-edge graph generable at -scale 1.
+			return gen.RMATDirect(n, m, 0.45, 0.15, 0.15, s.Seed)
+		}
+		return gen.Graph500RMAT(n, m, s.Seed, gen.Options{})
+	default:
+		return nil, fmt.Errorf("harness: unknown graph kind %q", s.Kind)
+	}
+}

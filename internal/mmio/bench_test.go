@@ -1,0 +1,75 @@
+package mmio
+
+import (
+	"bytes"
+	"testing"
+
+	"optibfs/internal/gen"
+)
+
+func benchGraphBytes(b *testing.B, write func(*bytes.Buffer) error) *bytes.Reader {
+	b.Helper()
+	var buf bytes.Buffer
+	if err := write(&buf); err != nil {
+		b.Fatal(err)
+	}
+	return bytes.NewReader(buf.Bytes())
+}
+
+func BenchmarkWriteReadBinary(b *testing.B) {
+	g, err := gen.Graph500RMAT(1<<14, 1<<18, 1, gen.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("write", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			if err := WriteBinary(&buf, g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("read", func(b *testing.B) {
+		r := benchGraphBytes(b, func(buf *bytes.Buffer) error { return WriteBinary(buf, g) })
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := r.Seek(0, 0); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := ReadBinary(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkWriteReadMatrixMarket(b *testing.B) {
+	g, err := gen.Graph500RMAT(1<<12, 1<<15, 1, gen.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("write", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			if err := WriteMatrixMarket(&buf, g); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("read", func(b *testing.B) {
+		r := benchGraphBytes(b, func(buf *bytes.Buffer) error { return WriteMatrixMarket(buf, g) })
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := r.Seek(0, 0); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := ReadMatrixMarket(r); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,71 @@
+package mmio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"optibfs/internal/gen"
+)
+
+// Fuzz targets: the parsers must never panic or accept structurally
+// invalid graphs, whatever bytes they are fed. `go test` runs the seed
+// corpus as regression tests; `go test -fuzz FuzzReadMatrixMarket`
+// explores further.
+
+func FuzzReadMatrixMarket(f *testing.F) {
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n1 2 1.0\n")
+	f.Add("%%MatrixMarket matrix coordinate pattern symmetric\n3 3 2\n2 1\n3 2\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n0 0 0\n")
+	f.Add("")
+	f.Add("%%MatrixMarket matrix coordinate real general\n999999999 2 1\n1 2 1\n")
+	f.Add("%%MatrixMarket\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n-1 -5 0\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadMatrixMarket(strings.NewReader(in))
+		if err == nil && g.Validate() != nil {
+			t.Fatalf("parser accepted invalid graph for %q", in)
+		}
+	})
+}
+
+func FuzzReadEdgeList(f *testing.F) {
+	f.Add("0 1\n1 2\n")
+	f.Add("# comment\n\n5 5\n")
+	f.Add("9999999999999 1\n")
+	f.Add("a b\n")
+	f.Add("-3 4\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, in string) {
+		g, err := ReadEdgeList(strings.NewReader(in))
+		if err == nil && g.Validate() != nil {
+			t.Fatalf("parser accepted invalid graph for %q", in)
+		}
+	})
+}
+
+func FuzzReadBinary(f *testing.F) {
+	// Seed with a valid file and several corruptions of it.
+	g, err := gen.ErdosRenyi(30, 120, 1, gen.Options{})
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	for _, cut := range []int{0, 7, 8, 20, len(valid) / 2, len(valid) - 1} {
+		f.Add(valid[:cut])
+	}
+	flipped := append([]byte(nil), valid...)
+	flipped[9] ^= 0xff // header n
+	f.Add(flipped)
+	f.Fuzz(func(t *testing.T, in []byte) {
+		g, err := ReadBinary(bytes.NewReader(in))
+		if err == nil && g.Validate() != nil {
+			t.Fatal("binary reader accepted invalid graph")
+		}
+	})
+}

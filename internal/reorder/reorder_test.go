@@ -1,0 +1,157 @@
+package reorder
+
+import (
+	"testing"
+	"testing/quick"
+
+	"optibfs/internal/gen"
+	"optibfs/internal/graph"
+)
+
+func TestIdentityApplyIsNoop(t *testing.T) {
+	g, err := gen.Graph500RMAT(128, 1024, 1, gen.Options{SortAdjacency: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Apply(g, Identity(g.NumVertices()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("edges changed: %d -> %d", g.NumEdges(), g2.NumEdges())
+	}
+	for v := int32(0); v < g.NumVertices(); v++ {
+		a, b := g.Neighbors(v), g2.Neighbors(v)
+		if len(a) != len(b) {
+			t.Fatalf("degree of %d changed", v)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("adjacency of %d changed", v)
+			}
+		}
+	}
+}
+
+func TestPermutationValidate(t *testing.T) {
+	if err := (Permutation{0, 1, 2}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Permutation{0, 0, 2}).Validate(); err == nil {
+		t.Fatal("accepted duplicate")
+	}
+	if err := (Permutation{0, 5, 2}).Validate(); err == nil {
+		t.Fatal("accepted out of range")
+	}
+	if err := (Permutation{0, -1, 2}).Validate(); err == nil {
+		t.Fatal("accepted negative")
+	}
+}
+
+func TestInverse(t *testing.T) {
+	p := Permutation{2, 0, 1}
+	inv := p.Inverse()
+	for old, newID := range p {
+		if inv[newID] != int32(old) {
+			t.Fatalf("inverse wrong at %d", old)
+		}
+	}
+}
+
+func TestApplyRejectsBadPerm(t *testing.T) {
+	g, _ := gen.Path(4)
+	if _, err := Apply(g, Permutation{0, 1}); err == nil {
+		t.Fatal("accepted short permutation")
+	}
+	if _, err := Apply(g, Permutation{0, 0, 1, 2}); err == nil {
+		t.Fatal("accepted non-bijection")
+	}
+}
+
+func TestByBFSOrderProperties(t *testing.T) {
+	g, err := gen.LayeredRandom(500, 3000, 10, 3, gen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm, err := ByBFS(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := perm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if perm[0] != 0 {
+		t.Fatalf("source not first: %d", perm[0])
+	}
+	// BFS order must be monotone in level: if dist[u] < dist[v] then
+	// perm[u] < perm[v].
+	dist := graph.ReferenceBFS(g, 0)
+	for u := int32(0); u < g.NumVertices(); u++ {
+		for v := int32(0); v < g.NumVertices(); v++ {
+			if dist[u] != graph.Unreached && dist[v] != graph.Unreached && dist[u] < dist[v] && perm[u] >= perm[v] {
+				t.Fatalf("level order violated: %d(level %d) -> %d, %d(level %d) -> %d",
+					u, dist[u], perm[u], v, dist[v], perm[v])
+			}
+		}
+	}
+}
+
+func TestByBFSRejectsBadSource(t *testing.T) {
+	g, _ := gen.Path(4)
+	if _, err := ByBFS(g, 9); err == nil {
+		t.Fatal("accepted bad source")
+	}
+}
+
+func TestByDegreeDescending(t *testing.T) {
+	g, err := gen.ChungLu(512, 4096, 2.1, 7, gen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := ByDegreeDescending(g)
+	if err := perm.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := Apply(g, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Degrees must now be non-increasing in the new id space.
+	for v := int32(1); v < g2.NumVertices(); v++ {
+		if g2.OutDegree(v) > g2.OutDegree(v-1) {
+			t.Fatalf("degree order violated at %d: %d > %d", v, g2.OutDegree(v), g2.OutDegree(v-1))
+		}
+	}
+}
+
+// Property: relabeling preserves BFS level structure — distances in the
+// new graph are the permuted distances of the original.
+func TestPropertyApplyPreservesBFS(t *testing.T) {
+	f := func(seed uint64) bool {
+		n := int32(2 + seed%120)
+		g, err := gen.Graph500RMAT(n, int64(seed%800), seed, gen.Options{})
+		if err != nil {
+			return false
+		}
+		src := int32(seed % uint64(n))
+		perm, err := ByBFS(g, src)
+		if err != nil {
+			return false
+		}
+		g2, err := Apply(g, perm)
+		if err != nil {
+			return false
+		}
+		want := graph.ReferenceBFS(g, src)
+		got := graph.ReferenceBFS(g2, perm[src])
+		for v := int32(0); v < n; v++ {
+			if want[v] != got[perm[v]] {
+				return false
+			}
+		}
+		return g2.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

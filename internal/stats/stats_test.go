@@ -1,0 +1,146 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"unsafe"
+)
+
+func TestPaddedCountersSize(t *testing.T) {
+	size := unsafe.Sizeof(PaddedCounters{})
+	if size%64 != 0 {
+		t.Fatalf("PaddedCounters size %d is not a multiple of 64", size)
+	}
+	if size < unsafe.Sizeof(Counters{}) {
+		t.Fatalf("padding shrank the struct")
+	}
+}
+
+func TestCountersAddAndSum(t *testing.T) {
+	per := NewPerWorker(3)
+	per[0].VerticesPopped = 5
+	per[0].StealInvalid = 1
+	per[1].VerticesPopped = 7
+	per[1].EdgesScanned = 100
+	per[2].StealSuccess = 2
+	per[2].StealVictimIdle = 4
+	total := Sum(per)
+	if total.VerticesPopped != 12 || total.EdgesScanned != 100 {
+		t.Fatalf("sum wrong: %+v", total)
+	}
+	if total.StealSuccess != 2 || total.FailedSteals() != 5 {
+		t.Fatalf("steal sums wrong: success=%d failed=%d", total.StealSuccess, total.FailedSteals())
+	}
+}
+
+func TestAddCoversEveryField(t *testing.T) {
+	// Fill a Counters with distinct values via reflection-free literal,
+	// then check Add doubles it exactly. Catches a forgotten field in Add.
+	c := Counters{
+		VerticesPopped: 1, EdgesScanned: 2, Discovered: 3,
+		Fetches: 4, FetchRetries: 5,
+		LockAcquisitions: 6, LockTryFails: 7,
+		StealAttempts: 8, StealSuccess: 9, StealVictimLocked: 10,
+		StealVictimIdle: 11, StealTooSmall: 12, StealStale: 13, StealInvalid: 14,
+		StealSameSocket: 15, StealCrossSocket: 16,
+		HotVertices: 17, HotChunks: 18, AtomicRMW: 19,
+		TopDownLevels: 20, BottomUpLevels: 21,
+	}
+	double := c
+	double.Add(&c)
+	if double != (Counters{
+		VerticesPopped: 2, EdgesScanned: 4, Discovered: 6,
+		Fetches: 8, FetchRetries: 10,
+		LockAcquisitions: 12, LockTryFails: 14,
+		StealAttempts: 16, StealSuccess: 18, StealVictimLocked: 20,
+		StealVictimIdle: 22, StealTooSmall: 24, StealStale: 26, StealInvalid: 28,
+		StealSameSocket: 30, StealCrossSocket: 32,
+		HotVertices: 34, HotChunks: 36, AtomicRMW: 38,
+		TopDownLevels: 40, BottomUpLevels: 42,
+	}) {
+		t.Fatalf("Add missed a field: %+v", double)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.Total != 0 {
+		t.Fatalf("empty summary not zero: %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{42})
+	if s.N != 1 || s.Mean != 42 || s.Median != 42 || s.Min != 42 || s.Max != 42 || s.Stddev != 0 {
+		t.Fatalf("single summary wrong: %+v", s)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.Mean != 3 || s.Median != 3 || s.Min != 1 || s.Max != 5 || s.Total != 15 {
+		t.Fatalf("summary wrong: %+v", s)
+	}
+	if math.Abs(s.Stddev-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("stddev %g want %g", s.Stddev, math.Sqrt(2.5))
+	}
+}
+
+func TestSummarizeMedianEven(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 10})
+	if s.Median != 2.5 {
+		t.Fatalf("median %g want 2.5", s.Median)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestSummarizeProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := raw[:0]
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				xs = append(xs, x)
+			}
+		}
+		s := Summarize(xs)
+		if s.N != len(xs) {
+			return false
+		}
+		if s.N == 0 {
+			return true
+		}
+		return s.Min <= s.Median && s.Median <= s.Max &&
+			s.Min <= s.Mean+1e-6 && s.Mean <= s.Max+1e-6 &&
+			s.P05 <= s.P95
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTEPS(t *testing.T) {
+	if v := TEPS(1000, 0.5); v != 2000 {
+		t.Fatalf("TEPS=%g", v)
+	}
+	if v := TEPS(1000, 0); v != 0 {
+		t.Fatalf("TEPS(0s)=%g", v)
+	}
+	if v := TEPS(1000, -1); v != 0 {
+		t.Fatalf("TEPS(-1s)=%g", v)
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	s := Summarize([]float64{0, 10})
+	if s.P05 != 0.5 || s.P95 != 9.5 {
+		t.Fatalf("quantiles: p05=%g p95=%g", s.P05, s.P95)
+	}
+}

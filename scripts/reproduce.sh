@@ -1,0 +1,31 @@
+#!/bin/sh
+# Regenerates every artifact this repository records:
+#   - test_output.txt   : the full test suite log
+#   - bench_output.txt  : the full benchmark sweep (one family per
+#                         paper table/figure, plus ablations)
+#   - results_all.txt   : the paper's Tables III-VI and Figures 2-3
+#                         as text tables (modeled times; see EXPERIMENTS.md)
+#
+# Tunables: SCALE (graph size divisor, default 64; 1 = the paper's full
+# sizes), SOURCES (sources averaged per cell), BENCHTIME.
+set -eu
+cd "$(dirname "$0")/.."
+
+SCALE="${SCALE:-64}"
+SOURCES="${SOURCES:-6}"
+BENCHTIME="${BENCHTIME:-20x}"
+
+echo "== build & vet =="
+go build ./...
+go vet ./...
+
+echo "== tests -> test_output.txt =="
+go test -count=1 ./... 2>&1 | tee test_output.txt
+
+echo "== benches -> bench_output.txt (benchtime ${BENCHTIME}) =="
+go test -bench=. -benchmem -benchtime "${BENCHTIME}" ./... 2>&1 | tee bench_output.txt
+
+echo "== experiments -> results_all.txt (scale 1/${SCALE}, ${SOURCES} sources) =="
+go run ./cmd/bfsbench -exp all -scale "${SCALE}" -sources "${SOURCES}" 2>&1 | tee results_all.txt
+
+echo "done."
