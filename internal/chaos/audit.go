@@ -1,0 +1,78 @@
+package chaos
+
+import (
+	"fmt"
+
+	"optibfs/internal/core"
+	"optibfs/internal/graph"
+)
+
+// Violation is one invariant the auditor found broken.
+type Violation struct {
+	// Invariant is a stable short name for the broken invariant.
+	Invariant string `json:"invariant"`
+	// Detail localizes the violation (vertex, level, counter values).
+	Detail string `json:"detail"`
+}
+
+func (v Violation) String() string { return v.Invariant + ": " + v.Detail }
+
+// Audit checks a finished run against the protocol invariants and the
+// serial oracle. want must be graph.ReferenceBFS(g, src), or nil to
+// have it computed here (pass it in when auditing many runs on the
+// same graph). Returns nil when every invariant holds.
+//
+// The invariants, in order:
+//
+//	distances-match-oracle      Dist equals the serial reference BFS.
+//	distances-structurally-valid Graph500-style structural check.
+//	parents-valid               Parent forms a valid BFS tree (when tracked).
+//	discovered-conservation     Reached−1 ≤ Σ Discovered ≤ Pops−1. Every
+//	                            reached vertex except the source was
+//	                            discovered at least once, and every
+//	                            discovery appended a queue entry that was
+//	                            popped at least once (no entry skipped).
+//	                            Exact equality Σ Discovered == Reached−1
+//	                            holds whenever no discovery race fired;
+//	                            the slack is precisely the benign
+//	                            duplicate-discovery count, never negative.
+//	pops-cover-reached          Pops ≥ Reached: optimistic races may add
+//	                            duplicate pops but never remove work.
+//	level-sizes-account         Σ LevelSizes == Reached: every reached
+//	                            vertex sits in exactly one level.
+func Audit(g *graph.CSR, src int32, want []int32, res *core.Result) []Violation {
+	var vs []Violation
+	add := func(invariant, format string, args ...any) {
+		vs = append(vs, Violation{Invariant: invariant, Detail: fmt.Sprintf(format, args...)})
+	}
+	if want == nil {
+		want = graph.ReferenceBFS(g, src)
+	}
+	if err := graph.EqualDistances(res.Dist, want); err != nil {
+		add("distances-match-oracle", "%v", err)
+	}
+	if err := graph.ValidateDistances(g, src, res.Dist); err != nil {
+		add("distances-structurally-valid", "%v", err)
+	}
+	if res.Parent != nil {
+		if err := graph.ValidateParents(g, src, res.Dist, res.Parent); err != nil {
+			add("parents-valid", "%v", err)
+		}
+	}
+	if got := res.Counters.Discovered; got < res.Reached-1 {
+		add("discovered-conservation", "Σ Discovered = %d < Reached−1 = %d: some vertex was reached but never discovered", got, res.Reached-1)
+	} else if got > res.Pops-1 {
+		add("discovered-conservation", "Σ Discovered = %d > Pops−1 = %d: some queue entry was appended but never popped", got, res.Pops-1)
+	}
+	if res.Pops < res.Reached {
+		add("pops-cover-reached", "Pops = %d < Reached = %d: some vertex was never popped", res.Pops, res.Reached)
+	}
+	var lv int64
+	for _, s := range res.LevelSizes {
+		lv += s
+	}
+	if lv != res.Reached {
+		add("level-sizes-account", "Σ LevelSizes = %d, want Reached = %d", lv, res.Reached)
+	}
+	return vs
+}

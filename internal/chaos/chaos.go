@@ -1,0 +1,205 @@
+// Package chaos is the deterministic fault-injection ("chaos
+// scheduler") and invariant-audit harness for the optimistic BFS
+// protocols in internal/core.
+//
+// The paper's correctness claim is that the protocols' deliberate
+// races — torn (q, f, r) descriptor reads, backward-moving fronts,
+// duplicated dispatch units — are benign. End-state distance checks
+// alone cannot provoke the rare interleavings on a fast machine, and
+// cannot localize a violation when one slips through. This package
+// attacks both gaps:
+//
+//   - Injector implements core.ChaosHook: seeded per-worker decision
+//     streams decide, at each instrumented racy point, whether to
+//     stretch the read→write window with scheduler yields and spin
+//     work, making stale steals, overlapping segments, and duplicate
+//     phase-2 units common instead of one-in-a-million.
+//   - Audit checks a finished run against the protocol invariants:
+//     distances equal the serial oracle and are structurally valid,
+//     discoveries are conserved (Reached−1 ≤ Σ Discovered ≤ Pops−1;
+//     the slack is exactly the benign duplicate-discovery count),
+//     duplicate work only ever adds pops (Pops ≥ Reached), level
+//     sizes account for every reached vertex, and parents (when
+//     tracked) form a valid BFS tree. The injector also receives the
+//     per-level unconsumed-slot audit from the lockfree runners.
+//   - Soak sweeps variants × graphs × profiles × seeds, diffing every
+//     run against graph.ReferenceBFS; a failure emits a minimal JSON
+//     repro artifact (graph params, seeds, options, profile) that
+//     Replay re-executes.
+package chaos
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"optibfs/internal/core"
+	"optibfs/internal/rng"
+)
+
+// Profile describes one perturbation shape: the probability, per chaos
+// point, that a worker passing it is delayed, and how heavy the delay
+// is. The zero value perturbs nothing (a pure-observation baseline).
+type Profile struct {
+	// Name identifies the profile in reports and repro artifacts.
+	Name string `json:"name"`
+	// Prob[p] is the probability that a firing of core.ChaosPoint p
+	// perturbs the worker.
+	Prob [core.NumChaosPoints]float64 `json:"prob"`
+	// Yields is how many scheduler yields one perturbation performs.
+	Yields int `json:"yields"`
+	// Spin adds busy-work iterations per perturbation, jitter finer
+	// than a full scheduler yield.
+	Spin int `json:"spin"`
+}
+
+// prob builds a per-point probability table from (point, prob) pairs.
+func prob(pairs ...any) [core.NumChaosPoints]float64 {
+	var t [core.NumChaosPoints]float64
+	for i := 0; i < len(pairs); i += 2 {
+		t[pairs[i].(core.ChaosPoint)] = pairs[i+1].(float64)
+	}
+	return t
+}
+
+// uniformProb gives every chaos point the same perturbation probability.
+func uniformProb(p float64) [core.NumChaosPoints]float64 {
+	var t [core.NumChaosPoints]float64
+	for i := range t {
+		t[i] = p
+	}
+	return t
+}
+
+// Profiles returns the built-in perturbation profiles, mildest first.
+// "baseline" injects nothing (pure differential run + audits);
+// the targeted profiles each hammer one protocol window.
+func Profiles() []Profile {
+	return []Profile{
+		{Name: "baseline"},
+		{Name: "jitter", Prob: uniformProb(0.02), Yields: 1},
+		{Name: "steal-storm", Prob: prob(core.ChaosStealPublish, 0.8, core.ChaosSlotZero, 0.01), Yields: 4, Spin: 64},
+		{Name: "drain-lag", Prob: prob(core.ChaosSlotZero, 0.05, core.ChaosDrainAdvance, 0.05), Yields: 2},
+		{Name: "front-races", Prob: prob(core.ChaosFrontStore, 0.7, core.ChaosPoolStore, 0.7), Yields: 3, Spin: 32},
+		{Name: "phase2-dup", Prob: prob(core.ChaosPhase2Advance, 0.8), Yields: 3},
+		{Name: "mixed", Prob: uniformProb(0.1), Yields: 2, Spin: 16},
+	}
+}
+
+// ProfileByName finds a built-in profile.
+func ProfileByName(name string) (Profile, error) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("chaos: unknown profile %q", name)
+}
+
+// injWorker is one worker's private injector lane: its decision
+// stream and counts, padded so lanes never share a cache line (the
+// injector sits on the protocols' hot paths while enabled).
+type injWorker struct {
+	r        rng.SplitMix64
+	fired    [core.NumChaosPoints]int64
+	injected int64
+	spinSink uint64 // defeats dead-code elimination of the spin loop
+	_        [64]byte
+}
+
+// Injector implements core.ChaosHook (and core.ChaosLevelAuditor)
+// with deterministic seeded per-worker decision streams: worker w's
+// k-th pass through the hooks always draws the same random number for
+// a given (profile, seed), so an interleaving provoked once can be
+// provoked again. Safe for concurrent use by all workers.
+type Injector struct {
+	prof    Profile
+	seed    uint64
+	workers []injWorker
+
+	mu         sync.Mutex
+	violations []string
+}
+
+// NewInjector builds an injector for `workers` worker goroutines.
+func NewInjector(prof Profile, seed uint64, workers int) *Injector {
+	if workers < 1 {
+		workers = 1
+	}
+	in := &Injector{prof: prof, seed: seed, workers: make([]injWorker, workers)}
+	for i := range in.workers {
+		in.workers[i].r = *rng.NewSplitMix64(rng.Mix64(seed ^ rng.Mix64(uint64(i)+0xc4a05)))
+	}
+	return in
+}
+
+// Profile returns the profile the injector was built with.
+func (in *Injector) Profile() Profile { return in.prof }
+
+// Seed returns the injection seed the injector was built with.
+func (in *Injector) Seed() uint64 { return in.seed }
+
+// At implements core.ChaosHook: consult worker's decision stream and
+// possibly stretch the racy window with yields and spin work.
+func (in *Injector) At(point core.ChaosPoint, worker int, value int64) {
+	w := &in.workers[worker]
+	w.fired[point]++
+	p := in.prof.Prob[point]
+	if p <= 0 {
+		return
+	}
+	// 53-bit uniform draw in [0,1), the xoshiro Float64 construction.
+	if float64(w.r.Next()>>11)/(1<<53) >= p {
+		return
+	}
+	w.injected++
+	for i := 0; i < in.prof.Yields; i++ {
+		runtime.Gosched()
+	}
+	if n := in.prof.Spin; n > 0 {
+		x := uint64(value)
+		for i := 0; i < n; i++ {
+			x = x*6364136223846793005 + 1442695040888963407
+		}
+		w.spinSink += x
+	}
+}
+
+// LevelEnd implements core.ChaosLevelAuditor: any unconsumed input-
+// queue slot after a level barrier is a protocol violation (the
+// zero-on-read discipline guarantees full consumption).
+func (in *Injector) LevelEnd(level int32, unconsumed int64) {
+	if unconsumed == 0 {
+		return
+	}
+	in.mu.Lock()
+	in.violations = append(in.violations,
+		fmt.Sprintf("level %d left %d input-queue slots unconsumed", level, unconsumed))
+	in.mu.Unlock()
+}
+
+// Injections returns how many perturbations were performed.
+func (in *Injector) Injections() int64 {
+	var n int64
+	for i := range in.workers {
+		n += in.workers[i].injected
+	}
+	return n
+}
+
+// Fired returns how many times the given chaos point was passed
+// (perturbed or not) across all workers.
+func (in *Injector) Fired(point core.ChaosPoint) int64 {
+	var n int64
+	for i := range in.workers {
+		n += in.workers[i].fired[point]
+	}
+	return n
+}
+
+// Violations returns the level-audit violations recorded so far.
+func (in *Injector) Violations() []string {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]string(nil), in.violations...)
+}

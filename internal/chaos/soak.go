@@ -1,0 +1,420 @@
+package chaos
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"optibfs/internal/core"
+	"optibfs/internal/gen"
+	"optibfs/internal/graph"
+	"optibfs/internal/rng"
+)
+
+// GraphSpec describes a generated soak graph compactly enough to be
+// serialized into a repro artifact and regenerated bit-identically.
+type GraphSpec struct {
+	// Kind selects the generator: rmat | chunglu | layered | er |
+	// complete | star.
+	Kind string `json:"kind"`
+	// N is the vertex count.
+	N int32 `json:"n"`
+	// M is the target edge count (ignored by complete and star).
+	M int64 `json:"m,omitempty"`
+	// Gamma is the chunglu power-law exponent.
+	Gamma float64 `json:"gamma,omitempty"`
+	// Layers is the layered generator's BFS depth.
+	Layers int32 `json:"layers,omitempty"`
+	// Seed drives the generator.
+	Seed uint64 `json:"seed"`
+}
+
+// Generate builds the graph the spec describes.
+func (s GraphSpec) Generate() (*graph.CSR, error) {
+	switch s.Kind {
+	case "rmat":
+		return gen.Graph500RMAT(s.N, s.M, s.Seed, gen.Options{})
+	case "chunglu":
+		return gen.ChungLu(s.N, s.M, s.Gamma, s.Seed, gen.Options{})
+	case "layered":
+		return gen.LayeredRandom(s.N, s.M, s.Layers, s.Seed, gen.Options{})
+	case "er":
+		return gen.ErdosRenyi(s.N, s.M, s.Seed, gen.Options{})
+	case "complete":
+		return gen.Complete(s.N)
+	case "star":
+		return gen.Star(s.N)
+	}
+	return nil, fmt.Errorf("chaos: unknown graph kind %q", s.Kind)
+}
+
+func (s GraphSpec) String() string {
+	return fmt.Sprintf("%s(n=%d,m=%d,seed=%d)", s.Kind, s.N, s.M, s.Seed)
+}
+
+// DefaultGraphs returns the standard soak suite: each entry targets a
+// different protocol stressor — hub storms (chunglu), deep level
+// machinery (layered), single-queue steal pressure (star), duplicate
+// storms (complete), and a Graph500 mix (rmat).
+func DefaultGraphs() []GraphSpec {
+	return []GraphSpec{
+		{Kind: "rmat", N: 4096, M: 32768, Seed: 1},
+		{Kind: "chunglu", N: 4096, M: 32768, Gamma: 2.0, Seed: 2},
+		{Kind: "layered", N: 3000, M: 15000, Layers: 60, Seed: 3},
+		{Kind: "star", N: 2048, Seed: 4},
+		{Kind: "complete", N: 256, Seed: 5},
+	}
+}
+
+// RunOptions is the JSON-serializable subset of core.Options a soak
+// run varies; it round-trips through repro artifacts.
+type RunOptions struct {
+	// Workers is the worker count (always explicit in artifacts).
+	Workers int `json:"workers"`
+	// SegmentSize fixes the dispatch segment length; 0 = adaptive.
+	SegmentSize int `json:"segment_size,omitempty"`
+	// Pools is the BFS_DL pool count.
+	Pools int `json:"pools,omitempty"`
+	// Sockets is the simulated NUMA socket count.
+	Sockets int `json:"sockets,omitempty"`
+	// SameSocketBias is the local-steal probability (0 meaningful).
+	SameSocketBias float64 `json:"same_socket_bias"`
+	// Phase2Stealing enables dynamic phase-2 dispatch.
+	Phase2Stealing bool `json:"phase2_stealing,omitempty"`
+	// ParentClaim enables the §IV-D duplicate filter.
+	ParentClaim bool `json:"parent_claim,omitempty"`
+	// TrackParents records BFS parents for tree validation.
+	TrackParents bool `json:"track_parents,omitempty"`
+	// PersistentWorkers reuses long-lived worker goroutines.
+	PersistentWorkers bool `json:"persistent_workers,omitempty"`
+	// Seed drives victim/pool selection inside the run.
+	Seed uint64 `json:"seed"`
+}
+
+// Core converts to core.Options (without a chaos hook).
+func (o RunOptions) Core() core.Options {
+	return core.Options{
+		Workers:           o.Workers,
+		SegmentSize:       o.SegmentSize,
+		Pools:             o.Pools,
+		Sockets:           o.Sockets,
+		SameSocketBias:    o.SameSocketBias,
+		Phase2Stealing:    o.Phase2Stealing,
+		ParentClaim:       o.ParentClaim,
+		TrackParents:      o.TrackParents,
+		PersistentWorkers: o.PersistentWorkers,
+		Seed:              o.Seed,
+	}
+}
+
+// Repro is the minimal JSON artifact emitted when a soak run breaks an
+// invariant: everything needed to re-execute the exact run — graph
+// parameters, algorithm, options, perturbation profile, and both
+// seeds — plus the violations observed when it was recorded.
+type Repro struct {
+	// Graph regenerates the input graph.
+	Graph GraphSpec `json:"graph"`
+	// Source is the BFS source vertex.
+	Source int32 `json:"source"`
+	// Algorithm is the variant that failed.
+	Algorithm core.Algorithm `json:"algorithm"`
+	// Options is the run configuration.
+	Options RunOptions `json:"options"`
+	// Profile is the perturbation profile that was active.
+	Profile Profile `json:"profile"`
+	// InjectionSeed seeds the injector's decision streams.
+	InjectionSeed uint64 `json:"injection_seed"`
+	// Violations are the invariant violations observed at record time.
+	Violations []Violation `json:"violations"`
+}
+
+// WriteRepro writes the artifact into dir (created if needed) and
+// returns its path.
+func WriteRepro(dir string, r Repro) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", fmt.Errorf("chaos: %w", err)
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", fmt.Errorf("chaos: %w", err)
+	}
+	name := fmt.Sprintf("repro-%s-%s-%016x.json", r.Algorithm, r.Profile.Name, r.Options.Seed)
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", fmt.Errorf("chaos: %w", err)
+	}
+	return path, nil
+}
+
+// LoadRepro reads an artifact written by WriteRepro.
+func LoadRepro(path string) (Repro, error) {
+	var r Repro
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, fmt.Errorf("chaos: %w", err)
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("chaos: %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// Replay re-executes the run a repro artifact describes — same graph,
+// options, profile, and seeds — and re-audits it, returning the
+// violations observed this time (goroutine interleaving still varies,
+// so a racy violation may take several replays to reappear).
+func Replay(r Repro) ([]Violation, *core.Result, error) {
+	g, err := r.Graph.Generate()
+	if err != nil {
+		return nil, nil, err
+	}
+	opt := r.Options.Core()
+	if opt.Workers <= 0 {
+		opt.Workers = runtime.GOMAXPROCS(0)
+	}
+	inj := NewInjector(r.Profile, r.InjectionSeed, opt.Workers)
+	opt.Chaos = inj
+	res, err := core.Run(g, r.Source, r.Algorithm, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	vs := Audit(g, r.Source, nil, res)
+	vs = append(vs, levelViolations(inj)...)
+	return vs, res, nil
+}
+
+// levelViolations converts the injector's per-level audit findings.
+func levelViolations(in *Injector) []Violation {
+	var vs []Violation
+	for _, s := range in.Violations() {
+		vs = append(vs, Violation{Invariant: "queue-slots-consumed", Detail: s})
+	}
+	return vs
+}
+
+// SoakConfig configures a differential soak sweep. Zero fields select
+// the documented defaults.
+type SoakConfig struct {
+	// Algorithms to sweep. Default: every core.Algorithm.
+	Algorithms []core.Algorithm
+	// Graphs to sweep. Default: DefaultGraphs.
+	Graphs []GraphSpec
+	// Profiles to sweep. Default: Profiles().
+	Profiles []Profile
+	// Seeds is how many derived option/seed sets run per
+	// (graph, algorithm, profile) cell. Default 2.
+	Seeds int
+	// Workers caps the per-run worker count (runs draw from
+	// [2, Workers]). Default: 2×GOMAXPROCS, clamped to [4, 16] —
+	// oversubscription is deliberate, it gives the injector's yields
+	// real interleavings to provoke.
+	Workers int
+	// BaseSeed derives every per-run seed. Default 0xb5f5c4a0.
+	BaseSeed uint64
+	// Duration stops the sweep (checked between runs) once exceeded;
+	// rounds repeat with fresh derived seeds until then. 0 = exactly
+	// one sweep.
+	Duration time.Duration
+	// ArtifactDir receives JSON repro artifacts for failed runs.
+	// Empty = don't write artifacts.
+	ArtifactDir string
+	// Log receives progress and failure lines. Nil = discard.
+	Log io.Writer
+	// Verbose logs every run, not just failures and sweep summaries.
+	Verbose bool
+}
+
+func (cfg SoakConfig) withDefaults() SoakConfig {
+	if cfg.Algorithms == nil {
+		cfg.Algorithms = core.Algorithms
+	}
+	if cfg.Graphs == nil {
+		cfg.Graphs = DefaultGraphs()
+	}
+	if cfg.Profiles == nil {
+		cfg.Profiles = Profiles()
+	}
+	if cfg.Seeds <= 0 {
+		cfg.Seeds = 2
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2 * runtime.GOMAXPROCS(0)
+		if cfg.Workers < 4 {
+			cfg.Workers = 4
+		}
+		if cfg.Workers > 16 {
+			cfg.Workers = 16
+		}
+	}
+	if cfg.Workers < 2 {
+		cfg.Workers = 2
+	}
+	if cfg.BaseSeed == 0 {
+		cfg.BaseSeed = 0xb5f5c4a0
+	}
+	if cfg.Log == nil {
+		cfg.Log = io.Discard
+	}
+	return cfg
+}
+
+// SoakReport summarizes one Soak call.
+type SoakReport struct {
+	// Runs is the number of (graph, algorithm, profile, seed) runs.
+	Runs int
+	// Failures is how many runs broke at least one invariant.
+	Failures int
+	// Injections is the total number of perturbations performed.
+	Injections int64
+	// StaleSteals counts the stale-steal events the sweep provoked —
+	// the interleaving class the descriptor-leak fix is about.
+	StaleSteals int64
+	// Duplicates is the total duplicate work (Pops − Reached) the
+	// optimistic runs absorbed.
+	Duplicates int64
+	// Artifacts lists the repro files written for failures.
+	Artifacts []string
+	// Elapsed is the sweep's wall-clock time.
+	Elapsed time.Duration
+}
+
+// String renders a one-line summary.
+func (r *SoakReport) String() string {
+	return fmt.Sprintf("soak: %d runs, %d failures, %d injections, %d stale steals, %d duplicate pops, %s",
+		r.Runs, r.Failures, r.Injections, r.StaleSteals, r.Duplicates, r.Elapsed.Round(time.Millisecond))
+}
+
+// deriveOptions expands one per-run seed into a full option set,
+// covering the configuration space (segment sizes, pools, NUMA
+// simulation, claim/parent/persistence toggles) deterministically.
+func deriveOptions(r *rng.SplitMix64, maxWorkers int) RunOptions {
+	o := RunOptions{
+		Workers: 2 + int(r.Next()%uint64(maxWorkers-1)),
+		Seed:    r.Next(),
+	}
+	switch r.Next() % 3 {
+	case 0:
+		o.SegmentSize = 1 // worst case: every slot is a fetch
+	case 1:
+		o.SegmentSize = 3
+	}
+	o.Pools = 1 + int(r.Next()%uint64(o.Workers))
+	switch r.Next() % 3 {
+	case 1:
+		o.Sockets = 2
+	case 2:
+		o.Sockets = 4
+	}
+	if o.Sockets > 1 {
+		o.SameSocketBias = float64(r.Next()%101) / 100
+	}
+	o.Phase2Stealing = r.Next()%2 == 0
+	o.ParentClaim = r.Next()%4 == 0
+	o.TrackParents = r.Next()%2 == 0
+	o.PersistentWorkers = r.Next()%4 == 0
+	return o
+}
+
+// Soak runs the differential sweep: for every (graph, algorithm,
+// profile, seed) cell it executes the variant under the injector and
+// audits the result against the serial oracle and the protocol
+// invariants, emitting a repro artifact per failure. It only returns
+// an error for harness problems (generation, artifact I/O); invariant
+// violations are reported in the SoakReport.
+func Soak(cfg SoakConfig) (*SoakReport, error) {
+	cfg = cfg.withDefaults()
+	start := time.Now()
+	rep := &SoakReport{}
+	expired := func() bool {
+		return cfg.Duration > 0 && time.Since(start) >= cfg.Duration
+	}
+
+	type prepared struct {
+		spec GraphSpec
+		g    *graph.CSR
+		want []int32
+	}
+	graphs := make([]prepared, 0, len(cfg.Graphs))
+	for _, spec := range cfg.Graphs {
+		g, err := spec.Generate()
+		if err != nil {
+			return nil, fmt.Errorf("chaos: generating %s: %w", spec, err)
+		}
+		graphs = append(graphs, prepared{spec, g, graph.ReferenceBFS(g, 0)})
+	}
+
+	for round := 0; ; round++ {
+		for _, pg := range graphs {
+			for _, algo := range cfg.Algorithms {
+				for _, prof := range cfg.Profiles {
+					for s := 0; s < cfg.Seeds; s++ {
+						if expired() {
+							rep.Elapsed = time.Since(start)
+							return rep, nil
+						}
+						cell := rng.Mix64(cfg.BaseSeed ^ rng.Mix64(uint64(round)<<32|uint64(s)) ^
+							rng.Mix64(uint64(len(pg.spec.Kind))+pg.spec.Seed) ^ hashString(string(algo)+prof.Name))
+						r := rng.NewSplitMix64(cell)
+						opts := deriveOptions(r, cfg.Workers)
+						injSeed := r.Next()
+
+						inj := NewInjector(prof, injSeed, opts.Workers)
+						copt := opts.Core()
+						copt.Chaos = inj
+						res, err := core.Run(pg.g, 0, algo, copt)
+						if err != nil {
+							return nil, fmt.Errorf("chaos: %s on %s: %w", algo, pg.spec, err)
+						}
+						rep.Runs++
+						rep.Injections += inj.Injections()
+						rep.StaleSteals += res.Counters.StealStale
+						rep.Duplicates += res.Duplicates()
+
+						vs := Audit(pg.g, 0, pg.want, res)
+						vs = append(vs, levelViolations(inj)...)
+						if cfg.Verbose {
+							fmt.Fprintf(cfg.Log, "run %s %s %s workers=%d seed=%#x: %d injections, %d dup, %d violations\n",
+								algo, pg.spec, prof.Name, opts.Workers, opts.Seed, inj.Injections(), res.Duplicates(), len(vs))
+						}
+						if len(vs) == 0 {
+							continue
+						}
+						rep.Failures++
+						repro := Repro{
+							Graph: pg.spec, Source: 0, Algorithm: algo,
+							Options: opts, Profile: prof, InjectionSeed: injSeed,
+							Violations: vs,
+						}
+						fmt.Fprintf(cfg.Log, "FAIL %s on %s profile=%s: %v\n", algo, pg.spec, prof.Name, vs[0])
+						if cfg.ArtifactDir != "" {
+							path, err := WriteRepro(cfg.ArtifactDir, repro)
+							if err != nil {
+								return nil, err
+							}
+							rep.Artifacts = append(rep.Artifacts, path)
+							fmt.Fprintf(cfg.Log, "  repro artifact: %s\n", path)
+						}
+					}
+				}
+			}
+		}
+		if cfg.Duration <= 0 || expired() {
+			break
+		}
+	}
+	rep.Elapsed = time.Since(start)
+	return rep, nil
+}
+
+// hashString mixes a short label into a seed.
+func hashString(s string) uint64 {
+	var h uint64 = 1469598103934665603
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 1099511628211
+	}
+	return h
+}

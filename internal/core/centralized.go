@@ -79,6 +79,9 @@ type pool struct {
 // lockfree centralized-queue BFS with optimistic parallelization.
 func runDecentralized(g *graph.CSR, src int32, opt Options) *Result {
 	st := newState(g, src, opt)
+	// exploreSegmentLockfree zeroes every slot it pops, so the
+	// per-level unconsumed-slot audit applies.
+	st.slotAudit = true
 	p := opt.Workers
 	j := opt.Pools
 	pools := make([]pool, j)
@@ -102,7 +105,7 @@ func runDecentralized(g *graph.CSR, src int32, opt Options) *Result {
 	// Concurrent fetches can both observe the same front (overlapping
 	// segments) or store an older, smaller front/q (backward motion,
 	// Figure 1); both only cause duplicate exploration.
-	fetch := func(pl *pool, c *stats.Counters) (qi, f, end int64, ok bool) {
+	fetch := func(id int, pl *pool, c *stats.Counters) (qi, f, end int64, ok bool) {
 		k := atomic.LoadInt64(&pl.q)
 		if k < pl.lo || k >= pl.hi {
 			k = pl.lo
@@ -118,7 +121,9 @@ func runDecentralized(g *graph.CSR, src int32, opt Options) *Result {
 				if end > q.origR {
 					end = q.origR
 				}
+				st.chaosAt(ChaosPoolStore, id, k)
 				atomic.StoreInt64(&pl.q, k)
+				st.chaosAt(ChaosFrontStore, id, end)
 				atomic.StoreInt64(&q.front, end)
 				c.Fetches++
 				return k, f, end, true
@@ -137,7 +142,7 @@ func runDecentralized(g *graph.CSR, src int32, opt Options) *Result {
 		myPool := st.pickPool(r, id, j)
 		pl := &pools[myPool]
 		for {
-			qi, f, end, ok := fetch(pl, c)
+			qi, f, end, ok := fetch(id, pl, c)
 			if !ok {
 				// Pool empty: retry random pools up to c·j·log2(j)
 				// times (balls-and-bins bound, §IV-A3).
@@ -145,7 +150,21 @@ func runDecentralized(g *graph.CSR, src int32, opt Options) *Result {
 				for t := 0; t < poolRetries && !found; t++ {
 					cand := st.pickPool(r, id, j)
 					pl2 := &pools[cand]
-					qi, f, end, ok = fetch(pl2, c)
+					qi, f, end, ok = fetch(id, pl2, c)
+					if ok {
+						pl = pl2
+						found = true
+					}
+				}
+				// The random bound governs load balance, not
+				// termination: pool queues have no owner, so if every
+				// draw above misses the one pool still holding work
+				// (likely for small j), exiting now would strand its
+				// queues for the whole level. Sweep all pools
+				// deterministically before declaring the level drained.
+				for cand := 0; cand < j && !found; cand++ {
+					pl2 := &pools[cand]
+					qi, f, end, ok = fetch(id, pl2, c)
 					if ok {
 						pl = pl2
 						found = true
@@ -185,6 +204,7 @@ func (st *state) exploreSegmentLockfree(id, qi int, f, end int64, out []int32) [
 		if slot == emptySlot {
 			break
 		}
+		st.chaosAt(ChaosSlotZero, id, j)
 		atomic.StoreInt32(&buf[j], emptySlot)
 		v := slot - 1
 		if !st.claimAllows(qi, v) {

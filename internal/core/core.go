@@ -127,8 +127,20 @@ type Options struct {
 	// probability SameSocketBias. Default 1 (no NUMA policy).
 	Sockets int
 	// SameSocketBias is the probability of restricting a steal attempt
-	// to the local socket group when Sockets > 1. Default 0.9.
+	// to the local socket group when Sockets > 1. An explicit 0
+	// disables the local preference entirely; negative values select
+	// the default 0.9; values above 1 are clamped to 1.
 	SameSocketBias float64
+
+	// Chaos, when non-nil, receives a callback at each of the
+	// optimistic protocols' instrumented racy points (see ChaosPoint)
+	// so tests and the internal/chaos soak harness can provoke rare
+	// interleavings deterministically. If the hook also implements
+	// ChaosLevelAuditor it additionally receives the per-level
+	// unconsumed-slot audit for the slot-zeroing (lockfree) variants.
+	// Nil — the default — costs one predictable branch per
+	// instrumented step.
+	Chaos ChaosHook
 
 	// ctx carries RunContext's cancellation; nil means background.
 	// Unexported: set it via RunContext, not by struct literal.
@@ -158,8 +170,14 @@ func (o Options) withDefaults() Options {
 	if o.Sockets > o.Workers {
 		o.Sockets = o.Workers
 	}
-	if o.SameSocketBias == 0 {
+	// Only a negative bias means "unset": an explicit 0 must remain
+	// configurable (it turns the local-socket preference off), and
+	// out-of-range probabilities are clamped rather than fed to the
+	// victim/pool pickers.
+	if o.SameSocketBias < 0 {
 		o.SameSocketBias = 0.9
+	} else if o.SameSocketBias > 1 {
+		o.SameSocketBias = 1
 	}
 	return o
 }

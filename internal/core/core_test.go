@@ -194,8 +194,11 @@ func TestOptionsDefaults(t *testing.T) {
 	if o.MaxStealFactor != 2 || o.Pools != 1 || o.Sockets != 1 {
 		t.Fatalf("defaults wrong: %+v", o)
 	}
-	if o.SameSocketBias != 0.9 {
-		t.Fatalf("bias default %g", o.SameSocketBias)
+	if o.SameSocketBias != 0 {
+		t.Fatalf("zero-value bias changed to %g; an explicit 0 must stay 0", o.SameSocketBias)
+	}
+	if b := (Options{SameSocketBias: -1}).withDefaults().SameSocketBias; b != 0.9 {
+		t.Fatalf("negative bias should select the default 0.9, got %g", b)
 	}
 	o2 := Options{Workers: 4, Pools: 100, Sockets: 99}.withDefaults()
 	if o2.Pools != 4 || o2.Sockets != 4 {

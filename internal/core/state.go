@@ -58,6 +58,15 @@ type state struct {
 	// untouched.
 	yield bool
 
+	// chaos is Options.Chaos, kept as a direct field so the hot-path
+	// nil-check compiles to one load+branch; levelAudit is the same
+	// hook's optional per-level audit view. slotAudit is set by the
+	// runners that zero queue slots as they pop (the lockfree
+	// variants), the only ones whose buffers encode consumption.
+	chaos      ChaosHook
+	levelAudit ChaosLevelAuditor
+	slotAudit  bool
+
 	pops int64 // total pops, accumulated across levels after barriers
 }
 
@@ -72,6 +81,10 @@ func newState(g *graph.CSR, src int32, opt Options) *state {
 		out:      make([][]int32, p),
 		counters: stats.NewPerWorker(p),
 		yield:    p > runtime.GOMAXPROCS(0),
+		chaos:    opt.Chaos,
+	}
+	if a, ok := opt.Chaos.(ChaosLevelAuditor); ok {
+		st.levelAudit = a
 	}
 	for i := range st.dist {
 		st.dist[i] = graph.Unreached
@@ -205,6 +218,7 @@ func (st *state) runLevels(setup func(), perLevel func(id int)) *Result {
 			}(id)
 		}
 		wg.Wait()
+		st.auditLevel()
 		st.level++
 		st.swap()
 	}
@@ -236,6 +250,7 @@ func (st *state) runLevelsPersistent(setup func(), perLevel func(id int)) *Resul
 				perLevel(id)
 				b.wait() // all workers finished the level
 				if id == 0 {
+					st.auditLevel()
 					st.level++
 					st.swap()
 					if st.volume() == 0 || st.canceled() {

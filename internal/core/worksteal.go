@@ -48,6 +48,10 @@ type wsContext struct {
 // BFS_WS / BFS_WSL (scaleFree=true), §IV-B.
 func runWorkStealing(g *graph.CSR, src int32, opt Options, locked, scaleFree bool) *Result {
 	st := newState(g, src, opt)
+	// Lockfree draining zeroes every slot it pops, so the per-level
+	// unconsumed-slot audit applies; locked draining consumes via the
+	// descriptor front and leaves slots intact.
+	st.slotAudit = !locked
 	p := opt.Workers
 
 	threshold := opt.HighDegreeThreshold
@@ -226,8 +230,10 @@ func (w *wsWorker) drainOwn(d *segDesc) {
 		if slot == emptySlot {
 			return
 		}
+		w.st.chaosAt(ChaosSlotZero, w.id, j)
 		atomic.StoreInt32(&buf[j], emptySlot)
 		j++
+		w.st.chaosAt(ChaosDrainAdvance, w.id, j)
 		atomic.StoreInt64(&d.f, j)
 		w.process(int(qi), slot-1)
 		if popped++; popped%yieldEvery == 0 {
@@ -269,6 +275,7 @@ func (w *wsWorker) stealLockfree(victim int, me *segDesc) bool {
 		return false
 	}
 	mid := f + (r-f)/2
+	w.st.chaosAt(ChaosStealPublish, w.id, mid)
 	// Take the right half: shrink the victim, point ourselves at it.
 	// These plain stores can race with the victim's own progress or
 	// another thief; any resulting overlap is duplicate work only.
@@ -278,7 +285,11 @@ func (w *wsWorker) stealLockfree(victim int, me *segDesc) bool {
 	atomic.StoreInt64(&me.r, r)
 	if atomic.LoadInt32(&w.st.in[q].buf[mid]) == emptySlot {
 		// The victim (or a previous thief) already explored past mid:
-		// the segment is stale (valid-looking but spent).
+		// the segment is stale (valid-looking but spent). Empty our
+		// own descriptor before giving up — it currently advertises
+		// the spent [mid, r), and leaving it live would let other
+		// thieves chain-steal dead work from us.
+		atomic.StoreInt64(&me.f, r)
 		w.c.StealStale++
 		w.st.traceEvent(w.id, EventStealStale, victim, 0)
 		return false
@@ -341,9 +352,13 @@ func (w *wsWorker) pickVictim() int {
 	if sockets > 1 && w.r.Float64() < w.st.opt.SameSocketBias {
 		lo, hi := socketRange(socketOf(w.id, p, sockets), p, sockets)
 		if hi-lo > 1 {
-			v := lo + w.r.Intn(hi-lo)
-			if v == w.id {
-				v = lo + (v+1-lo)%(hi-lo)
+			// Uniform over the socket's workers minus self: draw from
+			// a range one short and shift draws at or above own id up
+			// by one. (Remapping a self-draw to the successor would
+			// double-weight the successor as a victim.)
+			v := lo + w.r.Intn(hi-lo-1)
+			if v >= w.id {
+				v++
 			}
 			w.c.StealSameSocket++
 			return v
@@ -411,6 +426,7 @@ func (w *wsWorker) phase2() {
 			// Optimistic advance: racing workers may both take the
 			// same unit (duplicate exploration) — benign, as ever.
 			unit = atomic.LoadInt64(&w.ctx.phase2Cursor)
+			w.st.chaosAt(ChaosPhase2Advance, w.id, unit)
 			atomic.StoreInt64(&w.ctx.phase2Cursor, unit+1)
 		}
 		if unit >= totalUnits {

@@ -57,6 +57,39 @@ const (
 // Unreached marks unreachable vertices in Result.Dist.
 const Unreached = graph.Unreached
 
+// ChaosHook observes the lockfree protocols' racy points (see
+// Options.Chaos). Implementations may delay or yield to provoke rare
+// interleavings; the internal/chaos package provides a seeded
+// fault-injecting implementation for the bfssoak harness.
+type ChaosHook = core.ChaosHook
+
+// ChaosPoint identifies one instrumented racy point in the lockfree
+// protocols.
+type ChaosPoint = core.ChaosPoint
+
+// The instrumented chaos points (see the core package for the exact
+// protocol step each one precedes).
+const (
+	// ChaosStealPublish fires before a thief publishes a stolen
+	// segment into its own descriptor.
+	ChaosStealPublish = core.ChaosStealPublish
+	// ChaosSlotZero fires before a worker zeroes a queue slot it
+	// popped (the zero-on-read duplicate suppression).
+	ChaosSlotZero = core.ChaosSlotZero
+	// ChaosDrainAdvance fires before a worker advances its own
+	// descriptor front past drained slots.
+	ChaosDrainAdvance = core.ChaosDrainAdvance
+	// ChaosFrontStore fires before a decentralized fetch publishes a
+	// new queue front.
+	ChaosFrontStore = core.ChaosFrontStore
+	// ChaosPoolStore fires before a decentralized fetch publishes its
+	// next-pool rotation.
+	ChaosPoolStore = core.ChaosPoolStore
+	// ChaosPhase2Advance fires between the optimistic load and store
+	// of the phase-2 dispatch cursor.
+	ChaosPhase2Advance = core.ChaosPhase2Advance
+)
+
 // Algorithm names a BFS variant. The paper's own algorithms use their
 // Table II acronyms; the comparison systems use Baseline1/Baseline2
 // prefixes.
