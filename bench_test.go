@@ -323,6 +323,93 @@ func BenchmarkAblationPersistentWorkers(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineSteadyState measures warm Engine.Run on the
+// wikipedia stand-in: after the warmup runs every per-run structure —
+// dist/parent/claim arrays, queue buffers, counters, RNG streams, and
+// (with PersistentWorkers) the worker goroutines — is pooled on the
+// engine and invalidated by the epoch bump, so allocs/op must be 0.
+// scripts/benchsmoke.sh gates CI on exactly this number.
+func BenchmarkEngineSteadyState(b *testing.B) {
+	g := benchGraph(b, "wikipedia")
+	src := harness.PickSources(g, 1, 0xbe7c)[0]
+	for _, algo := range []Algorithm{BFSCL, BFSWL, BFSWSL} {
+		b.Run(string(algo), func(b *testing.B) {
+			e, err := NewEngine(g, algo, &Options{Workers: 8, Seed: 1, PersistentWorkers: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer e.Close()
+			// Warmup: racy duplicate counts vary run to run, so the
+			// pooled queue buffers take a few runs to reach their
+			// high-water capacity.
+			for i := 0; i < 8; i++ {
+				if _, err := e.Run(src); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Run(src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineRunMany compares one warm engine sweeping 32 sources
+// against 32 one-shot BFS calls — the allocation/zeroing cost the
+// engine amortizes is the entire difference, so engine-32src must beat
+// oneshot-32src on wall time in the same benchmark run.
+func BenchmarkEngineRunMany(b *testing.B) {
+	g := benchGraph(b, "wikipedia")
+	sources := harness.PickSources(g, 32, 0x32)
+	b.Run("engine-32src", func(b *testing.B) {
+		e, err := NewEngine(g, BFSWSL, &Options{Workers: 8, Seed: 1, PersistentWorkers: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer e.Close()
+		if err := e.RunMany(sources, nil); err != nil { // warmup sweep
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var reached int64
+			err := e.RunMany(sources, func(_ int, res *Result) error {
+				reached += res.Reached
+				return nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if reached == 0 {
+				b.Fatal("empty sweep")
+			}
+		}
+	})
+	b.Run("oneshot-32src", func(b *testing.B) {
+		opt := &Options{Workers: 8, Seed: 1}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var reached int64
+			for _, src := range sources {
+				res, err := BFS(g, src, BFSWSL, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				reached += res.Reached
+			}
+			if reached == 0 {
+				b.Fatal("empty sweep")
+			}
+		}
+	})
+}
+
 // BenchmarkSerialBaseline pins the sbfs number every speedup in
 // EXPERIMENTS.md is relative to.
 func BenchmarkSerialBaseline(b *testing.B) {

@@ -106,13 +106,20 @@ func run(algoName, graphPath, suite string, scale, src, sources, workers int, se
 		srcs = harness.PickSources(g, sources, seed)
 	}
 	opt := core.Options{Workers: workers, Seed: seed}
+	// All sources run through one pooled runner; results are read (and
+	// aggregated) before the next source reuses the arrays.
+	runner, err := algo.NewRunner(g, opt)
+	if err != nil {
+		return err
+	}
+	defer runner.Close()
 	var agg stats.Counters
 	var measured, modeled float64
 	var lastLevels []int64
 	var lastPerWorker []stats.PaddedCounters
 	for _, s := range srcs {
 		start := time.Now()
-		res, err := algo.Run(g, s, opt)
+		res, err := runner.Run(s)
 		if err != nil {
 			return err
 		}

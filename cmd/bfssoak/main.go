@@ -40,10 +40,11 @@ func main() {
 		artifacts = flag.String("artifacts", "soak-artifacts", "directory for JSON repro artifacts (empty = don't write)")
 		replay    = flag.String("replay", "", "re-execute one repro artifact instead of sweeping")
 		list      = flag.Bool("list", false, "list perturbation profiles and exit")
+		engines   = flag.Bool("engines", false, "reuse one engine per (graph, algorithm) so the audit covers state-reuse bugs")
 		verbose   = flag.Bool("v", false, "log every run, not just failures")
 	)
 	flag.Parse()
-	code, err := run(os.Stdout, *duration, *seeds, *workers, *seed, *profiles, *algos, *artifacts, *replay, *list, *verbose)
+	code, err := run(os.Stdout, *duration, *seeds, *workers, *seed, *profiles, *algos, *artifacts, *replay, *list, *engines, *verbose)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bfssoak:", err)
 		os.Exit(2)
@@ -53,7 +54,7 @@ func main() {
 
 // run executes the selected mode and returns the process exit code.
 func run(w io.Writer, duration time.Duration, seeds, workers int, seed uint64,
-	profiles, algos, artifacts, replay string, list, verbose bool) (int, error) {
+	profiles, algos, artifacts, replay string, list, engines, verbose bool) (int, error) {
 	if list {
 		for _, p := range chaos.Profiles() {
 			fmt.Fprintf(w, "%-12s yields=%d spin=%d prob=%v\n", p.Name, p.Yields, p.Spin, p.Prob)
@@ -86,6 +87,7 @@ func run(w io.Writer, duration time.Duration, seeds, workers int, seed uint64,
 		Workers:     workers,
 		BaseSeed:    seed,
 		Duration:    duration,
+		Engines:     engines,
 		ArtifactDir: artifacts,
 		Log:         w,
 		Verbose:     verbose,

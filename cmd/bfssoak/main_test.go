@@ -13,7 +13,7 @@ import (
 
 func TestListProfiles(t *testing.T) {
 	var buf bytes.Buffer
-	code, err := run(&buf, 0, 0, 0, 0, "all", "all", "", "", true, false)
+	code, err := run(&buf, 0, 0, 0, 0, "all", "all", "", "", true, false, false)
 	if err != nil || code != 0 {
 		t.Fatalf("run = %d, %v", code, err)
 	}
@@ -25,13 +25,13 @@ func TestListProfiles(t *testing.T) {
 }
 
 func TestSelectorErrors(t *testing.T) {
-	if _, err := run(os.Stdout, 0, 1, 4, 0, "no-such-profile", "all", "", "", false, false); err == nil {
+	if _, err := run(os.Stdout, 0, 1, 4, 0, "no-such-profile", "all", "", "", false, false, false); err == nil {
 		t.Fatal("unknown profile accepted")
 	}
-	if _, err := run(os.Stdout, 0, 1, 4, 0, "all", "BFS_NOPE", "", "", false, false); err == nil {
+	if _, err := run(os.Stdout, 0, 1, 4, 0, "all", "BFS_NOPE", "", "", false, false, false); err == nil {
 		t.Fatal("unknown algorithm accepted")
 	}
-	if _, err := run(os.Stdout, 0, 1, 4, 0, "all", "all", "", "no-such-artifact.json", false, false); err == nil {
+	if _, err := run(os.Stdout, 0, 1, 4, 0, "all", "all", "", "no-such-artifact.json", false, false, false); err == nil {
 		t.Fatal("missing replay artifact accepted")
 	}
 }
@@ -57,7 +57,7 @@ func TestSmokeSweep(t *testing.T) {
 		t.Skip("sweep smoke skipped in -short")
 	}
 	var buf bytes.Buffer
-	code, err := run(&buf, 0, 1, 4, 0, "steal-storm", "BFS_WL,BFS_WSL", "", "", false, false)
+	code, err := run(&buf, 0, 1, 4, 0, "steal-storm", "BFS_WL,BFS_WSL", "", "", false, false, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,6 +66,17 @@ func TestSmokeSweep(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "0 failures") {
 		t.Fatalf("summary missing:\n%s", buf.String())
+	}
+	buf.Reset()
+	code, err = run(&buf, 0, 1, 4, 0, "steal-storm", "BFS_WL,BFS_WSL", "", "", false, true, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code != 0 {
+		t.Fatalf("engines sweep exit %d:\n%s", code, buf.String())
+	}
+	if !strings.Contains(buf.String(), "shared engines") {
+		t.Fatalf("engines summary missing:\n%s", buf.String())
 	}
 }
 
@@ -89,7 +100,7 @@ func TestReplayRoundTrip(t *testing.T) {
 		t.Fatalf("artifact %q not JSON-named", path)
 	}
 	var buf bytes.Buffer
-	code, err := run(&buf, 0, 1, 4, 0, "all", "all", "", path, false, false)
+	code, err := run(&buf, 0, 1, 4, 0, "all", "all", "", path, false, false, false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -82,14 +82,22 @@ func run(w *os.File, scale int, edgefactor int64, algoName string, rounds, worke
 		scale, g.NumVertices(), g.NumEdges(), time.Since(genStart).Seconds())
 
 	sources := harness.PickSources(g, rounds, seed^0x9e3779b9)
-	opt := core.Options{Workers: workers, TrackParents: !skipVal}
+	opt := core.Options{Workers: workers, TrackParents: !skipVal, PersistentWorkers: true}
 
+	// One engine serves every round: per-round state is pooled, so the
+	// timed region measures traversal, not allocation (the Graph500
+	// procedure times the searches only).
+	runner, err := algo.NewRunner(g, opt)
+	if err != nil {
+		return err
+	}
+	defer runner.Close()
 	var harmonicAcc, modeledHarmonicAcc float64
 	valid := 0
 	for i, src := range sources {
-		opt.Seed = seed + uint64(i) + 1
+		runner.Reseed(seed + uint64(i) + 1)
 		start := time.Now()
-		res, err := algo.Run(g, src, opt)
+		res, err := runner.Run(src)
 		if err != nil {
 			return err
 		}

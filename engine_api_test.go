@@ -1,0 +1,134 @@
+package optibfs
+
+import (
+	"context"
+	"testing"
+)
+
+// TestEngineAPI checks the public Engine across the dispatch families:
+// core-backed, direction-optimizing, and the baseline one-shot
+// fallback all match the serial reference across repeated runs.
+func TestEngineAPI(t *testing.T) {
+	g, err := NewPowerLaw(2048, 16384, 2.2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := SerialBFS(g, 0)
+	for _, algo := range []Algorithm{Serial, BFSCL, BFSWSL, DirectionOptimizing, Baseline1, Baseline2Hybrid} {
+		e, err := NewEngine(g, algo, &Options{Workers: 4, Seed: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+		if got := e.Algorithm(); got != algo {
+			t.Fatalf("Algorithm() = %q, want %q", got, algo)
+		}
+		if e.Graph() != g {
+			t.Fatalf("%s: Graph() does not return the bound graph", algo)
+		}
+		for i := 0; i < 3; i++ {
+			e.Reseed(uint64(i) + 1)
+			res, err := e.Run(0)
+			if err != nil {
+				t.Fatalf("%s run %d: %v", algo, i, err)
+			}
+			for v, d := range want {
+				if res.Dist[v] != d {
+					t.Fatalf("%s run %d: dist[%d] = %d, want %d", algo, i, v, res.Dist[v], d)
+				}
+			}
+		}
+		e.Close()
+		if _, err := e.Run(0); err == nil {
+			t.Fatalf("%s: Run on a closed engine succeeded", algo)
+		}
+	}
+}
+
+// TestEngineRunMany checks the batched path: every source is visited
+// in order and an error from visit stops the batch.
+func TestEngineRunMany(t *testing.T) {
+	g, err := NewRandom(1000, 6000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(g, BFSWSL, &Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	sources := []int32{0, 5, 9, 0}
+	var seen []int
+	err = e.RunMany(sources, func(i int, res *Result) error {
+		if res.Reached == 0 {
+			t.Fatalf("source %d: empty result", sources[i])
+		}
+		seen = append(seen, i)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(sources) {
+		t.Fatalf("visited %d sources, want %d", len(seen), len(sources))
+	}
+	for i, idx := range seen {
+		if idx != i {
+			t.Fatalf("visit order %v not sequential", seen)
+		}
+	}
+	stop := e.RunMany(sources, func(i int, res *Result) error {
+		if i == 1 {
+			return context.Canceled
+		}
+		return nil
+	})
+	if stop != context.Canceled {
+		t.Fatalf("visit error not propagated: %v", stop)
+	}
+}
+
+// TestEngineUnknownAlgorithm checks NewEngine's validation.
+func TestEngineUnknownAlgorithm(t *testing.T) {
+	g, err := NewRandom(100, 400, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEngine(g, "no-such-algo", nil); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+	if _, err := NewEngine(nil, BFSCL, nil); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if _, err := NewEngine(nil, Baseline1, nil); err == nil {
+		t.Fatal("nil graph accepted for baseline fallback")
+	}
+}
+
+// TestEngineRunContextCancel checks a canceled context surfaces and
+// leaves the engine reusable.
+func TestEngineRunContextCancel(t *testing.T) {
+	g, err := NewRandom(1000, 6000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := SerialBFS(g, 0)
+	e, err := NewEngine(g, BFSCL, &Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.RunContext(ctx, 0); err == nil {
+		t.Fatal("pre-canceled context did not error")
+	}
+	res, err := e.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, d := range want {
+		if res.Dist[v] != d {
+			t.Fatalf("after cancel: dist[%d] = %d, want %d", v, res.Dist[v], d)
+		}
+	}
+}

@@ -31,8 +31,13 @@ func Components(g *graph.CSR, opt core.Options) (labels []int32, sizes []int64, 
 		return labels, nil, nil
 	}
 	// Build the symmetrized graph once; component structure is defined
-	// on it.
+	// on it. One engine serves every component's search.
 	sym := symmetrize(g)
+	eng, err := core.NewEngine(sym, core.BFSCL, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer eng.Close()
 	for v := int32(0); v < n; v++ {
 		if labels[v] != -1 {
 			continue
@@ -43,7 +48,7 @@ func Components(g *graph.CSR, opt core.Options) (labels []int32, sizes []int64, 
 			sizes = append(sizes, 1)
 			continue
 		}
-		res, rerr := core.Run(sym, v, core.BFSCL, opt)
+		res, rerr := eng.Run(v)
 		if rerr != nil {
 			return nil, nil, rerr
 		}
@@ -99,7 +104,12 @@ func DoubleSweep(g *graph.CSR, src int32, opt core.Options) (int32, error) {
 	if src < 0 || src >= g.NumVertices() {
 		return 0, fmt.Errorf("analysis: source %d out of range", src)
 	}
-	first, err := core.Run(g, src, core.BFSCL, opt)
+	eng, err := core.NewEngine(g, core.BFSCL, opt)
+	if err != nil {
+		return 0, err
+	}
+	defer eng.Close()
+	first, err := eng.Run(src)
 	if err != nil {
 		return 0, err
 	}
@@ -110,7 +120,7 @@ func DoubleSweep(g *graph.CSR, src int32, opt core.Options) (int32, error) {
 			farDist, far = d, v
 		}
 	}
-	second, err := core.Run(g, far, core.BFSCL, opt)
+	second, err := eng.Run(far)
 	if err != nil {
 		return 0, err
 	}
@@ -122,11 +132,16 @@ func DoubleSweep(g *graph.CSR, src int32, opt core.Options) (int32, error) {
 // diameter, min approximates the radius.
 func Eccentricities(g *graph.CSR, sources []int32, opt core.Options) ([]int32, error) {
 	out := make([]int32, len(sources))
+	eng, err := core.NewEngine(g, core.BFSCL, opt)
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close()
 	for i, s := range sources {
 		if s < 0 || s >= g.NumVertices() {
 			return nil, fmt.Errorf("analysis: source %d out of range", s)
 		}
-		res, err := core.Run(g, s, core.BFSCL, opt)
+		res, err := eng.Run(s)
 		if err != nil {
 			return nil, err
 		}
@@ -156,11 +171,16 @@ func Betweenness(g *graph.CSR, sources []int32, opt core.Options) ([]float64, er
 	sigma := make([]float64, n)
 	delta := make([]float64, n)
 	order := make([]int32, 0, n)
+	eng, err := core.NewEngine(g, core.BFSCL, opt)
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close()
 	for _, s := range sources {
 		if s < 0 || s >= n {
 			return nil, fmt.Errorf("analysis: source %d out of range", s)
 		}
-		res, err := core.Run(g, s, core.BFSCL, opt)
+		res, err := eng.Run(s)
 		if err != nil {
 			return nil, err
 		}

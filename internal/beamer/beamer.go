@@ -11,6 +11,11 @@
 // the original (which used atomics in its top-down step), this
 // implementation needs only the same benign-race discipline as
 // internal/core: atomic loads/stores, no RMW, no locks.
+//
+// Like internal/core, the package exposes a reusable Engine for
+// multi-source workloads: the dist/parent arrays, frontier buffers,
+// bitmap, and the (expensive) transpose are allocated once and the
+// visited set is invalidated between runs by an epoch bump.
 package beamer
 
 import (
@@ -34,19 +39,50 @@ type Options struct {
 	// below n/Beta. Default 18.
 	Beta int64
 	// Transpose supplies the reverse graph for bottom-up steps; if nil
-	// it is computed (O(n+m)) at the start of the run.
+	// it is computed (O(n+m)) when the Engine is built (or, via Run,
+	// per call).
 	Transpose *graph.CSR
 }
 
-// Run executes direction-optimizing BFS on g from src.
+// Run executes direction-optimizing BFS on g from src. It is the
+// one-shot path — a fresh Engine per call, so the returned Result owns
+// fresh arrays; multi-source workloads should reuse an Engine (which
+// also reuses the transpose).
 func Run(g *graph.CSR, src int32, opt Options) (*core.Result, error) {
 	if g == nil {
 		return nil, fmt.Errorf("beamer: nil graph")
 	}
-	n := g.NumVertices()
-	if src < 0 || src >= n {
-		return nil, fmt.Errorf("beamer: source %d out of range [0,%d)", src, n)
+	if src < 0 || src >= g.NumVertices() {
+		return nil, fmt.Errorf("beamer: source %d out of range [0,%d)", src, g.NumVertices())
 	}
+	e, err := NewEngine(g, opt)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run(src)
+}
+
+// Engine is a reusable direction-optimizing BFS handle bound to one
+// graph (and its cached transpose). The sharing contract matches
+// core.Engine: the graph may be shared freely, the engine is
+// single-caller, and a returned Result aliases pooled arrays valid
+// only until the engine's next run.
+type Engine struct {
+	r            *runner
+	frontier     []int32 // ping-pong frontier buffers, reused by capacity
+	next         []int32
+	frontierBits []uint64
+	levelSizes   []int64
+	res          core.Result
+}
+
+// NewEngine builds a reusable engine over g, computing the transpose
+// once if opt.Transpose is nil.
+func NewEngine(g *graph.CSR, opt Options) (*Engine, error) {
+	if g == nil {
+		return nil, fmt.Errorf("beamer: nil graph")
+	}
+	n := g.NumVertices()
 	if opt.Alpha <= 0 {
 		opt.Alpha = 15
 	}
@@ -64,27 +100,62 @@ func Run(g *graph.CSR, src int32, opt Options) (*core.Result, error) {
 	if gT.NumVertices() != n {
 		return nil, fmt.Errorf("beamer: transpose has %d vertices, graph has %d", gT.NumVertices(), n)
 	}
-
 	r := &runner{
 		g: g, gT: gT, workers: workers,
+		alpha: opt.Alpha, beta: opt.Beta,
 		dist:     make([]int32, n),
+		epoch:    make([]uint32, n),
+		outs:     make([][]int32, workers),
 		counters: stats.NewPerWorker(workers),
 		yield:    workers > runtime.GOMAXPROCS(0),
 	}
 	for i := range r.dist {
 		r.dist[i] = graph.Unreached
 	}
-	r.dist[src] = 0
 	if opt.TrackParents {
 		r.parent = make([]int32, n)
 		for i := range r.parent {
 			r.parent[i] = -1
 		}
+	}
+	for i := range r.outs {
+		r.outs[i] = make([]int32, 0, 256)
+	}
+	return &Engine{
+		r:            r,
+		frontierBits: make([]uint64, (int(n)+63)/64),
+	}, nil
+}
+
+// Run executes one search from src on the pooled state. The Result is
+// valid only until the engine's next run.
+func (e *Engine) Run(src int32) (*core.Result, error) {
+	r := e.r
+	g := r.g
+	n := g.NumVertices()
+	if src < 0 || src >= n {
+		return nil, fmt.Errorf("beamer: source %d out of range [0,%d)", src, n)
+	}
+	r.cur++
+	if r.cur == 0 {
+		// uint32 wraparound: sweep the stamps so nothing from 2^32
+		// runs ago aliases the new epoch (see core's epoch scheme).
+		for i := range r.epoch {
+			r.epoch[i] = 0
+		}
+		r.cur = 1
+	}
+	for i := range r.counters {
+		r.counters[i] = stats.PaddedCounters{}
+	}
+	r.dist[src] = 0
+	if r.parent != nil {
 		r.parent[src] = src
 	}
+	r.epoch[src] = r.cur
 
-	frontier := []int32{src}
-	frontierBits := make([]uint64, (int(n)+63)/64)
+	frontier := append(e.frontier[:0], src)
+	next := e.next
 	// Unexplored out-edge budget, maintained incrementally for the
 	// alpha test.
 	unexplored := g.NumEdges() - g.OutDegree(src)
@@ -105,22 +176,22 @@ func Run(g *graph.CSR, src int32, opt Options) (*core.Result, error) {
 		for _, v := range frontier {
 			mf += g.OutDegree(v)
 		}
-		if !bottomUp && mf > unexplored/opt.Alpha && nf > prevNf {
+		if !bottomUp && mf > unexplored/r.alpha && nf > prevNf {
 			bottomUp = true
-		} else if bottomUp && nf < int64(n)/opt.Beta {
+		} else if bottomUp && nf < int64(n)/r.beta {
 			bottomUp = false
 		}
 		prevNf = nf
 
 		level := levels
 		if bottomUp {
-			setBits(frontierBits, frontier)
-			next := r.stepBottomUp(frontierBits, level)
-			clearBits(frontierBits, frontier)
-			frontier = next
+			setBits(e.frontierBits, frontier)
+			next = r.stepBottomUp(e.frontierBits, level, next[:0])
+			clearBits(e.frontierBits, frontier)
 		} else {
-			frontier = r.stepTopDown(frontier, level)
+			next = r.stepTopDown(frontier, level, next[:0])
 		}
+		frontier, next = next, frontier
 		for _, v := range frontier {
 			unexplored -= g.OutDegree(v)
 		}
@@ -129,33 +200,57 @@ func Run(g *graph.CSR, src int32, opt Options) (*core.Result, error) {
 			break
 		}
 	}
+	e.frontier, e.next = frontier, next
 
 	total := stats.Sum(r.counters)
-	res := &core.Result{
+	if cap(e.levelSizes) < int(levels) {
+		e.levelSizes = make([]int64, levels)
+	} else {
+		e.levelSizes = e.levelSizes[:levels]
+		for i := range e.levelSizes {
+			e.levelSizes[i] = 0
+		}
+	}
+	res := &e.res
+	*res = core.Result{
 		Dist:       r.dist,
 		Parent:     r.parent,
 		Levels:     levels,
-		Workers:    workers,
+		Workers:    r.workers,
 		Counters:   total,
 		PerWorker:  r.counters,
 		Pops:       total.VerticesPopped,
-		LevelSizes: make([]int64, levels),
+		LevelSizes: e.levelSizes,
 	}
 	for v := int32(0); v < n; v++ {
-		if d := r.dist[v]; d != graph.Unreached {
-			res.Reached++
-			res.EdgesTraversed += g.OutDegree(v)
-			res.LevelSizes[d]++
+		if r.epoch[v] != r.cur {
+			// Normalize entries left over from earlier runs so Dist
+			// and Parent read as plain single-run arrays.
+			r.dist[v] = graph.Unreached
+			if r.parent != nil {
+				r.parent[v] = -1
+			}
+			continue
 		}
+		res.Reached++
+		res.EdgesTraversed += g.OutDegree(v)
+		res.LevelSizes[r.dist[v]]++
 	}
 	return res, nil
 }
 
 type runner struct {
-	g, gT    *graph.CSR
-	workers  int
-	dist     []int32
-	parent   []int32
+	g, gT       *graph.CSR
+	workers     int
+	alpha, beta int64
+	dist        []int32
+	parent      []int32
+	// epoch/cur implement the multi-run visited invalidation: dist[v]
+	// and parent[v] are meaningful iff epoch[v] == cur. The stamp is
+	// published after the payload, mirroring internal/core.
+	epoch    []uint32
+	cur      uint32
+	outs     [][]int32 // pooled per-worker output buffers
 	counters []stats.PaddedCounters
 	yield    bool
 }
@@ -173,9 +268,9 @@ func (r *runner) parallel(fn func(id int)) {
 }
 
 // stepTopDown explores the frontier parent→child with per-worker
-// output queues and the benign dist race (no RMW).
-func (r *runner) stepTopDown(frontier []int32, level int32) []int32 {
-	outs := make([][]int32, r.workers)
+// output queues and the benign epoch race (no RMW), appending the next
+// frontier into dest.
+func (r *runner) stepTopDown(frontier []int32, level int32, dest []int32) []int32 {
 	r.parallel(func(id int) {
 		c := &r.counters[id].Counters
 		if id == 0 {
@@ -183,17 +278,18 @@ func (r *runner) stepTopDown(frontier []int32, level int32) []int32 {
 		}
 		lo := len(frontier) * id / r.workers
 		hi := len(frontier) * (id + 1) / r.workers
-		var out []int32
+		out := r.outs[id][:0]
 		for i, v := range frontier[lo:hi] {
 			c.VerticesPopped++
 			nb := r.g.Neighbors(v)
 			c.EdgesScanned += int64(len(nb))
 			for _, w := range nb {
-				if atomic.LoadInt32(&r.dist[w]) == graph.Unreached {
+				if atomic.LoadUint32(&r.epoch[w]) != r.cur {
 					atomic.StoreInt32(&r.dist[w], level+1)
 					if r.parent != nil {
 						atomic.StoreInt32(&r.parent[w], v)
 					}
+					atomic.StoreUint32(&r.epoch[w], r.cur)
 					c.Discovered++
 					out = append(out, w)
 				}
@@ -202,21 +298,19 @@ func (r *runner) stepTopDown(frontier []int32, level int32) []int32 {
 				runtime.Gosched()
 			}
 		}
-		outs[id] = out
+		r.outs[id] = out
 	})
-	var next []int32
-	for _, out := range outs {
-		next = append(next, out...)
+	for _, out := range r.outs {
+		dest = append(dest, out...)
 	}
-	return next
+	return dest
 }
 
 // stepBottomUp scans all unvisited vertices child→parent: a vertex
 // joins the next frontier when any in-neighbor is in the current one.
 // Race-free: each vertex's state is written only by its range owner.
-func (r *runner) stepBottomUp(frontierBits []uint64, level int32) []int32 {
+func (r *runner) stepBottomUp(frontierBits []uint64, level int32, dest []int32) []int32 {
 	n := int(r.g.NumVertices())
-	outs := make([][]int32, r.workers)
 	r.parallel(func(id int) {
 		c := &r.counters[id].Counters
 		if id == 0 {
@@ -224,9 +318,9 @@ func (r *runner) stepBottomUp(frontierBits []uint64, level int32) []int32 {
 		}
 		lo := n * id / r.workers
 		hi := n * (id + 1) / r.workers
-		var out []int32
+		out := r.outs[id][:0]
 		for v := lo; v < hi; v++ {
-			if r.dist[v] != graph.Unreached {
+			if r.epoch[v] == r.cur {
 				continue
 			}
 			for _, u := range r.gT.Neighbors(int32(v)) {
@@ -236,6 +330,7 @@ func (r *runner) stepBottomUp(frontierBits []uint64, level int32) []int32 {
 					if r.parent != nil {
 						r.parent[v] = u
 					}
+					r.epoch[v] = r.cur
 					c.Discovered++
 					c.VerticesPopped++
 					out = append(out, int32(v))
@@ -246,13 +341,12 @@ func (r *runner) stepBottomUp(frontierBits []uint64, level int32) []int32 {
 				runtime.Gosched()
 			}
 		}
-		outs[id] = out
+		r.outs[id] = out
 	})
-	var next []int32
-	for _, out := range outs {
-		next = append(next, out...)
+	for _, out := range r.outs {
+		dest = append(dest, out...)
 	}
-	return next
+	return dest
 }
 
 func setBits(bits []uint64, vs []int32) {

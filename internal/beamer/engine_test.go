@@ -1,0 +1,84 @@
+package beamer
+
+import (
+	"testing"
+
+	"optibfs/internal/core"
+	"optibfs/internal/gen"
+	"optibfs/internal/graph"
+)
+
+// TestBeamerEngineReuse runs many searches on one engine, alternating
+// sources and crossing both direction regimes, and checks every run
+// against the serial reference — the epoch invalidation must leave no
+// trace of earlier runs.
+func TestBeamerEngineReuse(t *testing.T) {
+	g, err := gen.Graph500RMAT(4096, 65536, 3, gen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(g, Options{Options: core.Options{Workers: 4, TrackParents: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := []int32{0, 1, 17, 0, 4095, 17}
+	for i, s := range sources {
+		res, err := e.Run(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := graph.ReferenceBFS(g, s)
+		if err := graph.EqualDistances(res.Dist, want); err != nil {
+			t.Fatalf("run %d from %d: %v", i, s, err)
+		}
+		if err := graph.ValidateParents(g, s, res.Dist, res.Parent); err != nil {
+			t.Fatalf("run %d from %d: %v", i, s, err)
+		}
+	}
+}
+
+// TestBeamerEngineEpochWraparound drives the engine's uint32 epoch
+// through 0 and checks the wraparound sweep resets the stamps.
+func TestBeamerEngineEpochWraparound(t *testing.T) {
+	g, err := gen.ChungLu(2048, 16384, 2.1, 7, gen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := graph.ReferenceBFS(g, 0)
+	e, err := NewEngine(g, Options{Options: core.Options{Workers: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	e.r.cur = ^uint32(0) - 1
+	for i := 0; i < 4; i++ {
+		res, err := e.Run(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := graph.EqualDistances(res.Dist, want); err != nil {
+			t.Fatalf("run %d across wraparound: %v", i, err)
+		}
+	}
+}
+
+// TestBeamerEngineSourceRange checks the engine validates sources with
+// the same error shape as the one-shot path.
+func TestBeamerEngineSourceRange(t *testing.T) {
+	g, err := gen.Star(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Run(64); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+	if _, err := e.Run(-1); err == nil {
+		t.Fatal("negative source accepted")
+	}
+}

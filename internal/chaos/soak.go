@@ -128,6 +128,11 @@ type Repro struct {
 	Profile Profile `json:"profile"`
 	// InjectionSeed seeds the injector's decision streams.
 	InjectionSeed uint64 `json:"injection_seed"`
+	// EngineRun records that the failure was observed on a reused
+	// engine (SoakConfig.Engines); Replay then re-executes the run
+	// several times on one engine so state-reuse bugs (stale epochs,
+	// leaked queue contents) get a chance to reappear.
+	EngineRun bool `json:"engine_run,omitempty"`
 	// Violations are the invariant violations observed at record time.
 	Violations []Violation `json:"violations"`
 }
@@ -176,6 +181,31 @@ func Replay(r Repro) ([]Violation, *core.Result, error) {
 	if opt.Workers <= 0 {
 		opt.Workers = runtime.GOMAXPROCS(0)
 	}
+	if r.EngineRun {
+		// The failure was observed on a reused engine: replay the run
+		// three times on one engine so second-run-and-later bugs (state
+		// that only a previous search could have corrupted) reproduce.
+		e, err := core.NewEngine(g, r.Algorithm, opt)
+		if err != nil {
+			return nil, nil, err
+		}
+		defer e.Close()
+		var all []Violation
+		var res *core.Result
+		for i := 0; i < 3; i++ {
+			inj := NewInjector(r.Profile, r.InjectionSeed, opt.Workers)
+			e.SetChaos(inj)
+			e.Reseed(opt.Seed)
+			res, err = e.Run(r.Source)
+			if err != nil {
+				return nil, nil, err
+			}
+			vs := Audit(g, r.Source, nil, res)
+			vs = append(vs, levelViolations(inj)...)
+			all = append(all, vs...)
+		}
+		return all, res, nil
+	}
 	inj := NewInjector(r.Profile, r.InjectionSeed, opt.Workers)
 	opt.Chaos = inj
 	res, err := core.Run(g, r.Source, r.Algorithm, opt)
@@ -219,6 +249,15 @@ type SoakConfig struct {
 	// rounds repeat with fresh derived seeds until then. 0 = exactly
 	// one sweep.
 	Duration time.Duration
+	// Engines drives all runs of each (graph, algorithm) pair through
+	// one shared core.Engine, created from the pair's first derived
+	// option set and then only reseeded (and re-hooked with a fresh
+	// injector) between runs. Option diversity per cell is narrower —
+	// workers/pools/etc. are frozen at engine build — but the auditor's
+	// invariants now also cover state-reuse bugs: a stale epoch stamp,
+	// a queue slot leaked by a previous search, or counters that
+	// survive a reset would all surface as oracle mismatches.
+	Engines bool
 	// ArtifactDir receives JSON repro artifacts for failed runs.
 	// Empty = don't write artifacts.
 	ArtifactDir string
@@ -266,6 +305,9 @@ func (cfg SoakConfig) withDefaults() SoakConfig {
 type SoakReport struct {
 	// Runs is the number of (graph, algorithm, profile, seed) runs.
 	Runs int
+	// EngineRuns is how many of those ran on a shared, reused engine
+	// (SoakConfig.Engines).
+	EngineRuns int
 	// Failures is how many runs broke at least one invariant.
 	Failures int
 	// Injections is the total number of perturbations performed.
@@ -284,8 +326,12 @@ type SoakReport struct {
 
 // String renders a one-line summary.
 func (r *SoakReport) String() string {
-	return fmt.Sprintf("soak: %d runs, %d failures, %d injections, %d stale steals, %d duplicate pops, %s",
-		r.Runs, r.Failures, r.Injections, r.StaleSteals, r.Duplicates, r.Elapsed.Round(time.Millisecond))
+	engines := ""
+	if r.EngineRuns > 0 {
+		engines = fmt.Sprintf(" (%d on shared engines)", r.EngineRuns)
+	}
+	return fmt.Sprintf("soak: %d runs%s, %d failures, %d injections, %d stale steals, %d duplicate pops, %s",
+		r.Runs, engines, r.Failures, r.Injections, r.StaleSteals, r.Duplicates, r.Elapsed.Round(time.Millisecond))
 }
 
 // deriveOptions expands one per-run seed into a full option set,
@@ -347,8 +393,26 @@ func Soak(cfg SoakConfig) (*SoakReport, error) {
 		graphs = append(graphs, prepared{spec, g, graph.ReferenceBFS(g, 0)})
 	}
 
+	// Engines mode: one shared engine per (graph, algorithm) pair,
+	// built lazily from the pair's first derived option set and reused
+	// by every later cell of the sweep.
+	type engKey struct {
+		gi   int
+		algo core.Algorithm
+	}
+	type sharedEng struct {
+		e    *core.Engine
+		opts RunOptions
+	}
+	engines := make(map[engKey]*sharedEng)
+	defer func() {
+		for _, se := range engines {
+			se.e.Close()
+		}
+	}()
+
 	for round := 0; ; round++ {
-		for _, pg := range graphs {
+		for gi, pg := range graphs {
 			for _, algo := range cfg.Algorithms {
 				for _, prof := range cfg.Profiles {
 					for s := 0; s < cfg.Seeds; s++ {
@@ -362,12 +426,44 @@ func Soak(cfg SoakConfig) (*SoakReport, error) {
 						opts := deriveOptions(r, cfg.Workers)
 						injSeed := r.Next()
 
-						inj := NewInjector(prof, injSeed, opts.Workers)
-						copt := opts.Core()
-						copt.Chaos = inj
-						res, err := core.Run(pg.g, 0, algo, copt)
-						if err != nil {
-							return nil, fmt.Errorf("chaos: %s on %s: %w", algo, pg.spec, err)
+						var inj *Injector
+						var res *core.Result
+						if cfg.Engines {
+							key := engKey{gi, algo}
+							se := engines[key]
+							if se == nil {
+								e, eerr := core.NewEngine(pg.g, algo, opts.Core())
+								if eerr != nil {
+									return nil, fmt.Errorf("chaos: engine for %s on %s: %w", algo, pg.spec, eerr)
+								}
+								se = &sharedEng{e: e, opts: opts}
+								engines[key] = se
+							}
+							// The engine froze everything but the seed at
+							// build time; this cell contributes a fresh
+							// run seed and a fresh injector (sized for the
+							// engine's worker count, not this cell's).
+							seed := opts.Seed
+							opts = se.opts
+							opts.Seed = seed
+							inj = NewInjector(prof, injSeed, opts.Workers)
+							se.e.SetChaos(inj)
+							se.e.Reseed(seed)
+							var rerr error
+							res, rerr = se.e.Run(0)
+							if rerr != nil {
+								return nil, fmt.Errorf("chaos: %s on %s (engine): %w", algo, pg.spec, rerr)
+							}
+							rep.EngineRuns++
+						} else {
+							inj = NewInjector(prof, injSeed, opts.Workers)
+							copt := opts.Core()
+							copt.Chaos = inj
+							var rerr error
+							res, rerr = core.Run(pg.g, 0, algo, copt)
+							if rerr != nil {
+								return nil, fmt.Errorf("chaos: %s on %s: %w", algo, pg.spec, rerr)
+							}
 						}
 						rep.Runs++
 						rep.Injections += inj.Injections()
@@ -387,6 +483,7 @@ func Soak(cfg SoakConfig) (*SoakReport, error) {
 						repro := Repro{
 							Graph: pg.spec, Source: 0, Algorithm: algo,
 							Options: opts, Profile: prof, InjectionSeed: injSeed,
+							EngineRun:  cfg.Engines,
 							Violations: vs,
 						}
 						fmt.Fprintf(cfg.Log, "FAIL %s on %s profile=%s: %v\n", algo, pg.spec, prof.Name, vs[0])

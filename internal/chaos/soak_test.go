@@ -203,3 +203,59 @@ func TestSoakMinimalConfig(t *testing.T) {
 		t.Fatalf("violations lost in round-trip: %+v", got.Violations)
 	}
 }
+
+// TestSoakEnginesSmoke runs a small sweep entirely through shared
+// engines (one per graph-algorithm pair) and checks it stays clean:
+// the auditor's oracle comparison now also covers state-reuse bugs —
+// a stale epoch stamp or a queue slot leaked by the previous run would
+// surface as a distance mismatch on a later cell.
+func TestSoakEnginesSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	rep, err := Soak(SoakConfig{
+		Graphs: []GraphSpec{
+			{Kind: "star", N: 512, Seed: 4},
+			{Kind: "chunglu", N: 1024, M: 8192, Gamma: 2.0, Seed: 2},
+		},
+		Profiles:   []Profile{{Name: "baseline"}, Profiles()[0]},
+		Seeds:      2,
+		Workers:    4,
+		Engines:    true,
+		Log:        &buf,
+		Algorithms: []core.Algorithm{core.BFSCL, core.BFSDL, core.BFSWL, core.BFSWSL},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failures != 0 {
+		t.Fatalf("engine sweep broke invariants: %s", buf.String())
+	}
+	if rep.EngineRuns != rep.Runs || rep.Runs == 0 {
+		t.Fatalf("EngineRuns=%d Runs=%d, want all runs on shared engines", rep.EngineRuns, rep.Runs)
+	}
+	if !strings.Contains(rep.String(), "shared engines") {
+		t.Fatalf("report does not mention engine runs: %s", rep)
+	}
+}
+
+// TestReplayEngineRun checks the engine-aware replay path: an
+// EngineRun artifact replays on one reused engine without error.
+func TestReplayEngineRun(t *testing.T) {
+	r := Repro{
+		Graph:         GraphSpec{Kind: "chunglu", N: 1024, M: 8192, Gamma: 2.0, Seed: 2},
+		Algorithm:     core.BFSWSL,
+		Options:       RunOptions{Workers: 4, Seed: 11},
+		Profile:       Profiles()[0],
+		InjectionSeed: 99,
+		EngineRun:     true,
+	}
+	vs, res, err := Replay(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res == nil || res.Reached == 0 {
+		t.Fatal("engine replay returned no result")
+	}
+	if len(vs) != 0 {
+		t.Fatalf("healthy engine replay reported violations: %v", vs)
+	}
+}

@@ -4,18 +4,16 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"optibfs/internal/graph"
 	"optibfs/internal/rng"
 	"optibfs/internal/stats"
 )
 
-// runCentralized implements BFS_C (§IV-A1): all p workers fetch
-// segments from the centralized queue pool by advancing the global
-// <q, f> indices under one global lock. Exploration itself is
-// lock-free because dispatched segments are disjoint.
-func runCentralized(g *graph.CSR, src int32, opt Options, locked bool) *Result {
-	st := newState(g, src, opt)
-	p := opt.Workers
+// bindCentralized wires BFS_C (§IV-A1) onto pooled state: all p
+// workers fetch segments from the centralized queue pool by advancing
+// the global <q, f> indices under one global lock. Exploration itself
+// is lock-free because dispatched segments are disjoint.
+func bindCentralized(st *state) binding {
+	p := st.opt.Workers
 
 	var mu sync.Mutex
 	var gq int // global queue index, protected by mu
@@ -60,7 +58,7 @@ func runCentralized(g *graph.CSR, src int32, opt Options, locked bool) *Result {
 		st.out[id] = out
 	}
 
-	return st.runLevels(func() { gq = 0 }, perLevel)
+	return binding{setup: func() { gq = 0 }, perLevel: perLevel}
 }
 
 // pool is one centralized queue pool of BFS_DL (§IV-A3): a contiguous
@@ -75,13 +73,15 @@ type pool struct {
 	_      [40]byte
 }
 
-// runDecentralized implements BFS_CL (Pools=1) and BFS_DL (Pools=j):
-// lockfree centralized-queue BFS with optimistic parallelization.
-func runDecentralized(g *graph.CSR, src int32, opt Options) *Result {
-	st := newState(g, src, opt)
+// bindDecentralized wires BFS_CL (Pools=1) and BFS_DL (Pools=j) onto
+// pooled state: lockfree centralized-queue BFS with optimistic
+// parallelization. The pools, RNG streams, and closures are built once
+// per engine and reused by every run.
+func bindDecentralized(st *state) binding {
 	// exploreSegmentLockfree zeroes every slot it pops, so the
 	// per-level unconsumed-slot audit applies.
 	st.slotAudit = true
+	opt := st.opt
 	p := opt.Workers
 	j := opt.Pools
 	pools := make([]pool, j)
@@ -186,9 +186,13 @@ func runDecentralized(g *graph.CSR, src int32, opt Options) *Result {
 			atomic.StoreInt64(&pools[pi].q, pools[pi].lo)
 		}
 	}
-	res := st.runLevels(setup, perLevel)
-	res.Pools = j
-	return res
+	return binding{
+		setup:    setup,
+		perLevel: perLevel,
+		post:     func(res *Result) { res.Pools = j },
+		rngs:     rngs,
+		rngSalt:  1,
+	}
 }
 
 // exploreSegmentLockfree walks queue qi's slots [f, end), zeroing each

@@ -102,11 +102,14 @@ type Options struct {
 	// concurrent write, and only the claiming queue's copy is explored.
 	ParentClaim bool
 	// PersistentWorkers reuses one long-lived goroutine per worker
-	// across all BFS levels, synchronizing with a reusable barrier,
-	// instead of spawning p goroutines per level. This is the Go
-	// analogue of the OpenMP-parallel-region vs cilk-spawn comparison
-	// the paper raises in §IV-D; it matters for high-diameter graphs
-	// where per-level spawn overhead accumulates.
+	// across all BFS levels — and, under an Engine, across all runs —
+	// synchronizing with a reusable barrier instead of spawning p
+	// goroutines per level. This is the Go analogue of the
+	// OpenMP-parallel-region vs cilk-spawn comparison the paper raises
+	// in §IV-D; it matters for high-diameter graphs where per-level
+	// spawn overhead accumulates, and it is what lets a warm
+	// Engine.Run reach zero allocations (goroutine spawns heap-allocate
+	// their closures).
 	PersistentWorkers bool
 	// TraceCapacity, when positive, records up to this many dispatch
 	// events (fetches, steal attempts with outcomes) per worker into
@@ -236,7 +239,10 @@ type Result struct {
 // Duplicates returns the number of duplicate explorations.
 func (r *Result) Duplicates() int64 { return r.Pops - r.Reached }
 
-// Run executes the selected algorithm on g from src.
+// Run executes the selected algorithm on g from src. It is the
+// one-shot path: a fresh Engine is built, run once, and released, so
+// the returned Result owns freshly allocated arrays. Multi-source
+// workloads should build an Engine once and reuse it.
 func Run(g *graph.CSR, src int32, algo Algorithm, opt Options) (*Result, error) {
 	return RunContext(context.Background(), g, src, algo, opt)
 }
@@ -257,6 +263,9 @@ func RunContext(ctx context.Context, g *graph.CSR, src int32, algo Algorithm, op
 	return res, nil
 }
 
+// run is the one-shot wrapper over the Engine layer: build, run once,
+// release. Validation order (graph, then source, then algorithm) is
+// preserved from the pre-engine implementation.
 func run(g *graph.CSR, src int32, algo Algorithm, opt Options) (*Result, error) {
 	if g == nil {
 		return nil, fmt.Errorf("core: nil graph")
@@ -264,29 +273,14 @@ func run(g *graph.CSR, src int32, algo Algorithm, opt Options) (*Result, error) 
 	if src < 0 || src >= g.NumVertices() {
 		return nil, fmt.Errorf("core: source %d out of range [0,%d)", src, g.NumVertices())
 	}
-	opt = opt.withDefaults()
-	switch algo {
-	case Serial:
-		return runSerial(g, src, opt), nil
-	case BFSC:
-		return runCentralized(g, src, opt, true), nil
-	case BFSCL:
-		// BFS_CL is BFS_DL with a single pool (paper §IV-A3).
-		opt.Pools = 1
-		return runDecentralized(g, src, opt), nil
-	case BFSDL:
-		return runDecentralized(g, src, opt), nil
-	case BFSW:
-		return runWorkStealing(g, src, opt, true, false), nil
-	case BFSWL:
-		return runWorkStealing(g, src, opt, false, false), nil
-	case BFSWS:
-		return runWorkStealing(g, src, opt, true, true), nil
-	case BFSWSL:
-		return runWorkStealing(g, src, opt, false, true), nil
-	case BFSEL:
-		return runEdgePartitioned(g, src, opt), nil
-	default:
-		return nil, fmt.Errorf("core: unknown algorithm %q", algo)
+	e, err := NewEngine(g, algo, opt)
+	if err != nil {
+		return nil, err
 	}
+	defer e.Close()
+	ctx := opt.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return e.RunContext(ctx, src)
 }

@@ -3,14 +3,12 @@ package core
 import (
 	"sort"
 	"sync/atomic"
-
-	"optibfs/internal/graph"
 )
 
-// runEdgePartitioned implements BFS_EL, the variant the paper sketches
-// as future work in §IV-D: "divide the edges evenly instead of the
-// vertices, while using dynamic load-balancing as before. We expect
-// this approach to be more scalable."
+// bindEdgePartitioned wires BFS_EL onto pooled state — the variant the
+// paper sketches as future work in §IV-D: "divide the edges evenly
+// instead of the vertices, while using dynamic load-balancing as
+// before. We expect this approach to be more scalable."
 //
 // Per level the frontier's adjacency lists are treated as one virtual
 // edge array of length E (a prefix-sum over frontier out-degrees maps
@@ -20,9 +18,9 @@ import (
 // move the cursor backwards, costing only duplicate edge scans — so
 // the dispatch unit is work (edges), not vertices, and a single
 // high-degree hotspot is automatically spread across many segments.
-func runEdgePartitioned(g *graph.CSR, src int32, opt Options) *Result {
-	st := newState(g, src, opt)
-	p := opt.Workers
+func bindEdgePartitioned(st *state) binding {
+	g := st.g
+	p := st.opt.Workers
 
 	// Per-level shared state: the flattened frontier, the prefix sums
 	// of its degrees, and the optimistic edge cursor.
@@ -118,7 +116,10 @@ func runEdgePartitioned(g *graph.CSR, src int32, opt Options) *Result {
 		st.out[id] = out
 	}
 
-	res := st.runLevels(setup, perLevel)
-	res.Pools = 1 // one shared edge cursor: same contention shape as BFS_CL
-	return res
+	return binding{
+		setup:    setup,
+		perLevel: perLevel,
+		// One shared edge cursor: same contention shape as BFS_CL.
+		post: func(res *Result) { res.Pools = 1 },
+	}
 }

@@ -1,0 +1,319 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"optibfs/internal/graph"
+	"optibfs/internal/rng"
+)
+
+// Engine is a reusable BFS handle bound to one graph and one resolved
+// option set. It owns every piece of per-run state — the dist/parent/
+// claim arrays, the p shared input queues and private output buffers,
+// per-worker counters, trace buffers, and the RNG streams — plus, with
+// Options.PersistentWorkers, the worker goroutines themselves, so that
+// repeated Run calls on a warm engine allocate nothing.
+//
+// Sharing contract: the graph is immutable and may be shared by any
+// number of engines and goroutines; an Engine itself is single-caller —
+// run at most one search on it at a time (concurrent multi-source work
+// uses one engine per goroutine over the shared graph).
+//
+// The *Result a run returns aliases the engine's pooled arrays and is
+// valid only until the engine's next run; callers that keep distances
+// across runs must copy them. The package-level Run/RunContext remain
+// the one-shot path (a fresh engine per call), under which the old
+// fresh-arrays behavior is preserved exactly.
+type Engine struct {
+	g      *graph.CSR
+	algo   Algorithm
+	opt    Options
+	impl   engineImpl
+	closed bool
+}
+
+// engineImpl is the per-family backend behind an Engine.
+type engineImpl interface {
+	run(ctx context.Context, src int32) *Result
+	reseed(seed uint64)
+	setChaos(h ChaosHook)
+	close()
+}
+
+// binding wires one runner family's per-level machinery onto pooled
+// state: setup/perLevel carry runLevels' contract, post (optional)
+// annotates the Result after finish, and rngs/rngSalt expose the
+// family's per-worker streams so Reseed can restart them in place.
+// A binding is built once per engine; its closures are reused by every
+// run so the steady state allocates nothing.
+type binding struct {
+	setup    func()
+	perLevel func(id int)
+	post     func(res *Result)
+	rngs     []*rng.Xoshiro256
+	rngSalt  uint64
+}
+
+// bindFunc builds a family's binding over a state; called once per
+// engine by NewEngine.
+type bindFunc func(st *state) binding
+
+// NewEngine builds a reusable engine for algo over g. opt is resolved
+// with the same defaults as Run; with Options.PersistentWorkers the
+// worker goroutines are spawned here and live until Close.
+func NewEngine(g *graph.CSR, algo Algorithm, opt Options) (*Engine, error) {
+	if g == nil {
+		return nil, fmt.Errorf("core: nil graph")
+	}
+	opt = opt.withDefaults()
+	var bf bindFunc
+	switch algo {
+	case Serial:
+		e := &Engine{g: g, algo: algo, opt: opt}
+		e.impl = newSerialEngine(g, opt)
+		return e, nil
+	case BFSC:
+		bf = bindCentralized
+	case BFSCL:
+		// BFS_CL is BFS_DL with a single pool (paper §IV-A3).
+		opt.Pools = 1
+		bf = bindDecentralized
+	case BFSDL:
+		bf = bindDecentralized
+	case BFSW:
+		bf = bindWorkSteal(true, false)
+	case BFSWL:
+		bf = bindWorkSteal(false, false)
+	case BFSWS:
+		bf = bindWorkSteal(true, true)
+	case BFSWSL:
+		bf = bindWorkSteal(false, true)
+	case BFSEL:
+		bf = bindEdgePartitioned
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %q", algo)
+	}
+	return &Engine{g: g, algo: algo, opt: opt, impl: newParEngine(g, opt, bf)}, nil
+}
+
+// Run executes one search from src, reusing the engine's pooled state.
+// The returned Result is valid only until the engine's next run.
+func (e *Engine) Run(src int32) (*Result, error) {
+	return e.RunContext(context.Background(), src)
+}
+
+// RunContext is Run with cancellation: the search checks ctx at every
+// level boundary (workers always finish the level in flight, so
+// cancellation latency is one level) and returns ctx's error with a
+// nil result if it fires. A canceled run leaves the engine fully
+// reusable — the next run invalidates the partial state via the epoch
+// bump like any other.
+func (e *Engine) RunContext(ctx context.Context, src int32) (*Result, error) {
+	if e.closed {
+		return nil, fmt.Errorf("core: engine is closed")
+	}
+	if src < 0 || src >= e.g.NumVertices() {
+		return nil, fmt.Errorf("core: source %d out of range [0,%d)", src, e.g.NumVertices())
+	}
+	res := e.impl.run(ctx, src)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// RunMany executes one search per source in order, invoking visit (if
+// non-nil) after each with the source's index and pooled Result. It
+// stops at the first error, whether from a run or from visit. As with
+// Run, each Result is valid only until the next search starts.
+func (e *Engine) RunMany(sources []int32, visit func(i int, res *Result) error) error {
+	for i, src := range sources {
+		res, err := e.Run(src)
+		if err != nil {
+			return err
+		}
+		if visit != nil {
+			if err := visit(i, res); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Reseed restarts the engine's victim/pool-selection RNG streams as if
+// the engine had been built with Options.Seed = seed, without
+// reallocating them. It makes a run on a warm engine draw the same
+// random choices as a one-shot Run with that seed.
+func (e *Engine) Reseed(seed uint64) {
+	e.opt.Seed = seed
+	e.impl.reseed(seed)
+}
+
+// SetChaos installs (or, with nil, removes) a chaos hook between runs,
+// replacing Options.Chaos for subsequent searches. Must not be called
+// while a search is in flight.
+func (e *Engine) SetChaos(h ChaosHook) {
+	e.opt.Chaos = h
+	e.impl.setChaos(h)
+}
+
+// Algorithm returns the variant this engine runs.
+func (e *Engine) Algorithm() Algorithm { return e.algo }
+
+// Graph returns the graph this engine is bound to.
+func (e *Engine) Graph() *graph.CSR { return e.g }
+
+// Options returns the engine's resolved options (defaults applied).
+func (e *Engine) Options() Options { return e.opt }
+
+// Close releases the engine. With PersistentWorkers it terminates the
+// worker goroutines; in all cases further runs fail. Close is
+// idempotent.
+func (e *Engine) Close() {
+	if e.closed {
+		return
+	}
+	e.closed = true
+	e.impl.close()
+}
+
+// parEngine backs every parallel variant: pooled state plus the
+// family's binding, and optionally a runPool of persistent workers.
+type parEngine struct {
+	st   *state
+	b    binding
+	pool *runPool
+}
+
+func newParEngine(g *graph.CSR, opt Options, bf bindFunc) *parEngine {
+	st := allocState(g, opt)
+	e := &parEngine{st: st}
+	e.b = bf(st)
+	if opt.PersistentWorkers {
+		e.pool = newRunPool(st, e.b.setup, e.b.perLevel)
+	}
+	return e
+}
+
+func (e *parEngine) run(ctx context.Context, src int32) *Result {
+	st := e.st
+	st.opt.ctx = ctx
+	st.beginRun(src)
+	var res *Result
+	if e.pool != nil {
+		e.pool.runSearch()
+		res = st.finish()
+	} else {
+		res = st.runLevels(e.b.setup, e.b.perLevel)
+	}
+	if e.b.post != nil {
+		e.b.post(res)
+	}
+	return res
+}
+
+func (e *parEngine) reseed(seed uint64) {
+	e.st.opt.Seed = seed
+	for i, r := range e.b.rngs {
+		r.Seed(seed ^ rng.Mix64(uint64(i)+e.b.rngSalt))
+	}
+}
+
+func (e *parEngine) setChaos(h ChaosHook) {
+	e.st.opt.Chaos = h
+	e.st.chaos = h
+	if a, ok := h.(ChaosLevelAuditor); ok {
+		e.st.levelAudit = a
+	} else {
+		e.st.levelAudit = nil
+	}
+}
+
+func (e *parEngine) close() {
+	if e.pool != nil {
+		e.pool.close()
+	}
+}
+
+// runPool owns one long-lived goroutine per worker for the engine's
+// whole lifetime — the Go analogue of a persistent OpenMP parallel
+// region (§IV-D raises the cilk-vs-OpenMP question). Each search is one
+// pass through the gate: the caller and all p workers synchronize on a
+// (p+1)-party barrier at the start and end of a search, with the usual
+// two-pass level barrier in between (after the work, and after worker 0
+// publishes the swap/setup transition). Keeping the goroutines alive
+// removes the final steady-state allocations: every `go f(id)` spawn
+// heap-allocates its closure, once per level — or per run — otherwise.
+type runPool struct {
+	st       *state
+	setup    func()
+	perLevel func(id int)
+	gate     *barrier // p workers + the caller
+	level    *barrier // p workers
+	stop     bool     // set by close before its gate pass
+	done     bool     // current search finished; written by worker 0
+}
+
+func newRunPool(st *state, setup func(), perLevel func(id int)) *runPool {
+	pw := &runPool{
+		st:       st,
+		setup:    setup,
+		perLevel: perLevel,
+		gate:     newBarrier(st.opt.Workers + 1),
+		level:    newBarrier(st.opt.Workers),
+	}
+	for id := 0; id < st.opt.Workers; id++ {
+		go pw.worker(id)
+	}
+	return pw
+}
+
+func (pw *runPool) worker(id int) {
+	st := pw.st
+	for {
+		pw.gate.wait() // park until a search arrives (or close)
+		if pw.stop {
+			return
+		}
+		for !pw.done {
+			pw.perLevel(id)
+			pw.level.wait() // all workers finished the level
+			if id == 0 {
+				st.auditLevel()
+				st.level++
+				st.swap()
+				if st.volume() == 0 || st.canceled() {
+					pw.done = true
+				} else if pw.setup != nil {
+					pw.setup()
+				}
+			}
+			pw.level.wait() // transition published to everyone
+		}
+		pw.gate.wait() // hand the state back to the caller
+	}
+}
+
+// runSearch drives one primed search through the pool; the caller
+// blocks until the workers hand the state back. The flag writes below
+// are ordered by the gate barrier's lock, so plain fields suffice.
+func (pw *runPool) runSearch() {
+	st := pw.st
+	if st.volume() == 0 || st.canceled() {
+		return
+	}
+	pw.done = false
+	if pw.setup != nil {
+		pw.setup()
+	}
+	pw.gate.wait() // release the workers into the search
+	pw.gate.wait() // wait for the search to finish
+}
+
+func (pw *runPool) close() {
+	pw.stop = true
+	pw.gate.wait()
+}
+

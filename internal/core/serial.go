@@ -1,34 +1,73 @@
 package core
 
 import (
+	"context"
+
 	"optibfs/internal/graph"
 	"optibfs/internal/stats"
 )
 
-// runSerial is sbfs, the serial array-queue BFS used as the paper's
-// single-thread baseline. It shares no state machinery with the
-// parallel variants so that it stays an independent oracle.
-func runSerial(g *graph.CSR, src int32, opt Options) *Result {
+// serialEngine backs sbfs, the serial array-queue BFS used as the
+// paper's single-thread baseline. It deliberately shares none of the
+// parallel state machinery — keeping the serial baseline an independent
+// oracle — but applies the same pooling discipline as the parallel
+// engines: arrays allocated once, the visited set invalidated by an
+// epoch bump, the queue reused by capacity, and stale entries
+// normalized during the result pass.
+type serialEngine struct {
+	g          *graph.CSR
+	opt        Options
+	dist       []int32
+	parent     []int32
+	epoch      []uint32
+	cur        uint32
+	queue      []int32
+	levelSizes []int64
+	res        Result
+}
+
+func newSerialEngine(g *graph.CSR, opt Options) *serialEngine {
 	n := g.NumVertices()
-	dist := make([]int32, n)
-	for i := range dist {
-		dist[i] = graph.Unreached
+	e := &serialEngine{
+		g:     g,
+		opt:   opt,
+		dist:  make([]int32, n),
+		epoch: make([]uint32, n),
+		queue: make([]int32, 0, 1024),
 	}
-	dist[src] = 0
-	var parent []int32
+	for i := range e.dist {
+		e.dist[i] = graph.Unreached
+	}
 	if opt.TrackParents {
-		parent = make([]int32, n)
-		for i := range parent {
-			parent[i] = -1
+		e.parent = make([]int32, n)
+		for i := range e.parent {
+			e.parent[i] = -1
 		}
+	}
+	return e
+}
+
+func (e *serialEngine) run(ctx context.Context, src int32) *Result {
+	e.cur++
+	if e.cur == 0 {
+		// See state.beginRun: full sweep on uint32 wraparound only.
+		for i := range e.epoch {
+			e.epoch[i] = 0
+		}
+		e.cur = 1
+	}
+	cur := e.cur
+	g, dist, parent, epoch := e.g, e.dist, e.parent, e.epoch
+	dist[src] = 0
+	if parent != nil {
 		parent[src] = src
 	}
+	epoch[src] = cur
 	var c stats.Counters
-	queue := make([]int32, 0, 1024)
-	queue = append(queue, src)
+	queue := append(e.queue[:0], src)
 	var levels int32
 	for head := 0; head < len(queue); head++ {
-		if opt.ctx != nil && head&4095 == 0 && opt.ctx.Err() != nil {
+		if ctx != nil && head&4095 == 0 && ctx.Err() != nil {
 			break
 		}
 		u := queue[head]
@@ -40,36 +79,56 @@ func runSerial(g *graph.CSR, src int32, opt Options) *Result {
 		nb := g.Neighbors(u)
 		c.EdgesScanned += int64(len(nb))
 		for _, w := range nb {
-			if dist[w] == graph.Unreached {
+			if epoch[w] != cur {
 				dist[w] = du + 1
 				if parent != nil {
 					parent[w] = u
 				}
+				epoch[w] = cur
 				c.Discovered++
 				queue = append(queue, w)
 			}
 		}
 	}
-	res := &Result{
+	e.queue = queue
+	if cap(e.levelSizes) < int(levels) {
+		e.levelSizes = make([]int64, levels)
+	} else {
+		e.levelSizes = e.levelSizes[:levels]
+		for i := range e.levelSizes {
+			e.levelSizes[i] = 0
+		}
+	}
+	res := &e.res
+	*res = Result{
 		Dist:       dist,
 		Parent:     parent,
 		Levels:     levels,
 		Workers:    1,
 		Counters:   c,
 		Pops:       c.VerticesPopped,
-		LevelSizes: make([]int64, levels),
+		LevelSizes: e.levelSizes,
 	}
-	for v := int32(0); v < n; v++ {
-		if d := dist[v]; d != graph.Unreached {
-			res.Reached++
-			res.EdgesTraversed += g.OutDegree(v)
-			// A cancelled run can leave discovered-but-unpopped
-			// vertices one level beyond the popped maximum; the
-			// result is discarded by RunContext, so just stay safe.
-			if int(d) < len(res.LevelSizes) {
-				res.LevelSizes[d]++
+	for v := int32(0); v < g.NumVertices(); v++ {
+		if epoch[v] != cur {
+			dist[v] = graph.Unreached
+			if parent != nil {
+				parent[v] = -1
 			}
+			continue
+		}
+		res.Reached++
+		res.EdgesTraversed += g.OutDegree(v)
+		// A cancelled run can leave discovered-but-unpopped vertices
+		// one level beyond the popped maximum; the result is discarded
+		// by RunContext, so just stay in bounds.
+		if d := dist[v]; int(d) < len(res.LevelSizes) {
+			res.LevelSizes[d]++
 		}
 	}
 	return res
 }
+
+func (e *serialEngine) reseed(seed uint64) { e.opt.Seed = seed }
+func (e *serialEngine) setChaos(ChaosHook) {}
+func (e *serialEngine) close()             {}

@@ -26,11 +26,25 @@ type sharedQueue struct {
 	_     [24]byte
 }
 
-// state carries everything shared by one BFS run.
+// state carries everything shared by one BFS run. Under an Engine one
+// state outlives many runs: every array below is allocated once (at the
+// graph's size or the buffers' high-water capacity) and re-primed by
+// beginRun, so a warm run performs no allocation.
 type state struct {
 	g    *graph.CSR
 	opt  Options
 	dist []int32 // atomic load/store in parallel variants
+
+	// epoch stamps the per-vertex arrays with the run that last wrote
+	// them: dist[v] / claim[v] / parent[v] are meaningful iff
+	// epoch[v] == cur. Bumping cur invalidates every vertex in O(1),
+	// replacing the O(n) re-initialization of three arrays; a full
+	// sweep happens only when the uint32 counter wraps (once every
+	// 2^32-1 runs). Within a run, discover publishes the epoch stamp
+	// after the payload stores, and finish normalizes stale entries so
+	// Result.Dist/Parent read as plain single-run arrays.
+	epoch []uint32
+	cur   uint32
 
 	in  []sharedQueue // p input queues for the current level
 	out [][]int32     // p private output buffers (no sentinel while open)
@@ -47,6 +61,11 @@ type state struct {
 	counters []stats.PaddedCounters
 	events   [][]Event // per-worker dispatch traces; nil unless enabled
 	level    int32     // current BFS level being produced (dist of children)
+
+	// res and levelSizes are the pooled Result storage finish() fills;
+	// a Result handed out is valid only until the state's next run.
+	res        Result
+	levelSizes []int64
 
 	// yield enables cooperative runtime.Gosched() calls at dispatch
 	// boundaries when the run is oversubscribed (more workers than
@@ -70,13 +89,19 @@ type state struct {
 	pops int64 // total pops, accumulated across levels after barriers
 }
 
-func newState(g *graph.CSR, src int32, opt Options) *state {
+// allocState allocates run state for g sized by opt, without priming it
+// for any particular source. Called once per Engine; beginRun primes it
+// per run. The per-vertex arrays start fully normalized (Unreached /
+// no-claim / no-parent) so a state that has never run still reads as an
+// empty result.
+func allocState(g *graph.CSR, opt Options) *state {
 	p := opt.Workers
 	n := g.NumVertices()
 	st := &state{
 		g:        g,
 		opt:      opt,
 		dist:     make([]int32, n),
+		epoch:    make([]uint32, n),
 		in:       make([]sharedQueue, p),
 		out:      make([][]int32, p),
 		counters: stats.NewPerWorker(p),
@@ -100,23 +125,67 @@ func newState(g *graph.CSR, src int32, opt Options) *state {
 		for i := range st.parent {
 			st.parent[i] = -1
 		}
-		st.parent[src] = src
-	}
-	st.dist[src] = 0
-	// Seed: the source sits in worker 0's queue; all other queues are
-	// empty (a single sentinel slot).
-	st.in[0].buf = []int32{src + 1, emptySlot}
-	st.in[0].origR = 1
-	for i := 1; i < p; i++ {
-		st.in[i].buf = []int32{emptySlot}
 	}
 	for i := range st.out {
 		st.out[i] = make([]int32, 0, 256)
 	}
-	if opt.ParentClaim {
+	st.initTrace()
+	return st
+}
+
+// beginRun primes pooled state for a new search from src. Queue buffers
+// are reused at their grown capacities (re-seeding worker 0's queue
+// must not allocate a fresh 2-slot slice, and out buffers keep their
+// high-water capacity instead of resetting to 256); the per-vertex
+// arrays are invalidated wholesale by the epoch bump.
+func (st *state) beginRun(src int32) {
+	st.cur++
+	if st.cur == 0 {
+		// uint32 wraparound: a stamp written 2^32 runs ago would alias
+		// the new epoch, so sweep everything back to the never-visited
+		// stamp 0 and restart at 1. Runs once per 2^32-1 searches.
+		for i := range st.epoch {
+			st.epoch[i] = 0
+		}
+		st.cur = 1
+	}
+	st.level = 0
+	st.pops = 0
+	for i := range st.counters {
+		st.counters[i] = stats.PaddedCounters{}
+	}
+	for i := range st.events {
+		st.events[i] = st.events[i][:0]
+	}
+	// Seed: the source sits in worker 0's queue; all other queues are
+	// empty (a single sentinel slot).
+	st.in[0].buf = append(st.in[0].buf[:0], src+1, emptySlot)
+	st.in[0].origR = 1
+	atomic.StoreInt64(&st.in[0].front, 0)
+	for i := 1; i < st.opt.Workers; i++ {
+		st.in[i].buf = append(st.in[i].buf[:0], emptySlot)
+		st.in[i].origR = 0
+		atomic.StoreInt64(&st.in[i].front, 0)
+	}
+	for i := range st.out {
+		st.out[i] = st.out[i][:0]
+	}
+	st.dist[src] = 0
+	if st.claim != nil {
 		st.claim[src] = 0
 	}
-	st.initTrace()
+	if st.parent != nil {
+		st.parent[src] = src
+	}
+	st.epoch[src] = st.cur
+}
+
+// newState allocates state and primes it for a search from src — the
+// single-run construction path shared by the one-shot wrapper's engine
+// and the protocol-level tests.
+func newState(g *graph.CSR, src int32, opt Options) *state {
+	st := allocState(g, opt)
+	st.beginRun(src)
 	return st
 }
 
@@ -145,12 +214,14 @@ func (st *state) swap() {
 
 // discover processes edge u->w for worker id at the current level:
 // if w is undiscovered it is assigned level+1 and appended to the
-// worker's private output queue. The dist check-then-store is the
-// paper's benign race: two workers may both discover w, both stores
-// write the same value, and w appears in (at most) both their output
-// queues.
+// worker's private output queue. The epoch check-then-store is the
+// paper's benign race on dist, carried over to the stamp: two workers
+// may both discover w, all racing stores write the same values, and w
+// appears in (at most) both their output queues. The stamp is published
+// after the payload stores so a racer that observes epoch[w] == cur is
+// ordered after the payload it would otherwise have written itself.
 func (st *state) discover(id int, u, w int32, out []int32) []int32 {
-	if atomic.LoadInt32(&st.dist[w]) == graph.Unreached {
+	if atomic.LoadUint32(&st.epoch[w]) != st.cur {
 		atomic.StoreInt32(&st.dist[w], st.level+1)
 		if st.claim != nil {
 			atomic.StoreInt32(&st.claim[w], int32(id))
@@ -161,6 +232,7 @@ func (st *state) discover(id int, u, w int32, out []int32) []int32 {
 			// valid BFS-tree parent.
 			atomic.StoreInt32(&st.parent[w], u)
 		}
+		atomic.StoreUint32(&st.epoch[w], st.cur)
 		st.counters[id].Discovered++
 		out = append(out, w+1)
 	}
@@ -181,6 +253,7 @@ func (st *state) exploreVertex(id int, v int32, out []int32) []int32 {
 
 // claimAllows reports whether the ParentClaim filter permits worker
 // queue `qid`'s copy of v to be explored. Always true when disabled.
+// (A popped v was discovered this run, so its claim entry is fresh.)
 func (st *state) claimAllows(qid int, v int32) bool {
 	if st.claim == nil {
 		return true
@@ -196,11 +269,10 @@ func (st *state) claimAllows(qid int, v int32) bool {
 // return only when the worker is done with the level. The spawn/wait
 // pair is the level-synchronization barrier every algorithm in the
 // paper requires; the load balancing *within* a level is where the
-// locked and lockfree variants differ.
+// locked and lockfree variants differ. (Engines built with
+// PersistentWorkers route searches through a runPool instead, which
+// runs the same loop on engine-lifetime goroutines.)
 func (st *state) runLevels(setup func(), perLevel func(id int)) *Result {
-	if st.opt.PersistentWorkers {
-		return st.runLevelsPersistent(setup, perLevel)
-	}
 	p := st.opt.Workers
 	for {
 		if st.volume() == 0 || st.canceled() {
@@ -225,55 +297,25 @@ func (st *state) runLevels(setup func(), perLevel func(id int)) *Result {
 	return st.finish()
 }
 
-// runLevelsPersistent is runLevels with one long-lived goroutine per
-// worker — the Go analogue of an OpenMP parallel region (§IV-D raises
-// the cilk-vs-OpenMP question). Levels are separated by two passes
-// through a reusable barrier: one after the work, one after worker 0
-// performs the swap/setup transition, so every worker observes the
-// next level's queues through the barrier's synchronization.
-func (st *state) runLevelsPersistent(setup func(), perLevel func(id int)) *Result {
-	p := st.opt.Workers
-	if st.volume() == 0 {
-		return st.finish()
-	}
-	if setup != nil {
-		setup()
-	}
-	b := newBarrier(p)
-	done := false
-	var wg sync.WaitGroup
-	wg.Add(p)
-	for id := 0; id < p; id++ {
-		go func(id int) {
-			defer wg.Done()
-			for {
-				perLevel(id)
-				b.wait() // all workers finished the level
-				if id == 0 {
-					st.auditLevel()
-					st.level++
-					st.swap()
-					if st.volume() == 0 || st.canceled() {
-						done = true
-					} else if setup != nil {
-						setup()
-					}
-				}
-				b.wait() // transition published to everyone
-				if done {
-					return
-				}
-			}
-		}(id)
-	}
-	wg.Wait()
-	return st.finish()
-}
-
-// finish assembles the Result after the final barrier.
+// finish assembles the Result after the final barrier, reusing the
+// state's pooled Result and level-size storage: the returned value
+// aliases engine state and is valid only until the next run. The single
+// O(n) pass that computes reach/level statistics also normalizes
+// entries whose epoch stamp is stale — left over from earlier runs —
+// back to Unreached / no-parent, so Dist and Parent always read as
+// plain arrays of exactly this run's search.
 func (st *state) finish() *Result {
 	total := stats.Sum(st.counters)
-	res := &Result{
+	if cap(st.levelSizes) < int(st.level) {
+		st.levelSizes = make([]int64, st.level)
+	} else {
+		st.levelSizes = st.levelSizes[:st.level]
+		for i := range st.levelSizes {
+			st.levelSizes[i] = 0
+		}
+	}
+	res := &st.res
+	*res = Result{
 		Dist:       st.dist,
 		Parent:     st.parent,
 		Levels:     st.level,
@@ -281,19 +323,25 @@ func (st *state) finish() *Result {
 		Counters:   total,
 		PerWorker:  st.counters,
 		Pops:       total.VerticesPopped,
-		LevelSizes: make([]int64, st.level),
+		LevelSizes: st.levelSizes,
 		Events:     st.events,
 	}
+	cur := st.cur
 	for v := int32(0); v < st.g.NumVertices(); v++ {
-		if d := st.dist[v]; d != graph.Unreached {
-			res.Reached++
-			res.EdgesTraversed += st.g.OutDegree(v)
-			// A cancelled run can leave discovered vertices beyond the
-			// last completed level; the result is discarded by
-			// RunContext, so just stay in bounds.
-			if int(d) < len(res.LevelSizes) {
-				res.LevelSizes[d]++
+		if st.epoch[v] != cur {
+			st.dist[v] = graph.Unreached
+			if st.parent != nil {
+				st.parent[v] = -1
 			}
+			continue
+		}
+		res.Reached++
+		res.EdgesTraversed += st.g.OutDegree(v)
+		// A cancelled run can leave discovered vertices beyond the
+		// last completed level; the result is discarded by
+		// RunContext, so just stay in bounds.
+		if d := st.dist[v]; int(d) < len(res.LevelSizes) {
+			res.LevelSizes[d]++
 		}
 	}
 	return res

@@ -4,7 +4,6 @@ import (
 	"sync"
 	"sync/atomic"
 
-	"optibfs/internal/graph"
 	"optibfs/internal/rng"
 	"optibfs/internal/stats"
 )
@@ -44,72 +43,79 @@ type wsContext struct {
 	barrier      *barrier
 }
 
-// runWorkStealing implements BFS_W / BFS_WL (scaleFree=false) and
-// BFS_WS / BFS_WSL (scaleFree=true), §IV-B.
-func runWorkStealing(g *graph.CSR, src int32, opt Options, locked, scaleFree bool) *Result {
-	st := newState(g, src, opt)
-	// Lockfree draining zeroes every slot it pops, so the per-level
-	// unconsumed-slot audit applies; locked draining consumes via the
-	// descriptor front and leaves slots intact.
-	st.slotAudit = !locked
-	p := opt.Workers
+// bindWorkSteal builds the binding constructor for BFS_W / BFS_WL
+// (scaleFree=false) and BFS_WS / BFS_WSL (scaleFree=true), §IV-B. The
+// per-worker wsWorker structs, descriptors, RNG streams, and closures
+// are all built once per engine — the old per-level &wsWorker{} would
+// otherwise be the work-stealing family's last steady-state allocation.
+func bindWorkSteal(locked, scaleFree bool) bindFunc {
+	return func(st *state) binding {
+		// Lockfree draining zeroes every slot it pops, so the per-level
+		// unconsumed-slot audit applies; locked draining consumes via the
+		// descriptor front and leaves slots intact.
+		st.slotAudit = !locked
+		opt := st.opt
+		p := opt.Workers
 
-	threshold := opt.HighDegreeThreshold
-	if scaleFree && threshold <= 0 {
-		threshold = int64(4 * g.AvgDegree())
-		if threshold < 64 {
-			threshold = 64
-		}
-	}
-
-	ctx := &wsContext{
-		descs:   make([]segDesc, p),
-		barrier: newBarrier(p),
-	}
-	if scaleFree {
-		ctx.hot = make([][]int32, p)
-		for i := range ctx.hot {
-			ctx.hot[i] = make([]int32, 0, 64)
-		}
-	}
-	rngs := make([]*rng.Xoshiro256, p)
-	for i := range rngs {
-		rngs[i] = rng.NewXoshiro256(opt.Seed ^ rng.Mix64(uint64(i)+0x5151))
-	}
-	maxStealAttempts := maxSteal(opt.MaxStealFactor, p)
-
-	setup := func() {
-		for i := range ctx.descs {
-			d := &ctx.descs[i]
-			atomic.StoreInt64(&d.q, int64(i))
-			atomic.StoreInt64(&d.f, 0)
-			atomic.StoreInt64(&d.r, st.in[i].origR)
-			atomic.StoreInt32(&d.idle, 0)
-		}
-		if scaleFree {
-			for i := range ctx.hot {
-				ctx.hot[i] = ctx.hot[i][:0]
+		threshold := opt.HighDegreeThreshold
+		if scaleFree && threshold <= 0 {
+			threshold = int64(4 * st.g.AvgDegree())
+			if threshold < 64 {
+				threshold = 64
 			}
 		}
-		atomic.StoreInt64(&ctx.phase2Cursor, 0)
-	}
 
-	perLevel := func(id int) {
-		w := &wsWorker{
-			st: st, ctx: ctx, id: id, locked: locked,
-			c: &st.counters[id].Counters, r: rngs[id],
-			threshold: threshold,
-			out:       st.out[id],
+		ctx := &wsContext{
+			descs:   make([]segDesc, p),
+			barrier: newBarrier(p),
 		}
-		w.phase1(maxStealAttempts)
 		if scaleFree {
-			ctx.barrier.wait()
-			w.phase2()
+			ctx.hot = make([][]int32, p)
+			for i := range ctx.hot {
+				ctx.hot[i] = make([]int32, 0, 64)
+			}
 		}
-		st.out[id] = w.out
-	}
+		rngs := make([]*rng.Xoshiro256, p)
+		workers := make([]wsWorker, p)
+		for i := range rngs {
+			rngs[i] = rng.NewXoshiro256(opt.Seed ^ rng.Mix64(uint64(i)+0x5151))
+			workers[i] = wsWorker{
+				st: st, ctx: ctx, id: i, locked: locked,
+				c: &st.counters[i].Counters, r: rngs[i],
+				threshold: threshold,
+			}
+		}
+		maxStealAttempts := maxSteal(opt.MaxStealFactor, p)
 
-	return st.runLevels(setup, perLevel)
+		setup := func() {
+			for i := range ctx.descs {
+				d := &ctx.descs[i]
+				atomic.StoreInt64(&d.q, int64(i))
+				atomic.StoreInt64(&d.f, 0)
+				atomic.StoreInt64(&d.r, st.in[i].origR)
+				atomic.StoreInt32(&d.idle, 0)
+			}
+			if scaleFree {
+				for i := range ctx.hot {
+					ctx.hot[i] = ctx.hot[i][:0]
+				}
+			}
+			atomic.StoreInt64(&ctx.phase2Cursor, 0)
+		}
+
+		perLevel := func(id int) {
+			w := &workers[id]
+			w.out = st.out[id]
+			w.phase1(maxStealAttempts)
+			if scaleFree {
+				ctx.barrier.wait()
+				w.phase2()
+			}
+			st.out[id] = w.out
+		}
+
+		return binding{setup: setup, perLevel: perLevel, rngs: rngs, rngSalt: 0x5151}
+	}
 }
 
 // wsWorker bundles one worker's view of a work-stealing level.
@@ -122,6 +128,7 @@ type wsWorker struct {
 	r         *rng.Xoshiro256
 	threshold int64 // 0 when not in scale-free mode
 	out       []int32
+	flat      []int32 // pooled phase-2 unit buffer (Phase2Stealing only)
 }
 
 // process explores popped vertex v from queue qid, or defers it to
@@ -409,10 +416,13 @@ func (w *wsWorker) phase2() {
 		return
 	}
 	// Dynamic dispatch over the flattened (vertex, chunk) unit space.
-	var flat []int32
+	// The flattening buffer is pooled on the worker so repeated levels
+	// (and engine runs) reuse its capacity.
+	flat := w.flat[:0]
 	for owner := 0; owner < p; owner++ {
 		flat = append(flat, w.ctx.hot[owner]...)
 	}
+	w.flat = flat
 	totalUnits := int64(len(flat)) * int64(p)
 	for {
 		var unit int64

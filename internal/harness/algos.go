@@ -84,7 +84,8 @@ func AlgoByName(name string) (AlgoSpec, error) {
 	return AlgoSpec{}, fmt.Errorf("harness: unknown algorithm %q", name)
 }
 
-// Run executes the algorithm on g from src.
+// Run executes the algorithm on g from src (one-shot; multi-source
+// measurements should go through NewRunner so per-run state is pooled).
 func (a AlgoSpec) Run(g *graph.CSR, src int32, opt core.Options) (*core.Result, error) {
 	switch a.fam {
 	case familyCore:
@@ -97,6 +98,68 @@ func (a AlgoSpec) Run(g *graph.CSR, src int32, opt core.Options) (*core.Result, 
 		return beamer.Run(g, src, beamer.Options{Options: opt})
 	default:
 		return nil, fmt.Errorf("harness: bad algorithm family %d", a.fam)
+	}
+}
+
+// Runner is a reusable per-(algorithm, graph) handle. Core variants and
+// the direction-optimizing extension run on a pooled engine, so repeated
+// Run calls reuse dist/parent/queue state (and, for beamer, the
+// transpose); the baselines have no engine layer and fall back to
+// one-shot dispatch. Like the engines it wraps, a Runner is
+// single-caller, and results alias pooled state valid until the next Run.
+type Runner struct {
+	spec AlgoSpec
+	g    *graph.CSR
+	opt  core.Options
+	ce   *core.Engine
+	be   *beamer.Engine
+}
+
+// NewRunner builds a Runner for the spec over g.
+func (a AlgoSpec) NewRunner(g *graph.CSR, opt core.Options) (*Runner, error) {
+	r := &Runner{spec: a, g: g, opt: opt}
+	switch a.fam {
+	case familyCore:
+		e, err := core.NewEngine(g, a.algo, opt)
+		if err != nil {
+			return nil, err
+		}
+		r.ce = e
+	case familyBeamer:
+		e, err := beamer.NewEngine(g, beamer.Options{Options: opt})
+		if err != nil {
+			return nil, err
+		}
+		r.be = e
+	}
+	return r, nil
+}
+
+// Run executes one search from src on the pooled state.
+func (r *Runner) Run(src int32) (*core.Result, error) {
+	switch {
+	case r.ce != nil:
+		return r.ce.Run(src)
+	case r.be != nil:
+		return r.be.Run(src)
+	default:
+		return r.spec.Run(r.g, src, r.opt)
+	}
+}
+
+// Reseed re-derives the algorithm's RNG streams from seed, matching
+// what a fresh run with Options.Seed = seed would use.
+func (r *Runner) Reseed(seed uint64) {
+	r.opt.Seed = seed
+	if r.ce != nil {
+		r.ce.Reseed(seed)
+	}
+}
+
+// Close releases the runner's engine (persistent workers, if any).
+func (r *Runner) Close() {
+	if r.ce != nil {
+		r.ce.Close()
 	}
 }
 

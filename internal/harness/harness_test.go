@@ -343,3 +343,34 @@ func TestConfigDefaults(t *testing.T) {
 		t.Fatalf("override lost: %+v", c2)
 	}
 }
+
+// TestRunnerReuseAllFamilies checks the Runner contract across every
+// dispatch family: repeated Run calls on one runner (pooled for core
+// and beamer, one-shot fallback for the baselines) all match the
+// serial oracle, and Reseed between runs is accepted everywhere.
+func TestRunnerReuseAllFamilies(t *testing.T) {
+	gspec, _ := SpecByName("wikipedia")
+	g, err := gspec.Generate(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := graph.ReferenceBFS(g, 0)
+	specs := append(append([]AlgoSpec{}, TableAlgos...), ExtensionAlgos...)
+	for _, spec := range specs {
+		runner, err := spec.NewRunner(g, core.Options{Workers: 4, Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		for i := 0; i < 3; i++ {
+			runner.Reseed(uint64(i) + 1)
+			res, err := runner.Run(0)
+			if err != nil {
+				t.Fatalf("%s run %d: %v", spec.Name, i, err)
+			}
+			if err := graph.EqualDistances(res.Dist, want); err != nil {
+				t.Fatalf("%s run %d: %v", spec.Name, i, err)
+			}
+		}
+		runner.Close()
+	}
+}

@@ -99,11 +99,19 @@ func RunCell(g *graph.CSR, algo AlgoSpec, cfg Config) (Cell, error) {
 		opt.Workers = 1
 	}
 	shape := algo.Shape()
+	// One runner per cell: all sources share pooled per-run state, so
+	// the measured mean excludes the allocation/zeroing cost the
+	// pre-engine harness paid on every source.
+	runner, err := algo.NewRunner(g, opt)
+	if err != nil {
+		return cell, fmt.Errorf("harness: %s: %w", algo.Name, err)
+	}
+	defer runner.Close()
 	var measured, modeled, teps float64
 	for i, src := range sources {
-		opt.Seed = cfg.Seed + uint64(i)*0x9e37 + 1
+		runner.Reseed(cfg.Seed + uint64(i)*0x9e37 + 1)
 		start := time.Now()
-		res, err := algo.Run(g, src, opt)
+		res, err := runner.Run(src)
 		if err != nil {
 			return cell, fmt.Errorf("harness: %s on source %d: %w", algo.Name, src, err)
 		}

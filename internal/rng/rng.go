@@ -51,8 +51,16 @@ type Xoshiro256 struct {
 // NewXoshiro256 returns a xoshiro256** stream seeded from seed via
 // SplitMix64, per the reference seeding procedure.
 func NewXoshiro256(seed uint64) *Xoshiro256 {
-	sm := NewSplitMix64(seed)
 	var x Xoshiro256
+	x.Seed(seed)
+	return &x
+}
+
+// Seed re-seeds the stream in place from seed, exactly as NewXoshiro256
+// does, without allocating. It lets long-lived owners (engine worker
+// streams) restart a deterministic sequence between runs.
+func (x *Xoshiro256) Seed(seed uint64) {
+	sm := NewSplitMix64(seed)
 	for i := range x.s {
 		x.s[i] = sm.Next()
 	}
@@ -62,7 +70,6 @@ func NewXoshiro256(seed uint64) *Xoshiro256 {
 	if x.s[0]|x.s[1]|x.s[2]|x.s[3] == 0 {
 		x.s[0] = 0x9e3779b97f4a7c15
 	}
-	return &x
 }
 
 func rotl(x uint64, k uint) uint64 { return x<<k | x>>(64-k) }

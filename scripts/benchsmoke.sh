@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# Benchmark smoke for CI: run the steady-state engine benchmarks for a
+# few short iterations with -benchmem and fail if the warm Engine.Run
+# path allocates more than a small constant per op. A warm engine is
+# designed to allocate nothing; the gate averages over 3 iterations and
+# leaves headroom because racy duplicate counts vary run to run, so
+# pooled-queue high-water marks settle stochastically and a sample can
+# still land on a late growth event.
+#
+# Usage: scripts/benchsmoke.sh [output-file]
+#   MAX_ALLOCS  gate on allocs/op for BenchmarkEngineSteadyState (default 8)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="${1:-bench-smoke.txt}"
+max_allocs="${MAX_ALLOCS:-8}"
+
+go test -run '^$' -bench 'BenchmarkEngineSteadyState|BenchmarkEngineRunMany' \
+  -benchtime 3x -benchmem . | tee "$out"
+
+fail=0
+found=0
+while read -r name allocs; do
+  found=$((found + 1))
+  if [ "$allocs" -gt "$max_allocs" ]; then
+    echo "FAIL: $name allocates $allocs allocs/op (max $max_allocs)" >&2
+    fail=1
+  else
+    echo "ok: $name $allocs allocs/op (max $max_allocs)"
+  fi
+done < <(awk '/^BenchmarkEngineSteadyState/ {
+  for (i = 1; i <= NF; i++) if ($i == "allocs/op") print $1, $(i-1)
+}' "$out")
+
+if [ "$found" -lt 3 ]; then
+  echo "FAIL: expected >=3 steady-state benchmark results, found $found" >&2
+  fail=1
+fi
+exit "$fail"
