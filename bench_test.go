@@ -328,13 +328,30 @@ func BenchmarkAblationPersistentWorkers(b *testing.B) {
 // dist/parent/claim arrays, queue buffers, counters, RNG streams, and
 // (with PersistentWorkers) the worker goroutines — is pooled on the
 // engine and invalidated by the epoch bump, so allocs/op must be 0.
-// scripts/benchsmoke.sh gates CI on exactly this number.
+// The timeline variant additionally enables the per-level timeline and
+// dispatch tracing, whose buffers are pooled the same way — turning
+// observability on must not cost warm-path allocations.
+// scripts/benchsmoke.sh gates CI on exactly these numbers.
 func BenchmarkEngineSteadyState(b *testing.B) {
 	g := benchGraph(b, "wikipedia")
 	src := harness.PickSources(g, 1, 0xbe7c)[0]
-	for _, algo := range []Algorithm{BFSCL, BFSWL, BFSWSL} {
-		b.Run(string(algo), func(b *testing.B) {
-			e, err := NewEngine(g, algo, &Options{Workers: 8, Seed: 1, PersistentWorkers: true})
+	cases := []struct {
+		name string
+		algo Algorithm
+		opt  Options
+	}{
+		{string(BFSCL), BFSCL, Options{Workers: 8, Seed: 1, PersistentWorkers: true}},
+		{string(BFSWL), BFSWL, Options{Workers: 8, Seed: 1, PersistentWorkers: true}},
+		{string(BFSWSL), BFSWSL, Options{Workers: 8, Seed: 1, PersistentWorkers: true}},
+		{string(BFSWSL) + "-timeline", BFSWSL, Options{
+			Workers: 8, Seed: 1, PersistentWorkers: true,
+			LevelTimeline: true, TraceCapacity: 1 << 12,
+		}},
+	}
+	for _, tc := range cases {
+		opt := tc.opt
+		b.Run(tc.name, func(b *testing.B) {
+			e, err := NewEngine(g, tc.algo, &opt)
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -14,6 +14,12 @@
 // Common flags: -scale (graph size divisor, default 64; 1 = the
 // paper's full sizes), -sources (sources averaged per cell), -seed,
 // -csv (emit CSV instead of aligned text).
+//
+// With -metrics-addr the process serves live observability while the
+// experiments run: /metrics (Prometheus text), /debug/vars (expvar),
+// and /debug/pprof (profiles carry the engines' algo/worker/level-phase
+// goroutine labels). -metrics-linger keeps the endpoint up after the
+// experiments finish so a final scrape can collect the totals.
 package main
 
 import (
@@ -21,29 +27,51 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"optibfs/internal/costmodel"
 	"optibfs/internal/harness"
+	"optibfs/internal/obs"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "all", "experiment: table5a|table5b|fig2a|fig2b|fig3a|fig3b|table6|graphs|machines|all")
-		scale   = flag.Int("scale", 64, "graph size divisor (1 = paper's full sizes)")
-		sources = flag.Int("sources", 8, "random sources averaged per (algorithm, graph) cell")
-		seed    = flag.Uint64("seed", 0xb5f5, "experiment seed")
-		reps    = flag.Int("reps", 5, "repetitions for table6")
-		csv     = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		workers = flag.Int("workers", 0, "override worker count (default: machine cores)")
+		exp           = flag.String("exp", "all", "experiment: table5a|table5b|fig2a|fig2b|fig3a|fig3b|table6|graphs|machines|all")
+		scale         = flag.Int("scale", 64, "graph size divisor (1 = paper's full sizes)")
+		sources       = flag.Int("sources", 8, "random sources averaged per (algorithm, graph) cell")
+		seed          = flag.Uint64("seed", 0xb5f5, "experiment seed")
+		reps          = flag.Int("reps", 5, "repetitions for table6")
+		csv           = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		workers       = flag.Int("workers", 0, "override worker count (default: machine cores)")
+		metricsAddr   = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof on this address (e.g. localhost:9090; empty = off)")
+		metricsLinger = flag.Duration("metrics-linger", 0, "keep the metrics endpoint up this long after the experiments finish")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *exp, *scale, *sources, *seed, *reps, *csv, *workers); err != nil {
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.New()
+		reg.SetHelp("optibfs_up", "1 while the process is up.")
+		reg.Gauge("optibfs_up").Set(1)
+		obs.PublishExpvar("optibfs", reg)
+		srv, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bfsbench:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "bfsbench: serving metrics at http://%s/metrics\n", srv.Addr)
+	}
+	if err := run(os.Stdout, *exp, *scale, *sources, *seed, *reps, *csv, *workers, reg); err != nil {
 		fmt.Fprintln(os.Stderr, "bfsbench:", err)
 		os.Exit(1)
 	}
+	if reg != nil && *metricsLinger > 0 {
+		fmt.Fprintf(os.Stderr, "bfsbench: experiments done, metrics endpoint up for another %s\n", *metricsLinger)
+		time.Sleep(*metricsLinger)
+	}
 }
 
-func run(w io.Writer, exp string, scale, sources int, seed uint64, reps int, csv bool, workers int) error {
+func run(w io.Writer, exp string, scale, sources int, seed uint64, reps int, csv bool, workers int, reg *obs.Registry) error {
 	cfg := func(m costmodel.Machine) harness.Config {
 		return harness.Config{
 			Machine:  m,
@@ -51,6 +79,7 @@ func run(w io.Writer, exp string, scale, sources int, seed uint64, reps int, csv
 			Sources:  sources,
 			ScaleDiv: scale,
 			Seed:     seed,
+			Registry: reg,
 		}.WithDefaults()
 	}
 	emit := func(t *harness.Table, err error) error {

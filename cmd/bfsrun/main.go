@@ -6,6 +6,7 @@
 //	bfsrun -algo BFS_WSL -graph wiki.bin -src 0 -workers 8
 //	bfsrun -algo BFS_CL -suite wikipedia -scale 128 -sources 16
 //	bfsrun -algo Baseline1(bag) -suite cage14 -validate
+//	bfsrun -algo BFS_WSL -suite wikipedia -trace run.json   # Perfetto trace
 package main
 
 import (
@@ -20,6 +21,7 @@ import (
 	"optibfs/internal/graph"
 	"optibfs/internal/harness"
 	"optibfs/internal/mmio"
+	"optibfs/internal/obs"
 	"optibfs/internal/stats"
 )
 
@@ -37,9 +39,10 @@ func main() {
 		machine   = flag.String("machine", "Lonestar", "cost-model machine: Lonestar|Trestles|Local")
 		profile   = flag.Bool("profile", false, "print the per-level frontier histogram of the last source")
 		balance   = flag.Bool("balance", false, "print per-worker load balance of the last source")
+		trace     = flag.String("trace", "", "write the last source's dispatch trace as Chrome trace_event JSON (load in Perfetto)")
 	)
 	flag.Parse()
-	if err := run(*algoName, *graphPath, *suite, *scale, *src, *sources, *workers, *seed, *validate, *machine, *profile, *balance); err != nil {
+	if err := run(*algoName, *graphPath, *suite, *scale, *src, *sources, *workers, *seed, *validate, *machine, *profile, *balance, *trace); err != nil {
 		fmt.Fprintln(os.Stderr, "bfsrun:", err)
 		os.Exit(1)
 	}
@@ -75,7 +78,25 @@ func hasSuffix(s, suf string) bool {
 	return len(s) >= len(suf) && s[len(s)-len(suf):] == suf
 }
 
-func run(algoName, graphPath, suite string, scale, src, sources, workers int, seed uint64, validate bool, machineName string, profile, balance bool) error {
+// writeTrace exports one run's dispatch trace as Chrome trace_event
+// JSON. Serial runs record no dispatch events; say so instead of
+// writing an empty file.
+func writeTrace(path, algoName string, src int32, res *core.Result) error {
+	if res.Events == nil {
+		return fmt.Errorf("-trace: %s records no dispatch events (serial baseline?)", algoName)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f, obs.TraceMeta{Algo: algoName, Source: src}, res); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func run(algoName, graphPath, suite string, scale, src, sources, workers int, seed uint64, validate bool, machineName string, profile, balance bool, trace string) error {
 	algo, err := harness.AlgoByName(algoName)
 	if err != nil {
 		return err
@@ -106,6 +127,12 @@ func run(algoName, graphPath, suite string, scale, src, sources, workers int, se
 		srcs = harness.PickSources(g, sources, seed)
 	}
 	opt := core.Options{Workers: workers, Seed: seed}
+	if trace != "" {
+		// Event buffers sized generously: dispatch events are rare
+		// relative to edges, and the exporter flags any overflow.
+		opt.TraceCapacity = 1 << 16
+		opt.LevelTimeline = true
+	}
 	// All sources run through one pooled runner; results are read (and
 	// aggregated) before the next source reuses the arrays.
 	runner, err := algo.NewRunner(g, opt)
@@ -117,6 +144,8 @@ func run(algoName, graphPath, suite string, scale, src, sources, workers int, se
 	var measured, modeled float64
 	var lastLevels []int64
 	var lastPerWorker []stats.PaddedCounters
+	var lastRes *core.Result
+	var lastSrc int32
 	for _, s := range srcs {
 		start := time.Now()
 		res, err := runner.Run(s)
@@ -138,6 +167,13 @@ func run(algoName, graphPath, suite string, scale, src, sources, workers int, se
 			s, res.Levels, res.Reached, res.Duplicates(), elapsed.Seconds()*1e3, machine.Name, model*1e3)
 		lastLevels = res.LevelSizes
 		lastPerWorker = res.PerWorker
+		lastRes, lastSrc = res, s
+	}
+	if trace != "" && lastRes != nil {
+		if err := writeTrace(trace, algoName, lastSrc, lastRes); err != nil {
+			return err
+		}
+		fmt.Printf("trace: wrote %s (open in Perfetto or chrome://tracing)\n", trace)
 	}
 	if balance && len(lastPerWorker) > 0 {
 		var total, max int64

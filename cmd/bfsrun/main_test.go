@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"testing"
@@ -10,13 +11,13 @@ import (
 )
 
 func TestRunOnSuiteGraph(t *testing.T) {
-	if err := run("BFS_WSL", "", "kkt-power", 4096, -1, 2, 4, 1, true, "Lonestar", false, false); err != nil {
+	if err := run("BFS_WSL", "", "kkt-power", 4096, -1, 2, 4, 1, true, "Lonestar", false, false, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunFixedSource(t *testing.T) {
-	if err := run("BFS_CL", "", "cage14", 4096, 0, 1, 2, 1, true, "Trestles", false, false); err != nil {
+	if err := run("BFS_CL", "", "cage14", 4096, 0, 1, 2, 1, true, "Trestles", false, false, ""); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -37,7 +38,7 @@ func TestRunOnGraphFiles(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	if err := run("sbfs", binPath, "", 1, 0, 1, 1, 1, true, "Lonestar", true, false); err != nil {
+	if err := run("sbfs", binPath, "", 1, 0, 1, 1, 1, true, "Lonestar", true, false, ""); err != nil {
 		t.Fatal(err)
 	}
 
@@ -50,7 +51,7 @@ func TestRunOnGraphFiles(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	if err := run("Baseline1(bag)", mtxPath, "", 1, 0, 1, 2, 1, true, "Lonestar", false, false); err != nil {
+	if err := run("Baseline1(bag)", mtxPath, "", 1, 0, 1, 2, 1, true, "Lonestar", false, false, ""); err != nil {
 		t.Fatal(err)
 	}
 
@@ -63,22 +64,49 @@ func TestRunOnGraphFiles(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	if err := run("BFS_EL", edgePath, "", 1, 0, 1, 2, 1, true, "Local", true, true); err != nil {
+	if err := run("BFS_EL", edgePath, "", 1, 0, 1, 2, 1, true, "Local", true, true, ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run("BFS_XXL", "", "cage14", 4096, 0, 1, 1, 1, false, "Lonestar", false, false); err == nil {
+	if err := run("BFS_XXL", "", "cage14", 4096, 0, 1, 1, 1, false, "Lonestar", false, false, ""); err == nil {
 		t.Fatal("accepted unknown algorithm")
 	}
-	if err := run("sbfs", "", "", 1, 0, 1, 1, 1, false, "Lonestar", false, false); err == nil {
+	if err := run("sbfs", "", "", 1, 0, 1, 1, 1, false, "Lonestar", false, false, ""); err == nil {
 		t.Fatal("accepted missing graph")
 	}
-	if err := run("sbfs", "/does/not/exist.bin", "", 1, 0, 1, 1, 1, false, "Lonestar", false, false); err == nil {
+	if err := run("sbfs", "/does/not/exist.bin", "", 1, 0, 1, 1, 1, false, "Lonestar", false, false, ""); err == nil {
 		t.Fatal("accepted missing file")
 	}
-	if err := run("sbfs", "", "cage14", 4096, 0, 1, 1, 1, false, "Cray", false, false); err == nil {
+	if err := run("sbfs", "", "cage14", 4096, 0, 1, 1, 1, false, "Cray", false, false, ""); err == nil {
 		t.Fatal("accepted unknown machine")
+	}
+}
+
+// TestRunWritesTrace checks -trace produces a loadable trace_event
+// file, and that the serial baseline (which records no dispatch
+// events) is refused instead of silently writing an empty trace.
+func TestRunWritesTrace(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "trace.json")
+	if err := run("BFS_WSL", "", "cage14", 4096, 0, 1, 4, 1, true, "Lonestar", false, false, path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &file); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(file.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+	if err := run("sbfs", "", "cage14", 4096, 0, 1, 1, 1, false, "Lonestar", false, false, filepath.Join(dir, "t2.json")); err == nil {
+		t.Fatal("-trace with the serial baseline should be refused")
 	}
 }

@@ -27,24 +27,40 @@ import (
 
 	"optibfs/internal/chaos"
 	"optibfs/internal/core"
+	"optibfs/internal/obs"
 )
 
 func main() {
 	var (
-		duration  = flag.Duration("duration", 0, "stop sweeping after this long (0 = exactly one sweep)")
-		seeds     = flag.Int("seeds", 2, "derived option/seed sets per (graph, algorithm, profile) cell")
-		workers   = flag.Int("workers", 0, "max workers per run (default: 2×GOMAXPROCS, clamped to [4,16])")
-		seed      = flag.Uint64("seed", 0, "base seed for the sweep (0 = default)")
-		profiles  = flag.String("profiles", "all", "comma-separated perturbation profiles (see -list)")
-		algos     = flag.String("algos", "all", "comma-separated algorithms (e.g. BFS_WL,BFS_WSL)")
-		artifacts = flag.String("artifacts", "soak-artifacts", "directory for JSON repro artifacts (empty = don't write)")
-		replay    = flag.String("replay", "", "re-execute one repro artifact instead of sweeping")
-		list      = flag.Bool("list", false, "list perturbation profiles and exit")
-		engines   = flag.Bool("engines", false, "reuse one engine per (graph, algorithm) so the audit covers state-reuse bugs")
-		verbose   = flag.Bool("v", false, "log every run, not just failures")
+		duration    = flag.Duration("duration", 0, "stop sweeping after this long (0 = exactly one sweep)")
+		seeds       = flag.Int("seeds", 2, "derived option/seed sets per (graph, algorithm, profile) cell")
+		workers     = flag.Int("workers", 0, "max workers per run (default: 2×GOMAXPROCS, clamped to [4,16])")
+		seed        = flag.Uint64("seed", 0, "base seed for the sweep (0 = default)")
+		profiles    = flag.String("profiles", "all", "comma-separated perturbation profiles (see -list)")
+		algos       = flag.String("algos", "all", "comma-separated algorithms (e.g. BFS_WL,BFS_WSL)")
+		artifacts   = flag.String("artifacts", "soak-artifacts", "directory for JSON repro artifacts (empty = don't write)")
+		replay      = flag.String("replay", "", "re-execute one repro artifact instead of sweeping")
+		list        = flag.Bool("list", false, "list perturbation profiles and exit")
+		engines     = flag.Bool("engines", false, "reuse one engine per (graph, algorithm) so the audit covers state-reuse bugs")
+		verbose     = flag.Bool("v", false, "log every run, not just failures")
+		metricsAddr = flag.String("metrics-addr", "", "serve live /metrics, /debug/vars, /debug/pprof on this address while sweeping (empty = off)")
 	)
 	flag.Parse()
-	code, err := run(os.Stdout, *duration, *seeds, *workers, *seed, *profiles, *algos, *artifacts, *replay, *list, *engines, *verbose)
+	var reg *obs.Registry
+	if *metricsAddr != "" {
+		reg = obs.New()
+		reg.SetHelp("optibfs_up", "1 while the process is up.")
+		reg.Gauge("optibfs_up").Set(1)
+		obs.PublishExpvar("optibfs", reg)
+		srv, err := obs.Serve(*metricsAddr, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bfssoak:", err)
+			os.Exit(2)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "bfssoak: serving metrics at http://%s/metrics\n", srv.Addr)
+	}
+	code, err := run(os.Stdout, *duration, *seeds, *workers, *seed, *profiles, *algos, *artifacts, *replay, *list, *engines, *verbose, reg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bfssoak:", err)
 		os.Exit(2)
@@ -54,7 +70,7 @@ func main() {
 
 // run executes the selected mode and returns the process exit code.
 func run(w io.Writer, duration time.Duration, seeds, workers int, seed uint64,
-	profiles, algos, artifacts, replay string, list, engines, verbose bool) (int, error) {
+	profiles, algos, artifacts, replay string, list, engines, verbose bool, reg *obs.Registry) (int, error) {
 	if list {
 		for _, p := range chaos.Profiles() {
 			fmt.Fprintf(w, "%-12s yields=%d spin=%d prob=%v\n", p.Name, p.Yields, p.Spin, p.Prob)
@@ -91,6 +107,7 @@ func run(w io.Writer, duration time.Duration, seeds, workers int, seed uint64,
 		ArtifactDir: artifacts,
 		Log:         w,
 		Verbose:     verbose,
+		Registry:    reg,
 	}
 	var err error
 	if cfg.Profiles, err = selectProfiles(profiles); err != nil {

@@ -12,6 +12,7 @@ import (
 	"optibfs/internal/core"
 	"optibfs/internal/gen"
 	"optibfs/internal/graph"
+	"optibfs/internal/obs"
 	"optibfs/internal/rng"
 )
 
@@ -265,6 +266,11 @@ type SoakConfig struct {
 	Log io.Writer
 	// Verbose logs every run, not just failures and sweep summaries.
 	Verbose bool
+	// Registry, when non-nil, receives live sweep metrics after every
+	// run (runs, failures, injections, stale steals, duplicate pops,
+	// labeled {algo, profile}) so a long soak can be watched over the
+	// exposition endpoint instead of only summarized at the end.
+	Registry *obs.Registry
 }
 
 func (cfg SoakConfig) withDefaults() SoakConfig {
@@ -472,6 +478,7 @@ func Soak(cfg SoakConfig) (*SoakReport, error) {
 
 						vs := Audit(pg.g, 0, pg.want, res)
 						vs = append(vs, levelViolations(inj)...)
+						publishSoakRun(cfg.Registry, algo, prof, inj, res, len(vs))
 						if cfg.Verbose {
 							fmt.Fprintf(cfg.Log, "run %s %s %s workers=%d seed=%#x: %d injections, %d dup, %d violations\n",
 								algo, pg.spec, prof.Name, opts.Workers, opts.Seed, inj.Injections(), res.Duplicates(), len(vs))
@@ -505,6 +512,24 @@ func Soak(cfg SoakConfig) (*SoakReport, error) {
 	}
 	rep.Elapsed = time.Since(start)
 	return rep, nil
+}
+
+// publishSoakRun feeds one audited run into the live registry. Called
+// after the audit, entirely outside the run, so the sweep's timing and
+// interleavings are unaffected.
+func publishSoakRun(reg *obs.Registry, algo core.Algorithm, prof Profile, inj *Injector, res *core.Result, violations int) {
+	if reg == nil {
+		return
+	}
+	algoL := obs.L("algo", string(algo))
+	profL := obs.L("profile", prof.Name)
+	reg.Counter("optibfs_soak_runs_total", algoL, profL).Inc()
+	reg.Counter("optibfs_soak_injections_total", algoL, profL).Add(inj.Injections())
+	reg.Counter("optibfs_soak_stale_steals_total", algoL, profL).Add(res.Counters.StealStale)
+	reg.Counter("optibfs_soak_duplicates_total", algoL, profL).Add(res.Duplicates())
+	if violations > 0 {
+		reg.Counter("optibfs_soak_failures_total", algoL, profL).Inc()
+	}
 }
 
 // hashString mixes a short label into a seed.

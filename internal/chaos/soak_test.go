@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"optibfs/internal/core"
+	"optibfs/internal/obs"
 	"optibfs/internal/rng"
 )
 
@@ -257,5 +258,33 @@ func TestReplayEngineRun(t *testing.T) {
 	}
 	if len(vs) != 0 {
 		t.Fatalf("healthy engine replay reported violations: %v", vs)
+	}
+}
+
+// TestSoakPublishesRegistry wires a registry into a narrow sweep and
+// checks the live counters arrive with algo/profile labels and agree
+// with the report totals.
+func TestSoakPublishesRegistry(t *testing.T) {
+	reg := obs.New()
+	rep, err := Soak(SoakConfig{
+		Graphs:     []GraphSpec{{Kind: "star", N: 256, Seed: 4}},
+		Profiles:   []Profile{mustProfile(t, "steal-storm")},
+		Algorithms: []core.Algorithm{core.BFSWL},
+		Seeds:      2,
+		Workers:    4,
+		Registry:   reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	labels := []obs.Label{obs.L("algo", string(core.BFSWL)), obs.L("profile", "steal-storm")}
+	if got := reg.Counter("optibfs_soak_runs_total", labels...).Value(); got != int64(rep.Runs) {
+		t.Fatalf("soak_runs_total %d, want %d", got, rep.Runs)
+	}
+	if got := reg.Counter("optibfs_soak_injections_total", labels...).Value(); got != rep.Injections {
+		t.Fatalf("soak_injections_total %d, want %d", got, rep.Injections)
+	}
+	if got := reg.Counter("optibfs_soak_failures_total", labels...).Value(); got != int64(rep.Failures) {
+		t.Fatalf("soak_failures_total %d, want %d", got, rep.Failures)
 	}
 }

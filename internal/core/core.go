@@ -113,8 +113,17 @@ type Options struct {
 	PersistentWorkers bool
 	// TraceCapacity, when positive, records up to this many dispatch
 	// events (fetches, steal attempts with outcomes) per worker into
-	// Result.Events for offline analysis. 0 disables tracing.
+	// Result.Events for offline analysis. 0 disables tracing. Events
+	// past the capacity are dropped and counted in Result.EventsDropped.
 	TraceCapacity int
+	// LevelTimeline records one LevelStat per BFS level into
+	// Result.LevelStats: frontier size, per-level work and steal
+	// deltas, and wall time, captured at the level barriers where the
+	// happens-before edge already exists. Costs one counter sweep and
+	// one clock read per level (never per vertex or edge); the
+	// timeline storage is pooled, so warm engine runs stay
+	// allocation-free. Ignored by the serial engine.
+	LevelTimeline bool
 	// TrackParents records a BFS parent for every reached vertex using
 	// the arbitrary-concurrent-write discipline the paper cites from
 	// Blelloch & Maggs (§IV-D): racing discoverers may each store their
@@ -234,6 +243,13 @@ type Result struct {
 	// Events holds each worker's recorded dispatch events when
 	// Options.TraceCapacity was set (nil otherwise).
 	Events [][]Event
+	// EventsDropped counts, per worker, the dispatch events that did
+	// not fit in the trace buffer (nil unless tracing was enabled).
+	// A non-zero entry flags that worker's Events as truncated.
+	EventsDropped []int64
+	// LevelStats is the per-level run timeline when
+	// Options.LevelTimeline was set (nil otherwise).
+	LevelStats []LevelStat
 }
 
 // Duplicates returns the number of duplicate explorations.

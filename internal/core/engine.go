@@ -3,6 +3,8 @@ package core
 import (
 	"context"
 	"fmt"
+	"runtime/pprof"
+	"strconv"
 
 	"optibfs/internal/graph"
 	"optibfs/internal/rng"
@@ -94,7 +96,7 @@ func NewEngine(g *graph.CSR, algo Algorithm, opt Options) (*Engine, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown algorithm %q", algo)
 	}
-	return &Engine{g: g, algo: algo, opt: opt, impl: newParEngine(g, opt, bf)}, nil
+	return &Engine{g: g, algo: algo, opt: opt, impl: newParEngine(g, opt, bf, algo)}, nil
 }
 
 // Run executes one search from src, reusing the engine's pooled state.
@@ -187,12 +189,12 @@ type parEngine struct {
 	pool *runPool
 }
 
-func newParEngine(g *graph.CSR, opt Options, bf bindFunc) *parEngine {
+func newParEngine(g *graph.CSR, opt Options, bf bindFunc, algo Algorithm) *parEngine {
 	st := allocState(g, opt)
 	e := &parEngine{st: st}
 	e.b = bf(st)
 	if opt.PersistentWorkers {
-		e.pool = newRunPool(st, e.b.setup, e.b.perLevel)
+		e.pool = newRunPool(st, e.b.setup, e.b.perLevel, algo)
 	}
 	return e
 }
@@ -250,17 +252,19 @@ type runPool struct {
 	st       *state
 	setup    func()
 	perLevel func(id int)
-	gate     *barrier // p workers + the caller
-	level    *barrier // p workers
-	stop     bool     // set by close before its gate pass
-	done     bool     // current search finished; written by worker 0
+	algo     Algorithm // pprof label on the worker goroutines
+	gate     *barrier  // p workers + the caller
+	level    *barrier  // p workers
+	stop     bool      // set by close before its gate pass
+	done     bool      // current search finished; written by worker 0
 }
 
-func newRunPool(st *state, setup func(), perLevel func(id int)) *runPool {
+func newRunPool(st *state, setup func(), perLevel func(id int), algo Algorithm) *runPool {
 	pw := &runPool{
 		st:       st,
 		setup:    setup,
 		perLevel: perLevel,
+		algo:     algo,
 		gate:     newBarrier(st.opt.Workers + 1),
 		level:    newBarrier(st.opt.Workers),
 	}
@@ -272,16 +276,28 @@ func newRunPool(st *state, setup func(), perLevel func(id int)) *runPool {
 
 func (pw *runPool) worker(id int) {
 	st := pw.st
+	// Label the goroutine so CPU profiles attribute samples to the
+	// algorithm and worker, and split search time from gate parking.
+	// Both label sets are built once here; swapping between them is a
+	// pointer store in the runtime, so the per-search cost is two
+	// SetGoroutineLabels calls and the steady state allocates nothing.
+	idle := pprof.WithLabels(context.Background(), pprof.Labels(
+		"algo", string(pw.algo), "worker", strconv.Itoa(id), "level-phase", "idle"))
+	search := pprof.WithLabels(context.Background(), pprof.Labels(
+		"algo", string(pw.algo), "worker", strconv.Itoa(id), "level-phase", "search"))
+	pprof.SetGoroutineLabels(idle)
 	for {
 		pw.gate.wait() // park until a search arrives (or close)
 		if pw.stop {
 			return
 		}
+		pprof.SetGoroutineLabels(search)
 		for !pw.done {
 			pw.perLevel(id)
 			pw.level.wait() // all workers finished the level
 			if id == 0 {
 				st.auditLevel()
+				st.recordLevel()
 				st.level++
 				st.swap()
 				if st.volume() == 0 || st.canceled() {
@@ -292,6 +308,7 @@ func (pw *runPool) worker(id int) {
 			}
 			pw.level.wait() // transition published to everyone
 		}
+		pprof.SetGoroutineLabels(idle)
 		pw.gate.wait() // hand the state back to the caller
 	}
 }
@@ -316,4 +333,3 @@ func (pw *runPool) close() {
 	pw.stop = true
 	pw.gate.wait()
 }
-

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"optibfs/internal/graph"
 	"optibfs/internal/stats"
@@ -60,7 +61,17 @@ type state struct {
 
 	counters []stats.PaddedCounters
 	events   [][]Event // per-worker dispatch traces; nil unless enabled
+	dropped  []int64   // per-worker events dropped on full buffers
 	level    int32     // current BFS level being produced (dist of children)
+
+	// Per-level timeline (Options.LevelTimeline): lvl is the pooled
+	// LevelStat storage recordLevel appends to at each level barrier,
+	// lvlPrev the previous barrier's cumulative counter sum, lvlStart
+	// the previous barrier's clock reading.
+	timeline bool
+	lvl      []LevelStat
+	lvlPrev  stats.Counters
+	lvlStart time.Time
 
 	// res and levelSizes are the pooled Result storage finish() fills;
 	// a Result handed out is valid only until the state's next run.
@@ -130,6 +141,7 @@ func allocState(g *graph.CSR, opt Options) *state {
 		st.out[i] = make([]int32, 0, 256)
 	}
 	st.initTrace()
+	st.initTimeline()
 	return st
 }
 
@@ -157,6 +169,10 @@ func (st *state) beginRun(src int32) {
 	for i := range st.events {
 		st.events[i] = st.events[i][:0]
 	}
+	for i := range st.dropped {
+		st.dropped[i] = 0
+	}
+	st.beginTimeline()
 	// Seed: the source sits in worker 0's queue; all other queues are
 	// empty (a single sentinel slot).
 	st.in[0].buf = append(st.in[0].buf[:0], src+1, emptySlot)
@@ -291,6 +307,7 @@ func (st *state) runLevels(setup func(), perLevel func(id int)) *Result {
 		}
 		wg.Wait()
 		st.auditLevel()
+		st.recordLevel()
 		st.level++
 		st.swap()
 	}
@@ -316,15 +333,16 @@ func (st *state) finish() *Result {
 	}
 	res := &st.res
 	*res = Result{
-		Dist:       st.dist,
-		Parent:     st.parent,
-		Levels:     st.level,
-		Workers:    st.opt.Workers,
-		Counters:   total,
-		PerWorker:  st.counters,
-		Pops:       total.VerticesPopped,
-		LevelSizes: st.levelSizes,
-		Events:     st.events,
+		Dist:          st.dist,
+		Parent:        st.parent,
+		Levels:        st.level,
+		Workers:       st.opt.Workers,
+		Counters:      total,
+		PerWorker:     st.counters,
+		Pops:          total.VerticesPopped,
+		LevelSizes:    st.levelSizes,
+		Events:        st.events,
+		EventsDropped: st.dropped,
 	}
 	cur := st.cur
 	for v := int32(0); v < st.g.NumVertices(); v++ {
@@ -344,6 +362,7 @@ func (st *state) finish() *Result {
 			res.LevelSizes[d]++
 		}
 	}
+	st.finishTimeline(res)
 	return res
 }
 

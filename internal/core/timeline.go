@@ -1,0 +1,112 @@
+package core
+
+// Per-level run timelines: when Options.LevelTimeline is set, the
+// engine records one LevelStat per BFS level, assembled at the level
+// barrier where the happens-before edge already makes plain reads of
+// every worker's counters safe. Recording costs one counter sweep and
+// one clock read per *level* (never per vertex or edge), and the
+// backing slice is pooled on the engine like all other per-run state,
+// so warm runs stay allocation-free.
+
+import (
+	"time"
+
+	"optibfs/internal/stats"
+)
+
+// LevelStat is one BFS level of a run's timeline. All counter fields
+// are per-level deltas (the difference of the cumulative worker-counter
+// sums at the level's two barriers), so summing a field over the
+// timeline reproduces the run total.
+type LevelStat struct {
+	// Level is the BFS depth this entry describes (0 = the source level).
+	Level int32
+	// Frontier is the number of input-queue entries the level started
+	// with, counting duplicate appends — the work the dispatchers see,
+	// as opposed to LevelSizes' distinct vertex count.
+	Frontier int64
+	// Pops is the number of queue entries explored during the level,
+	// including duplicate explorations.
+	Pops int64
+	// Duplicates is the duplicate-exploration count for the level:
+	// Pops minus the number of distinct vertices at this depth.
+	Duplicates int64
+	// Discovered is how many vertices the level newly discovered.
+	Discovered int64
+	// EdgesScanned is the number of adjacency entries examined.
+	EdgesScanned int64
+	// Fetches is the number of successful segment fetches.
+	Fetches int64
+	// StealOK and StealFailed split the level's steal attempts by
+	// outcome (the failure taxonomy's sum, Table VI).
+	StealOK     int64
+	StealFailed int64
+	// WallNanos is the level's wall-clock duration on this host,
+	// measured barrier to barrier.
+	WallNanos int64
+}
+
+// initTimeline sizes the pooled timeline storage when enabled.
+func (st *state) initTimeline() {
+	if !st.opt.LevelTimeline {
+		return
+	}
+	st.timeline = true
+	st.lvl = make([]LevelStat, 0, 32)
+}
+
+// beginTimeline re-primes the pooled timeline for a new run.
+func (st *state) beginTimeline() {
+	if !st.timeline {
+		return
+	}
+	st.lvl = st.lvl[:0]
+	st.lvlPrev = stats.Counters{}
+	st.lvlStart = time.Now()
+}
+
+// recordLevel captures the finished level's stats. It runs between the
+// level's work barrier and the swap (single goroutine, all workers
+// quiesced), so plain reads of the per-worker counters are ordered
+// after every write of the level.
+func (st *state) recordLevel() {
+	if !st.timeline {
+		return
+	}
+	now := time.Now()
+	sum := stats.Sum(st.counters)
+	d := sum
+	d.Sub(&st.lvlPrev)
+	st.lvl = append(st.lvl, LevelStat{
+		Level:        st.level,
+		Frontier:     st.volume(),
+		Pops:         d.VerticesPopped,
+		Discovered:   d.Discovered,
+		EdgesScanned: d.EdgesScanned,
+		Fetches:      d.Fetches,
+		StealOK:      d.StealSuccess,
+		StealFailed:  d.FailedSteals(),
+		WallNanos:    now.Sub(st.lvlStart).Nanoseconds(),
+	})
+	st.lvlPrev = sum
+	st.lvlStart = now
+}
+
+// finishTimeline fills the fields that need the completed run — the
+// per-level duplicate counts, which compare pops against the distinct
+// vertex count finish() derives — and publishes the timeline on res.
+func (st *state) finishTimeline(res *Result) {
+	if !st.timeline {
+		return
+	}
+	for i := range st.lvl {
+		ls := &st.lvl[i]
+		ls.Duplicates = 0
+		if int(ls.Level) < len(res.LevelSizes) {
+			if dup := ls.Pops - res.LevelSizes[ls.Level]; dup > 0 {
+				ls.Duplicates = dup
+			}
+		}
+	}
+	res.LevelStats = st.lvl
+}

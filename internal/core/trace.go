@@ -68,16 +68,21 @@ func (st *state) initTrace() {
 	for i := range st.events {
 		st.events[i] = make([]Event, 0, st.opt.TraceCapacity)
 	}
+	st.dropped = make([]int64, st.opt.Workers)
 }
 
-// traceEvent appends an event to worker id's buffer (dropping once the
-// buffer is full; the cap keeps tracing allocation-free mid-run).
+// traceEvent appends an event to worker id's buffer. Once the buffer
+// fills, events are dropped — the cap keeps tracing allocation-free
+// mid-run — but every drop is counted per worker and surfaced on
+// Result.EventsDropped, so a trace analysis can tell a genuinely quiet
+// worker from a truncated timeline.
 func (st *state) traceEvent(id int, kind EventKind, victim int, value int64) {
 	if st.events == nil {
 		return
 	}
 	buf := st.events[id]
 	if len(buf) >= cap(buf) {
+		st.dropped[id]++
 		return
 	}
 	st.events[id] = append(buf, Event{

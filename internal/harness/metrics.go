@@ -1,0 +1,61 @@
+package harness
+
+import (
+	"optibfs/internal/core"
+	"optibfs/internal/obs"
+)
+
+// cellPublisher feeds one cell's runs into an obs.Registry. Metric
+// handles are resolved once per cell, and every publish happens after
+// the measured region (and after the engine's own level barriers), so
+// wiring a registry into a Config perturbs neither the timings nor the
+// lockfree protocols being measured. A nil registry makes every method
+// a no-op.
+type cellPublisher struct {
+	reg     *obs.Registry
+	algoL   obs.Label
+	runs    *obs.Counter
+	runSec  *obs.Histogram
+	modSec  *obs.Histogram
+	lastLvl *obs.Gauge
+}
+
+// newCellPublisher resolves the per-cell metric handles.
+func newCellPublisher(reg *obs.Registry, algo string) *cellPublisher {
+	if reg == nil {
+		return nil
+	}
+	reg.SetHelp("optibfs_runs_total", "Completed BFS source runs.")
+	reg.SetHelp("optibfs_run_seconds", "Measured wall time per BFS source run.")
+	reg.SetHelp("optibfs_modeled_seconds", "Cost-model time per BFS source run.")
+	reg.SetHelp("optibfs_cell_modeled_teps", "Figure-3 aggregate TEPS of the last finished cell.")
+	algoL := obs.L("algo", algo)
+	return &cellPublisher{
+		reg:     reg,
+		algoL:   algoL,
+		runs:    reg.Counter("optibfs_runs_total", algoL),
+		runSec:  reg.Histogram("optibfs_run_seconds", nil, algoL),
+		modSec:  reg.Histogram("optibfs_modeled_seconds", nil, algoL),
+		lastLvl: reg.Gauge("optibfs_last_levels", algoL),
+	}
+}
+
+// run publishes one source run.
+func (p *cellPublisher) run(res *core.Result, elapsed, modeled float64) {
+	if p == nil {
+		return
+	}
+	p.runs.Inc()
+	p.runSec.Observe(elapsed)
+	p.modSec.Observe(modeled)
+	p.lastLvl.Set(float64(res.Levels))
+	obs.AddCounters(p.reg, "optibfs_", &res.Counters, p.algoL)
+}
+
+// cell publishes the finished cell's aggregate rate.
+func (p *cellPublisher) cell(c *Cell) {
+	if p == nil {
+		return
+	}
+	p.reg.Gauge("optibfs_cell_modeled_teps", p.algoL).Set(c.ModeledTEPS)
+}

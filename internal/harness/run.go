@@ -7,6 +7,7 @@ import (
 	"optibfs/internal/core"
 	"optibfs/internal/costmodel"
 	"optibfs/internal/graph"
+	"optibfs/internal/obs"
 	"optibfs/internal/rng"
 	"optibfs/internal/stats"
 )
@@ -27,6 +28,12 @@ type Config struct {
 	Seed uint64
 	// Opt is the base algorithm options (Workers/Seed are overridden).
 	Opt core.Options
+	// Registry, when non-nil, receives per-run metrics as cells execute:
+	// optibfs_runs_total, optibfs_run_seconds / optibfs_modeled_seconds
+	// histograms, and every stats.Counters field as
+	// optibfs_<field>_total, all labeled {algo=...}. Publishing happens
+	// at run boundaries only, never inside the measured region.
+	Registry *obs.Registry
 }
 
 // WithDefaults fills unset fields.
@@ -49,18 +56,33 @@ func (c Config) WithDefaults() Config {
 	return c
 }
 
-// PickSources samples `count` random sources with non-zero out-degree
-// (the paper: "1000 random non-zero degree source vertices"). If the
-// graph has none, vertex 0 is used.
+// PickSources samples `count` distinct random sources with non-zero
+// out-degree (the paper: "1000 random non-zero degree source
+// vertices"). Sampling rejects duplicates, so a cell never measures
+// the same source twice and silently weights it double. If rejection
+// sampling cannot fill the quota — a graph with fewer non-isolated
+// vertices than count — a deterministic scan collects every remaining
+// distinct candidate and the result is simply shorter than count. A
+// graph with no non-isolated vertices at all falls back to vertex 0.
 func PickSources(g *graph.CSR, count int, seed uint64) []int32 {
 	r := rng.NewXoshiro256(seed)
 	n := g.NumVertices()
 	out := make([]int32, 0, count)
+	seen := make(map[int32]struct{}, count)
 	for tries := 0; len(out) < count && tries < count*100; tries++ {
 		v := r.Int32n(n)
-		if g.OutDegree(v) > 0 {
-			out = append(out, v)
+		if _, dup := seen[v]; dup || g.OutDegree(v) == 0 {
+			continue
 		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	for v := int32(0); v < n && len(out) < count; v++ {
+		if _, dup := seen[v]; dup || g.OutDegree(v) == 0 {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
 	}
 	if len(out) == 0 {
 		out = append(out, 0)
@@ -76,7 +98,11 @@ type Cell struct {
 	MeasuredMS float64
 	// ModeledMS is the cost-model mean per source for Config.Machine.
 	ModeledMS float64
-	// ModeledTEPS is edges traversed / modeled seconds (Figure 3).
+	// ModeledTEPS is total edges traversed divided by total modeled
+	// seconds across all sources (Figure 3) — the Graph500 convention,
+	// equivalent to the harmonic mean of per-source rates weighted by
+	// edges. It is NOT the arithmetic mean of per-source TEPS, which
+	// overweights fast runs on small BFS trees.
 	ModeledTEPS float64
 	// Counters aggregates all sources' runs.
 	Counters stats.Counters
@@ -107,7 +133,9 @@ func RunCell(g *graph.CSR, algo AlgoSpec, cfg Config) (Cell, error) {
 		return cell, fmt.Errorf("harness: %s: %w", algo.Name, err)
 	}
 	defer runner.Close()
-	var measured, modeled, teps float64
+	pub := newCellPublisher(cfg.Registry, algo.Name)
+	var measured, modeled float64
+	var edges int64
 	for i, src := range sources {
 		runner.Reseed(cfg.Seed + uint64(i)*0x9e37 + 1)
 		start := time.Now()
@@ -119,17 +147,22 @@ func RunCell(g *graph.CSR, algo AlgoSpec, cfg Config) (Cell, error) {
 		model := costmodel.Modeled(cfg.Machine, shape, res)
 		measured += elapsed
 		modeled += model
-		teps += stats.TEPS(res.EdgesTraversed, model)
+		edges += res.EdgesTraversed
 		cell.Counters.Add(&res.Counters)
 		cell.Levels += float64(res.Levels)
 		cell.Reached += float64(res.Reached)
 		cell.Duplicates += float64(res.Duplicates())
 		cell.Runs++
+		pub.run(res, elapsed, model)
 	}
 	k := float64(cell.Runs)
 	cell.MeasuredMS = measured / k * 1e3
 	cell.ModeledMS = modeled / k * 1e3
-	cell.ModeledTEPS = teps / k
+	// Figure 3's aggregate rate: total edges over total modeled time.
+	// Averaging per-source TEPS instead would let cheap sources (tiny
+	// BFS trees with high instantaneous rates) dominate the figure.
+	cell.ModeledTEPS = stats.TEPS(edges, modeled)
+	pub.cell(&cell)
 	cell.Levels /= k
 	cell.Reached /= k
 	cell.Duplicates /= k

@@ -1,0 +1,158 @@
+package harness
+
+import (
+	"math"
+	"testing"
+
+	"optibfs/internal/core"
+	"optibfs/internal/costmodel"
+	"optibfs/internal/graph"
+	"optibfs/internal/obs"
+	"optibfs/internal/stats"
+)
+
+// tepsTestGraph builds a directed graph where exactly two vertices have
+// non-zero out-degree, so a two-source cell deterministically measures
+// both: vertex 0 is a 999-edge star hub (a big, cheap-per-edge run) and
+// vertex 1000 reaches a single neighbor (a tiny run whose per-source
+// TEPS is far below the hub's). The asymmetry is the point: the two
+// aggregation conventions disagree materially on it.
+func tepsTestGraph(t *testing.T) *graph.CSR {
+	t.Helper()
+	var edges []graph.Edge
+	for v := int32(1); v <= 999; v++ {
+		edges = append(edges, graph.Edge{Src: 0, Dst: v})
+	}
+	edges = append(edges, graph.Edge{Src: 1000, Dst: 1001})
+	g, err := graph.FromEdges(1002, edges, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestRunCellTEPSAggregation is the Figure-3 regression test: a cell's
+// ModeledTEPS must be total-edges over total-modeled-seconds, not the
+// arithmetic mean of per-source TEPS. It recomputes both conventions
+// from per-source ground truth (serial BFS is deterministic) and fails
+// on the mean — which the harness shipped until this test existed.
+func TestRunCellTEPSAggregation(t *testing.T) {
+	g := tepsTestGraph(t)
+	algo := TableAlgos[0] // sbfs: deterministic, cost model has no RNG terms
+	if !algo.IsSerial() {
+		t.Fatalf("TableAlgos[0] is %s, expected the serial baseline", algo.Name)
+	}
+	cfg := Config{Workers: 1, Sources: 2, Seed: 5}
+	cell, err := RunCell(g, algo, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.Runs != 2 {
+		t.Fatalf("cell ran %d sources, want 2 (hub and tiny component)", cell.Runs)
+	}
+
+	// Ground truth per source: the only two non-isolated vertices.
+	machine := cfg.WithDefaults().Machine
+	var edges int64
+	var modeled float64
+	var rates []float64
+	for _, src := range []int32{0, 1000} {
+		res, err := algo.Run(g, src, core.Options{Workers: 1, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		model := costmodel.Modeled(machine, algo.Shape(), res)
+		edges += res.EdgesTraversed
+		modeled += model
+		rates = append(rates, stats.TEPS(res.EdgesTraversed, model))
+	}
+	want := stats.TEPS(edges, modeled)
+	oldMean := (rates[0] + rates[1]) / 2
+
+	if relDiff(cell.ModeledTEPS, want) > 1e-9 {
+		t.Fatalf("ModeledTEPS = %g, want Σedges/Σseconds = %g", cell.ModeledTEPS, want)
+	}
+	// The fixture must keep the two conventions distinguishable; if a
+	// cost-model change ever collapses them, this test stops guarding
+	// anything and needs a new fixture.
+	if relDiff(want, oldMean) < 1e-3 {
+		t.Fatalf("fixture too symmetric: aggregate %g vs per-source mean %g", want, oldMean)
+	}
+	if relDiff(cell.ModeledTEPS, oldMean) < 1e-3 {
+		t.Fatalf("ModeledTEPS %g matches the arithmetic-mean convention %g", cell.ModeledTEPS, oldMean)
+	}
+}
+
+// relDiff returns |a-b| relative to |b|.
+func relDiff(a, b float64) float64 {
+	if b == 0 {
+		return math.Abs(a)
+	}
+	return math.Abs(a-b) / math.Abs(b)
+}
+
+// TestPickSourcesDistinct checks sampling never returns the same source
+// twice (duplicates would double-weight a source in every cell mean).
+func TestPickSourcesDistinct(t *testing.T) {
+	spec, _ := SpecByName("wikipedia")
+	g, err := spec.Generate(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := PickSources(g, 50, 123)
+	seen := make(map[int32]bool, len(srcs))
+	for _, s := range srcs {
+		if seen[s] {
+			t.Fatalf("source %d sampled twice in %v", s, srcs)
+		}
+		seen[s] = true
+	}
+	if len(srcs) != 50 {
+		t.Fatalf("got %d sources, want 50", len(srcs))
+	}
+}
+
+// TestPickSourcesFewerCandidatesThanRequested checks the graceful
+// fallback: a graph with only two non-isolated vertices yields exactly
+// those two, not count copies of them.
+func TestPickSourcesFewerCandidatesThanRequested(t *testing.T) {
+	g := tepsTestGraph(t)
+	srcs := PickSources(g, 10, 77)
+	if len(srcs) != 2 {
+		t.Fatalf("got %v, want exactly the two non-isolated vertices", srcs)
+	}
+	got := map[int32]bool{srcs[0]: true, srcs[1]: true}
+	if !got[0] || !got[1000] {
+		t.Fatalf("got %v, want {0, 1000}", srcs)
+	}
+}
+
+// TestRunCellPublishesMetrics wires a registry into a cell and checks
+// the per-run series arrive with the algo label.
+func TestRunCellPublishesMetrics(t *testing.T) {
+	spec, _ := SpecByName("cage14")
+	g, err := spec.Generate(2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.New()
+	cfg := tinyConfig()
+	cfg.Registry = reg
+	cell, err := RunCell(g, TableAlgos[2], cfg) // BFS_CL
+	if err != nil {
+		t.Fatal(err)
+	}
+	algoL := obs.L("algo", TableAlgos[2].Name)
+	if got := reg.Counter("optibfs_runs_total", algoL).Value(); got != int64(cell.Runs) {
+		t.Fatalf("runs_total %d, want %d", got, cell.Runs)
+	}
+	if got := reg.Histogram("optibfs_run_seconds", nil, algoL).Count(); got != int64(cell.Runs) {
+		t.Fatalf("run_seconds count %d, want %d", got, cell.Runs)
+	}
+	if got := reg.Counter("optibfs_edges_scanned_total", algoL).Value(); got != cell.Counters.EdgesScanned {
+		t.Fatalf("bridged edges_scanned %d, want %d", got, cell.Counters.EdgesScanned)
+	}
+	if got := reg.Gauge("optibfs_cell_modeled_teps", algoL).Value(); got != cell.ModeledTEPS {
+		t.Fatalf("cell TEPS gauge %g, want %g", got, cell.ModeledTEPS)
+	}
+}

@@ -1,0 +1,79 @@
+package obs
+
+import (
+	"reflect"
+	"sync"
+
+	"optibfs/internal/stats"
+)
+
+// The stats.Counters bridge: every int64 field of the per-run counter
+// bundle becomes a registry counter named
+// <prefix><snake_case_field>_total. The field list is discovered by
+// reflection once, so a counter added to stats.Counters shows up in the
+// exposition without this package changing — the same no-silent-drift
+// property the PaddedCounters padding now has.
+
+// counterField is one reflected stats.Counters field.
+type counterField struct {
+	index  int
+	metric string // snake_case field name
+}
+
+var (
+	counterFieldsOnce sync.Once
+	counterFields     []counterField
+)
+
+// fields enumerates the int64 fields of stats.Counters (cached).
+func fields() []counterField {
+	counterFieldsOnce.Do(func() {
+		t := reflect.TypeOf(stats.Counters{})
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if f.Type.Kind() != reflect.Int64 {
+				continue
+			}
+			counterFields = append(counterFields, counterField{index: i, metric: snake(f.Name)})
+		}
+	})
+	return counterFields
+}
+
+// snake converts a Go field name to snake_case, keeping acronym runs
+// together: VerticesPopped → vertices_popped, AtomicRMW → atomic_rmw.
+func snake(s string) string {
+	b := make([]byte, 0, len(s)+4)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'A' && c <= 'Z' {
+			prevLower := i > 0 && s[i-1] >= 'a' && s[i-1] <= 'z'
+			nextLower := i+1 < len(s) && s[i+1] >= 'a' && s[i+1] <= 'z'
+			if i > 0 && (prevLower || (isUpper(s[i-1]) && nextLower)) {
+				b = append(b, '_')
+			}
+			c += 'a' - 'A'
+		}
+		b = append(b, c)
+	}
+	return string(b)
+}
+
+// isUpper reports whether c is an ASCII uppercase letter.
+func isUpper(c byte) bool { return c >= 'A' && c <= 'Z' }
+
+// AddCounters accumulates one run's stats.Counters into the registry:
+// each field is added to the counter series
+// "<prefix><snake_field>_total" with the given labels. Per-run counters
+// are already deltas (the engine resets them every run), so calling
+// this once per run yields correct monotone totals. Called at run
+// boundaries only — the reflection walk is 21 field loads, far off any
+// hot path.
+func AddCounters(r *Registry, prefix string, c *stats.Counters, labels ...Label) {
+	v := reflect.ValueOf(c).Elem()
+	for _, f := range fields() {
+		if n := v.Field(f.index).Int(); n != 0 {
+			r.Counter(prefix+f.metric+"_total", labels...).Add(n)
+		}
+	}
+}

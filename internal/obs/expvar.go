@@ -1,0 +1,45 @@
+package obs
+
+import (
+	"expvar"
+	"sync/atomic"
+)
+
+// PublishExpvar exposes the registry under one expvar name as a map of
+// series key → value (counters and gauges as numbers, histograms as
+// {sum, count}). The closure re-reads the registry on every /debug/vars
+// hit, so series registered after publication appear automatically.
+// Publishing an already-published name is a no-op (expvar panics on
+// duplicates; tests and repeated servers should not).
+func PublishExpvar(name string, r *Registry) {
+	if expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any {
+		out := map[string]any{}
+		for _, m := range r.snapshot() {
+			key := seriesKey(m.name, m.labels)
+			switch m.kind {
+			case KindCounter:
+				out[key] = m.c.Value()
+			case KindGauge:
+				out[key] = m.g.Value()
+			case KindHistogram:
+				buckets := make(map[string]int64, len(m.h.bounds)+1)
+				var cum int64
+				for i, ub := range m.h.bounds {
+					cum += atomic.LoadInt64(&m.h.counts[i])
+					buckets[formatFloat(ub)] = cum
+				}
+				cum += atomic.LoadInt64(&m.h.counts[len(m.h.bounds)])
+				buckets["+Inf"] = cum
+				out[key] = map[string]any{
+					"sum":     m.h.Sum(),
+					"count":   m.h.Count(),
+					"buckets": buckets,
+				}
+			}
+		}
+		return out
+	}))
+}

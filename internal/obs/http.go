@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// Live exposition: a tiny stdlib-only HTTP server mounting the
+// Prometheus text endpoint, expvar, and pprof. It deliberately uses
+// explicit handler registrations on a private mux instead of importing
+// net/http/pprof and expvar for their DefaultServeMux side effects —
+// the tools decide what they expose, and tests can run several servers
+// in one process.
+
+// NewServeMux returns a mux serving the registry:
+//
+//	/metrics           Prometheus text exposition (format 0.0.4)
+//	/debug/vars        expvar JSON (includes the registry when published)
+//	/debug/pprof/...   runtime profiles; goroutine labels set by the
+//	                   engines (algo, worker, level-phase) appear in
+//	                   CPU and goroutine profiles
+func NewServeMux(r *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		WriteProm(w, r)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Server is a running exposition endpoint.
+type Server struct {
+	// Addr is the bound listen address (useful with ":0").
+	Addr string
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the exposition endpoint on addr (e.g. "localhost:9090"
+// or ":0" for an ephemeral port) and returns once the listener is
+// bound; requests are served on a background goroutine until Close.
+func Serve(addr string, r *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: NewServeMux(r)}
+	go srv.Serve(ln)
+	return &Server{Addr: ln.Addr().String(), ln: ln, srv: srv}, nil
+}
+
+// Close stops the server and releases the listener.
+func (s *Server) Close() error {
+	return s.srv.Close()
+}

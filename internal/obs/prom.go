@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+	"sync/atomic"
+)
+
+// WriteProm renders the registry in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, each preceded by its
+// HELP (when set) and TYPE lines, series within a family sorted by
+// label set. The ordering is total and deterministic, so the output is
+// golden-testable.
+func WriteProm(w io.Writer, r *Registry) error {
+	bw := bufio.NewWriter(w)
+	var lastFamily string
+	for _, m := range r.snapshot() {
+		if m.name != lastFamily {
+			lastFamily = m.name
+			if help := r.helpFor(m.name); help != "" {
+				bw.WriteString("# HELP ")
+				bw.WriteString(m.name)
+				bw.WriteByte(' ')
+				bw.WriteString(strings.ReplaceAll(help, "\n", " "))
+				bw.WriteByte('\n')
+			}
+			bw.WriteString("# TYPE ")
+			bw.WriteString(m.name)
+			bw.WriteByte(' ')
+			bw.WriteString(m.kind.String())
+			bw.WriteByte('\n')
+		}
+		switch m.kind {
+		case KindCounter:
+			writeSeries(bw, m.name, m.labels, nil, formatInt(m.c.Value()))
+		case KindGauge:
+			writeSeries(bw, m.name, m.labels, nil, formatFloat(m.g.Value()))
+		case KindHistogram:
+			h := m.h
+			var cum int64
+			for i, ub := range h.bounds {
+				cum += atomic.LoadInt64(&h.counts[i])
+				writeSeries(bw, m.name+"_bucket", m.labels,
+					[]Label{{Key: "le", Value: formatFloat(ub)}}, formatInt(cum))
+			}
+			cum += atomic.LoadInt64(&h.counts[len(h.bounds)])
+			writeSeries(bw, m.name+"_bucket", m.labels,
+				[]Label{{Key: "le", Value: "+Inf"}}, formatInt(cum))
+			writeSeries(bw, m.name+"_sum", m.labels, nil, formatFloat(h.Sum()))
+			writeSeries(bw, m.name+"_count", m.labels, nil, formatInt(h.Count()))
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSeries emits one "name{labels} value" line. extra labels (the
+// histogram "le") are appended after the series' own labels.
+func writeSeries(bw *bufio.Writer, name string, labels, extra []Label, value string) {
+	bw.WriteString(name)
+	if len(labels)+len(extra) > 0 {
+		bw.WriteByte('{')
+		n := 0
+		for _, l := range labels {
+			if n > 0 {
+				bw.WriteByte(',')
+			}
+			n++
+			bw.WriteString(l.Key)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabel(l.Value))
+			bw.WriteByte('"')
+		}
+		for _, l := range extra {
+			if n > 0 {
+				bw.WriteByte(',')
+			}
+			n++
+			bw.WriteString(l.Key)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabel(l.Value))
+			bw.WriteByte('"')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(value)
+	bw.WriteByte('\n')
+}
+
+// formatInt renders an integer sample value.
+func formatInt(v int64) string { return strconv.FormatInt(v, 10) }
+
+// formatFloat renders a float sample value the way Prometheus clients
+// do: shortest round-trip representation, with NaN/Inf spelled out.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsNaN(v):
+		return "NaN"
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

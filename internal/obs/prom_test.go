@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// -update regenerates the golden files from the current exporters.
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// checkGolden compares got against testdata/<name>, rewriting the file
+// under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("output differs from %s\n--- got ---\n%s\n--- want ---\n%s", path, got, want)
+	}
+}
+
+// promTestRegistry builds a registry exercising all three kinds, labels,
+// escaping, and help text.
+func promTestRegistry() *Registry {
+	r := New()
+	r.SetHelp("optibfs_run_seconds", "BFS run wall time in seconds.")
+	r.SetHelp("optibfs_runs_total", "Completed BFS runs.")
+	h := r.Histogram("optibfs_run_seconds", []float64{0.001, 0.01, 0.1}, L("algo", "BFS_WS"))
+	h.Observe(0.0005)
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.5)
+	r.Counter("optibfs_runs_total", L("algo", "BFS_C")).Add(2)
+	r.Counter("optibfs_runs_total", L("algo", "BFS_WS")).Add(5)
+	r.Counter("optibfs_events_dropped_total", L("note", `line1"quoted"`+"\nline2")).Add(7)
+	r.Gauge("optibfs_up").Set(1)
+	r.Gauge("optibfs_last_teps", L("algo", "BFS_WS")).Set(1.25e8)
+	return r
+}
+
+// TestWritePromGolden pins the full exposition byte-for-byte: family
+// grouping, HELP/TYPE lines, sorted series, cumulative buckets,
+// escaping, and number formatting.
+func TestWritePromGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteProm(&buf, promTestRegistry()); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "prom.golden", buf.Bytes())
+}
+
+// TestWritePromDeterministic renders the same registry twice; the
+// golden test is meaningless if the ordering can wobble.
+func TestWritePromDeterministic(t *testing.T) {
+	r := promTestRegistry()
+	var a, b bytes.Buffer
+	if err := WriteProm(&a, r); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteProm(&b, r); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("two renders of one registry differ")
+	}
+}

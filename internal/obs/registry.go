@@ -1,0 +1,292 @@
+// Package obs is the repository's observability layer: a lightweight
+// metrics registry (counters, gauges, histograms) with Prometheus text
+// and expvar exposition, a Chrome trace_event exporter for the engines'
+// dispatch traces and level timelines, and a live HTTP exposition
+// endpoint with pprof.
+//
+// Design: the BFS hot loops are never touched. The engines keep writing
+// their unsynchronized per-worker stats.Counters exactly as before;
+// callers (harness, soak, cmd tools) publish into a Registry only at
+// run or cell boundaries, where the level/gate barriers already order
+// the counter writes. The Registry itself is safe for concurrent use —
+// every metric value is a single atomic word — so a scrape racing a
+// publish observes a consistent, if momentarily stale, snapshot.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name="value" dimension attached to a metric series.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Kind classifies a metric family.
+type Kind int
+
+// Metric kinds, in exposition order.
+const (
+	// KindCounter is a monotonically increasing count.
+	KindCounter Kind = iota
+	// KindGauge is a value that can go up and down.
+	KindGauge
+	// KindHistogram is a bucketed distribution with sum and count.
+	KindHistogram
+)
+
+// String names the kind as Prometheus TYPE text.
+func (k Kind) String() string {
+	switch k {
+	case KindCounter:
+		return "counter"
+	case KindGauge:
+		return "gauge"
+	case KindHistogram:
+		return "histogram"
+	default:
+		return "untyped"
+	}
+}
+
+// Counter is a monotonic int64 metric. Safe for concurrent use.
+type Counter struct {
+	v int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { atomic.AddInt64(&c.v, 1) }
+
+// Add adds n (negative deltas are ignored to keep the series monotone).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		atomic.AddInt64(&c.v, n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return atomic.LoadInt64(&c.v) }
+
+// Gauge is a float64 metric that may move in both directions. Safe for
+// concurrent use.
+type Gauge struct {
+	bits uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { atomic.StoreUint64(&g.bits, math.Float64bits(v)) }
+
+// Add adds d (a CAS loop; gauges are updated at run boundaries, so
+// contention is negligible).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := atomic.LoadUint64(&g.bits)
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if atomic.CompareAndSwapUint64(&g.bits, old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(atomic.LoadUint64(&g.bits)) }
+
+// Histogram is a fixed-bucket distribution. Buckets are cumulative at
+// exposition time only; Observe touches exactly one bucket counter plus
+// the sum and count words.
+type Histogram struct {
+	bounds []float64 // upper bounds, ascending; +Inf implied
+	counts []int64   // len(bounds)+1, last is the overflow bucket
+	sum    Gauge
+	count  int64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	atomic.AddInt64(&h.counts[i], 1)
+	h.sum.Add(v)
+	atomic.AddInt64(&h.count, 1)
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 { return atomic.LoadInt64(&h.count) }
+
+// Sum returns the sum of all observed samples.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// DefSecondsBuckets is the default bucket ladder for run durations in
+// seconds (sub-millisecond searches through multi-second full-scale runs).
+var DefSecondsBuckets = []float64{
+	.0001, .00025, .0005, .001, .0025, .005, .01, .025, .05, .1, .25, .5, 1, 2.5, 5, 10,
+}
+
+// metric is one registered series: a family name + label set bound to
+// exactly one of the three value types.
+type metric struct {
+	name   string
+	labels []Label
+	kind   Kind
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Registry holds named metric series. The zero value is not usable;
+// call New. All methods are safe for concurrent use; the get-or-create
+// accessors take a mutex, so callers on hot paths should hold on to the
+// returned handle rather than re-resolving it per update.
+type Registry struct {
+	mu      sync.RWMutex
+	metrics map[string]*metric
+	help    map[string]string
+}
+
+// New creates an empty registry.
+func New() *Registry {
+	return &Registry{
+		metrics: make(map[string]*metric),
+		help:    make(map[string]string),
+	}
+}
+
+// SetHelp attaches HELP text to a metric family name.
+func (r *Registry) SetHelp(name, help string) {
+	r.mu.Lock()
+	r.help[name] = help
+	r.mu.Unlock()
+}
+
+// seriesKey renders the identity of a series: family name plus the
+// label set sorted by key.
+func seriesKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteString(`"`)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the Prometheus text format.
+func escapeLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+// sortLabels returns labels sorted by key (copying; callers' slices are
+// not mutated).
+func sortLabels(labels []Label) []Label {
+	if len(labels) < 2 {
+		return labels
+	}
+	out := append([]Label(nil), labels...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// lookup returns the series, creating it with build on first use. It
+// panics if the name+labels are already registered with another kind —
+// that is a programming error, like expvar's duplicate Publish.
+func (r *Registry) lookup(name string, labels []Label, kind Kind, build func() *metric) *metric {
+	labels = sortLabels(labels)
+	key := seriesKey(name, labels)
+	r.mu.RLock()
+	m := r.metrics[key]
+	r.mu.RUnlock()
+	if m == nil {
+		r.mu.Lock()
+		if m = r.metrics[key]; m == nil {
+			m = build()
+			m.name = name
+			m.labels = labels
+			m.kind = kind
+			r.metrics[key] = m
+		}
+		r.mu.Unlock()
+	}
+	if m.kind != kind {
+		panic(fmt.Sprintf("obs: %s registered as %s, requested as %s", key, m.kind, kind))
+	}
+	return m
+}
+
+// Counter returns the counter series for name+labels, creating it on
+// first use.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	return r.lookup(name, labels, KindCounter, func() *metric {
+		return &metric{c: &Counter{}}
+	}).c
+}
+
+// Gauge returns the gauge series for name+labels, creating it on first
+// use.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	return r.lookup(name, labels, KindGauge, func() *metric {
+		return &metric{g: &Gauge{}}
+	}).g
+}
+
+// Histogram returns the histogram series for name+labels, creating it
+// on first use with the given ascending upper bounds (nil selects
+// DefSecondsBuckets). Bounds are fixed at creation; later calls ignore
+// the argument.
+func (r *Registry) Histogram(name string, bounds []float64, labels ...Label) *Histogram {
+	return r.lookup(name, labels, KindHistogram, func() *metric {
+		if bounds == nil {
+			bounds = DefSecondsBuckets
+		}
+		bs := append([]float64(nil), bounds...)
+		return &metric{h: &Histogram{bounds: bs, counts: make([]int64, len(bs)+1)}}
+	}).h
+}
+
+// snapshot returns every registered series sorted by family name then
+// series key — the stable order both expositions render in.
+func (r *Registry) snapshot() []*metric {
+	r.mu.RLock()
+	out := make([]*metric, 0, len(r.metrics))
+	keys := make([]string, 0, len(r.metrics))
+	for k := range r.metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		out = append(out, r.metrics[k])
+	}
+	r.mu.RUnlock()
+	// Group series of one family together even when label-set ordering
+	// interleaves them with other families (e.g. "a{z=1}" > "a_b").
+	sort.SliceStable(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// helpFor returns the HELP text for a family, if set.
+func (r *Registry) helpFor(name string) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.help[name]
+}

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+
+	"optibfs/internal/stats"
+)
+
+// setField writes v into the index-th field of c by reflection, so the
+// bridge test stays in sync with the field list the bridge itself uses.
+func setField(t *testing.T, c *stats.Counters, index int, v int64) {
+	t.Helper()
+	reflect.ValueOf(c).Elem().Field(index).SetInt(v)
+}
+
+func TestCounterBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("runs_total")
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // ignored: counters are monotone
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter value %d, want 5", got)
+	}
+	if r.Counter("runs_total") != c {
+		t.Fatal("second lookup returned a different counter")
+	}
+}
+
+func TestGaugeBasics(t *testing.T) {
+	r := New()
+	g := r.Gauge("up")
+	g.Set(1)
+	g.Add(0.5)
+	g.Add(-2)
+	if got := g.Value(); got != -0.5 {
+		t.Fatalf("gauge value %v, want -0.5", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("run_seconds", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count %d, want 4", h.Count())
+	}
+	if got, want := h.Sum(), 5.555; got != want {
+		t.Fatalf("sum %v, want %v", got, want)
+	}
+	// One sample per bucket, including the +Inf overflow slot.
+	for i, c := range h.counts {
+		if c != 1 {
+			t.Fatalf("bucket %d count %d, want 1", i, c)
+		}
+	}
+	// A boundary value lands in its own bucket (le is inclusive).
+	h.Observe(0.01)
+	if h.counts[0] != 2 {
+		t.Fatalf("boundary sample not in first bucket: %v", h.counts)
+	}
+}
+
+func TestLabelOrderIrrelevant(t *testing.T) {
+	r := New()
+	a := r.Counter("x", L("b", "2"), L("a", "1"))
+	b := r.Counter("x", L("a", "1"), L("b", "2"))
+	if a != b {
+		t.Fatal("label order created distinct series")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatal("series not shared")
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	got := seriesKey("m", []Label{{Key: "k", Value: "a\"b\\c\nd"}})
+	want := `m{k="a\"b\\c\nd"}`
+	if got != want {
+		t.Fatalf("seriesKey = %q, want %q", got, want)
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := New()
+	r.Counter("m")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("gauge lookup of a counter series did not panic")
+		}
+	}()
+	r.Gauge("m")
+}
+
+func TestConcurrentRegistryAccess(t *testing.T) {
+	r := New()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("c", L("w", "shared")).Inc()
+				r.Gauge("g").Set(float64(j))
+				r.Histogram("h", nil).Observe(0.001)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c", L("w", "shared")).Value(); got != 8000 {
+		t.Fatalf("counter %d, want 8000", got)
+	}
+	if got := r.Histogram("h", nil).Count(); got != 8000 {
+		t.Fatalf("histogram count %d, want 8000", got)
+	}
+}
+
+// TestSnake pins the field-name conversion, acronyms included — these
+// become public metric names, so a silent change would break dashboards.
+func TestSnake(t *testing.T) {
+	cases := map[string]string{
+		"VerticesPopped": "vertices_popped",
+		"EdgesScanned":   "edges_scanned",
+		"AtomicRMW":      "atomic_rmw",
+		"TopDownLevels":  "top_down_levels",
+		"StealTooSmall":  "steal_too_small",
+		"HotChunks":      "hot_chunks",
+	}
+	for in, want := range cases {
+		if got := snake(in); got != want {
+			t.Fatalf("snake(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestAddCountersCoversEveryField fills every int64 field of
+// stats.Counters with a distinct value and checks each one lands in its
+// own registry series — the reflection bridge must not skip fields.
+func TestAddCountersCoversEveryField(t *testing.T) {
+	var c stats.Counters
+	fs := fields()
+	if len(fs) == 0 {
+		t.Fatal("no counter fields discovered")
+	}
+	// Distinct nonzero value per field via the same reflection indices.
+	for i, f := range fs {
+		setField(t, &c, f.index, int64(i+1))
+	}
+	r := New()
+	AddCounters(r, "optibfs_", &c, L("algo", "BFS_WS"))
+	AddCounters(r, "optibfs_", &c, L("algo", "BFS_WS")) // twice: accumulation
+	for i, f := range fs {
+		name := "optibfs_" + f.metric + "_total"
+		if !strings.HasSuffix(name, "_total") || strings.ContainsAny(name, "ABCDEFGHIJKLMNOPQRSTUVWXYZ") {
+			t.Fatalf("bad metric name %q", name)
+		}
+		got := r.Counter(name, L("algo", "BFS_WS")).Value()
+		if want := int64(2 * (i + 1)); got != want {
+			t.Fatalf("%s = %d, want %d", name, got, want)
+		}
+	}
+}
+
+// TestAddCountersSkipsZeros checks zero fields create no series (keeps
+// the exposition free of dead series for counters an algorithm never
+// touches).
+func TestAddCountersSkipsZeros(t *testing.T) {
+	r := New()
+	c := stats.Counters{Fetches: 3}
+	AddCounters(r, "optibfs_", &c)
+	if n := len(r.snapshot()); n != 1 {
+		t.Fatalf("%d series registered, want 1 (only fetches)", n)
+	}
+	if got := r.Counter("optibfs_fetches_total").Value(); got != 3 {
+		t.Fatalf("fetches %d, want 3", got)
+	}
+}

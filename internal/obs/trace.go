@@ -1,0 +1,178 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"optibfs/internal/core"
+)
+
+// Chrome trace_event export: renders a run's dispatch events
+// (Result.Events) and level timeline (Result.LevelStats) as the JSON
+// object format chrome://tracing and Perfetto load. Dispatch events
+// carry no hardware timestamps — recording clock reads per steal would
+// perturb the protocols being observed — so the exporter reconstructs
+// time coarsely: each BFS level spans its measured wall time (or a
+// fixed nominal span when no timeline was recorded), and a worker's
+// events are spread evenly inside the level they were recorded in.
+// Within a (worker, level) group the event *order* is exact; the
+// sub-level spacing is presentational.
+
+// TraceMeta labels a trace export.
+type TraceMeta struct {
+	// Algo is the algorithm name shown as the process label.
+	Algo string
+	// Source is the BFS source vertex.
+	Source int32
+}
+
+// nominalLevelSpanMicros is the synthetic per-level duration used when
+// the run carried no level timeline.
+const nominalLevelSpanMicros = 1000.0
+
+// traceEvent is one entry of the trace_event JSON array. Field order is
+// fixed by the struct, so the export is deterministic and
+// golden-testable.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceFile is the top-level trace_event JSON object.
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes the run's trace as Chrome trace_event JSON.
+// The result must come from a run with Options.TraceCapacity set (and
+// ideally Options.LevelTimeline, for real per-level timing); without
+// events there is nothing to export and an error is returned.
+func WriteChromeTrace(w io.Writer, meta TraceMeta, res *core.Result) error {
+	if res == nil || res.Events == nil {
+		return fmt.Errorf("obs: result has no dispatch events (set Options.TraceCapacity)")
+	}
+	pid := 1
+	levelTid := len(res.Events) // the per-level track sits after the workers
+	var evs []traceEvent
+
+	// Metadata: name the process and every thread (sort_index keeps the
+	// level track above the workers in the viewer).
+	evs = append(evs, traceEvent{
+		Name: "process_name", Ph: "M", Pid: pid, Tid: 0,
+		Args: map[string]any{"name": fmt.Sprintf("optibfs %s src=%d", meta.Algo, meta.Source)},
+	})
+	evs = append(evs, traceEvent{
+		Name: "thread_name", Ph: "M", Pid: pid, Tid: levelTid,
+		Args: map[string]any{"name": "levels"},
+	})
+	for w := range res.Events {
+		evs = append(evs, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: pid, Tid: w,
+			Args: map[string]any{"name": fmt.Sprintf("worker %d", w)},
+		})
+	}
+
+	// Level spans: start time and duration per BFS level, in µs.
+	starts, spans := levelSpans(res)
+
+	for i, ls := range res.LevelStats {
+		evs = append(evs, traceEvent{
+			Name: fmt.Sprintf("level %d", ls.Level), Ph: "X",
+			Ts: starts[i], Dur: spans[i], Pid: pid, Tid: levelTid,
+			Args: map[string]any{
+				"frontier":      ls.Frontier,
+				"pops":          ls.Pops,
+				"duplicates":    ls.Duplicates,
+				"discovered":    ls.Discovered,
+				"edges_scanned": ls.EdgesScanned,
+				"fetches":       ls.Fetches,
+				"steal_ok":      ls.StealOK,
+				"steal_failed":  ls.StealFailed,
+				"wall_ns":       ls.WallNanos,
+			},
+		})
+	}
+
+	// Dispatch events: spread each worker's per-level group evenly
+	// across the level span, preserving recorded order.
+	for w, events := range res.Events {
+		for i := 0; i < len(events); {
+			j := i
+			for j < len(events) && events[j].Level == events[i].Level {
+				j++
+			}
+			lvl := int(events[i].Level)
+			start, span := nominalSpan(lvl, starts, spans)
+			k := float64(j - i)
+			for n, e := range events[i:j] {
+				args := map[string]any{"value": e.Value}
+				if e.Victim >= 0 {
+					args["victim"] = e.Victim
+				}
+				evs = append(evs, traceEvent{
+					Name: e.Kind.String(), Ph: "i",
+					Ts:  start + span*(float64(n)+0.5)/k,
+					Pid: pid, Tid: w, S: "t", Args: args,
+				})
+			}
+			i = j
+		}
+		// Flag truncated worker timelines: a falsely quiet tail is
+		// exactly what the drop counter exists to expose.
+		if res.EventsDropped != nil && res.EventsDropped[w] > 0 {
+			end := traceEnd(starts, spans, int(res.Levels))
+			evs = append(evs, traceEvent{
+				Name: "events-dropped", Ph: "i",
+				Ts: end, Pid: pid, Tid: w, S: "t",
+				Args: map[string]any{"count": res.EventsDropped[w]},
+			})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(traceFile{TraceEvents: evs, DisplayTimeUnit: "ms"})
+}
+
+// levelSpans derives per-level [start, duration] pairs in microseconds
+// from the timeline, when present.
+func levelSpans(res *core.Result) (starts, spans []float64) {
+	starts = make([]float64, len(res.LevelStats))
+	spans = make([]float64, len(res.LevelStats))
+	var t float64
+	for i, ls := range res.LevelStats {
+		d := float64(ls.WallNanos) / 1e3
+		if d <= 0 {
+			d = 1 // a level never renders as zero-width
+		}
+		starts[i], spans[i] = t, d
+		t += d
+	}
+	return starts, spans
+}
+
+// nominalSpan returns level lvl's span, falling back to fixed-width
+// synthetic levels when the run carried no timeline (or the event's
+// level is beyond it, e.g. after a cancel).
+func nominalSpan(lvl int, starts, spans []float64) (start, span float64) {
+	if lvl >= 0 && lvl < len(starts) {
+		return starts[lvl], spans[lvl]
+	}
+	return float64(lvl) * nominalLevelSpanMicros, nominalLevelSpanMicros
+}
+
+// traceEnd returns the timestamp after the last level.
+func traceEnd(starts, spans []float64, levels int) float64 {
+	if n := len(starts); n > 0 {
+		return starts[n-1] + spans[n-1]
+	}
+	return float64(levels) * nominalLevelSpanMicros
+}

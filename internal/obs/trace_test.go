@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+
+	"optibfs/internal/core"
+)
+
+// traceTestResult builds a small synthetic run: two workers, two
+// levels, one drop on worker 1 — enough to exercise level bars, event
+// placement, victim args, and the truncation marker.
+func traceTestResult() *core.Result {
+	return &core.Result{
+		Levels: 2,
+		Events: [][]core.Event{
+			{
+				{Level: 0, Kind: core.EventFetch, Worker: 0, Victim: -1, Value: 64},
+				{Level: 1, Kind: core.EventFetch, Worker: 0, Victim: -1, Value: 32},
+				{Level: 1, Kind: core.EventStealOK, Worker: 0, Victim: 1, Value: 16},
+			},
+			{
+				{Level: 1, Kind: core.EventStealVictimIdle, Worker: 1, Victim: 0, Value: 0},
+			},
+		},
+		EventsDropped: []int64{0, 3},
+		LevelStats: []core.LevelStat{
+			{Level: 0, Frontier: 1, Pops: 1, EdgesScanned: 64, Fetches: 1, WallNanos: 2_000_000},
+			{Level: 1, Frontier: 64, Pops: 64, Duplicates: 2, Discovered: 10,
+				EdgesScanned: 128, Fetches: 1, StealOK: 1, StealFailed: 1, WallNanos: 1_000_000},
+		},
+	}
+}
+
+// TestWriteChromeTraceGolden pins the exported JSON byte-for-byte.
+func TestWriteChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteChromeTrace(&buf, TraceMeta{Algo: "BFS_WS", Source: 7}, traceTestResult())
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "trace.golden.json", buf.Bytes())
+}
+
+// TestWriteChromeTraceValidJSON checks the export parses as the
+// trace_event object format and its events are structurally sound
+// (known phases, events inside their level spans, the drop marker
+// present for the truncated worker).
+func TestWriteChromeTraceValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	res := traceTestResult()
+	if err := WriteChromeTrace(&buf, TraceMeta{Algo: "BFS_WS", Source: 7}, res); err != nil {
+		t.Fatal(err)
+	}
+	var file struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if file.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit %q", file.DisplayTimeUnit)
+	}
+	var levels, instants, dropMarks int
+	for _, e := range file.TraceEvents {
+		switch e.Ph {
+		case "M":
+		case "X":
+			levels++
+			if e.Dur <= 0 {
+				t.Fatalf("level event %q with non-positive duration %v", e.Name, e.Dur)
+			}
+		case "i":
+			instants++
+			if e.Name == "events-dropped" {
+				dropMarks++
+				if e.Tid != 1 {
+					t.Fatalf("drop marker on tid %d, want worker 1", e.Tid)
+				}
+				if e.Args["count"].(float64) != 3 {
+					t.Fatalf("drop marker count %v, want 3", e.Args["count"])
+				}
+			}
+		default:
+			t.Fatalf("unknown phase %q in event %q", e.Ph, e.Name)
+		}
+	}
+	if levels != len(res.LevelStats) {
+		t.Fatalf("%d level bars, want %d", levels, len(res.LevelStats))
+	}
+	wantInstants := len(res.Events[0]) + len(res.Events[1]) + 1 // +1 drop marker
+	if instants != wantInstants {
+		t.Fatalf("%d instant events, want %d", instants, wantInstants)
+	}
+	if dropMarks != 1 {
+		t.Fatalf("%d drop markers, want 1", dropMarks)
+	}
+}
+
+// TestWriteChromeTraceNoEvents pins the error path: a result from a run
+// without TraceCapacity has nothing to export.
+func TestWriteChromeTraceNoEvents(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, TraceMeta{}, &core.Result{}); err == nil {
+		t.Fatal("no error for a result without events")
+	}
+}
+
+// TestWriteChromeTraceNoTimeline checks the synthetic fixed-width level
+// fallback when the run recorded events but no timeline.
+func TestWriteChromeTraceNoTimeline(t *testing.T) {
+	res := traceTestResult()
+	res.LevelStats = nil
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, TraceMeta{Algo: "BFS_C"}, res); err != nil {
+		t.Fatal(err)
+	}
+	var file map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &file); err != nil {
+		t.Fatalf("fallback export is not valid JSON: %v", err)
+	}
+}

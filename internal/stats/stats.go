@@ -13,6 +13,7 @@ package stats
 import (
 	"math"
 	"sort"
+	"unsafe"
 )
 
 // Counters instruments one worker's activity during a BFS run. The
@@ -84,6 +85,33 @@ func (c *Counters) Add(other *Counters) {
 	c.AtomicRMW += other.AtomicRMW
 }
 
+// Sub subtracts other from c field by field. It turns two cumulative
+// snapshots taken at level barriers into the per-level delta the engine
+// timelines record.
+func (c *Counters) Sub(other *Counters) {
+	c.VerticesPopped -= other.VerticesPopped
+	c.EdgesScanned -= other.EdgesScanned
+	c.Discovered -= other.Discovered
+	c.Fetches -= other.Fetches
+	c.FetchRetries -= other.FetchRetries
+	c.LockAcquisitions -= other.LockAcquisitions
+	c.LockTryFails -= other.LockTryFails
+	c.StealAttempts -= other.StealAttempts
+	c.StealSuccess -= other.StealSuccess
+	c.StealVictimLocked -= other.StealVictimLocked
+	c.StealVictimIdle -= other.StealVictimIdle
+	c.StealTooSmall -= other.StealTooSmall
+	c.StealStale -= other.StealStale
+	c.StealInvalid -= other.StealInvalid
+	c.StealSameSocket -= other.StealSameSocket
+	c.StealCrossSocket -= other.StealCrossSocket
+	c.HotVertices -= other.HotVertices
+	c.HotChunks -= other.HotChunks
+	c.TopDownLevels -= other.TopDownLevels
+	c.BottomUpLevels -= other.BottomUpLevels
+	c.AtomicRMW -= other.AtomicRMW
+}
+
 // FailedSteals returns the total failed steal attempts across the
 // failure taxonomy.
 func (c *Counters) FailedSteals() int64 {
@@ -91,11 +119,21 @@ func (c *Counters) FailedSteals() int64 {
 }
 
 // PaddedCounters is Counters padded out to a multiple of the cache-line
-// size so per-worker slices do not false-share.
+// size so per-worker slices do not false-share. The pad length is
+// derived from the struct size itself, so adding a counter field can
+// never silently misalign the slice.
 type PaddedCounters struct {
 	Counters
-	_ [(64 - (21*8)%64) % 64]byte
+	_ [(cacheLine - unsafe.Sizeof(Counters{})%cacheLine) % cacheLine]byte
 }
+
+// cacheLine is the alignment target for per-worker counter slots.
+const cacheLine = 64
+
+// Compile-time assertion that PaddedCounters fills whole cache lines:
+// the composite literal below only has type [0]byte when
+// Sizeof(PaddedCounters) % cacheLine == 0.
+var _ [0]byte = [unsafe.Sizeof(PaddedCounters{}) % cacheLine]byte{}
 
 // NewPerWorker allocates padded counters for p workers.
 func NewPerWorker(p int) []PaddedCounters {

@@ -63,6 +63,32 @@ func TestAddCoversEveryField(t *testing.T) {
 	}
 }
 
+func TestSubCoversEveryField(t *testing.T) {
+	c := Counters{
+		VerticesPopped: 1, EdgesScanned: 2, Discovered: 3,
+		Fetches: 4, FetchRetries: 5,
+		LockAcquisitions: 6, LockTryFails: 7,
+		StealAttempts: 8, StealSuccess: 9, StealVictimLocked: 10,
+		StealVictimIdle: 11, StealTooSmall: 12, StealStale: 13, StealInvalid: 14,
+		StealSameSocket: 15, StealCrossSocket: 16,
+		HotVertices: 17, HotChunks: 18, AtomicRMW: 19,
+		TopDownLevels: 20, BottomUpLevels: 21,
+	}
+	// Sub must be the exact inverse of Add: (c+c)-c == c catches a
+	// forgotten field in either direction.
+	sum := c
+	sum.Add(&c)
+	sum.Sub(&c)
+	if sum != c {
+		t.Fatalf("Sub is not Add's inverse: %+v", sum)
+	}
+	zero := c
+	zero.Sub(&c)
+	if zero != (Counters{}) {
+		t.Fatalf("c-c not zero: %+v", zero)
+	}
+}
+
 func TestSummarizeEmpty(t *testing.T) {
 	s := Summarize(nil)
 	if s.N != 0 || s.Mean != 0 || s.Total != 0 {

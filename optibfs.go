@@ -13,6 +13,7 @@ import (
 	"optibfs/internal/gen"
 	"optibfs/internal/graph"
 	"optibfs/internal/mmio"
+	"optibfs/internal/obs"
 	"optibfs/internal/reorder"
 	"optibfs/internal/stats"
 )
@@ -42,6 +43,14 @@ type Event = core.Event
 
 // EventKind classifies trace events.
 type EventKind = core.EventKind
+
+// LevelStat is one entry of a run's per-level timeline (see
+// Options.LevelTimeline): frontier size, pops, duplicates, discoveries,
+// edges scanned, dispatch activity, and wall time for one BFS level.
+type LevelStat = core.LevelStat
+
+// TraceMeta labels a WriteChromeTrace export.
+type TraceMeta = obs.TraceMeta
 
 // Trace event kinds (see the core package for semantics).
 const (
@@ -200,6 +209,14 @@ func BFSContext(ctx context.Context, g *Graph, src int32, algo Algorithm, opt *O
 	default:
 		return nil, fmt.Errorf("optibfs: unknown algorithm %q", algo)
 	}
+}
+
+// WriteChromeTrace renders a run's dispatch events (Options.
+// TraceCapacity) and level timeline (Options.LevelTimeline) as Chrome
+// trace_event JSON, loadable in Perfetto or chrome://tracing. It
+// errors if the run recorded no events.
+func WriteChromeTrace(w io.Writer, meta TraceMeta, res *Result) error {
+	return obs.WriteChromeTrace(w, meta, res)
 }
 
 // SerialBFS runs the reference serial BFS (convenience wrapper).

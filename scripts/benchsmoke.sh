@@ -32,8 +32,8 @@ done < <(awk '/^BenchmarkEngineSteadyState/ {
   for (i = 1; i <= NF; i++) if ($i == "allocs/op") print $1, $(i-1)
 }' "$out")
 
-if [ "$found" -lt 3 ]; then
-  echo "FAIL: expected >=3 steady-state benchmark results, found $found" >&2
+if [ "$found" -lt 4 ]; then
+  echo "FAIL: expected >=4 steady-state benchmark results, found $found" >&2
   fail=1
 fi
 exit "$fail"
