@@ -19,6 +19,7 @@ import (
 
 	"optibfs/internal/core"
 	"optibfs/internal/costmodel"
+	"optibfs/internal/gen"
 	"optibfs/internal/graph"
 	"optibfs/internal/harness"
 	"optibfs/internal/stats"
@@ -425,6 +426,82 @@ func BenchmarkEngineRunMany(b *testing.B) {
 			}
 		}
 	})
+}
+
+// drainGraph memoizes graphs that are not Table IV stand-ins (the
+// drain-locality benchmark uses a full RMAT-18 and a uniform grid).
+func drainGraph(b *testing.B, name string, mk func() (*graph.CSR, error)) *graph.CSR {
+	b.Helper()
+	benchGraphsMu.Lock()
+	defer benchGraphsMu.Unlock()
+	if g, ok := benchGraphs[name]; ok {
+		return g
+	}
+	g, err := mk()
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchGraphs[name] = g
+	return g
+}
+
+// BenchmarkDrainLocality isolates the hot top-down drain: warm BFS_WSL
+// sweeps over a scale-free RMAT-18 (2^18 vertices, edgefactor 16) and a
+// uniform 512x512 grid at publication block sizes 1 (one shared index
+// store per discovery — the pre-batching baseline), 64, and 256.
+// MTEPS here is measured wall-clock TEPS on this host, not modeled:
+// block batching and the prefetched edge scan are real-cache effects.
+// Workers is left at 0 (= GOMAXPROCS) on purpose — oversubscribing a
+// small host drowns the locality signal in scheduler noise.
+// The block>=64 rows must beat block=1 by >=10% MTEPS on rmat18
+// (recorded in BENCH_pr4.json); scripts/benchsmoke.sh gates allocs/op
+// at 0 on every sub-benchmark alongside BenchmarkEngineSteadyState.
+func BenchmarkDrainLocality(b *testing.B) {
+	graphs := []struct {
+		name string
+		mk   func() (*graph.CSR, error)
+	}{
+		{"rmat18", func() (*graph.CSR, error) {
+			return gen.Graph500RMAT(1<<18, 16<<18, 0xd5a1, gen.Options{})
+		}},
+		{"grid512", func() (*graph.CSR, error) {
+			return gen.Grid2D(512, 512, false)
+		}},
+	}
+	for _, gc := range graphs {
+		g := drainGraph(b, gc.name, gc.mk)
+		src := harness.PickSources(g, 1, 0xd7a1)[0]
+		for _, blk := range []int{1, 64, 256} {
+			b.Run(fmt.Sprintf("%s/block%d", gc.name, blk), func(b *testing.B) {
+				e, err := NewEngine(g, BFSWSL, &Options{
+					Seed: 1, PersistentWorkers: true, PublishBlock: blk,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer e.Close()
+				for i := 0; i < 8; i++ { // warm the pooled buffers
+					if _, err := e.Run(src); err != nil {
+						b.Fatal(err)
+					}
+				}
+				var edges int64
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := e.Run(src)
+					if err != nil {
+						b.Fatal(err)
+					}
+					edges += res.EdgesTraversed
+				}
+				b.StopTimer()
+				if secs := b.Elapsed().Seconds(); secs > 0 {
+					b.ReportMetric(float64(edges)/secs/1e6, "MTEPS")
+				}
+			})
+		}
+	}
 }
 
 // BenchmarkSerialBaseline pins the sbfs number every speedup in

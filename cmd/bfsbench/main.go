@@ -29,6 +29,7 @@ import (
 	"os"
 	"time"
 
+	"optibfs/internal/core"
 	"optibfs/internal/costmodel"
 	"optibfs/internal/harness"
 	"optibfs/internal/obs"
@@ -45,6 +46,7 @@ func main() {
 		workers       = flag.Int("workers", 0, "override worker count (default: machine cores)")
 		metricsAddr   = flag.String("metrics-addr", "", "serve /metrics, /debug/vars, /debug/pprof on this address (e.g. localhost:9090; empty = off)")
 		metricsLinger = flag.Duration("metrics-linger", 0, "keep the metrics endpoint up this long after the experiments finish")
+		reorderM      = flag.String("reorder", "", "vertex relabeling for the core engines: degree|bfs (baselines traverse as given)")
 	)
 	flag.Parse()
 	var reg *obs.Registry
@@ -61,7 +63,7 @@ func main() {
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "bfsbench: serving metrics at http://%s/metrics\n", srv.Addr)
 	}
-	if err := run(os.Stdout, *exp, *scale, *sources, *seed, *reps, *csv, *workers, reg); err != nil {
+	if err := run(os.Stdout, *exp, *scale, *sources, *seed, *reps, *csv, *workers, *reorderM, reg); err != nil {
 		fmt.Fprintln(os.Stderr, "bfsbench:", err)
 		os.Exit(1)
 	}
@@ -71,7 +73,7 @@ func main() {
 	}
 }
 
-func run(w io.Writer, exp string, scale, sources int, seed uint64, reps int, csv bool, workers int, reg *obs.Registry) error {
+func run(w io.Writer, exp string, scale, sources int, seed uint64, reps int, csv bool, workers int, reorderMode string, reg *obs.Registry) error {
 	cfg := func(m costmodel.Machine) harness.Config {
 		return harness.Config{
 			Machine:  m,
@@ -79,6 +81,7 @@ func run(w io.Writer, exp string, scale, sources int, seed uint64, reps int, csv
 			Sources:  sources,
 			ScaleDiv: scale,
 			Seed:     seed,
+			Opt:      core.Options{Reorder: core.ReorderMode(reorderMode)},
 			Registry: reg,
 		}.WithDefaults()
 	}

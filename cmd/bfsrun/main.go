@@ -40,9 +40,10 @@ func main() {
 		profile   = flag.Bool("profile", false, "print the per-level frontier histogram of the last source")
 		balance   = flag.Bool("balance", false, "print per-worker load balance of the last source")
 		trace     = flag.String("trace", "", "write the last source's dispatch trace as Chrome trace_event JSON (load in Perfetto)")
+		reorderM  = flag.String("reorder", "", "vertex relabeling: degree|bfs (results stay in original ids)")
 	)
 	flag.Parse()
-	if err := run(*algoName, *graphPath, *suite, *scale, *src, *sources, *workers, *seed, *validate, *machine, *profile, *balance, *trace); err != nil {
+	if err := run(*algoName, *graphPath, *suite, *scale, *src, *sources, *workers, *seed, *validate, *machine, *profile, *balance, *trace, *reorderM); err != nil {
 		fmt.Fprintln(os.Stderr, "bfsrun:", err)
 		os.Exit(1)
 	}
@@ -96,7 +97,7 @@ func writeTrace(path, algoName string, src int32, res *core.Result) error {
 	return f.Close()
 }
 
-func run(algoName, graphPath, suite string, scale, src, sources, workers int, seed uint64, validate bool, machineName string, profile, balance bool, trace string) error {
+func run(algoName, graphPath, suite string, scale, src, sources, workers int, seed uint64, validate bool, machineName string, profile, balance bool, trace, reorderMode string) error {
 	algo, err := harness.AlgoByName(algoName)
 	if err != nil {
 		return err
@@ -126,7 +127,12 @@ func run(algoName, graphPath, suite string, scale, src, sources, workers int, se
 	} else {
 		srcs = harness.PickSources(g, sources, seed)
 	}
-	opt := core.Options{Workers: workers, Seed: seed}
+	opt := core.Options{Workers: workers, Seed: seed, Reorder: core.ReorderMode(reorderMode)}
+	if opt.Reorder != core.ReorderNone {
+		// The engine relabels internally and maps results back, so the
+		// -validate comparison below stays in original vertex ids.
+		fmt.Printf("reorder: %s (results mapped back to original ids)\n", opt.Reorder)
+	}
 	if trace != "" {
 		// Event buffers sized generously: dispatch events are rare
 		// relative to edges, and the exporter flags any overflow.

@@ -11,13 +11,13 @@ import (
 )
 
 func TestRunOnSuiteGraph(t *testing.T) {
-	if err := run("BFS_WSL", "", "kkt-power", 4096, -1, 2, 4, 1, true, "Lonestar", false, false, ""); err != nil {
+	if err := run("BFS_WSL", "", "kkt-power", 4096, -1, 2, 4, 1, true, "Lonestar", false, false, "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunFixedSource(t *testing.T) {
-	if err := run("BFS_CL", "", "cage14", 4096, 0, 1, 2, 1, true, "Trestles", false, false, ""); err != nil {
+	if err := run("BFS_CL", "", "cage14", 4096, 0, 1, 2, 1, true, "Trestles", false, false, "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -38,7 +38,7 @@ func TestRunOnGraphFiles(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	if err := run("sbfs", binPath, "", 1, 0, 1, 1, 1, true, "Lonestar", true, false, ""); err != nil {
+	if err := run("sbfs", binPath, "", 1, 0, 1, 1, 1, true, "Lonestar", true, false, "", ""); err != nil {
 		t.Fatal(err)
 	}
 
@@ -51,7 +51,7 @@ func TestRunOnGraphFiles(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	if err := run("Baseline1(bag)", mtxPath, "", 1, 0, 1, 2, 1, true, "Lonestar", false, false, ""); err != nil {
+	if err := run("Baseline1(bag)", mtxPath, "", 1, 0, 1, 2, 1, true, "Lonestar", false, false, "", ""); err != nil {
 		t.Fatal(err)
 	}
 
@@ -64,22 +64,36 @@ func TestRunOnGraphFiles(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	if err := run("BFS_EL", edgePath, "", 1, 0, 1, 2, 1, true, "Local", true, true, ""); err != nil {
+	if err := run("BFS_EL", edgePath, "", 1, 0, 1, 2, 1, true, "Local", true, true, "", ""); err != nil {
 		t.Fatal(err)
 	}
 }
 
+// TestRunWithReorder exercises -reorder end-to-end: the engine relabels
+// internally, and the -validate comparison (against serial BFS on the
+// ORIGINAL graph) must still pass because results are mapped back.
+func TestRunWithReorder(t *testing.T) {
+	for _, mode := range []string{"degree", "bfs"} {
+		if err := run("BFS_WSL", "", "kkt-power", 4096, -1, 2, 4, 1, true, "Lonestar", false, false, "", mode); err != nil {
+			t.Fatalf("reorder %q: %v", mode, err)
+		}
+	}
+	if err := run("BFS_WSL", "", "kkt-power", 4096, 0, 1, 2, 1, false, "Lonestar", false, false, "", "hilbert"); err == nil {
+		t.Fatal("accepted unknown reorder mode")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run("BFS_XXL", "", "cage14", 4096, 0, 1, 1, 1, false, "Lonestar", false, false, ""); err == nil {
+	if err := run("BFS_XXL", "", "cage14", 4096, 0, 1, 1, 1, false, "Lonestar", false, false, "", ""); err == nil {
 		t.Fatal("accepted unknown algorithm")
 	}
-	if err := run("sbfs", "", "", 1, 0, 1, 1, 1, false, "Lonestar", false, false, ""); err == nil {
+	if err := run("sbfs", "", "", 1, 0, 1, 1, 1, false, "Lonestar", false, false, "", ""); err == nil {
 		t.Fatal("accepted missing graph")
 	}
-	if err := run("sbfs", "/does/not/exist.bin", "", 1, 0, 1, 1, 1, false, "Lonestar", false, false, ""); err == nil {
+	if err := run("sbfs", "/does/not/exist.bin", "", 1, 0, 1, 1, 1, false, "Lonestar", false, false, "", ""); err == nil {
 		t.Fatal("accepted missing file")
 	}
-	if err := run("sbfs", "", "cage14", 4096, 0, 1, 1, 1, false, "Cray", false, false, ""); err == nil {
+	if err := run("sbfs", "", "cage14", 4096, 0, 1, 1, 1, false, "Cray", false, false, "", ""); err == nil {
 		t.Fatal("accepted unknown machine")
 	}
 }
@@ -90,7 +104,7 @@ func TestRunErrors(t *testing.T) {
 func TestRunWritesTrace(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "trace.json")
-	if err := run("BFS_WSL", "", "cage14", 4096, 0, 1, 4, 1, true, "Lonestar", false, false, path); err != nil {
+	if err := run("BFS_WSL", "", "cage14", 4096, 0, 1, 4, 1, true, "Lonestar", false, false, path, ""); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)
@@ -106,7 +120,7 @@ func TestRunWritesTrace(t *testing.T) {
 	if len(file.TraceEvents) == 0 {
 		t.Fatal("trace has no events")
 	}
-	if err := run("sbfs", "", "cage14", 4096, 0, 1, 1, 1, false, "Lonestar", false, false, filepath.Join(dir, "t2.json")); err == nil {
+	if err := run("sbfs", "", "cage14", 4096, 0, 1, 1, 1, false, "Lonestar", false, false, filepath.Join(dir, "t2.json"), ""); err == nil {
 		t.Fatal("-trace with the serial baseline should be refused")
 	}
 }

@@ -11,7 +11,7 @@ func TestGraph500SmallRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer null.Close()
-	if err := run(null, 8, 8, "BFS_WSL", 3, 4, 1, false, "Lonestar"); err != nil {
+	if err := run(null, 8, 8, "BFS_WSL", 3, 4, 1, false, "Lonestar", ""); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -19,24 +19,37 @@ func TestGraph500SmallRun(t *testing.T) {
 func TestGraph500SkipValidation(t *testing.T) {
 	null, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
 	defer null.Close()
-	if err := run(null, 7, 4, "sbfs", 2, 1, 1, true, "Trestles"); err != nil {
+	if err := run(null, 7, 4, "sbfs", 2, 1, 1, true, "Trestles", ""); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestGraph500Reorder runs the benchmark procedure with relabeling on;
+// the per-round ValidateDistances/ValidateParents calls run against the
+// original graph, so a pass proves the relabeled searches correct.
+func TestGraph500Reorder(t *testing.T) {
+	null, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	defer null.Close()
+	for _, mode := range []string{"degree", "bfs"} {
+		if err := run(null, 8, 8, "BFS_WSL", 3, 4, 1, false, "Lonestar", mode); err != nil {
+			t.Fatalf("reorder %q: %v", mode, err)
+		}
 	}
 }
 
 func TestGraph500Errors(t *testing.T) {
 	null, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
 	defer null.Close()
-	if err := run(null, 0, 8, "BFS_WSL", 3, 1, 1, false, "Lonestar"); err == nil {
+	if err := run(null, 0, 8, "BFS_WSL", 3, 1, 1, false, "Lonestar", ""); err == nil {
 		t.Fatal("accepted scale 0")
 	}
-	if err := run(null, 8, 8, "BFS_WSL", 0, 1, 1, false, "Lonestar"); err == nil {
+	if err := run(null, 8, 8, "BFS_WSL", 0, 1, 1, false, "Lonestar", ""); err == nil {
 		t.Fatal("accepted 0 rounds")
 	}
-	if err := run(null, 8, 8, "warp-bfs", 3, 1, 1, false, "Lonestar"); err == nil {
+	if err := run(null, 8, 8, "warp-bfs", 3, 1, 1, false, "Lonestar", ""); err == nil {
 		t.Fatal("accepted unknown algorithm")
 	}
-	if err := run(null, 8, 8, "BFS_WSL", 3, 1, 1, false, "DeepBlue"); err == nil {
+	if err := run(null, 8, 8, "BFS_WSL", 3, 1, 1, false, "DeepBlue", ""); err == nil {
 		t.Fatal("accepted unknown machine")
 	}
 }

@@ -82,6 +82,12 @@ func Profiles() []Profile {
 		{Name: "drain-lag", Prob: prob(core.ChaosSlotZero, 0.05, core.ChaosDrainAdvance, 0.05), Yields: 2},
 		{Name: "front-races", Prob: prob(core.ChaosFrontStore, 0.7, core.ChaosPoolStore, 0.7), Yields: 3, Spin: 32},
 		{Name: "phase2-dup", Prob: prob(core.ChaosPhase2Advance, 0.8), Yields: 3},
+		// flush-storm interleaves steals against half-flushed publication
+		// blocks: stalling workers inside flushBlock (between the block
+		// copy and the tail store) while steal publications and slot
+		// zeroing race around them maximizes the time output queues spend
+		// partially published.
+		{Name: "flush-storm", Prob: prob(core.ChaosBlockFlush, 0.8, core.ChaosStealPublish, 0.5, core.ChaosSlotZero, 0.02), Yields: 3, Spin: 32},
 		{Name: "mixed", Prob: uniformProb(0.1), Yields: 2, Spin: 16},
 	}
 }
@@ -107,7 +113,8 @@ type injWorker struct {
 	_        [64]byte
 }
 
-// Injector implements core.ChaosHook (and core.ChaosLevelAuditor)
+// Injector implements core.ChaosHook (plus core.ChaosLevelAuditor and
+// core.ChaosFlushAuditor)
 // with deterministic seeded per-worker decision streams: worker w's
 // k-th pass through the hooks always draws the same random number for
 // a given (profile, seed), so an interleaving provoked once can be
@@ -175,6 +182,20 @@ func (in *Injector) LevelEnd(level int32, unconsumed int64) {
 	in.mu.Lock()
 	in.violations = append(in.violations,
 		fmt.Sprintf("level %d left %d input-queue slots unconsumed", level, unconsumed))
+	in.mu.Unlock()
+}
+
+// FlushEnd implements core.ChaosFlushAuditor: any discovery still
+// unpublished after a level barrier — sitting in a private block or in
+// an output queue beyond its published tail — is a protocol violation
+// (the barrier flush guarantees full publication).
+func (in *Injector) FlushEnd(level int32, unpublished int64) {
+	if unpublished == 0 {
+		return
+	}
+	in.mu.Lock()
+	in.violations = append(in.violations,
+		fmt.Sprintf("level %d left %d discoveries unpublished at the barrier", level, unpublished))
 	in.mu.Unlock()
 }
 

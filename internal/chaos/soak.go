@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"time"
 
 	"optibfs/internal/core"
@@ -92,6 +93,10 @@ type RunOptions struct {
 	TrackParents bool `json:"track_parents,omitempty"`
 	// PersistentWorkers reuses long-lived worker goroutines.
 	PersistentWorkers bool `json:"persistent_workers,omitempty"`
+	// PublishBlock is the batched-publication block size; 0 = default.
+	PublishBlock int `json:"publish_block,omitempty"`
+	// Reorder names the vertex-relabeling mode ("" | "degree" | "bfs").
+	Reorder string `json:"reorder,omitempty"`
 	// Seed drives victim/pool selection inside the run.
 	Seed uint64 `json:"seed"`
 }
@@ -108,6 +113,8 @@ func (o RunOptions) Core() core.Options {
 		ParentClaim:       o.ParentClaim,
 		TrackParents:      o.TrackParents,
 		PersistentWorkers: o.PersistentWorkers,
+		PublishBlock:      o.PublishBlock,
+		Reorder:           core.ReorderMode(o.Reorder),
 		Seed:              o.Seed,
 	}
 }
@@ -218,11 +225,17 @@ func Replay(r Repro) ([]Violation, *core.Result, error) {
 	return vs, res, nil
 }
 
-// levelViolations converts the injector's per-level audit findings.
+// levelViolations converts the injector's per-level audit findings:
+// unconsumed input-queue slots from the slot audit, unpublished
+// discoveries from the flush audit.
 func levelViolations(in *Injector) []Violation {
 	var vs []Violation
 	for _, s := range in.Violations() {
-		vs = append(vs, Violation{Invariant: "queue-slots-consumed", Detail: s})
+		inv := "queue-slots-consumed"
+		if strings.Contains(s, "unpublished") {
+			inv = "publication-flushed"
+		}
+		vs = append(vs, Violation{Invariant: inv, Detail: s})
 	}
 	return vs
 }
@@ -368,6 +381,23 @@ func deriveOptions(r *rng.SplitMix64, maxWorkers int) RunOptions {
 	o.ParentClaim = r.Next()%4 == 0
 	o.TrackParents = r.Next()%2 == 0
 	o.PersistentWorkers = r.Next()%4 == 0
+	// Batched publication block sizes, from the per-vertex ablation
+	// baseline through boundary-stressing tiny blocks to a full-size
+	// one; the remaining draws keep the default.
+	switch r.Next() % 5 {
+	case 0:
+		o.PublishBlock = 1
+	case 1:
+		o.PublishBlock = 2
+	case 2:
+		o.PublishBlock = 64
+	}
+	switch r.Next() % 8 {
+	case 0:
+		o.Reorder = string(core.ReorderDegree)
+	case 1:
+		o.Reorder = string(core.ReorderBFS)
+	}
 	return o
 }
 

@@ -20,7 +20,7 @@ func bindCentralized(st *state) binding {
 
 	perLevel := func(id int) {
 		c := &st.counters[id]
-		out := st.out[id]
+		out := st.blk[id]
 		for {
 			// Fetch the next available segment under the global lock.
 			mu.Lock()
@@ -46,6 +46,12 @@ func bindCentralized(st *state) binding {
 			st.traceEvent(id, EventFetch, -1, end-f)
 
 			for j := f; j < end; j++ {
+				if j+1 < end {
+					// Warm the next vertex's CSR offsets while this
+					// one's adjacency is scanned (dispatched segments
+					// are disjoint, so the peek is a plain read).
+					st.prefetchVertex(q.buf[j+1] - 1)
+				}
 				v := q.buf[j] - 1
 				if !st.claimAllows(k, v) {
 					c.VerticesPopped++
@@ -55,7 +61,7 @@ func bindCentralized(st *state) binding {
 			}
 			st.maybeYield()
 		}
-		st.out[id] = out
+		st.blk[id] = st.endLevelOut(id, out)
 	}
 
 	return binding{setup: func() { gq = 0 }, perLevel: perLevel}
@@ -136,7 +142,7 @@ func bindDecentralized(st *state) binding {
 	perLevel := func(id int) {
 		c := &st.counters[id].Counters
 		r := rngs[id]
-		out := st.out[id]
+		out := st.blk[id]
 		// Each worker starts at a random pool (same-socket biased when
 		// a NUMA topology is simulated).
 		myPool := st.pickPool(r, id, j)
@@ -178,7 +184,7 @@ func bindDecentralized(st *state) binding {
 			out = st.exploreSegmentLockfree(id, int(qi), f, end, out)
 			st.maybeYield()
 		}
-		st.out[id] = out
+		st.blk[id] = st.endLevelOut(id, out)
 	}
 
 	setup := func() {
@@ -210,6 +216,14 @@ func (st *state) exploreSegmentLockfree(id, qi int, f, end int64, out []int32) [
 		}
 		st.chaosAt(ChaosSlotZero, id, j)
 		atomic.StoreInt32(&buf[j], emptySlot)
+		// Peek the next slot (atomic: overlapping segments zero slots
+		// concurrently) and warm its vertex's CSR offsets under the
+		// current vertex's adjacency scan.
+		if j+1 < end {
+			if nxt := atomic.LoadInt32(&buf[j+1]); nxt != emptySlot {
+				st.prefetchVertex(nxt - 1)
+			}
+		}
 		v := slot - 1
 		if !st.claimAllows(qi, v) {
 			st.counters[id].VerticesPopped++

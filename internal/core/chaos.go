@@ -52,6 +52,14 @@ const (
 	// loading and storing the shared phase-2 cursor; delaying here
 	// duplicates (vertex, chunk) units. Value is the unit taken.
 	ChaosPhase2Advance
+	// ChaosBlockFlush fires in flushBlock between copying a discovery
+	// block into the shared output queue and publishing the advanced
+	// tail index, the window in which the queue holds vertices no
+	// other worker can yet see. Delaying here stretches the
+	// partially-published state that steal descriptors and the level
+	// flush audit must tolerate. Value is the tail about to be
+	// published.
+	ChaosBlockFlush
 	// NumChaosPoints is the number of instrumented points, not a
 	// point itself; it sizes per-point tables.
 	NumChaosPoints
@@ -72,6 +80,8 @@ func (p ChaosPoint) String() string {
 		return "pool-store"
 	case ChaosPhase2Advance:
 		return "phase2-advance"
+	case ChaosBlockFlush:
+		return "block-flush"
 	default:
 		return "unknown"
 	}
@@ -102,6 +112,20 @@ type ChaosLevelAuditor interface {
 	LevelEnd(level int32, unconsumed int64)
 }
 
+// ChaosFlushAuditor is optionally implemented by a ChaosHook to
+// receive the per-level publication audit of batched frontier
+// publication: after each level barrier, `unpublished` counts output
+// entries the barrier should have flushed but did not — vertices still
+// sitting in a worker's private discovery block plus output-queue
+// entries beyond the published tail index. The level barrier flushes
+// every partial block before workers quiesce, so any nonzero count is
+// an invariant violation (a vertex would silently skip its level).
+// Called between level barriers, never concurrently with workers.
+type ChaosFlushAuditor interface {
+	// FlushEnd reports the unpublished-entry count for one level.
+	FlushEnd(level int32, unpublished int64)
+}
+
 // chaosAt forwards to the installed hook; the nil-check is the entire
 // disabled-mode cost and keeps the call inlinable on the hot paths.
 func (st *state) chaosAt(point ChaosPoint, worker int, value int64) {
@@ -110,24 +134,36 @@ func (st *state) chaosAt(point ChaosPoint, worker int, value int64) {
 	}
 }
 
-// auditLevel counts unconsumed input-queue slots after a level barrier
-// and reports them to the installed level auditor. Only the runners
-// that zero slots as they pop (the lockfree variants) enable it; the
+// auditLevel runs the per-level invariant audits after a level barrier.
+// The slot audit counts unconsumed input-queue slots; only the runners
+// that zero slots as they pop (the lockfree variants) enable it — the
 // locked variants consume via front pointers and leave slots intact,
-// so the count would be meaningless there. Runs between barriers, so
-// plain reads of the queue buffers are safe.
+// so the count would be meaningless there. The flush audit applies to
+// every runner that discovers through blocks (all of them): it counts
+// entries the barrier should have published but did not, either still
+// in a private discovery block or in an output queue beyond its
+// published tail. Runs between barriers, so plain reads of the queue
+// buffers are safe.
 func (st *state) auditLevel() {
-	if st.levelAudit == nil || !st.slotAudit {
-		return
-	}
-	var unconsumed int64
-	for i := range st.in {
-		q := &st.in[i]
-		for _, s := range q.buf[:q.origR] {
-			if s != emptySlot {
-				unconsumed++
+	if st.levelAudit != nil && st.slotAudit {
+		var unconsumed int64
+		for i := range st.in {
+			q := &st.in[i]
+			for _, s := range q.buf[:q.origR] {
+				if s != emptySlot {
+					unconsumed++
+				}
 			}
 		}
+		st.levelAudit.LevelEnd(st.level, unconsumed)
 	}
-	st.levelAudit.LevelEnd(st.level, unconsumed)
+	if st.flushAudit != nil {
+		var unpublished int64
+		for i := range st.out {
+			q := &st.out[i]
+			unpublished += int64(len(q.buf)) - q.tail
+			unpublished += int64(len(st.blk[i]))
+		}
+		st.flushAudit.FlushEnd(st.level, unpublished)
+	}
 }

@@ -231,7 +231,7 @@ func TestChaosHooksFireAtInstrumentedPoints(t *testing.T) {
 	check(BFSDL, Options{Workers: 4, Pools: 2, Seed: 1})
 	check(BFSWL, Options{Workers: 4, Seed: 1})
 	check(BFSWSL, Options{Workers: 4, Phase2Stealing: true, Seed: 1})
-	for _, point := range []ChaosPoint{ChaosSlotZero, ChaosDrainAdvance, ChaosFrontStore, ChaosPoolStore, ChaosPhase2Advance} {
+	for _, point := range []ChaosPoint{ChaosSlotZero, ChaosDrainAdvance, ChaosFrontStore, ChaosPoolStore, ChaosPhase2Advance, ChaosBlockFlush} {
 		if atomic.LoadInt64(&h.fired[point]) == 0 {
 			t.Errorf("chaos point %s never fired", point)
 		}

@@ -65,6 +65,29 @@ func (a Algorithm) Lockfree() bool {
 	return false
 }
 
+// ReorderMode selects an optional vertex relabeling applied by the
+// engine at construction (Options.Reorder). The engine runs on the
+// relabeled CSR for memory locality and maps Result.Dist/Parent back
+// through the inverse permutation, so callers always see original
+// vertex ids — sources, validation, and golden tests are unaffected.
+type ReorderMode string
+
+// Reorder modes. The zero value runs on the graph as given.
+const (
+	// ReorderNone applies no relabeling (the default).
+	ReorderNone ReorderMode = ""
+	// ReorderDegree packs high-degree vertices first (hub packing:
+	// the hottest dist/epoch entries share cache lines). Interacts
+	// with BFS_WS/BFS_WSL scale-free dispatch: hot-vertex *detection*
+	// is degree-based and therefore invariant under relabeling, but
+	// after degree ordering the deferred hubs occupy adjacent ids, so
+	// their phase-2 chunk scans walk nearly contiguous CSR regions.
+	ReorderDegree ReorderMode = "degree"
+	// ReorderBFS renumbers vertices in BFS visitation order from
+	// vertex 0, making frontier walks near-sequential memory walks.
+	ReorderBFS ReorderMode = "bfs"
+)
+
 // Options configures a parallel BFS run. The zero value is usable:
 // every field has a documented default applied by withDefaults.
 type Options struct {
@@ -97,6 +120,21 @@ type Options struct {
 	// (the paper's locked variants lose to lockfree by percents, not
 	// multiples). Default 16; 1 degenerates to per-pop locking.
 	LockBatch int
+	// PublishBlock is the per-worker discovery-block size b for batched
+	// frontier publication: workers accumulate discovered vertices in a
+	// private block and publish them to their shared next-level queue
+	// with one copy plus one index store per block, instead of one
+	// shared store per vertex. 1 degenerates to per-vertex publication
+	// (the pre-batching behavior, kept as the ablation baseline);
+	// default 128. The level barrier flushes partial blocks, so block
+	// residency never delays a vertex past its level.
+	PublishBlock int
+	// Reorder applies a vertex relabeling at engine construction (see
+	// ReorderMode). Results are mapped back to original ids through the
+	// inverse permutation. Only the core engines honor it; the
+	// Baseline1/Baseline2/DirectionOptimizing comparison runtimes
+	// ignore it.
+	Reorder ReorderMode
 	// ParentClaim enables the §IV-D duplicate-exploration filter:
 	// discoverers record a claim for each vertex with an arbitrary
 	// concurrent write, and only the claiming queue's copy is explored.
@@ -169,6 +207,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.LockBatch <= 0 {
 		o.LockBatch = 16
+	}
+	if o.PublishBlock <= 0 {
+		o.PublishBlock = 128
 	}
 	if o.Pools <= 0 {
 		o.Pools = 1

@@ -58,7 +58,7 @@ func bindEdgePartitioned(st *state) binding {
 
 	perLevel := func(id int) {
 		c := &st.counters[id].Counters
-		out := st.out[id]
+		out := st.blk[id]
 		totalEdges := prefix[len(prefix)-1]
 		// Edge segments sized like the centralized vertex segments,
 		// but in edge units.
@@ -107,13 +107,11 @@ func bindEdgePartitioned(st *state) binding {
 					c.VerticesPopped++
 				}
 				c.EdgesScanned += hi - lo
-				for _, w := range nb[lo:hi] {
-					out = st.discover(id, v, w, out)
-				}
+				out = st.scanNeighbors(id, v, nb[lo:hi], out)
 			}
 			st.maybeYield()
 		}
-		st.out[id] = out
+		st.blk[id] = st.endLevelOut(id, out)
 	}
 
 	return binding{

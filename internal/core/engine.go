@@ -7,6 +7,7 @@ import (
 	"strconv"
 
 	"optibfs/internal/graph"
+	"optibfs/internal/reorder"
 	"optibfs/internal/rng"
 )
 
@@ -33,6 +34,21 @@ type Engine struct {
 	opt    Options
 	impl   engineImpl
 	closed bool
+
+	// Reorder machinery (Options.Reorder). The backend runs on rg, the
+	// relabeled CSR; perm maps original ids to relabeled ones and inv
+	// maps back. RunContext translates the source into the relabeled
+	// space and remapResult translates Dist/Parent back out, so callers
+	// — validation, golden tests, and all — only ever see original ids.
+	// (Per-worker trace events and the timeline remain in relabeled
+	// space; they describe the traversal the engine actually ran.)
+	// rmDist/rmParent are the pooled remap buffers, allocated once so
+	// warm reordered runs still allocate nothing.
+	rg       *graph.CSR
+	perm     []int32
+	inv      []int32
+	rmDist   []int32
+	rmParent []int32
 }
 
 // engineImpl is the per-family backend behind an Engine.
@@ -69,11 +85,39 @@ func NewEngine(g *graph.CSR, algo Algorithm, opt Options) (*Engine, error) {
 		return nil, fmt.Errorf("core: nil graph")
 	}
 	opt = opt.withDefaults()
+	rg := g
+	var perm, inv []int32
+	switch opt.Reorder {
+	case ReorderNone:
+	case ReorderDegree, ReorderBFS:
+		var p reorder.Permutation
+		if opt.Reorder == ReorderDegree {
+			p = reorder.ByDegreeDescending(g)
+		} else {
+			var err error
+			if p, err = reorder.ByBFS(g, 0); err != nil {
+				return nil, fmt.Errorf("core: reorder: %w", err)
+			}
+		}
+		r, err := reorder.Apply(g, p)
+		if err != nil {
+			return nil, fmt.Errorf("core: reorder: %w", err)
+		}
+		rg, perm, inv = r, p, p.Inverse()
+	default:
+		return nil, fmt.Errorf("core: unknown reorder mode %q", opt.Reorder)
+	}
+	e := &Engine{g: g, algo: algo, opt: opt, rg: rg, perm: perm, inv: inv}
+	if perm != nil {
+		e.rmDist = make([]int32, g.NumVertices())
+		if opt.TrackParents {
+			e.rmParent = make([]int32, g.NumVertices())
+		}
+	}
 	var bf bindFunc
 	switch algo {
 	case Serial:
-		e := &Engine{g: g, algo: algo, opt: opt}
-		e.impl = newSerialEngine(g, opt)
+		e.impl = newSerialEngine(rg, opt)
 		return e, nil
 	case BFSC:
 		bf = bindCentralized
@@ -96,7 +140,8 @@ func NewEngine(g *graph.CSR, algo Algorithm, opt Options) (*Engine, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown algorithm %q", algo)
 	}
-	return &Engine{g: g, algo: algo, opt: opt, impl: newParEngine(g, opt, bf, algo)}, nil
+	e.impl = newParEngine(rg, opt, bf, algo)
+	return e, nil
 }
 
 // Run executes one search from src, reusing the engine's pooled state.
@@ -118,12 +163,52 @@ func (e *Engine) RunContext(ctx context.Context, src int32) (*Result, error) {
 	if src < 0 || src >= e.g.NumVertices() {
 		return nil, fmt.Errorf("core: source %d out of range [0,%d)", src, e.g.NumVertices())
 	}
+	if e.perm != nil {
+		src = e.perm[src]
+	}
 	res := e.impl.run(ctx, src)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	if e.perm != nil {
+		e.remapResult(res)
+	}
 	return res, nil
 }
+
+// remapResult translates a relabeled-space Result back into original
+// vertex ids in the engine's pooled remap buffers: Dist is permuted
+// (rmDist[old] = Dist[perm[old]]) and each Parent entry is additionally
+// mapped through the inverse permutation, so parent pointers name
+// original ids too. Aggregate fields (levels, counters, level sizes)
+// are id-agnostic and pass through untouched.
+func (e *Engine) remapResult(res *Result) {
+	for old, newID := range e.perm {
+		e.rmDist[old] = res.Dist[newID]
+	}
+	res.Dist = e.rmDist
+	if res.Parent == nil {
+		return
+	}
+	if e.rmParent == nil {
+		// Parent tracking enabled by a path that bypassed TrackParents
+		// at construction; allocate once and pool thereafter.
+		e.rmParent = make([]int32, len(res.Parent))
+	}
+	for old, newID := range e.perm {
+		if p := res.Parent[newID]; p >= 0 {
+			e.rmParent[old] = e.inv[p]
+		} else {
+			e.rmParent[old] = -1
+		}
+	}
+	res.Parent = e.rmParent
+}
+
+// Permutation returns the vertex relabeling installed by
+// Options.Reorder (newID = perm[oldID]), or nil when the engine runs on
+// the graph as given. The slice aliases engine state; do not modify.
+func (e *Engine) Permutation() []int32 { return e.perm }
 
 // RunMany executes one search per source in order, invoking visit (if
 // non-nil) after each with the source's index and pooled Result. It
@@ -230,6 +315,11 @@ func (e *parEngine) setChaos(h ChaosHook) {
 		e.st.levelAudit = a
 	} else {
 		e.st.levelAudit = nil
+	}
+	if a, ok := h.(ChaosFlushAuditor); ok {
+		e.st.flushAudit = a
+	} else {
+		e.st.flushAudit = nil
 	}
 }
 

@@ -252,17 +252,23 @@ func TestBeginRunReusesBuffers(t *testing.T) {
 	}
 	in0 := &st.in[0].buf[0]
 	outCaps := make([]int, len(st.out))
+	blkCaps := make([]int, len(st.blk))
 	for i := range st.out {
-		outCaps[i] = cap(st.out[i])
+		outCaps[i] = cap(st.out[i].buf)
+		blkCaps[i] = cap(st.blk[i])
 	}
 	st.beginRun(5)
 	if &st.in[0].buf[0] != in0 {
 		t.Fatal("beginRun allocated a fresh input buffer for worker 0")
 	}
 	for i := range st.out {
-		if len(st.out[i]) != 0 || cap(st.out[i]) != outCaps[i] {
+		if len(st.out[i].buf) != 0 || cap(st.out[i].buf) != outCaps[i] {
 			t.Fatalf("out[%d] after beginRun: len=%d cap=%d, want len=0 cap=%d",
-				i, len(st.out[i]), cap(st.out[i]), outCaps[i])
+				i, len(st.out[i].buf), cap(st.out[i].buf), outCaps[i])
+		}
+		if len(st.blk[i]) != 0 || cap(st.blk[i]) != blkCaps[i] {
+			t.Fatalf("blk[%d] after beginRun: len=%d cap=%d, want len=0 cap=%d",
+				i, len(st.blk[i]), cap(st.blk[i]), blkCaps[i])
 		}
 	}
 	if allocs := testing.AllocsPerRun(10, func() { st.beginRun(5) }); allocs > 0 {

@@ -27,6 +27,21 @@ type sharedQueue struct {
 	_     [24]byte
 }
 
+// outQueue is one worker's shared output queue for the next BFS level
+// under batched frontier publication. The owning worker appends whole
+// discovery blocks to buf and then publishes them with a single atomic
+// store of tail — one shared-index store per block instead of one per
+// vertex, which is the entire point of the batching. Entries at index
+// >= tail exist only in the owner's cache and must never be read by
+// another party; the level barrier flushes every partial block, so
+// tail == len(buf) whenever the buffers change hands at swap. Padded
+// so neighboring workers' tail stores do not share a cache line.
+type outQueue struct {
+	buf  []int32
+	tail int64 // atomic; published entry count, always <= len(buf)
+	_    [32]byte
+}
+
 // state carries everything shared by one BFS run. Under an Engine one
 // state outlives many runs: every array below is allocated once (at the
 // graph's size or the buffers' high-water capacity) and re-primed by
@@ -48,7 +63,16 @@ type state struct {
 	cur   uint32
 
 	in  []sharedQueue // p input queues for the current level
-	out [][]int32     // p private output buffers (no sentinel while open)
+	out []outQueue    // p shared output queues (no sentinel while open)
+
+	// blk holds the p private discovery blocks of batched frontier
+	// publication: each worker appends discoveries to its block and
+	// flushBlock copies a full block into out[id] with one tail store
+	// (Options.PublishBlock entries per shared store). blkSize caches
+	// the block capacity so the hot-path flush test is one comparison
+	// against a local field.
+	blk     [][]int32
+	blkSize int
 
 	// claim implements the §IV-D ParentClaim filter when enabled:
 	// claim[v] is the worker id whose output queue "owns" v.
@@ -95,6 +119,7 @@ type state struct {
 	// variants), the only ones whose buffers encode consumption.
 	chaos      ChaosHook
 	levelAudit ChaosLevelAuditor
+	flushAudit ChaosFlushAuditor
 	slotAudit  bool
 
 	pops int64 // total pops, accumulated across levels after barriers
@@ -108,19 +133,30 @@ type state struct {
 func allocState(g *graph.CSR, opt Options) *state {
 	p := opt.Workers
 	n := g.NumVertices()
+	blkSize := opt.PublishBlock
+	if blkSize <= 0 {
+		// Engines arrive through withDefaults, but protocol tests build
+		// state directly from zero-valued Options.
+		blkSize = 128
+	}
 	st := &state{
 		g:        g,
 		opt:      opt,
 		dist:     make([]int32, n),
 		epoch:    make([]uint32, n),
 		in:       make([]sharedQueue, p),
-		out:      make([][]int32, p),
+		out:      make([]outQueue, p),
+		blk:      make([][]int32, p),
+		blkSize:  blkSize,
 		counters: stats.NewPerWorker(p),
 		yield:    p > runtime.GOMAXPROCS(0),
 		chaos:    opt.Chaos,
 	}
 	if a, ok := opt.Chaos.(ChaosLevelAuditor); ok {
 		st.levelAudit = a
+	}
+	if a, ok := opt.Chaos.(ChaosFlushAuditor); ok {
+		st.flushAudit = a
 	}
 	for i := range st.dist {
 		st.dist[i] = graph.Unreached
@@ -138,7 +174,8 @@ func allocState(g *graph.CSR, opt Options) *state {
 		}
 	}
 	for i := range st.out {
-		st.out[i] = make([]int32, 0, 256)
+		st.out[i].buf = make([]int32, 0, 256)
+		st.blk[i] = make([]int32, 0, blkSize)
 	}
 	st.initTrace()
 	st.initTimeline()
@@ -184,7 +221,9 @@ func (st *state) beginRun(src int32) {
 		atomic.StoreInt64(&st.in[i].front, 0)
 	}
 	for i := range st.out {
-		st.out[i] = st.out[i][:0]
+		st.out[i].buf = st.out[i].buf[:0]
+		atomic.StoreInt64(&st.out[i].tail, 0)
+		st.blk[i] = st.blk[i][:0]
 	}
 	st.dist[src] = 0
 	if st.claim != nil {
@@ -214,28 +253,66 @@ func (st *state) volume() int64 {
 	return v
 }
 
-// swap promotes the output buffers to input queues for the next level,
+// swap promotes the output queues to input queues for the next level,
 // appending the sentinel, and recycles the old input buffers as output
-// buffers. Called between level barriers, so plain accesses are safe.
+// storage. Only the published prefix buf[:tail] is promoted: the level
+// barrier flushed every partial block, so tail == len(buf) here, and
+// truncating to tail (rather than trusting len) keeps an unflushed
+// entry from ever entering a frontier — it would surface as a flush-
+// audit violation instead of a silent wrong answer. Called between
+// level barriers, so plain accesses are safe.
 func (st *state) swap() {
 	for i := range st.in {
 		old := st.in[i].buf
-		next := append(st.out[i], emptySlot)
+		oq := &st.out[i]
+		next := append(oq.buf[:oq.tail], emptySlot)
 		st.in[i].buf = next
 		st.in[i].origR = int64(len(next) - 1)
 		atomic.StoreInt64(&st.in[i].front, 0)
-		st.out[i] = old[:0]
+		oq.buf = old[:0]
+		atomic.StoreInt64(&oq.tail, 0)
 	}
+}
+
+// flushBlock publishes worker id's discovery block: one append into the
+// shared output queue followed by one atomic tail store covering the
+// whole block. Between the copy and the tail store the queue holds
+// entries nobody else may read — ChaosBlockFlush stretches exactly that
+// window. Returns the block emptied for reuse.
+func (st *state) flushBlock(id int, block []int32) []int32 {
+	q := &st.out[id]
+	q.buf = append(q.buf, block...)
+	c := &st.counters[id]
+	c.BlocksFlushed++
+	if len(block) < st.blkSize {
+		c.PartialFlushes++
+	}
+	st.chaosAt(ChaosBlockFlush, id, int64(len(q.buf)))
+	atomic.StoreInt64(&q.tail, int64(len(q.buf)))
+	return block[:0]
+}
+
+// endLevelOut is the level-barrier flush of batched publication: every
+// worker calls it on its discovery block before quiescing, so a vertex
+// never waits in a private block past the level it was discovered in.
+// Returns the block emptied for the next level.
+func (st *state) endLevelOut(id int, block []int32) []int32 {
+	if len(block) > 0 {
+		block = st.flushBlock(id, block)
+	}
+	return block
 }
 
 // discover processes edge u->w for worker id at the current level:
 // if w is undiscovered it is assigned level+1 and appended to the
-// worker's private output queue. The epoch check-then-store is the
-// paper's benign race on dist, carried over to the stamp: two workers
-// may both discover w, all racing stores write the same values, and w
-// appears in (at most) both their output queues. The stamp is published
-// after the payload stores so a racer that observes epoch[w] == cur is
-// ordered after the payload it would otherwise have written itself.
+// worker's private discovery block, which is published to the shared
+// output queue whenever it reaches PublishBlock entries. The epoch
+// check-then-store is the paper's benign race on dist, carried over to
+// the stamp: two workers may both discover w, all racing stores write
+// the same values, and w appears in (at most) both their output queues.
+// The stamp is published after the payload stores so a racer that
+// observes epoch[w] == cur is ordered after the payload it would
+// otherwise have written itself.
 func (st *state) discover(id int, u, w int32, out []int32) []int32 {
 	if atomic.LoadUint32(&st.epoch[w]) != st.cur {
 		atomic.StoreInt32(&st.dist[w], st.level+1)
@@ -251,8 +328,51 @@ func (st *state) discover(id int, u, w int32, out []int32) []int32 {
 		atomic.StoreUint32(&st.epoch[w], st.cur)
 		st.counters[id].Discovered++
 		out = append(out, w+1)
+		if len(out) >= st.blkSize {
+			out = st.flushBlock(id, out)
+		}
 	}
 	return out
+}
+
+// prefetchWindow is how many adjacency targets ahead scanNeighbors
+// touches the epoch line before the claim-check loop reaches them —
+// deep enough to cover a memory round-trip at BFS edge-scan pace,
+// shallow enough that the warmed lines survive until used.
+const prefetchWindow = 8
+
+// scanNeighbors scans u's adjacency slice nb, discovering targets into
+// out, with a software-prefetched lookahead: before discover runs its
+// epoch check on nb[i], the loop has already touched the epoch line of
+// nb[i+prefetchWindow], turning the dependent random-access load into
+// an in-flight one. The touch is an atomic load because the epoch word
+// is concurrently stored by racing discoverers — a plain read would be
+// a data race — and because Go never eliminates an atomic op, so the
+// prefetch cannot be dead-code-eliminated out of the loop.
+func (st *state) scanNeighbors(id int, u int32, nb []int32, out []int32) []int32 {
+	n := len(nb)
+	for i := 0; i < prefetchWindow && i < n; i++ {
+		_ = atomic.LoadUint32(&st.epoch[nb[i]])
+	}
+	i := 0
+	for ; i < n-prefetchWindow; i++ {
+		_ = atomic.LoadUint32(&st.epoch[nb[i+prefetchWindow]])
+		out = st.discover(id, u, nb[i], out)
+	}
+	for ; i < n; i++ {
+		out = st.discover(id, u, nb[i], out)
+	}
+	return out
+}
+
+// prefetchVertex touches v's CSR offset entry so the adjacency bounds
+// are in cache when v is popped a few slots later. Atomic for the same
+// no-DCE reason as scanNeighbors; the offsets array is immutable, so
+// the load is race-free by construction.
+func (st *state) prefetchVertex(v int32) {
+	if uint64(v) < uint64(len(st.g.Offsets)) {
+		_ = atomic.LoadInt64(&st.g.Offsets[v])
+	}
 }
 
 // exploreVertex scans v's adjacency, discovering neighbors into out.
@@ -261,10 +381,7 @@ func (st *state) exploreVertex(id int, v int32, out []int32) []int32 {
 	c.VerticesPopped++
 	nb := st.g.Neighbors(v)
 	c.EdgesScanned += int64(len(nb))
-	for _, w := range nb {
-		out = st.discover(id, v, w, out)
-	}
-	return out
+	return st.scanNeighbors(id, v, nb, out)
 }
 
 // claimAllows reports whether the ParentClaim filter permits worker

@@ -43,8 +43,8 @@ func TestStateSeeding(t *testing.T) {
 
 func TestStateSwap(t *testing.T) {
 	st, _ := newTestState(t, 2)
-	st.out[0] = append(st.out[0], 5, 6)
-	st.out[1] = append(st.out[1], 9)
+	st.blk[0] = st.endLevelOut(0, append(st.blk[0], 5, 6))
+	st.blk[1] = st.endLevelOut(1, append(st.blk[1], 9))
 	st.swap()
 	if st.in[0].origR != 2 || st.in[1].origR != 1 {
 		t.Fatalf("origR after swap: %d, %d", st.in[0].origR, st.in[1].origR)
@@ -58,8 +58,58 @@ func TestStateSwap(t *testing.T) {
 	if atomic.LoadInt64(&st.in[0].front) != 0 {
 		t.Fatal("front not reset")
 	}
-	if len(st.out[0]) != 0 || len(st.out[1]) != 0 {
-		t.Fatal("out buffers not recycled empty")
+	for i := range st.out {
+		if len(st.out[i].buf) != 0 || atomic.LoadInt64(&st.out[i].tail) != 0 {
+			t.Fatal("out queues not recycled empty")
+		}
+		if len(st.blk[i]) != 0 {
+			t.Fatal("discovery blocks not recycled empty")
+		}
+	}
+	if st.counters[0].BlocksFlushed != 1 || st.counters[0].PartialFlushes != 1 {
+		t.Fatalf("worker 0 flush counters: %d blocks, %d partial",
+			st.counters[0].BlocksFlushed, st.counters[0].PartialFlushes)
+	}
+}
+
+// TestFlushBlockAtCapacity pins the batched-publication protocol at the
+// block boundary: with PublishBlock=2 a third discovery must land in a
+// freshly emptied block, with two full-block publications visible in
+// the output queue and the tail index covering both.
+func TestFlushBlockAtCapacity(t *testing.T) {
+	g, err := gen.Grid2D(8, 8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := newState(g, 0, Options{Workers: 2, PublishBlock: 2}.withDefaults())
+	out := st.blk[0]
+	for _, w := range []int32{3, 5, 7} {
+		out = st.discover(0, 0, w, out)
+	}
+	if len(out) != 1 || out[0] != 8 {
+		t.Fatalf("open block after 3 discoveries: %v, want [8]", out)
+	}
+	q := &st.out[0]
+	if got := atomic.LoadInt64(&q.tail); got != 2 {
+		t.Fatalf("published tail %d, want 2 (third discovery unflushed)", got)
+	}
+	if len(q.buf) != 2 || q.buf[0] != 4 || q.buf[1] != 6 {
+		t.Fatalf("published queue %v, want [4 6]", q.buf)
+	}
+	if st.counters[0].BlocksFlushed != 1 || st.counters[0].PartialFlushes != 0 {
+		t.Fatalf("flush counters: %d blocks, %d partial, want 1, 0",
+			st.counters[0].BlocksFlushed, st.counters[0].PartialFlushes)
+	}
+	st.blk[0] = st.endLevelOut(0, out)
+	if got := atomic.LoadInt64(&q.tail); got != 3 {
+		t.Fatalf("tail after barrier flush %d, want 3", got)
+	}
+	if st.counters[0].PartialFlushes != 1 {
+		t.Fatalf("barrier flush not counted partial: %+v", st.counters[0].Counters)
+	}
+	st.swap()
+	if st.in[0].origR != 3 || st.in[0].buf[3] != emptySlot {
+		t.Fatalf("swap promoted %v (origR %d)", st.in[0].buf, st.in[0].origR)
 	}
 }
 

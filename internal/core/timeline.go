@@ -37,6 +37,11 @@ type LevelStat struct {
 	EdgesScanned int64
 	// Fetches is the number of successful segment fetches.
 	Fetches int64
+	// BlocksFlushed is the number of discovery blocks published to the
+	// next-level queues during the level; PartialFlushes counts the
+	// subset published below capacity (the level-barrier flushes).
+	BlocksFlushed  int64
+	PartialFlushes int64
 	// StealOK and StealFailed split the level's steal attempts by
 	// outcome (the failure taxonomy's sum, Table VI).
 	StealOK     int64
@@ -78,15 +83,17 @@ func (st *state) recordLevel() {
 	d := sum
 	d.Sub(&st.lvlPrev)
 	st.lvl = append(st.lvl, LevelStat{
-		Level:        st.level,
-		Frontier:     st.volume(),
-		Pops:         d.VerticesPopped,
-		Discovered:   d.Discovered,
-		EdgesScanned: d.EdgesScanned,
-		Fetches:      d.Fetches,
-		StealOK:      d.StealSuccess,
-		StealFailed:  d.FailedSteals(),
-		WallNanos:    now.Sub(st.lvlStart).Nanoseconds(),
+		Level:          st.level,
+		Frontier:       st.volume(),
+		Pops:           d.VerticesPopped,
+		Discovered:     d.Discovered,
+		EdgesScanned:   d.EdgesScanned,
+		Fetches:        d.Fetches,
+		BlocksFlushed:  d.BlocksFlushed,
+		PartialFlushes: d.PartialFlushes,
+		StealOK:        d.StealSuccess,
+		StealFailed:    d.FailedSteals(),
+		WallNanos:      now.Sub(st.lvlStart).Nanoseconds(),
 	})
 	st.lvlPrev = sum
 	st.lvlStart = now

@@ -105,13 +105,15 @@ func bindWorkSteal(locked, scaleFree bool) bindFunc {
 
 		perLevel := func(id int) {
 			w := &workers[id]
-			w.out = st.out[id]
+			w.out = st.blk[id]
 			w.phase1(maxStealAttempts)
 			if scaleFree {
 				ctx.barrier.wait()
 				w.phase2()
 			}
-			st.out[id] = w.out
+			// Level-barrier flush: publish the partial discovery block
+			// before quiescing (after phase 2, which also discovers).
+			st.blk[id] = st.endLevelOut(id, w.out)
 		}
 
 		return binding{setup: setup, perLevel: perLevel, rngs: rngs, rngSalt: 0x5151}
@@ -145,9 +147,7 @@ func (w *wsWorker) process(qid int, v int32) {
 	}
 	nb := w.st.g.Neighbors(v)
 	w.c.EdgesScanned += int64(len(nb))
-	for _, u := range nb {
-		w.out = w.st.discover(w.id, v, u, w.out)
-	}
+	w.out = w.st.scanNeighbors(w.id, v, nb, w.out)
 }
 
 // phase1 runs the work-stealing loop for one level: drain own segment,
@@ -189,6 +189,16 @@ func (w *wsWorker) phase1(maxStealAttempts int) {
 // offers its thread to peers while draining a segment.
 const yieldEvery = 16
 
+// stealCheckPeriod is how many pops a lockfree drain batches between
+// publications of its shared front index. Publishing every pop put a
+// shared store (and its coherence miss for any watching thief) on the
+// per-vertex path; deferring it only *understates* the front, which the
+// protocol already tolerates — a thief that halves the unpublished
+// region either lands on unspent slots (duplicate-free, it pops what
+// the victim would have) or on zeroed ones and takes the stale-steal
+// exit. The final front is still published before the drain returns.
+const stealCheckPeriod = 32
+
 // drainOwn explores the worker's current segment.
 //
 // Lockfree mode reproduces the paper's protocol exactly: read a slot,
@@ -220,6 +230,12 @@ func (w *wsWorker) drainOwn(d *segDesc) {
 			d.mu.Unlock()
 			buf := w.st.in[qi].buf
 			for j := start; j < start+take; j++ {
+				if j+1 < start+take {
+					// Warm the next vertex's CSR offsets while this
+					// one's adjacency is scanned (locked mode leaves
+					// slots intact, so the peek is a plain read).
+					w.st.prefetchVertex(buf[j+1] - 1)
+				}
 				w.process(int(qi), buf[j]-1)
 			}
 			popped += int(take)
@@ -232,16 +248,33 @@ func (w *wsWorker) drainOwn(d *segDesc) {
 	qi := atomic.LoadInt64(&d.q)
 	buf := w.st.in[qi].buf
 	j := atomic.LoadInt64(&d.f)
+	// The shared front is published once per stealCheckPeriod pops
+	// instead of once per pop (see the constant's comment); published
+	// tracks the last value actually stored to d.f.
+	published := j
 	for {
 		slot := atomic.LoadInt32(&buf[j])
 		if slot == emptySlot {
+			if j != published {
+				w.st.chaosAt(ChaosDrainAdvance, w.id, j)
+				atomic.StoreInt64(&d.f, j)
+			}
 			return
 		}
 		w.st.chaosAt(ChaosSlotZero, w.id, j)
 		atomic.StoreInt32(&buf[j], emptySlot)
 		j++
-		w.st.chaosAt(ChaosDrainAdvance, w.id, j)
-		atomic.StoreInt64(&d.f, j)
+		if j-published >= stealCheckPeriod {
+			w.st.chaosAt(ChaosDrainAdvance, w.id, j)
+			atomic.StoreInt64(&d.f, j)
+			published = j
+		}
+		// Peek the next slot (atomic: a concurrent thief's drain zeroes
+		// slots) and warm its vertex's CSR offsets before the current
+		// vertex's adjacency scan hides the latency.
+		if nxt := atomic.LoadInt32(&buf[j]); nxt != emptySlot {
+			w.st.prefetchVertex(nxt - 1)
+		}
 		w.process(int(qi), slot-1)
 		if popped++; popped%yieldEvery == 0 {
 			w.st.maybeYield()
@@ -402,9 +435,7 @@ func (w *wsWorker) phase2() {
 		hi := len(nb) * (chunk + 1) / p
 		w.c.HotChunks++
 		w.c.EdgesScanned += int64(hi - lo)
-		for _, u := range nb[lo:hi] {
-			w.out = w.st.discover(w.id, v, u, w.out)
-		}
+		w.out = w.st.scanNeighbors(w.id, v, nb[lo:hi], w.out)
 	}
 	if !w.st.opt.Phase2Stealing {
 		for owner := 0; owner < p; owner++ {

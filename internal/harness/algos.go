@@ -115,7 +115,11 @@ type Runner struct {
 	be   *beamer.Engine
 }
 
-// NewRunner builds a Runner for the spec over g.
+// NewRunner builds a Runner for the spec over g. Options.Reorder is
+// honored by the core family only (the engine relabels internally and
+// maps results back to original ids); the Baseline1/Baseline2 and
+// direction-optimizing runtimes have no engine relabeling layer and
+// traverse the graph as given.
 func (a AlgoSpec) NewRunner(g *graph.CSR, opt core.Options) (*Runner, error) {
 	r := &Runner{spec: a, g: g, opt: opt}
 	switch a.fam {

@@ -24,6 +24,10 @@ type Counters struct {
 	EdgesScanned   int64 // adjacency entries examined
 	Discovered     int64 // vertices this worker newly discovered
 
+	// Batched frontier publication (core.Options.PublishBlock).
+	BlocksFlushed  int64 // discovery blocks published to the next-level queue
+	PartialFlushes int64 // blocks published below capacity (level-barrier flushes)
+
 	// Centralized-queue machinery.
 	Fetches      int64 // segments successfully fetched
 	FetchRetries int64 // fetch attempts that found no work and advanced/retried
@@ -65,6 +69,8 @@ func (c *Counters) Add(other *Counters) {
 	c.VerticesPopped += other.VerticesPopped
 	c.EdgesScanned += other.EdgesScanned
 	c.Discovered += other.Discovered
+	c.BlocksFlushed += other.BlocksFlushed
+	c.PartialFlushes += other.PartialFlushes
 	c.Fetches += other.Fetches
 	c.FetchRetries += other.FetchRetries
 	c.LockAcquisitions += other.LockAcquisitions
@@ -92,6 +98,8 @@ func (c *Counters) Sub(other *Counters) {
 	c.VerticesPopped -= other.VerticesPopped
 	c.EdgesScanned -= other.EdgesScanned
 	c.Discovered -= other.Discovered
+	c.BlocksFlushed -= other.BlocksFlushed
+	c.PartialFlushes -= other.PartialFlushes
 	c.Fetches -= other.Fetches
 	c.FetchRetries -= other.FetchRetries
 	c.LockAcquisitions -= other.LockAcquisitions

@@ -66,6 +66,20 @@ const (
 // Unreached marks unreachable vertices in Result.Dist.
 const Unreached = graph.Unreached
 
+// ReorderMode selects the vertex relabeling Options.Reorder applies at
+// engine construction; results are always mapped back to original ids.
+type ReorderMode = core.ReorderMode
+
+// Reorder modes for Options.Reorder.
+const (
+	// ReorderNone runs on the graph as given (the default).
+	ReorderNone = core.ReorderNone
+	// ReorderDegree packs high-degree vertices first (hub packing).
+	ReorderDegree = core.ReorderDegree
+	// ReorderBFS renumbers vertices in BFS visitation order.
+	ReorderBFS = core.ReorderBFS
+)
+
 // ChaosHook observes the lockfree protocols' racy points (see
 // Options.Chaos). Implementations may delay or yield to provoke rare
 // interleavings; the internal/chaos package provides a seeded
@@ -94,6 +108,10 @@ const (
 	// ChaosPoolStore fires before a decentralized fetch publishes its
 	// next-pool rotation.
 	ChaosPoolStore = core.ChaosPoolStore
+	// ChaosBlockFlush fires between copying a publication block into
+	// the shared out-queue and the atomic tail store that makes it
+	// visible (see Options.PublishBlock).
+	ChaosBlockFlush = core.ChaosBlockFlush
 	// ChaosPhase2Advance fires between the optimistic load and store
 	// of the phase-2 dispatch cursor.
 	ChaosPhase2Advance = core.ChaosPhase2Advance

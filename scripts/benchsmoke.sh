@@ -1,39 +1,52 @@
 #!/usr/bin/env bash
-# Benchmark smoke for CI: run the steady-state engine benchmarks for a
-# few short iterations with -benchmem and fail if the warm Engine.Run
-# path allocates more than a small constant per op. A warm engine is
-# designed to allocate nothing; the gate averages over 3 iterations and
-# leaves headroom because racy duplicate counts vary run to run, so
-# pooled-queue high-water marks settle stochastically and a sample can
-# still land on a late growth event.
+# Benchmark smoke for CI: run the steady-state engine benchmarks and the
+# drain-locality benchmarks for a few short iterations with -benchmem and
+# fail if the warm Engine.Run path allocates.
+#
+# BenchmarkEngineSteadyState gets a small headroom (MAX_ALLOCS): racy
+# duplicate counts vary run to run, so pooled-queue high-water marks
+# settle stochastically and a sample can still land on a late growth
+# event. BenchmarkDrainLocality is gated at 0 allocs/op by default
+# (MAX_ALLOCS_DRAIN): it warms each engine for 8 full sweeps before the
+# timed region, so batched publication + prefetched drains must run
+# allocation-free at every block size.
 #
 # Usage: scripts/benchsmoke.sh [output-file]
-#   MAX_ALLOCS  gate on allocs/op for BenchmarkEngineSteadyState (default 8)
+#   MAX_ALLOCS        gate for BenchmarkEngineSteadyState (default 8)
+#   MAX_ALLOCS_DRAIN  gate for BenchmarkDrainLocality (default 0)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-bench-smoke.txt}"
 max_allocs="${MAX_ALLOCS:-8}"
+max_allocs_drain="${MAX_ALLOCS_DRAIN:-0}"
 
-go test -run '^$' -bench 'BenchmarkEngineSteadyState|BenchmarkEngineRunMany' \
+go test -run '^$' -bench 'BenchmarkEngineSteadyState|BenchmarkEngineRunMany|BenchmarkDrainLocality' \
   -benchtime 3x -benchmem . | tee "$out"
 
 fail=0
-found=0
-while read -r name allocs; do
-  found=$((found + 1))
-  if [ "$allocs" -gt "$max_allocs" ]; then
-    echo "FAIL: $name allocates $allocs allocs/op (max $max_allocs)" >&2
-    fail=1
-  else
-    echo "ok: $name $allocs allocs/op (max $max_allocs)"
-  fi
-done < <(awk '/^BenchmarkEngineSteadyState/ {
-  for (i = 1; i <= NF; i++) if ($i == "allocs/op") print $1, $(i-1)
-}' "$out")
 
-if [ "$found" -lt 4 ]; then
-  echo "FAIL: expected >=4 steady-state benchmark results, found $found" >&2
-  fail=1
-fi
+# gate <prefix-regex> <max> <min-results>
+gate() {
+  local prefix="$1" max="$2" min="$3" found=0
+  while read -r name allocs; do
+    found=$((found + 1))
+    if [ "$allocs" -gt "$max" ]; then
+      echo "FAIL: $name allocates $allocs allocs/op (max $max)" >&2
+      fail=1
+    else
+      echo "ok: $name $allocs allocs/op (max $max)"
+    fi
+  done < <(awk -v pre="$prefix" '$1 ~ pre {
+    for (i = 1; i <= NF; i++) if ($i == "allocs/op") print $1, $(i-1)
+  }' "$out")
+  if [ "$found" -lt "$min" ]; then
+    echo "FAIL: expected >=$min results for $prefix, found $found" >&2
+    fail=1
+  fi
+}
+
+gate '^BenchmarkEngineSteadyState' "$max_allocs" 4
+gate '^BenchmarkDrainLocality' "$max_allocs_drain" 6
+
 exit "$fail"

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Profile-guided optimization pipeline: capture a CPU profile from the
+# steady-state engine benchmark (the hot drain/publish loops dominate
+# it), install it as default.pgo so `go build` picks it up
+# automatically, and compare PGO-off vs PGO-on benchmark runs.
+#
+# Usage: scripts/pgo.sh [outdir]
+#   BENCH      profile+compare benchmark regex
+#              (default 'BenchmarkEngineSteadyState|BenchmarkDrainLocality')
+#   BENCHTIME  per-benchmark time for the comparison runs (default 5x)
+#   PROFTIME   per-benchmark time for the profiling run (default 10x)
+#
+# Writes into outdir (default pgo-out/):
+#   cpu.pprof        raw profile from the profiling run
+#   bench-nopgo.txt  comparison run built with -pgo=off
+#   bench-pgo.txt    comparison run built with the captured profile
+# and installs the profile as ./default.pgo (git-ignored; CI uploads it
+# with the comparison as the bench-compare artifact).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+outdir="${1:-pgo-out}"
+bench="${BENCH:-BenchmarkEngineSteadyState|BenchmarkDrainLocality}"
+benchtime="${BENCHTIME:-5x}"
+proftime="${PROFTIME:-10x}"
+mkdir -p "$outdir"
+
+echo "== profiling run ($proftime) =="
+go test -run '^$' -bench "$bench" -benchtime "$proftime" \
+  -cpuprofile "$outdir/cpu.pprof" .
+
+echo "== baseline (-pgo=off, $benchtime) =="
+go test -run '^$' -bench "$bench" -benchtime "$benchtime" \
+  -pgo=off . | tee "$outdir/bench-nopgo.txt"
+
+echo "== PGO build ($benchtime) =="
+cp "$outdir/cpu.pprof" default.pgo
+go test -run '^$' -bench "$bench" -benchtime "$benchtime" \
+  -pgo default.pgo . | tee "$outdir/bench-pgo.txt"
+
+echo "== summary =="
+paste <(grep '^Benchmark' "$outdir/bench-nopgo.txt" | awk '{print $1, $3}') \
+      <(grep '^Benchmark' "$outdir/bench-pgo.txt" | awk '{print $3}') |
+  awk '{printf "%-55s nopgo=%10s ns/op  pgo=%10s ns/op\n", $1, $2, $3}'
+echo "profile installed as default.pgo; artifacts in $outdir/"
