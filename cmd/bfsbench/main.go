@@ -50,27 +50,33 @@ func main() {
 	)
 	flag.Parse()
 	var reg *obs.Registry
+	var srv *obs.Server
 	if *metricsAddr != "" {
 		reg = obs.New()
 		reg.SetHelp("optibfs_up", "1 while the process is up.")
 		reg.Gauge("optibfs_up").Set(1)
 		obs.PublishExpvar("optibfs", reg)
-		srv, err := obs.Serve(*metricsAddr, reg)
+		var err error
+		srv, err = obs.Serve(*metricsAddr, reg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bfsbench:", err)
 			os.Exit(1)
 		}
-		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "bfsbench: serving metrics at http://%s/metrics\n", srv.Addr)
 	}
+	// Every exit path below must drain the metrics listener explicitly:
+	// os.Exit skips defers, which used to drop in-flight scrapes.
+	code := 0
 	if err := run(os.Stdout, *exp, *scale, *sources, *seed, *reps, *csv, *workers, *reorderM, reg); err != nil {
 		fmt.Fprintln(os.Stderr, "bfsbench:", err)
-		os.Exit(1)
+		code = 1
 	}
-	if reg != nil && *metricsLinger > 0 {
+	if reg != nil && code == 0 && *metricsLinger > 0 {
 		fmt.Fprintf(os.Stderr, "bfsbench: experiments done, metrics endpoint up for another %s\n", *metricsLinger)
 		time.Sleep(*metricsLinger)
 	}
+	obs.CloseGracefully(srv, 2*time.Second)
+	os.Exit(code)
 }
 
 func run(w io.Writer, exp string, scale, sources int, seed uint64, reps int, csv bool, workers int, reorderMode string, reg *obs.Registry) error {

@@ -1,0 +1,398 @@
+// Command bfsd is a long-running BFS query daemon over the hardened
+// serving layer (internal/serve): load a graph once, then answer
+// distance/parent queries over HTTP with panic isolation, stall
+// detection, deadline budgets, bounded concurrency with load
+// shedding, and serial-oracle degradation. The JSON API:
+//
+//	POST /load?gen=rmat&n=4096&m=32768&seed=1   generate and serve a graph
+//	POST /load?format=edges|mtx|bin             load a graph from the body
+//	GET  /query?src=0[&dst=7][&full=1][&validate=1]
+//	GET  /healthz                               liveness (always 200)
+//	GET  /readyz                                readiness (503 until loaded)
+//	GET  /metrics                               Prometheus text exposition
+//
+// plus /debug/vars and /debug/pprof from the shared exposition mux.
+// SIGTERM/SIGINT triggers a graceful drain: the listener closes,
+// in-flight requests finish (bounded by -drain-timeout), engines shut
+// down, and the process exits 0.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"sync"
+	"syscall"
+	"time"
+
+	"optibfs/internal/core"
+	"optibfs/internal/gen"
+	"optibfs/internal/graph"
+	"optibfs/internal/mmio"
+	"optibfs/internal/obs"
+	"optibfs/internal/serve"
+)
+
+// loaded is the daemon's current graph and its serving guard.
+type loaded struct {
+	g     *graph.CSR
+	guard *serve.Guard
+	desc  string
+}
+
+// daemon holds the HTTP state. The guard swap on /load is the only
+// mutation; queries take the read lock.
+type daemon struct {
+	cfg     serve.Config
+	reg     *obs.Registry
+	maxBody int64
+
+	mu  sync.RWMutex
+	cur *loaded
+}
+
+func newDaemon(cfg serve.Config, reg *obs.Registry, maxBody int64) *daemon {
+	cfg.Registry = reg
+	return &daemon{cfg: cfg, reg: reg, maxBody: maxBody}
+}
+
+// handler mounts the API on the shared exposition mux, so /metrics,
+// /debug/vars, and /debug/pprof ride along for free.
+func (d *daemon) handler() http.Handler {
+	mux := obs.NewServeMux(d.reg)
+	mux.HandleFunc("/load", d.handleLoad)
+	mux.HandleFunc("/query", d.handleQuery)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	mux.HandleFunc("/readyz", d.handleReady)
+	return mux
+}
+
+// current returns the graph being served, or nil before the first load.
+func (d *daemon) current() *loaded {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.cur
+}
+
+// install swaps in a freshly built guard and retires the old one in
+// the background (Close blocks until its in-flight queries drain).
+func (d *daemon) install(l *loaded) {
+	d.mu.Lock()
+	old := d.cur
+	d.cur = l
+	d.mu.Unlock()
+	if old != nil {
+		go old.guard.Close()
+	}
+}
+
+// closeGuard shuts the active guard during daemon drain.
+func (d *daemon) closeGuard() {
+	d.mu.Lock()
+	old := d.cur
+	d.cur = nil
+	d.mu.Unlock()
+	if old != nil {
+		old.guard.Close()
+	}
+}
+
+func (d *daemon) handleReady(w http.ResponseWriter, _ *http.Request) {
+	if d.current() == nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "error": "no graph loaded"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ready": true})
+}
+
+func (d *daemon) handleLoad(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]any{"error": "POST required"})
+		return
+	}
+	var (
+		g    *graph.CSR
+		desc string
+		err  error
+	)
+	if kind := r.URL.Query().Get("gen"); kind != "" {
+		g, desc, err = generate(kind, r.URL.Query())
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+			return
+		}
+	} else {
+		format := r.URL.Query().Get("format")
+		if format == "" {
+			format = "edges"
+		}
+		body := http.MaxBytesReader(w, r.Body, d.maxBody)
+		switch format {
+		case "edges":
+			g, err = mmio.ReadEdgeList(body)
+		case "mtx":
+			g, err = mmio.ReadMatrixMarket(body)
+		case "bin":
+			g, err = mmio.ReadBinary(body)
+		default:
+			writeJSON(w, http.StatusBadRequest, map[string]any{"error": fmt.Sprintf("unknown format %q", format)})
+			return
+		}
+		desc = format + " upload"
+		if err != nil {
+			status := http.StatusInternalServerError
+			var mbe *http.MaxBytesError
+			switch {
+			case errors.As(err, &mbe):
+				status = http.StatusRequestEntityTooLarge
+			case errors.Is(err, mmio.ErrMalformed):
+				// The bytes are the client's fault; a broken stream
+				// (mmio.ErrIO) stays a 500.
+				status = http.StatusBadRequest
+			}
+			writeJSON(w, status, map[string]any{"error": err.Error()})
+			return
+		}
+	}
+	guard, err := serve.New(g, d.cfg)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]any{"error": err.Error()})
+		return
+	}
+	d.install(&loaded{g: g, guard: guard, desc: desc})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"vertices":  g.NumVertices(),
+		"edges":     g.NumEdges(),
+		"algorithm": string(guard.Algorithm()),
+		"desc":      desc,
+	})
+}
+
+// generate builds a graph from generator query parameters.
+func generate(kind string, q map[string][]string) (*graph.CSR, string, error) {
+	get := func(name string, def int64) (int64, error) {
+		vs := q[name]
+		if len(vs) == 0 || vs[0] == "" {
+			return def, nil
+		}
+		return strconv.ParseInt(vs[0], 10, 64)
+	}
+	n, err := get("n", 4096)
+	if err != nil {
+		return nil, "", fmt.Errorf("bad n: %v", err)
+	}
+	m, err := get("m", 8*n)
+	if err != nil {
+		return nil, "", fmt.Errorf("bad m: %v", err)
+	}
+	seed, err := get("seed", 1)
+	if err != nil {
+		return nil, "", fmt.Errorf("bad seed: %v", err)
+	}
+	if n <= 0 || n > mmio.MaxVertices {
+		return nil, "", fmt.Errorf("n=%d out of range", n)
+	}
+	var g *graph.CSR
+	switch kind {
+	case "rmat":
+		g, err = gen.Graph500RMAT(int32(n), m, uint64(seed), gen.Options{})
+	case "er":
+		g, err = gen.ErdosRenyi(int32(n), m, uint64(seed), gen.Options{})
+	default:
+		return nil, "", fmt.Errorf("unknown generator %q (want rmat or er)", kind)
+	}
+	if err != nil {
+		return nil, "", err
+	}
+	return g, fmt.Sprintf("%s(n=%d,m=%d,seed=%d)", kind, n, m, seed), nil
+}
+
+func (d *daemon) handleQuery(w http.ResponseWriter, r *http.Request) {
+	cur := d.current()
+	if cur == nil {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": "no graph loaded"})
+		return
+	}
+	src64, err := strconv.ParseInt(r.URL.Query().Get("src"), 10, 32)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": fmt.Sprintf("bad src: %v", err)})
+		return
+	}
+	src := int32(src64)
+	ans, err := cur.guard.Query(r.Context(), src)
+	if err != nil {
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, serve.ErrBadSource):
+			status = http.StatusBadRequest
+		case errors.Is(err, serve.ErrOverloaded):
+			status = http.StatusServiceUnavailable
+			w.Header().Set("Retry-After", "1")
+		case errors.Is(err, serve.ErrClosed):
+			status = http.StatusServiceUnavailable
+		case errors.Is(err, context.DeadlineExceeded):
+			status = http.StatusGatewayTimeout
+		}
+		writeJSON(w, status, map[string]any{"error": err.Error()})
+		return
+	}
+	resp := map[string]any{
+		"src":             src,
+		"outcome":         ans.Outcome,
+		"algorithm":       string(ans.Algorithm),
+		"levels":          ans.Levels,
+		"reached":         ans.Reached,
+		"edges_traversed": ans.EdgesTraversed,
+	}
+	if dstS := r.URL.Query().Get("dst"); dstS != "" {
+		dst64, derr := strconv.ParseInt(dstS, 10, 32)
+		if derr != nil || dst64 < 0 || int32(dst64) >= cur.g.NumVertices() {
+			writeJSON(w, http.StatusBadRequest, map[string]any{"error": fmt.Sprintf("bad dst %q", dstS)})
+			return
+		}
+		resp["dst"] = dst64
+		resp["dist"] = ans.Dist[dst64]
+		if ans.Parent != nil {
+			resp["parent"] = ans.Parent[dst64]
+		}
+	}
+	if r.URL.Query().Get("full") == "1" {
+		resp["dist_all"] = ans.Dist
+		if ans.Parent != nil {
+			resp["parent_all"] = ans.Parent
+		}
+	}
+	if r.URL.Query().Get("validate") == "1" {
+		if verr := validateAnswer(cur.g, src, ans); verr != nil {
+			writeJSON(w, http.StatusInternalServerError, map[string]any{"error": verr.Error(), "valid": false})
+			return
+		}
+		resp["valid"] = true
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// validateAnswer checks the answer against the serial oracle and the
+// structural BFS-tree rules — the daemon's self-check for CI smoke.
+func validateAnswer(g *graph.CSR, src int32, ans *serve.Answer) error {
+	if err := graph.EqualDistances(ans.Dist, graph.ReferenceBFS(g, src)); err != nil {
+		return err
+	}
+	if err := graph.ValidateDistances(g, src, ans.Dist); err != nil {
+		return err
+	}
+	if ans.Parent != nil {
+		if err := graph.ValidateParents(g, src, ans.Dist, ans.Parent); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+// loadFile serves -load at startup: a graph file by extension.
+func loadFile(d *daemon, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var g *graph.CSR
+	switch {
+	case hasSuffix(path, ".mtx"):
+		g, err = mmio.ReadMatrixMarket(f)
+	case hasSuffix(path, ".bin"):
+		g, err = mmio.ReadBinary(f)
+	default:
+		g, err = mmio.ReadEdgeList(f)
+	}
+	if err != nil {
+		return err
+	}
+	guard, err := serve.New(g, d.cfg)
+	if err != nil {
+		return err
+	}
+	d.install(&loaded{g: g, guard: guard, desc: path})
+	return nil
+}
+
+func hasSuffix(s, suf string) bool {
+	return len(s) >= len(suf) && s[len(s)-len(suf):] == suf
+}
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8090", "listen address")
+		algo         = flag.String("algo", string(core.BFSWL), "BFS variant to serve")
+		workers      = flag.Int("workers", 0, "workers per engine (0 = GOMAXPROCS)")
+		concurrency  = flag.Int("concurrency", 2, "engine fleet size (max queries in flight)")
+		deadline     = flag.Duration("deadline", 5*time.Second, "default per-query deadline")
+		stallTimeout = flag.Duration("stall-timeout", time.Second, "watchdog window for wedged workers")
+		grace        = flag.Duration("grace", time.Second, "post-deadline grace before an engine is abandoned")
+		queueWait    = flag.Duration("queue-wait", 100*time.Millisecond, "max wait for a free engine before shedding")
+		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget on SIGTERM")
+		load         = flag.String("load", "", "graph file to serve at startup (.mtx, .bin, else edge list)")
+		maxBody      = flag.Int64("max-body", 1<<30, "maximum /load request body bytes")
+	)
+	flag.Parse()
+
+	reg := obs.New()
+	reg.Counter("optibfs_up").Inc()
+	cfg := serve.Config{
+		Algo:        core.Algorithm(*algo),
+		Concurrency: *concurrency,
+		Deadline:    *deadline,
+		Grace:       *grace,
+		QueueWait:   *queueWait,
+		Options: core.Options{
+			Workers:      *workers,
+			StallTimeout: *stallTimeout,
+		},
+	}
+	d := newDaemon(cfg, reg, *maxBody)
+	if *load != "" {
+		if err := loadFile(d, *load); err != nil {
+			log.Fatalf("bfsd: loading %s: %v", *load, err)
+		}
+		log.Printf("bfsd: serving %s", d.current().desc)
+	}
+
+	srv, err := obs.ServeHandler(*addr, d.handler())
+	if err != nil {
+		log.Fatalf("bfsd: %v", err)
+	}
+	log.Printf("bfsd: listening on %s (algo=%s, concurrency=%d)", srv.Addr, *algo, *concurrency)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	<-ctx.Done()
+	stop()
+
+	log.Printf("bfsd: draining (budget %s)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	code := 0
+	if err := srv.Shutdown(drainCtx); err != nil {
+		log.Printf("bfsd: drain incomplete: %v", err)
+		srv.Close()
+		code = 1
+	}
+	d.closeGuard()
+	log.Printf("bfsd: bye")
+	os.Exit(code)
+}

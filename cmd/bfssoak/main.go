@@ -47,24 +47,28 @@ func main() {
 	)
 	flag.Parse()
 	var reg *obs.Registry
+	var srv *obs.Server
 	if *metricsAddr != "" {
 		reg = obs.New()
 		reg.SetHelp("optibfs_up", "1 while the process is up.")
 		reg.Gauge("optibfs_up").Set(1)
 		obs.PublishExpvar("optibfs", reg)
-		srv, err := obs.Serve(*metricsAddr, reg)
+		var err error
+		srv, err = obs.Serve(*metricsAddr, reg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bfssoak:", err)
 			os.Exit(2)
 		}
-		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "bfssoak: serving metrics at http://%s/metrics\n", srv.Addr)
 	}
+	// os.Exit skips defers: drain the metrics listener explicitly on
+	// every exit path so the final scrape isn't dropped mid-response.
 	code, err := run(os.Stdout, *duration, *seeds, *workers, *seed, *profiles, *algos, *artifacts, *replay, *list, *engines, *verbose, reg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bfssoak:", err)
-		os.Exit(2)
+		code = 2
 	}
+	obs.CloseGracefully(srv, 2*time.Second)
 	os.Exit(code)
 }
 

@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"optibfs/internal/core"
 	"optibfs/internal/rng"
@@ -40,6 +41,8 @@ import (
 // Profile describes one perturbation shape: the probability, per chaos
 // point, that a worker passing it is delayed, and how heavy the delay
 // is. The zero value perturbs nothing (a pure-observation baseline).
+// PanicProb and StallMillis graduate a profile from benign-race
+// provocation to malign-fault injection (see Disruptive).
 type Profile struct {
 	// Name identifies the profile in reports and repro artifacts.
 	Name string `json:"name"`
@@ -51,7 +54,26 @@ type Profile struct {
 	// Spin adds busy-work iterations per perturbation, jitter finer
 	// than a full scheduler yield.
 	Spin int `json:"spin"`
+	// PanicProb is the probability that a perturbation panics the
+	// worker instead of delaying it, exercising the engine's recovery
+	// barrier (the run must end in *core.WorkerPanicError, never a
+	// process crash). Drawn from the same per-worker stream as the
+	// perturbation decision, so panics replay deterministically per
+	// (profile, seed, worker, firing count).
+	PanicProb float64 `json:"panic_prob,omitempty"`
+	// StallMillis, when positive, turns perturbations at
+	// core.ChaosStall into a sleep of this many milliseconds —
+	// simulating a wedged worker so the soak can verify the stall
+	// watchdog fires within Options.StallTimeout. Other points are
+	// unaffected (their perturbations stay yields/spin/panic).
+	StallMillis int `json:"stall_millis,omitempty"`
 }
+
+// Disruptive reports whether the profile injects malign faults —
+// panics or forced stalls — that legitimately abort runs. The soak
+// treats such aborts as expected recovery outcomes (counted, engine
+// discarded) rather than harness failures, and arms the watchdog.
+func (p Profile) Disruptive() bool { return p.PanicProb > 0 || p.StallMillis > 0 }
 
 // prob builds a per-point probability table from (point, prob) pairs.
 func prob(pairs ...any) [core.NumChaosPoints]float64 {
@@ -89,6 +111,14 @@ func Profiles() []Profile {
 		// partially published.
 		{Name: "flush-storm", Prob: prob(core.ChaosBlockFlush, 0.8, core.ChaosStealPublish, 0.5, core.ChaosSlotZero, 0.02), Yields: 3, Spin: 32},
 		{Name: "mixed", Prob: uniformProb(0.1), Yields: 2, Spin: 16},
+		// panic-storm is the malign-fault profile: every worker rolls at
+		// the top of every level (ChaosStall) and a perturbation there
+		// either panics (PanicProb) or sleeps StallMillis; the sparse
+		// mid-protocol points panic from inside drains and steals. Runs
+		// under this profile are expected to abort — the soak asserts the
+		// process survives, the typed errors surface, and forced stalls
+		// are detected within the watchdog window.
+		{Name: "panic-storm", Prob: prob(core.ChaosStall, 0.9, core.ChaosSlotZero, 0.01, core.ChaosStealPublish, 0.2, core.ChaosBlockFlush, 0.05), Yields: 1, PanicProb: 0.25, StallMillis: 150},
 	}
 }
 
@@ -109,6 +139,8 @@ type injWorker struct {
 	r        rng.SplitMix64
 	fired    [core.NumChaosPoints]int64
 	injected int64
+	panics   int64
+	stalls   int64
 	spinSink uint64 // defeats dead-code elimination of the spin loop
 	_        [64]byte
 }
@@ -147,7 +179,8 @@ func (in *Injector) Profile() Profile { return in.prof }
 func (in *Injector) Seed() uint64 { return in.seed }
 
 // At implements core.ChaosHook: consult worker's decision stream and
-// possibly stretch the racy window with yields and spin work.
+// possibly stretch the racy window with yields and spin work — or,
+// under a Disruptive profile, panic the worker or put it to sleep.
 func (in *Injector) At(point core.ChaosPoint, worker int, value int64) {
 	w := &in.workers[worker]
 	w.fired[point]++
@@ -160,6 +193,17 @@ func (in *Injector) At(point core.ChaosPoint, worker int, value int64) {
 		return
 	}
 	w.injected++
+	if pp := in.prof.PanicProb; pp > 0 && float64(w.r.Next()>>11)/(1<<53) < pp {
+		// The panic draw consumes one stream step whether or not it
+		// fires, keeping later decisions deterministic either way.
+		w.panics++
+		panic(fmt.Sprintf("chaos: injected panic at %s (worker %d, value %d)", point, worker, value))
+	}
+	if point == core.ChaosStall && in.prof.StallMillis > 0 {
+		w.stalls++
+		time.Sleep(time.Duration(in.prof.StallMillis) * time.Millisecond)
+		return
+	}
 	for i := 0; i < in.prof.Yields; i++ {
 		runtime.Gosched()
 	}
@@ -204,6 +248,25 @@ func (in *Injector) Injections() int64 {
 	var n int64
 	for i := range in.workers {
 		n += in.workers[i].injected
+	}
+	return n
+}
+
+// Panics returns how many injected panics the workers threw.
+func (in *Injector) Panics() int64 {
+	var n int64
+	for i := range in.workers {
+		n += in.workers[i].panics
+	}
+	return n
+}
+
+// Stalls returns how many forced stalls (ChaosStall sleeps) were
+// injected.
+func (in *Injector) Stalls() int64 {
+	var n int64
+	for i := range in.workers {
+		n += in.workers[i].stalls
 	}
 	return n
 }

@@ -1,7 +1,9 @@
 package chaos
 
 import (
+	"errors"
 	"testing"
+	"time"
 
 	"optibfs/internal/core"
 	"optibfs/internal/gen"
@@ -87,23 +89,41 @@ func TestInjectorLevelAuditRecordsViolations(t *testing.T) {
 }
 
 // TestInjectedRunsStayCorrect is the heart of the harness: every
-// profile hammering every lockfree variant must still produce exact
-// BFS levels, pass the audits, and leave no queue slot unconsumed.
+// benign profile hammering every lockfree variant must still produce
+// exact BFS levels, pass the audits, and leave no queue slot
+// unconsumed. Disruptive profiles legitimately abort runs; for those
+// the contract shifts — the process must survive, errors must be the
+// typed recovery errors, and a run that does complete must still be
+// exactly correct.
 func TestInjectedRunsStayCorrect(t *testing.T) {
 	g, err := gen.ChungLu(3000, 24000, 2.0, 11, gen.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	want := graph.ReferenceBFS(g, 0)
-	var injections int64
+	var injections, aborts int64
 	for _, prof := range Profiles() {
 		for _, algo := range []core.Algorithm{core.BFSCL, core.BFSDL, core.BFSWL, core.BFSWSL} {
 			in := NewInjector(prof, 99, 8)
-			res, err := core.Run(g, 0, algo, core.Options{
+			opt := core.Options{
 				Workers: 8, Pools: 2, SegmentSize: 1, Seed: 5,
 				Phase2Stealing: true, Chaos: in,
-			})
+			}
+			if prof.Disruptive() {
+				opt.StallTimeout = 50 * time.Millisecond
+			}
+			res, err := core.Run(g, 0, algo, opt)
 			if err != nil {
+				var wp *core.WorkerPanicError
+				var se *core.StallError
+				if prof.Disruptive() && (errors.As(err, &wp) || errors.As(err, &se)) {
+					if res == nil {
+						t.Fatalf("%s under %s: aborted run returned no partial result", algo, prof.Name)
+					}
+					aborts++
+					injections += in.Injections()
+					continue
+				}
 				t.Fatal(err)
 			}
 			vs := Audit(g, 0, want, res)
@@ -116,5 +136,8 @@ func TestInjectedRunsStayCorrect(t *testing.T) {
 	}
 	if injections == 0 {
 		t.Fatal("no profile injected anything: the chaos scheduler is inert")
+	}
+	if aborts == 0 {
+		t.Fatal("no disruptive profile aborted anything: malign-fault injection is inert")
 	}
 }

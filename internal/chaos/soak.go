@@ -2,6 +2,7 @@ package chaos
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -97,6 +98,10 @@ type RunOptions struct {
 	PublishBlock int `json:"publish_block,omitempty"`
 	// Reorder names the vertex-relabeling mode ("" | "degree" | "bfs").
 	Reorder string `json:"reorder,omitempty"`
+	// StallTimeoutMillis arms the watchdog (core.Options.StallTimeout);
+	// 0 leaves it off. Set by the soak for Disruptive profiles so forced
+	// stalls are detected rather than hanging the sweep.
+	StallTimeoutMillis int `json:"stall_timeout_millis,omitempty"`
 	// Seed drives victim/pool selection inside the run.
 	Seed uint64 `json:"seed"`
 }
@@ -115,6 +120,7 @@ func (o RunOptions) Core() core.Options {
 		PersistentWorkers: o.PersistentWorkers,
 		PublishBlock:      o.PublishBlock,
 		Reorder:           core.ReorderMode(o.Reorder),
+		StallTimeout:      time.Duration(o.StallTimeoutMillis) * time.Millisecond,
 		Seed:              o.Seed,
 	}
 }
@@ -193,11 +199,14 @@ func Replay(r Repro) ([]Violation, *core.Result, error) {
 		// The failure was observed on a reused engine: replay the run
 		// three times on one engine so second-run-and-later bugs (state
 		// that only a previous search could have corrupted) reproduce.
+		// Typed recovery aborts (injected panics, forced stalls) are not
+		// violations; a panic poisons the engine, so the loop rebuilds
+		// it and keeps replaying, same as the soak does.
 		e, err := core.NewEngine(g, r.Algorithm, opt)
 		if err != nil {
 			return nil, nil, err
 		}
-		defer e.Close()
+		defer func() { e.Close() }()
 		var all []Violation
 		var res *core.Result
 		for i := 0; i < 3; i++ {
@@ -206,7 +215,15 @@ func Replay(r Repro) ([]Violation, *core.Result, error) {
 			e.Reseed(opt.Seed)
 			res, err = e.Run(r.Source)
 			if err != nil {
-				return nil, nil, err
+				if !recoveryAbort(err) {
+					return nil, nil, err
+				}
+				e.Close()
+				e, err = core.NewEngine(g, r.Algorithm, opt)
+				if err != nil {
+					return nil, nil, err
+				}
+				continue
 			}
 			vs := Audit(g, r.Source, nil, res)
 			vs = append(vs, levelViolations(inj)...)
@@ -218,11 +235,23 @@ func Replay(r Repro) ([]Violation, *core.Result, error) {
 	opt.Chaos = inj
 	res, err := core.Run(g, r.Source, r.Algorithm, opt)
 	if err != nil {
+		if recoveryAbort(err) {
+			return nil, res, nil
+		}
 		return nil, nil, err
 	}
 	vs := Audit(g, r.Source, nil, res)
 	vs = append(vs, levelViolations(inj)...)
 	return vs, res, nil
+}
+
+// recoveryAbort reports whether err is one of the typed recovery
+// aborts a Disruptive profile legitimately provokes — a recovered
+// worker panic or a detected stall — as opposed to a harness failure.
+func recoveryAbort(err error) bool {
+	var wp *core.WorkerPanicError
+	var se *core.StallError
+	return errors.As(err, &wp) || errors.As(err, &se)
 }
 
 // levelViolations converts the injector's per-level audit findings:
@@ -337,6 +366,12 @@ type SoakReport struct {
 	// Duplicates is the total duplicate work (Pops − Reached) the
 	// optimistic runs absorbed.
 	Duplicates int64
+	// Panics is how many runs aborted with a recovered worker panic
+	// (Disruptive profiles only; each one is a survived process crash).
+	Panics int
+	// Stalls is how many runs the watchdog aborted with a detected
+	// stall (Disruptive profiles only).
+	Stalls int
 	// Artifacts lists the repro files written for failures.
 	Artifacts []string
 	// Elapsed is the sweep's wall-clock time.
@@ -349,8 +384,12 @@ func (r *SoakReport) String() string {
 	if r.EngineRuns > 0 {
 		engines = fmt.Sprintf(" (%d on shared engines)", r.EngineRuns)
 	}
-	return fmt.Sprintf("soak: %d runs%s, %d failures, %d injections, %d stale steals, %d duplicate pops, %s",
-		r.Runs, engines, r.Failures, r.Injections, r.StaleSteals, r.Duplicates, r.Elapsed.Round(time.Millisecond))
+	faults := ""
+	if r.Panics > 0 || r.Stalls > 0 {
+		faults = fmt.Sprintf(", %d recovered panics, %d detected stalls", r.Panics, r.Stalls)
+	}
+	return fmt.Sprintf("soak: %d runs%s, %d failures, %d injections, %d stale steals, %d duplicate pops%s, %s",
+		r.Runs, engines, r.Failures, r.Injections, r.StaleSteals, r.Duplicates, faults, r.Elapsed.Round(time.Millisecond))
 }
 
 // deriveOptions expands one per-run seed into a full option set,
@@ -431,10 +470,13 @@ func Soak(cfg SoakConfig) (*SoakReport, error) {
 
 	// Engines mode: one shared engine per (graph, algorithm) pair,
 	// built lazily from the pair's first derived option set and reused
-	// by every later cell of the sweep.
+	// by every later cell of the sweep. Disruptive profiles get their
+	// own engine per pair (the watchdog arms via build-time options,
+	// and their panics poison engines benign cells must not inherit).
 	type engKey struct {
 		gi   int
 		algo core.Algorithm
+		disr bool
 	}
 	type sharedEng struct {
 		e    *core.Engine
@@ -461,11 +503,18 @@ func Soak(cfg SoakConfig) (*SoakReport, error) {
 						r := rng.NewSplitMix64(cell)
 						opts := deriveOptions(r, cfg.Workers)
 						injSeed := r.Next()
+						if prof.Disruptive() {
+							// Arm the watchdog so forced stalls abort with
+							// a typed StallError instead of dragging the
+							// sweep; 50ms is well under StallMillis.
+							opts.StallTimeoutMillis = 50
+						}
 
 						var inj *Injector
 						var res *core.Result
+						var rerr error
 						if cfg.Engines {
-							key := engKey{gi, algo}
+							key := engKey{gi, algo, prof.Disruptive()}
 							se := engines[key]
 							if se == nil {
 								e, eerr := core.NewEngine(pg.g, algo, opts.Core())
@@ -485,24 +534,56 @@ func Soak(cfg SoakConfig) (*SoakReport, error) {
 							inj = NewInjector(prof, injSeed, opts.Workers)
 							se.e.SetChaos(inj)
 							se.e.Reseed(seed)
-							var rerr error
 							res, rerr = se.e.Run(0)
-							if rerr != nil {
+							if rerr != nil && !recoveryAbort(rerr) {
 								return nil, fmt.Errorf("chaos: %s on %s (engine): %w", algo, pg.spec, rerr)
+							}
+							if rerr != nil {
+								// A recovered panic poisons the engine:
+								// discard it so the next cell of this pair
+								// rebuilds from scratch (Close is safe on a
+								// poisoned engine; its workers are parked).
+								var wp *core.WorkerPanicError
+								if errors.As(rerr, &wp) {
+									se.e.Close()
+									delete(engines, key)
+								}
 							}
 							rep.EngineRuns++
 						} else {
 							inj = NewInjector(prof, injSeed, opts.Workers)
 							copt := opts.Core()
 							copt.Chaos = inj
-							var rerr error
 							res, rerr = core.Run(pg.g, 0, algo, copt)
-							if rerr != nil {
+							if rerr != nil && !recoveryAbort(rerr) {
 								return nil, fmt.Errorf("chaos: %s on %s: %w", algo, pg.spec, rerr)
 							}
 						}
 						rep.Runs++
 						rep.Injections += inj.Injections()
+						if rerr != nil {
+							// Typed recovery abort: the process survived
+							// the injected fault and surfaced it as data.
+							// The partial result is not audited (the run
+							// did not finish), but it must exist.
+							var wp *core.WorkerPanicError
+							if errors.As(rerr, &wp) {
+								rep.Panics++
+							} else {
+								rep.Stalls++
+							}
+							if res == nil {
+								rep.Failures++
+								fmt.Fprintf(cfg.Log, "FAIL %s on %s profile=%s: abort lost the partial result: %v\n",
+									algo, pg.spec, prof.Name, rerr)
+							}
+							publishSoakAbort(cfg.Registry, algo, prof, rerr)
+							if cfg.Verbose {
+								fmt.Fprintf(cfg.Log, "run %s %s %s workers=%d seed=%#x: recovered abort: %v\n",
+									algo, pg.spec, prof.Name, opts.Workers, opts.Seed, rerr)
+							}
+							continue
+						}
 						rep.StaleSteals += res.Counters.StealStale
 						rep.Duplicates += res.Duplicates()
 
@@ -560,6 +641,22 @@ func publishSoakRun(reg *obs.Registry, algo core.Algorithm, prof Profile, inj *I
 	if violations > 0 {
 		reg.Counter("optibfs_soak_failures_total", algoL, profL).Inc()
 	}
+}
+
+// publishSoakAbort feeds one recovered-abort run into the live
+// registry, labeled by which typed error surfaced.
+func publishSoakAbort(reg *obs.Registry, algo core.Algorithm, prof Profile, err error) {
+	if reg == nil {
+		return
+	}
+	kind := "stall"
+	var wp *core.WorkerPanicError
+	if errors.As(err, &wp) {
+		kind = "panic"
+	}
+	reg.Counter("optibfs_soak_runs_total", obs.L("algo", string(algo)), obs.L("profile", prof.Name)).Inc()
+	reg.Counter("optibfs_soak_recovered_aborts_total",
+		obs.L("algo", string(algo)), obs.L("profile", prof.Name), obs.L("kind", kind)).Inc()
 }
 
 // hashString mixes a short label into a seed.

@@ -22,6 +22,9 @@ func bindCentralized(st *state) binding {
 		c := &st.counters[id]
 		out := st.blk[id]
 		for {
+			if st.aborted() {
+				break
+			}
 			// Fetch the next available segment under the global lock.
 			mu.Lock()
 			c.LockAcquisitions++
@@ -43,6 +46,7 @@ func bindCentralized(st *state) binding {
 			atomic.StoreInt64(&q.front, end)
 			mu.Unlock()
 			c.Fetches++
+			st.beat(id)
 			st.traceEvent(id, EventFetch, -1, end-f)
 
 			for j := f; j < end; j++ {
@@ -148,6 +152,9 @@ func bindDecentralized(st *state) binding {
 		myPool := st.pickPool(r, id, j)
 		pl := &pools[myPool]
 		for {
+			if st.aborted() {
+				break
+			}
 			qi, f, end, ok := fetch(id, pl, c)
 			if !ok {
 				// Pool empty: retry random pools up to c·j·log2(j)
@@ -180,6 +187,7 @@ func bindDecentralized(st *state) binding {
 					break
 				}
 			}
+			st.beat(id)
 			st.traceEvent(id, EventFetch, -1, end-f)
 			out = st.exploreSegmentLockfree(id, int(qi), f, end, out)
 			st.maybeYield()

@@ -60,6 +60,14 @@ const (
 	// flush audit must tolerate. Value is the tail about to be
 	// published.
 	ChaosBlockFlush
+	// ChaosStall fires once per worker per level, at the top of the
+	// worker's level inside the recovery barrier (workerLevel), in
+	// every parallel family. Unlike the racy-window points above it
+	// does not instrument a protocol race; it is the uniform place the
+	// chaos harness injects *malign* faults — forced stalls (long
+	// sleeps the watchdog must detect) and panics (which the recovery
+	// barrier must isolate). Value is the BFS level.
+	ChaosStall
 	// NumChaosPoints is the number of instrumented points, not a
 	// point itself; it sizes per-point tables.
 	NumChaosPoints
@@ -82,6 +90,8 @@ func (p ChaosPoint) String() string {
 		return "phase2-advance"
 	case ChaosBlockFlush:
 		return "block-flush"
+	case ChaosStall:
+		return "stall"
 	default:
 		return "unknown"
 	}

@@ -34,8 +34,19 @@ func TestRunContextAlreadyCanceled(t *testing.T) {
 		if err == nil {
 			t.Fatalf("%s: canceled run returned no error", algo)
 		}
-		if res != nil {
-			t.Fatalf("%s: canceled run returned a result", algo)
+		// Aborted runs report their partial progress alongside the
+		// error: a pre-canceled run settles only the seeded source.
+		if res == nil {
+			t.Fatalf("%s: canceled run returned no partial result", algo)
+		}
+		if res.Levels != 0 {
+			t.Fatalf("%s: pre-canceled run completed %d levels", algo, res.Levels)
+		}
+		if res.Reached != 1 {
+			t.Fatalf("%s: pre-canceled run reached %d vertices, want 1 (the source)", algo, res.Reached)
+		}
+		if res.Dist[0] != 0 {
+			t.Fatalf("%s: partial result lost the source distance", algo)
 		}
 	}
 }

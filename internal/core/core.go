@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"time"
 
 	"optibfs/internal/graph"
 	"optibfs/internal/stats"
@@ -181,6 +182,15 @@ type Options struct {
 	// disables the local preference entirely; negative values select
 	// the default 0.9; values above 1 are clamped to 1.
 	SameSocketBias float64
+	// StallTimeout arms the per-run stall watchdog: if no worker makes
+	// dispatch progress (segment fetches, steal-drain publications,
+	// hot-vertex chunks) for this long, the run aborts with a
+	// *StallError and a partial Result. The window must comfortably
+	// exceed one dispatch unit's legitimate duration — serving
+	// deployments use seconds. 0 (the default) disables the watchdog;
+	// runs then also lose the watchdog's mid-level cancellation assist
+	// and notice ctx only at level boundaries, as before.
+	StallTimeout time.Duration
 
 	// Chaos, when non-nil, receives a callback at each of the
 	// optimistic protocols' instrumented racy points (see ChaosPoint)
@@ -306,18 +316,16 @@ func Run(g *graph.CSR, src int32, algo Algorithm, opt Options) (*Result, error) 
 
 // RunContext is Run with cancellation: the search checks ctx at every
 // level boundary (workers always finish the level in flight, so
-// cancellation latency is one level) and returns ctx's error with a
-// nil result if it fires. The per-level check costs one atomic load.
+// cancellation latency is one level; with Options.StallTimeout set the
+// watchdog additionally interrupts mid-level) and returns ctx's error
+// if it fires. Aborted runs — canceled, stalled, or panicked — return
+// their partial Result alongside the error: Dist/Parent entries for
+// every vertex settled so far plus the levels/reached/edges counters,
+// so callers can report how far the search got. The per-level check
+// costs one atomic load.
 func RunContext(ctx context.Context, g *graph.CSR, src int32, algo Algorithm, opt Options) (*Result, error) {
 	opt.ctx = ctx
-	res, err := run(g, src, algo, opt)
-	if err != nil {
-		return nil, err
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	return res, nil
+	return run(g, src, algo, opt)
 }
 
 // run is the one-shot wrapper over the Engine layer: build, run once,

@@ -68,6 +68,9 @@ func bindEdgePartitioned(st *state) binding {
 			seg = maxSeg
 		}
 		for {
+			if st.aborted() {
+				break
+			}
 			// Optimistic fetch: plain load + plain store. Two workers
 			// can both observe the same cursor (overlapping ranges) or
 			// store an older value (backward motion); both only cause
@@ -83,6 +86,7 @@ func bindEdgePartitioned(st *state) binding {
 			}
 			atomic.StoreInt64(&cursor, end)
 			c.Fetches++
+			st.beat(id)
 			st.traceEvent(id, EventFetch, -1, end-e)
 
 			// Map the edge range back to (vertex, offset) pairs.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"runtime/pprof"
 	"strconv"
+	"sync/atomic"
 
 	"optibfs/internal/graph"
 	"optibfs/internal/reorder"
@@ -51,9 +52,11 @@ type Engine struct {
 	rmParent []int32
 }
 
-// engineImpl is the per-family backend behind an Engine.
+// engineImpl is the per-family backend behind an Engine. run returns
+// the (possibly partial) Result together with the abort error, if any:
+// *WorkerPanicError, *StallError, or ErrPoisoned.
 type engineImpl interface {
-	run(ctx context.Context, src int32) *Result
+	run(ctx context.Context, src int32) (*Result, error)
 	reseed(seed uint64)
 	setChaos(h ChaosHook)
 	close()
@@ -152,10 +155,15 @@ func (e *Engine) Run(src int32) (*Result, error) {
 
 // RunContext is Run with cancellation: the search checks ctx at every
 // level boundary (workers always finish the level in flight, so
-// cancellation latency is one level) and returns ctx's error with a
-// nil result if it fires. A canceled run leaves the engine fully
+// cancellation latency is one level; with Options.StallTimeout set the
+// watchdog additionally interrupts mid-level) and returns ctx's error
+// if it fires. A canceled or stalled run leaves the engine fully
 // reusable — the next run invalidates the partial state via the epoch
-// bump like any other.
+// bump like any other — while a worker panic poisons it (see
+// ErrPoisoned). Aborted runs return their partial Result alongside the
+// error, with every settled distance plus the progress counters; like
+// any other Result it aliases pooled state and is valid only until the
+// engine's next run.
 func (e *Engine) RunContext(ctx context.Context, src int32) (*Result, error) {
 	if e.closed {
 		return nil, fmt.Errorf("core: engine is closed")
@@ -166,12 +174,15 @@ func (e *Engine) RunContext(ctx context.Context, src int32) (*Result, error) {
 	if e.perm != nil {
 		src = e.perm[src]
 	}
-	res := e.impl.run(ctx, src)
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	if e.perm != nil {
+	res, err := e.impl.run(ctx, src)
+	if e.perm != nil && res != nil {
 		e.remapResult(res)
+	}
+	if err != nil {
+		return res, err
+	}
+	if cerr := ctx.Err(); cerr != nil {
+		return res, cerr
 	}
 	return res, nil
 }
@@ -268,14 +279,21 @@ func (e *Engine) Close() {
 
 // parEngine backs every parallel variant: pooled state plus the
 // family's binding, and optionally a runPool of persistent workers.
+// poisoned is set when a run ends on a worker panic: the pooled state
+// a worker abandoned mid-mutation must not be reused, so every later
+// run fails fast with ErrPoisoned (the persistent workers themselves
+// survive — they recovered and parked at the gate — so Close still
+// drains them normally).
 type parEngine struct {
-	st   *state
-	b    binding
-	pool *runPool
+	st       *state
+	b        binding
+	pool     *runPool
+	poisoned bool
 }
 
 func newParEngine(g *graph.CSR, opt Options, bf bindFunc, algo Algorithm) *parEngine {
 	st := allocState(g, opt)
+	st.algo = algo
 	e := &parEngine{st: st}
 	e.b = bf(st)
 	if opt.PersistentWorkers {
@@ -284,21 +302,33 @@ func newParEngine(g *graph.CSR, opt Options, bf bindFunc, algo Algorithm) *parEn
 	return e
 }
 
-func (e *parEngine) run(ctx context.Context, src int32) *Result {
+func (e *parEngine) run(ctx context.Context, src int32) (*Result, error) {
+	if e.poisoned {
+		return nil, ErrPoisoned
+	}
 	st := e.st
 	st.opt.ctx = ctx
 	st.beginRun(src)
-	var res *Result
+	stopWatch := st.startWatchdog(ctx)
 	if e.pool != nil {
 		e.pool.runSearch()
-		res = st.finish()
 	} else {
-		res = st.runLevels(e.b.setup, e.b.perLevel)
+		st.runLevels(e.b.setup, e.b.perLevel)
 	}
+	if stopWatch != nil {
+		stopWatch()
+	}
+	res := st.finish()
 	if e.b.post != nil {
 		e.b.post(res)
 	}
-	return res
+	if err := st.abortError(); err != nil {
+		if st.abortPoisons() {
+			e.poisoned = true
+		}
+		return res, err
+	}
+	return res, nil
 }
 
 func (e *parEngine) reseed(seed uint64) {
@@ -383,23 +413,46 @@ func (pw *runPool) worker(id int) {
 		}
 		pprof.SetGoroutineLabels(search)
 		for !pw.done {
-			pw.perLevel(id)
+			st.workerLevel(id, pw.perLevel)
 			pw.level.wait() // all workers finished the level
 			if id == 0 {
-				st.auditLevel()
-				st.recordLevel()
-				st.level++
-				st.swap()
-				if st.volume() == 0 || st.canceled() {
+				pw.advance()
+				if st.aborted() {
+					// Catches a panic inside advance itself (recovered
+					// there before done could be set) as well as any
+					// worker abort: the search ends at this boundary.
 					pw.done = true
-				} else if pw.setup != nil {
-					pw.setup()
 				}
 			}
 			pw.level.wait() // transition published to everyone
 		}
 		pprof.SetGoroutineLabels(idle)
 		pw.gate.wait() // hand the state back to the caller
+	}
+}
+
+// advance is worker 0's between-barriers transition: audit (skipped
+// after an abort, which legitimately leaves queue slots unconsumed and
+// blocks unflushed), record, promote the next frontier, and prime the
+// next level's dispatch state. It runs under the recovery barrier too:
+// a panic in a binding's setup poisons the run instead of killing the
+// process, and the caller's abort check turns it into termination.
+func (pw *runPool) advance() {
+	st := pw.st
+	defer st.recoverWorker(0)
+	if !st.aborted() {
+		st.auditLevel()
+	}
+	st.recordLevel()
+	st.level++
+	atomic.StoreInt32(&st.levelA, st.level)
+	st.swap()
+	if st.volume() == 0 || st.canceled() || st.aborted() {
+		pw.done = true
+		return
+	}
+	if pw.setup != nil {
+		pw.setup()
 	}
 }
 

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"optibfs/internal/gen"
+	"optibfs/internal/graph"
+)
+
+// panicOnceHook panics the first worker that passes ChaosStall, once.
+type panicOnceHook struct{ fired int32 }
+
+func (h *panicOnceHook) At(point ChaosPoint, worker int, value int64) {
+	if point == ChaosStall && atomic.CompareAndSwapInt32(&h.fired, 0, 1) {
+		panic("recover test: injected worker panic")
+	}
+}
+
+// sleepHook sleeps d at every ChaosStall firing by worker 0.
+type sleepHook struct{ d time.Duration }
+
+func (h *sleepHook) At(point ChaosPoint, worker int, value int64) {
+	if point == ChaosStall && worker == 0 {
+		time.Sleep(h.d)
+	}
+}
+
+// TestWorkerPanicRecovery drives an injected panic through every
+// lockfree family, with and without persistent workers: the panic
+// must never crash the process, must surface as a typed
+// *WorkerPanicError with a partial result, must poison the engine,
+// and a fresh engine must then answer exactly.
+func TestWorkerPanicRecovery(t *testing.T) {
+	g, err := gen.ErdosRenyi(3000, 18000, 3, gen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := graph.ReferenceBFS(g, 0)
+	for _, algo := range []Algorithm{BFSCL, BFSDL, BFSWL, BFSWSL, BFSEL} {
+		for _, persistent := range []bool{false, true} {
+			name := string(algo)
+			if persistent {
+				name += "/persistent"
+			}
+			t.Run(name, func(t *testing.T) {
+				opt := Options{Workers: 4, PersistentWorkers: persistent, Chaos: &panicOnceHook{}}
+				e, err := NewEngine(g, algo, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer e.Close()
+				res, err := e.Run(0)
+				if err == nil {
+					t.Fatal("injected panic surfaced no error")
+				}
+				var wp *WorkerPanicError
+				if !errors.As(err, &wp) {
+					t.Fatalf("got %v, want *WorkerPanicError", err)
+				}
+				if wp.Algo != algo {
+					t.Fatalf("panic error names algo %q, want %q", wp.Algo, algo)
+				}
+				if len(wp.Stack) == 0 {
+					t.Fatal("panic error carries no stack")
+				}
+				if res == nil {
+					t.Fatal("poisoned run returned no partial result")
+				}
+				// The engine is poisoned: later runs fail fast without
+				// touching the abandoned state.
+				if _, err := e.Run(0); !errors.Is(err, ErrPoisoned) {
+					t.Fatalf("second run on poisoned engine: got %v, want ErrPoisoned", err)
+				}
+				// A fresh engine over the same graph is unaffected.
+				e2, err := NewEngine(g, algo, Options{Workers: 4, PersistentWorkers: persistent})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer e2.Close()
+				res2, err := e2.Run(0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := graph.EqualDistances(res2.Dist, want); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// TestStallDetection wedges worker 0 far past StallTimeout and
+// requires a typed *StallError within the window (with slack), a
+// partial result, and — unlike a panic — an engine that stays fully
+// reusable once the fault source is removed.
+func TestStallDetection(t *testing.T) {
+	g, err := gen.ErdosRenyi(3000, 18000, 3, gen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := graph.ReferenceBFS(g, 0)
+	for _, algo := range []Algorithm{BFSCL, BFSWSL} {
+		t.Run(string(algo), func(t *testing.T) {
+			opt := Options{
+				Workers:      4,
+				StallTimeout: 100 * time.Millisecond,
+				Chaos:        &sleepHook{d: 800 * time.Millisecond},
+			}
+			e, err := NewEngine(g, algo, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer e.Close()
+			start := time.Now()
+			res, err := e.Run(0)
+			elapsed := time.Since(start)
+			var se *StallError
+			if !errors.As(err, &se) {
+				t.Fatalf("got %v, want *StallError", err)
+			}
+			if res == nil {
+				t.Fatal("stalled run returned no partial result")
+			}
+			// Detection must happen within the sleep (the stalled
+			// worker wakes at ~800ms; the watchdog window is 100ms).
+			if elapsed >= 3*time.Second {
+				t.Fatalf("stall detected only after %s", elapsed)
+			}
+			// A stall abort does not poison: disarm the fault and the
+			// same engine must answer exactly.
+			e.SetChaos(nil)
+			res2, err := e.Run(0)
+			if err != nil {
+				t.Fatalf("stalled engine not reusable: %v", err)
+			}
+			if err := graph.EqualDistances(res2.Dist, want); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestWatchdogFalsePositive is the regression guard for the watchdog's
+// core promise: a run that is slow but making progress (every level
+// costs a couple of milliseconds on a deep path, far more levels than
+// the watchdog window) must never be killed.
+func TestWatchdogFalsePositive(t *testing.T) {
+	g, err := gen.Path(300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := graph.ReferenceBFS(g, 0)
+	opt := Options{
+		Workers:      4,
+		StallTimeout: 300 * time.Millisecond,
+		// 2ms per level x 300 levels: the whole run takes ~600ms —
+		// twice the watchdog window — but no beat gap approaches it.
+		Chaos: &sleepHook{d: 2 * time.Millisecond},
+	}
+	res, err := Run(g, 0, BFSWL, opt)
+	if err != nil {
+		t.Fatalf("slow-but-progressing run killed: %v", err)
+	}
+	if err := graph.EqualDistances(res.Dist, want); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -47,7 +47,7 @@ func newSerialEngine(g *graph.CSR, opt Options) *serialEngine {
 	return e
 }
 
-func (e *serialEngine) run(ctx context.Context, src int32) *Result {
+func (e *serialEngine) run(ctx context.Context, src int32) (*Result, error) {
 	e.cur++
 	if e.cur == 0 {
 		// See state.beginRun: full sweep on uint32 wraparound only.
@@ -120,13 +120,13 @@ func (e *serialEngine) run(ctx context.Context, src int32) *Result {
 		res.Reached++
 		res.EdgesTraversed += g.OutDegree(v)
 		// A cancelled run can leave discovered-but-unpopped vertices
-		// one level beyond the popped maximum; the result is discarded
-		// by RunContext, so just stay in bounds.
+		// one level beyond the popped maximum; they count toward the
+		// partial result's Reached but not its level histogram.
 		if d := dist[v]; int(d) < len(res.LevelSizes) {
 			res.LevelSizes[d]++
 		}
 	}
-	return res
+	return res, nil
 }
 
 func (e *serialEngine) reseed(seed uint64) { e.opt.Seed = seed }

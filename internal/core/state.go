@@ -123,6 +123,23 @@ type state struct {
 	slotAudit  bool
 
 	pops int64 // total pops, accumulated across levels after barriers
+
+	// Failure machinery (recover.go). algo names the bound variant for
+	// error reports; abortFlag is the run's abort word (atomic reads,
+	// writes serialized by abortMu); wpanic/stall hold the typed abort
+	// cause; abortHooks are the poison callbacks a binding registers
+	// for barriers a dead worker could strand peers at; beats are the
+	// per-worker progress heartbeats the watchdog samples; levelA
+	// mirrors level atomically for readers outside the barrier protocol
+	// (the watchdog).
+	algo       Algorithm
+	abortFlag  int32 // atomic
+	abortMu    sync.Mutex
+	wpanic     *WorkerPanicError
+	stall      *StallError
+	abortHooks []func()
+	beats      []beatLane
+	levelA     int32 // atomic
 }
 
 // allocState allocates run state for g sized by opt, without priming it
@@ -151,6 +168,7 @@ func allocState(g *graph.CSR, opt Options) *state {
 		counters: stats.NewPerWorker(p),
 		yield:    p > runtime.GOMAXPROCS(0),
 		chaos:    opt.Chaos,
+		beats:    make([]beatLane, p),
 	}
 	if a, ok := opt.Chaos.(ChaosLevelAuditor); ok {
 		st.levelAudit = a
@@ -200,6 +218,13 @@ func (st *state) beginRun(src int32) {
 	}
 	st.level = 0
 	st.pops = 0
+	atomic.StoreInt32(&st.levelA, 0)
+	atomic.StoreInt32(&st.abortFlag, abortNone)
+	st.wpanic = nil
+	st.stall = nil
+	for i := range st.beats {
+		atomic.StoreInt64(&st.beats[i].n, 0)
+	}
 	for i := range st.counters {
 		st.counters[i] = stats.PaddedCounters{}
 	}
@@ -404,11 +429,15 @@ func (st *state) claimAllows(qid int, v int32) bool {
 // paper requires; the load balancing *within* a level is where the
 // locked and lockfree variants differ. (Engines built with
 // PersistentWorkers route searches through a runPool instead, which
-// runs the same loop on engine-lifetime goroutines.)
-func (st *state) runLevels(setup func(), perLevel func(id int)) *Result {
+// runs the same loop on engine-lifetime goroutines.) Each worker runs
+// under workerLevel's recovery barrier; an aborted run stops at the
+// next level boundary, with the slot audit skipped (an abort
+// legitimately leaves slots unconsumed). The caller assembles the
+// (possibly partial) Result via finish.
+func (st *state) runLevels(setup func(), perLevel func(id int)) {
 	p := st.opt.Workers
 	for {
-		if st.volume() == 0 || st.canceled() {
+		if st.volume() == 0 || st.canceled() || st.aborted() {
 			break
 		}
 		if setup != nil {
@@ -419,16 +448,18 @@ func (st *state) runLevels(setup func(), perLevel func(id int)) *Result {
 		for id := 0; id < p; id++ {
 			go func(id int) {
 				defer wg.Done()
-				perLevel(id)
+				st.workerLevel(id, perLevel)
 			}(id)
 		}
 		wg.Wait()
-		st.auditLevel()
+		if !st.aborted() {
+			st.auditLevel()
+		}
 		st.recordLevel()
 		st.level++
+		atomic.StoreInt32(&st.levelA, st.level)
 		st.swap()
 	}
-	return st.finish()
 }
 
 // finish assembles the Result after the final barrier, reusing the
@@ -472,9 +503,10 @@ func (st *state) finish() *Result {
 		}
 		res.Reached++
 		res.EdgesTraversed += st.g.OutDegree(v)
-		// A cancelled run can leave discovered vertices beyond the
-		// last completed level; the result is discarded by
-		// RunContext, so just stay in bounds.
+		// An aborted run can leave discovered vertices beyond the last
+		// completed level; they count toward Reached (their dist is
+		// settled and correct) but fall outside the completed-level
+		// histogram.
 		if d := st.dist[v]; int(d) < len(res.LevelSizes) {
 			res.LevelSizes[d]++
 		}

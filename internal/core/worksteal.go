@@ -109,11 +109,25 @@ func bindWorkSteal(locked, scaleFree bool) bindFunc {
 			w.phase1(maxStealAttempts)
 			if scaleFree {
 				ctx.barrier.wait()
-				w.phase2()
+				// Skip phase 2 after an abort: on a panic abort the
+				// barrier was poisoned open, so phase 1 may still be in
+				// flight somewhere and the hot lists must not be read;
+				// the engine is poisoned anyway. Workers that passed the
+				// barrier normally all finished phase 1 first, as usual.
+				if !st.aborted() {
+					w.phase2()
+				}
 			}
 			// Level-barrier flush: publish the partial discovery block
 			// before quiescing (after phase 2, which also discovers).
 			st.blk[id] = st.endLevelOut(id, w.out)
+		}
+
+		if scaleFree {
+			// A worker that panics before reaching the phase barrier
+			// would strand its peers there forever; the panic abort
+			// poisons the barrier open (the engine is discarded after).
+			st.abortHooks = append(st.abortHooks, ctx.barrier.poison)
 		}
 
 		return binding{setup: setup, perLevel: perLevel, rngs: rngs, rngSalt: 0x5151}
@@ -163,6 +177,9 @@ func (w *wsWorker) phase1(maxStealAttempts int) {
 	}
 	fails := 0
 	for fails < maxStealAttempts {
+		if w.st.aborted() {
+			break
+		}
 		victim := w.pickVictim()
 		w.c.StealAttempts++
 		ok := false
@@ -208,6 +225,7 @@ const stealCheckPeriod = 32
 // Locked mode advances the front under the worker's own mutex and does
 // check the rear, because locking makes it trustworthy.
 func (w *wsWorker) drainOwn(d *segDesc) {
+	w.st.beat(w.id)
 	popped := 0
 	if w.locked {
 		// The victim reserves LockBatch vertices per acquisition so the
@@ -239,6 +257,10 @@ func (w *wsWorker) drainOwn(d *segDesc) {
 				w.process(int(qi), buf[j]-1)
 			}
 			popped += int(take)
+			w.st.beat(w.id)
+			if w.st.aborted() {
+				return
+			}
 			if popped >= yieldEvery {
 				popped = 0
 				w.st.maybeYield()
@@ -268,6 +290,13 @@ func (w *wsWorker) drainOwn(d *segDesc) {
 			w.st.chaosAt(ChaosDrainAdvance, w.id, j)
 			atomic.StoreInt64(&d.f, j)
 			published = j
+			w.st.beat(w.id)
+			if w.st.aborted() {
+				// The front was just published, so a cooperative exit
+				// here leaves the descriptor accurate; remaining slots
+				// stay unconsumed, which only an aborted run permits.
+				return
+			}
 		}
 		// Peek the next slot (atomic: a concurrent thief's drain zeroes
 		// slots) and warm its vertex's CSR offsets before the current
@@ -436,10 +465,14 @@ func (w *wsWorker) phase2() {
 		w.c.HotChunks++
 		w.c.EdgesScanned += int64(hi - lo)
 		w.out = w.st.scanNeighbors(w.id, v, nb[lo:hi], w.out)
+		w.st.beat(w.id)
 	}
 	if !w.st.opt.Phase2Stealing {
 		for owner := 0; owner < p; owner++ {
 			for _, v := range w.ctx.hot[owner] {
+				if w.st.aborted() {
+					return
+				}
 				exploreChunk(v, w.id)
 				w.st.maybeYield()
 			}
@@ -456,6 +489,9 @@ func (w *wsWorker) phase2() {
 	w.flat = flat
 	totalUnits := int64(len(flat)) * int64(p)
 	for {
+		if w.st.aborted() {
+			return
+		}
 		var unit int64
 		if w.locked {
 			w.ctx.phase2Mu.Lock()
@@ -482,12 +518,15 @@ func (w *wsWorker) phase2() {
 // phases inside one level. (Level synchronization itself — like the
 // cilk sync the paper relies on — is runtime scaffolding, distinct
 // from the lock-freedom claim about the load-balancing fast path.)
+// A poisoned barrier is permanently open: panic recovery breaks it so
+// a dead party can never strand the surviving waiters.
 type barrier struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	n     int
-	count int
-	gen   int
+	mu     sync.Mutex
+	cond   *sync.Cond
+	n      int
+	count  int
+	gen    int
+	broken bool
 }
 
 func newBarrier(n int) *barrier {
@@ -497,8 +536,13 @@ func newBarrier(n int) *barrier {
 }
 
 // wait blocks until n workers have called it, then releases them all.
+// On a poisoned barrier it returns immediately.
 func (b *barrier) wait() {
 	b.mu.Lock()
+	if b.broken {
+		b.mu.Unlock()
+		return
+	}
 	gen := b.gen
 	b.count++
 	if b.count == b.n {
@@ -508,8 +552,23 @@ func (b *barrier) wait() {
 		b.mu.Unlock()
 		return
 	}
-	for gen == b.gen {
+	for gen == b.gen && !b.broken {
 		b.cond.Wait()
+	}
+	b.mu.Unlock()
+}
+
+// poison permanently opens the barrier, releasing current waiters and
+// letting every future wait pass straight through. Called by the panic
+// abort path; the poisoned state is never reset because the engine the
+// barrier belongs to is poisoned alongside it.
+func (b *barrier) poison() {
+	b.mu.Lock()
+	if !b.broken {
+		b.broken = true
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
 	}
 	b.mu.Unlock()
 }

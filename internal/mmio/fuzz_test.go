@@ -21,6 +21,15 @@ func FuzzReadMatrixMarket(f *testing.F) {
 	f.Add("%%MatrixMarket matrix coordinate real general\n999999999 2 1\n1 2 1\n")
 	f.Add("%%MatrixMarket\n")
 	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n-1 -5 0\n")
+	// Truncated headers: the banner cut mid-word, and a size line with
+	// a missing field.
+	f.Add("%%MatrixMarket matrix coordinate")
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n")
+	// Overflow coordinates: 20 digits exceeds int64; ParseInt must
+	// reject them instead of wrapping into a bogus in-range index.
+	f.Add("%%MatrixMarket matrix coordinate real general\n2 2 1\n99999999999999999999 1 1\n")
+	f.Add("%%MatrixMarket matrix coordinate real general\n99999999999999999999 2 1\n1 2 1\n")
 	f.Fuzz(func(t *testing.T, in string) {
 		g, err := ReadMatrixMarket(strings.NewReader(in))
 		if err == nil && g.Validate() != nil {
@@ -36,6 +45,8 @@ func FuzzReadEdgeList(f *testing.F) {
 	f.Add("a b\n")
 	f.Add("-3 4\n")
 	f.Add("")
+	// 20-digit overflow coordinate.
+	f.Add("99999999999999999999 1\n")
 	f.Fuzz(func(t *testing.T, in string) {
 		g, err := ReadEdgeList(strings.NewReader(in))
 		if err == nil && g.Validate() != nil {
@@ -56,12 +67,19 @@ func FuzzReadBinary(f *testing.F) {
 	}
 	valid := buf.Bytes()
 	f.Add(valid)
-	for _, cut := range []int{0, 7, 8, 20, len(valid) / 2, len(valid) - 1} {
+	// Cuts at 9 and 23 land mid-way through the n and checksum header
+	// fields; the others cover magic, offsets, and the final edge.
+	for _, cut := range []int{0, 7, 8, 9, 20, 23, len(valid) / 2, len(valid) - 1} {
 		f.Add(valid[:cut])
 	}
 	flipped := append([]byte(nil), valid...)
 	flipped[9] ^= 0xff // header n
 	f.Add(flipped)
+	// Implausible edge count: m's high bytes set, forcing the
+	// plausibility gate rather than a giant allocation.
+	bigM := append([]byte(nil), valid...)
+	bigM[22] = 0x7f // top byte of little-endian m at offset 16..23
+	f.Add(bigM)
 	f.Fuzz(func(t *testing.T, in []byte) {
 		g, err := ReadBinary(bytes.NewReader(in))
 		if err == nil && g.Validate() != nil {

@@ -14,6 +14,7 @@ package mmio
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -22,6 +23,48 @@ import (
 	"optibfs/internal/graph"
 	"optibfs/internal/rng"
 )
+
+// The readers classify every failure into a two-kind taxonomy so
+// callers (notably the bfsd daemon) can map errors to blame without
+// string matching:
+//
+//   - ErrMalformed: the bytes themselves are wrong — truncated input,
+//     bad magic, unparsable numbers, out-of-range indices, checksum
+//     mismatches, implausible headers. The sender's fault (HTTP 400).
+//   - ErrIO: the transport failed while the bytes were being read — a
+//     scanner or reader error other than a clean truncation. The
+//     server or network's fault (HTTP 500).
+//
+// Both are wrapped with %w, so errors.Is works through any layer of
+// added context.
+var (
+	// ErrMalformed marks input rejected as structurally invalid.
+	ErrMalformed = errors.New("malformed input")
+	// ErrIO marks a read failure of the underlying stream.
+	ErrIO = errors.New("read failed")
+)
+
+// malformed builds an ErrMalformed-wrapped error with context.
+func malformed(format string, args ...any) error {
+	return fmt.Errorf("mmio: %s: %w", fmt.Sprintf(format, args...), ErrMalformed)
+}
+
+// ioErr builds an ErrIO-wrapped error around a stream failure. The
+// cause is wrapped too, so callers can still match concrete types
+// (e.g. *http.MaxBytesError behind a scanner).
+func ioErr(err error) error {
+	return fmt.Errorf("mmio: %w: %w", err, ErrIO)
+}
+
+// readErr classifies a read failure: clean truncations (EOF where more
+// bytes were promised) are the writer's fault and malformed; anything
+// else is a stream failure.
+func readErr(err error, what string) error {
+	if err == io.EOF || err == io.ErrUnexpectedEOF {
+		return malformed("truncated input reading %s", what)
+	}
+	return fmt.Errorf("mmio: reading %s: %w: %w", what, err, ErrIO)
+}
 
 // ReadMatrixMarket parses a MatrixMarket coordinate-format stream into
 // a directed CSR. Vertex ids in the file are 1-based per the format.
@@ -34,14 +77,14 @@ func ReadMatrixMarket(r io.Reader) (*graph.CSR, error) {
 
 	// Header line: %%MatrixMarket matrix coordinate <field> <symmetry>
 	if !sc.Scan() {
-		return nil, fmt.Errorf("mmio: empty input")
+		return nil, malformed("empty input")
 	}
 	header := strings.Fields(strings.ToLower(sc.Text()))
 	if len(header) < 5 || header[0] != "%%matrixmarket" || header[1] != "matrix" {
-		return nil, fmt.Errorf("mmio: not a MatrixMarket matrix header: %q", sc.Text())
+		return nil, malformed("not a MatrixMarket matrix header: %q", sc.Text())
 	}
 	if header[2] != "coordinate" {
-		return nil, fmt.Errorf("mmio: only coordinate format is supported, got %q", header[2])
+		return nil, malformed("only coordinate format is supported, got %q", header[2])
 	}
 	symmetric := false
 	switch header[4] {
@@ -49,7 +92,7 @@ func ReadMatrixMarket(r io.Reader) (*graph.CSR, error) {
 	case "symmetric", "skew-symmetric", "hermitian":
 		symmetric = true
 	default:
-		return nil, fmt.Errorf("mmio: unknown symmetry %q", header[4])
+		return nil, malformed("unknown symmetry %q", header[4])
 	}
 
 	// Skip comments, find the size line.
@@ -57,7 +100,7 @@ func ReadMatrixMarket(r io.Reader) (*graph.CSR, error) {
 	var entries int64
 	for {
 		if !sc.Scan() {
-			return nil, fmt.Errorf("mmio: missing size line")
+			return nil, malformed("missing size line")
 		}
 		line := strings.TrimSpace(sc.Text())
 		if line == "" || strings.HasPrefix(line, "%") {
@@ -65,17 +108,17 @@ func ReadMatrixMarket(r io.Reader) (*graph.CSR, error) {
 		}
 		f := strings.Fields(line)
 		if len(f) != 3 {
-			return nil, fmt.Errorf("mmio: malformed size line %q", line)
+			return nil, malformed("malformed size line %q", line)
 		}
 		var err error
 		if rows, err = strconv.ParseInt(f[0], 10, 64); err != nil {
-			return nil, fmt.Errorf("mmio: bad row count: %v", err)
+			return nil, malformed("bad row count: %v", err)
 		}
 		if cols, err = strconv.ParseInt(f[1], 10, 64); err != nil {
-			return nil, fmt.Errorf("mmio: bad column count: %v", err)
+			return nil, malformed("bad column count: %v", err)
 		}
 		if entries, err = strconv.ParseInt(f[2], 10, 64); err != nil {
-			return nil, fmt.Errorf("mmio: bad entry count: %v", err)
+			return nil, malformed("bad entry count: %v", err)
 		}
 		break
 	}
@@ -84,10 +127,10 @@ func ReadMatrixMarket(r io.Reader) (*graph.CSR, error) {
 		n = cols
 	}
 	if n > MaxVertices {
-		return nil, fmt.Errorf("mmio: %d vertices exceed MaxVertices (%d)", n, MaxVertices)
+		return nil, malformed("%d vertices exceed MaxVertices (%d)", n, MaxVertices)
 	}
 	if entries < 0 || entries > 4*MaxVertices {
-		return nil, fmt.Errorf("mmio: implausible entry count %d", entries)
+		return nil, malformed("implausible entry count %d", entries)
 	}
 
 	edges := make([]graph.Edge, 0, entries)
@@ -99,18 +142,18 @@ func ReadMatrixMarket(r io.Reader) (*graph.CSR, error) {
 		}
 		f := strings.Fields(line)
 		if len(f) < 2 {
-			return nil, fmt.Errorf("mmio: malformed entry %q", line)
+			return nil, malformed("malformed entry %q", line)
 		}
 		u, err := strconv.ParseInt(f[0], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("mmio: bad row index %q: %v", f[0], err)
+			return nil, malformed("bad row index %q: %v", f[0], err)
 		}
 		v, err := strconv.ParseInt(f[1], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("mmio: bad column index %q: %v", f[1], err)
+			return nil, malformed("bad column index %q: %v", f[1], err)
 		}
 		if u < 1 || u > rows || v < 1 || v > cols {
-			return nil, fmt.Errorf("mmio: entry (%d,%d) outside %dx%d", u, v, rows, cols)
+			return nil, malformed("entry (%d,%d) outside %dx%d", u, v, rows, cols)
 		}
 		seen++
 		e := graph.Edge{Src: int32(u - 1), Dst: int32(v - 1)}
@@ -120,12 +163,16 @@ func ReadMatrixMarket(r io.Reader) (*graph.CSR, error) {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("mmio: %v", err)
+		return nil, ioErr(err)
 	}
 	if seen != entries {
-		return nil, fmt.Errorf("mmio: header promised %d entries, found %d", entries, seen)
+		return nil, malformed("header promised %d entries, found %d", entries, seen)
 	}
-	return graph.FromEdges(int32(n), edges, graph.BuildOptions{})
+	g, err := graph.FromEdges(int32(n), edges, graph.BuildOptions{})
+	if err != nil {
+		return nil, malformed("%v", err)
+	}
+	return g, nil
 }
 
 // WriteMatrixMarket writes g as a general coordinate pattern matrix.
@@ -161,18 +208,18 @@ func ReadEdgeList(r io.Reader) (*graph.CSR, error) {
 		}
 		f := strings.Fields(line)
 		if len(f) < 2 {
-			return nil, fmt.Errorf("mmio: edge list line %d malformed: %q", lineNo, line)
+			return nil, malformed("edge list line %d malformed: %q", lineNo, line)
 		}
 		u, err := strconv.ParseInt(f[0], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("mmio: line %d: %v", lineNo, err)
+			return nil, malformed("line %d: %v", lineNo, err)
 		}
 		v, err := strconv.ParseInt(f[1], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("mmio: line %d: %v", lineNo, err)
+			return nil, malformed("line %d: %v", lineNo, err)
 		}
 		if u < 0 || v < 0 || u >= MaxVertices || v >= MaxVertices {
-			return nil, fmt.Errorf("mmio: line %d: vertex id outside [0, MaxVertices)", lineNo)
+			return nil, malformed("line %d: vertex id outside [0, MaxVertices)", lineNo)
 		}
 		if u > maxID {
 			maxID = u
@@ -183,9 +230,13 @@ func ReadEdgeList(r io.Reader) (*graph.CSR, error) {
 		edges = append(edges, graph.Edge{Src: int32(u), Dst: int32(v)})
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, ioErr(err)
 	}
-	return graph.FromEdges(int32(maxID+1), edges, graph.BuildOptions{})
+	g, err := graph.FromEdges(int32(maxID+1), edges, graph.BuildOptions{})
+	if err != nil {
+		return nil, malformed("%v", err)
+	}
+	return g, nil
 }
 
 // WriteEdgeList writes g as 0-based "u v" lines.
@@ -266,42 +317,42 @@ func ReadBinary(r io.Reader) (*graph.CSR, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
-		return nil, fmt.Errorf("mmio: reading magic: %v", err)
+		return nil, readErr(err, "magic")
 	}
 	if magic != binaryMagic {
-		return nil, fmt.Errorf("mmio: bad magic %q", magic[:])
+		return nil, malformed("bad magic %q", magic[:])
 	}
 	var n, m int64
 	var check uint64
 	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
-		return nil, err
+		return nil, readErr(err, "header n")
 	}
 	if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
-		return nil, err
+		return nil, readErr(err, "header m")
 	}
 	if err := binary.Read(br, binary.LittleEndian, &check); err != nil {
-		return nil, err
+		return nil, readErr(err, "header checksum")
 	}
 	if n < 0 || m < 0 || n > MaxVertices || m > 64*MaxVertices {
-		return nil, fmt.Errorf("mmio: implausible header n=%d m=%d", n, m)
+		return nil, malformed("implausible header n=%d m=%d", n, m)
 	}
 	g := &graph.CSR{
 		Offsets: make([]int64, n+1),
 		Edges:   make([]int32, m),
 	}
 	if err := binary.Read(br, binary.LittleEndian, g.Offsets); err != nil {
-		return nil, fmt.Errorf("mmio: reading offsets: %v", err)
+		return nil, readErr(err, "offsets")
 	}
 	if m > 0 {
 		if err := binary.Read(br, binary.LittleEndian, g.Edges); err != nil {
-			return nil, fmt.Errorf("mmio: reading edges: %v", err)
+			return nil, readErr(err, "edges")
 		}
 	}
 	if got := binChecksum(g); got != check {
-		return nil, fmt.Errorf("mmio: checksum mismatch: file %#x, computed %#x", check, got)
+		return nil, malformed("checksum mismatch: file %#x, computed %#x", check, got)
 	}
 	if err := g.Validate(); err != nil {
-		return nil, fmt.Errorf("mmio: %v", err)
+		return nil, malformed("%v", err)
 	}
 	return g, nil
 }

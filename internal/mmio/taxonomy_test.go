@@ -1,0 +1,103 @@
+package mmio
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"optibfs/internal/gen"
+)
+
+// failReader errors mid-stream, simulating a transport failure (as
+// opposed to a clean truncation, which is the writer's fault).
+type failReader struct{ n int }
+
+func (r *failReader) Read(p []byte) (int, error) {
+	if r.n <= 0 {
+		return 0, errors.New("disk on fire")
+	}
+	k := r.n
+	if k > len(p) {
+		k = len(p)
+	}
+	for i := 0; i < k; i++ {
+		p[i] = ' '
+	}
+	r.n -= k
+	return k, nil
+}
+
+// TestErrorTaxonomy pins the two-kind error contract the daemon's
+// status-code mapping depends on: bad bytes are ErrMalformed, broken
+// streams are ErrIO, and the two never overlap.
+func TestErrorTaxonomy(t *testing.T) {
+	malformedCases := map[string]func() error{
+		"mtx empty": func() error {
+			_, err := ReadMatrixMarket(strings.NewReader(""))
+			return err
+		},
+		"mtx truncated header": func() error {
+			_, err := ReadMatrixMarket(strings.NewReader("%%MatrixMarket matrix coordinate"))
+			return err
+		},
+		"mtx missing size line": func() error {
+			_, err := ReadMatrixMarket(strings.NewReader("%%MatrixMarket matrix coordinate real general\n"))
+			return err
+		},
+		"mtx overflow coordinate": func() error {
+			_, err := ReadMatrixMarket(strings.NewReader(
+				"%%MatrixMarket matrix coordinate real general\n2 2 1\n99999999999999999999 1 1\n"))
+			return err
+		},
+		"mtx entry-count mismatch": func() error {
+			_, err := ReadMatrixMarket(strings.NewReader(
+				"%%MatrixMarket matrix coordinate real general\n2 2 2\n1 2 1\n"))
+			return err
+		},
+		"edges overflow coordinate": func() error {
+			_, err := ReadEdgeList(strings.NewReader("99999999999999999999 1\n"))
+			return err
+		},
+		"edges garbage": func() error {
+			_, err := ReadEdgeList(strings.NewReader("a b\n"))
+			return err
+		},
+		"binary bad magic": func() error {
+			_, err := ReadBinary(strings.NewReader("NOTMAGIC and then some"))
+			return err
+		},
+	}
+	for name, run := range malformedCases {
+		err := run()
+		if !errors.Is(err, ErrMalformed) {
+			t.Errorf("%s: %v is not ErrMalformed", name, err)
+		}
+		if errors.Is(err, ErrIO) {
+			t.Errorf("%s: %v is also ErrIO (kinds must not overlap)", name, err)
+		}
+	}
+
+	// Truncated binary files are malformed (the bytes are wrong), not
+	// I/O failures (the read succeeded).
+	g, err := gen.ErdosRenyi(30, 120, 1, gen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	for _, cut := range []int{4, 9, 23, len(valid) / 2} {
+		_, err := ReadBinary(bytes.NewReader(valid[:cut]))
+		if !errors.Is(err, ErrMalformed) {
+			t.Errorf("binary cut at %d: %v is not ErrMalformed", cut, err)
+		}
+	}
+
+	// A reader that dies mid-stream is an I/O failure for every format.
+	if _, err := ReadBinary(&failReader{n: 4}); !errors.Is(err, ErrIO) {
+		t.Errorf("binary failing reader: %v is not ErrIO", err)
+	}
+}

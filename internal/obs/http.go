@@ -1,10 +1,12 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"time"
 )
 
 // Live exposition: a tiny stdlib-only HTTP server mounting the
@@ -49,16 +51,49 @@ type Server struct {
 // or ":0" for an ephemeral port) and returns once the listener is
 // bound; requests are served on a background goroutine until Close.
 func Serve(addr string, r *Registry) (*Server, error) {
+	return ServeHandler(addr, NewServeMux(r))
+}
+
+// ServeHandler starts an HTTP server for an arbitrary handler on addr,
+// returning once the listener is bound. It exists so daemons that mount
+// their API alongside the exposition mux (cmd/bfsd) share one listener
+// lifecycle with the plain metrics endpoints of the batch tools.
+func ServeHandler(addr string, h http.Handler) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: NewServeMux(r)}
+	srv := &http.Server{Handler: h}
 	go srv.Serve(ln)
 	return &Server{Addr: ln.Addr().String(), ln: ln, srv: srv}, nil
 }
 
-// Close stops the server and releases the listener.
+// Close stops the server immediately and releases the listener;
+// in-flight requests are dropped. Use Shutdown for a graceful drain.
 func (s *Server) Close() error {
 	return s.srv.Close()
+}
+
+// Shutdown gracefully drains the server: the listener closes at once
+// (a scraper polling /metrics can no longer connect) and in-flight
+// requests run to completion or until ctx expires, whichever is first.
+func (s *Server) Shutdown(ctx context.Context) error {
+	return s.srv.Shutdown(ctx)
+}
+
+// CloseGracefully drains s within timeout, falling back to an
+// immediate Close if the drain cannot finish. Nil-safe, so tools can
+// call it unconditionally on their exit paths whether or not a metrics
+// endpoint was requested. This must run BEFORE os.Exit — deferred
+// Closes never execute across os.Exit, which silently drops a scrape
+// in flight.
+func CloseGracefully(s *Server, timeout time.Duration) {
+	if s == nil {
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		s.Close()
+	}
 }

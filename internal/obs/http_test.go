@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -135,4 +136,60 @@ func TestLiveExpositionDuringRuns(t *testing.T) {
 	if !strings.Contains(body, `optibfs_edges_scanned_total{algo="BFS_WSL"}`) {
 		t.Fatalf("final scrape missing bridged counters:\n%s", body)
 	}
+}
+
+// TestServeHandlerAndShutdown covers the daemon-facing lifecycle: a
+// custom handler mounted alongside the exposition mux, a graceful
+// Shutdown that finishes an in-flight request, and the nil-safety of
+// CloseGracefully.
+func TestServeHandlerAndShutdown(t *testing.T) {
+	r := New()
+	release := make(chan struct{})
+	entered := make(chan struct{})
+	mux := NewServeMux(r)
+	mux.HandleFunc("/slow", func(w http.ResponseWriter, _ *http.Request) {
+		close(entered)
+		<-release
+		fmt.Fprint(w, "done")
+	})
+	srv, err := ServeHandler("127.0.0.1:0", mux)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got := make(chan string, 1)
+	go func() {
+		resp, gerr := http.Get("http://" + srv.Addr + "/slow")
+		if gerr != nil {
+			got <- "error: " + gerr.Error()
+			return
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		got <- string(b)
+	}()
+	<-entered
+
+	// Shutdown must wait for the in-flight /slow request.
+	shutdownDone := make(chan error, 1)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	go func() { shutdownDone <- srv.Shutdown(ctx) }()
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("graceful shutdown: %v", err)
+	}
+	if body := <-got; body != "done" {
+		t.Fatalf("in-flight request got %q, want full response", body)
+	}
+
+	// The listener is gone: new connections fail.
+	if _, err := http.Get("http://" + srv.Addr + "/metrics"); err == nil {
+		t.Fatal("server still accepting after Shutdown")
+	}
+
+	// Nil-safety and double-drain safety.
+	CloseGracefully(nil, time.Second)
+	CloseGracefully(srv, time.Second)
 }

@@ -115,7 +115,28 @@ const (
 	// ChaosPhase2Advance fires between the optimistic load and store
 	// of the phase-2 dispatch cursor.
 	ChaosPhase2Advance = core.ChaosPhase2Advance
+	// ChaosStall fires once per dispatch boundary on every worker; a
+	// hook that sleeps or panics here exercises the stall watchdog and
+	// the panic-isolation layer.
+	ChaosStall = core.ChaosStall
 )
+
+// WorkerPanicError reports a panic recovered inside a worker
+// goroutine: the run is aborted, peers are woken, and the error
+// carries the worker id, algorithm, level, panic value, and stack.
+// Match it with errors.As; the partial Result alongside it records
+// progress up to the abort.
+type WorkerPanicError = core.WorkerPanicError
+
+// StallError reports that the watchdog observed no heartbeat progress
+// for Options.StallTimeout and aborted the run. Match it with
+// errors.As; the engine that produced it remains reusable.
+type StallError = core.StallError
+
+// ErrPoisoned is returned (wrapped) by Engine runs after a worker
+// panic poisoned the engine's barrier state; match with errors.Is and
+// discard the engine.
+var ErrPoisoned = core.ErrPoisoned
 
 // Algorithm names a BFS variant. The paper's own algorithms use their
 // Table II acronyms; the comparison systems use Baseline1/Baseline2

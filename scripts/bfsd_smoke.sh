@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# bfsd_smoke.sh — end-to-end smoke of the hardened serving daemon:
+# start bfsd, load a small RMAT graph over the API, run a
+# self-validating query, check the serving counters on /metrics, then
+# SIGTERM it and require a clean (exit 0) graceful drain.
+#
+# Usage: scripts/bfsd_smoke.sh [port]
+set -euo pipefail
+
+PORT="${1:-9481}"
+BASE="http://127.0.0.1:${PORT}"
+
+go build -o bfsd ./cmd/bfsd
+
+./bfsd -addr "127.0.0.1:${PORT}" -drain-timeout 10s &
+BFSD_PID=$!
+trap 'kill -9 "$BFSD_PID" 2>/dev/null || true' EXIT
+
+# Wait for liveness.
+for i in $(seq 1 50); do
+  curl -fsS "${BASE}/healthz" -o /dev/null 2>/dev/null && break
+  sleep 0.2
+done
+curl -fsS "${BASE}/healthz" >/dev/null
+
+# Before a load the daemon is alive but not ready.
+READY_STATUS=$(curl -s -o /dev/null -w '%{http_code}' "${BASE}/readyz")
+[ "$READY_STATUS" = "503" ] || { echo "readyz before load: $READY_STATUS, want 503"; exit 1; }
+
+# Load a small RMAT graph.
+curl -fsS -X POST "${BASE}/load?gen=rmat&n=4096&m=32768&seed=1" -o load.json
+grep -q '"vertices":4096' load.json || { echo "bad /load response:"; cat load.json; exit 1; }
+curl -fsS "${BASE}/readyz" >/dev/null
+
+# Self-validating query: the daemon checks distances against the
+# serial oracle and the parents against the BFS-tree rules.
+curl -fsS "${BASE}/query?src=0&dst=1&validate=1" -o query.json
+grep -q '"valid":true' query.json || { echo "query did not validate:"; cat query.json; exit 1; }
+grep -q '"outcome":"ok"' query.json || { echo "query outcome not ok:"; cat query.json; exit 1; }
+
+# Serving counters are on /metrics.
+curl -fsS "${BASE}/metrics" -o metrics.txt
+grep -q '^optibfs_serve_requests_total{outcome="ok"} 1$' metrics.txt || {
+  echo "serve counters missing from /metrics:"; grep optibfs_serve metrics.txt || true; exit 1; }
+
+# Graceful drain: SIGTERM must exit 0.
+kill -TERM "$BFSD_PID"
+WAIT_CODE=0
+wait "$BFSD_PID" || WAIT_CODE=$?
+trap - EXIT
+[ "$WAIT_CODE" = "0" ] || { echo "bfsd exited $WAIT_CODE on SIGTERM, want 0"; exit 1; }
+
+echo "bfsd smoke OK"
