@@ -6,7 +6,7 @@
 //
 //	POST /load?gen=rmat&n=4096&m=32768&seed=1   generate and serve a graph
 //	POST /load?format=edges|mtx|bin             load a graph from the body
-//	GET  /query?src=0[&dst=7][&full=1][&validate=1]
+//	GET  /query?src=0[&dst=7][&full=1][&validate=1][&batch=0]
 //	GET  /healthz                               liveness (always 200)
 //	GET  /readyz                                readiness (503 until loaded)
 //	GET  /metrics                               Prometheus text exposition
@@ -56,6 +56,11 @@ type daemon struct {
 
 	mu  sync.RWMutex
 	cur *loaded
+
+	// testHookAfterSnapshot fires in handleQuery between snapshotting
+	// d.current() and querying it — the window a concurrent /load swap
+	// races into. Nil outside tests.
+	testHookAfterSnapshot func()
 }
 
 func newDaemon(cfg serve.Config, reg *obs.Registry, maxBody int64) *daemon {
@@ -201,6 +206,11 @@ func generate(kind string, q map[string][]string) (*graph.CSR, string, error) {
 	if n <= 0 || n > mmio.MaxVertices {
 		return nil, "", fmt.Errorf("n=%d out of range", n)
 	}
+	if m < 0 || m > 64*mmio.MaxVertices {
+		// Same edge ceiling the binary reader enforces: a negative or
+		// absurd m must die here, not inside a generator.
+		return nil, "", fmt.Errorf("m=%d out of range [0, %d]", m, 64*mmio.MaxVertices)
+	}
 	var g *graph.CSR
 	switch kind {
 	case "rmat":
@@ -222,14 +232,39 @@ func (d *daemon) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": "no graph loaded"})
 		return
 	}
+	if d.testHookAfterSnapshot != nil {
+		d.testHookAfterSnapshot()
+	}
 	src64, err := strconv.ParseInt(r.URL.Query().Get("src"), 10, 32)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, map[string]any{"error": fmt.Sprintf("bad src: %v", err)})
 		return
 	}
 	src := int32(src64)
-	ans, err := cur.guard.Query(r.Context(), src)
+	// Batched (fused) admission is the default; ?batch=0 opts a query
+	// out to solo dispatch.
+	batched := r.URL.Query().Get("batch") != "0"
+	ans, err := queryGuard(r.Context(), cur, src, batched)
+	if errors.Is(err, serve.ErrClosed) {
+		// The snapshot lost a race with a concurrent /load swap: the old
+		// guard drained under us while a fresh one is serving. Re-fetch
+		// and retry once before admitting defeat.
+		if cur = d.current(); cur != nil {
+			ans, err = queryGuard(r.Context(), cur, src, batched)
+		}
+	}
 	if err != nil {
+		if ans != nil && (errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)) {
+			// The budget expired but the engine surfaced the partial
+			// frontier it had settled: serve it as a 504 with the usual
+			// answer fields so the caller can keep the work done so far.
+			resp := answerFields(src, ans)
+			resp["error"] = err.Error()
+			resp["partial"] = true
+			addProjection(resp, r, cur, ans)
+			writeJSON(w, http.StatusGatewayTimeout, resp)
+			return
+		}
 		status := http.StatusInternalServerError
 		switch {
 		case errors.Is(err, serve.ErrBadSource):
@@ -245,14 +280,7 @@ func (d *daemon) handleQuery(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, status, map[string]any{"error": err.Error()})
 		return
 	}
-	resp := map[string]any{
-		"src":             src,
-		"outcome":         ans.Outcome,
-		"algorithm":       string(ans.Algorithm),
-		"levels":          ans.Levels,
-		"reached":         ans.Reached,
-		"edges_traversed": ans.EdgesTraversed,
-	}
+	resp := answerFields(src, ans)
 	if dstS := r.URL.Query().Get("dst"); dstS != "" {
 		dst64, derr := strconv.ParseInt(dstS, 10, 32)
 		if derr != nil || dst64 < 0 || int32(dst64) >= cur.g.NumVertices() {
@@ -279,6 +307,53 @@ func (d *daemon) handleQuery(w http.ResponseWriter, r *http.Request) {
 		resp["valid"] = true
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// queryGuard dispatches one query solo or through the fused batcher.
+func queryGuard(ctx context.Context, cur *loaded, src int32, batched bool) (*serve.Answer, error) {
+	if batched {
+		return cur.guard.QueryFused(ctx, src)
+	}
+	return cur.guard.Query(ctx, src)
+}
+
+// answerFields builds the response fields every answer — complete or
+// partial — carries.
+func answerFields(src int32, ans *serve.Answer) map[string]any {
+	resp := map[string]any{
+		"src":             src,
+		"outcome":         ans.Outcome,
+		"algorithm":       string(ans.Algorithm),
+		"levels":          ans.Levels,
+		"reached":         ans.Reached,
+		"edges_traversed": ans.EdgesTraversed,
+	}
+	if ans.Fused {
+		resp["fused"] = true
+		resp["batch_lanes"] = ans.BatchLanes
+	}
+	return resp
+}
+
+// addProjection attaches the dst/full projections to a partial-answer
+// response; bad projection params are simply omitted (the request
+// already failed its deadline — the error field dominates).
+func addProjection(resp map[string]any, r *http.Request, cur *loaded, ans *serve.Answer) {
+	if dstS := r.URL.Query().Get("dst"); dstS != "" {
+		if dst64, derr := strconv.ParseInt(dstS, 10, 32); derr == nil && dst64 >= 0 && int32(dst64) < cur.g.NumVertices() {
+			resp["dst"] = dst64
+			resp["dist"] = ans.Dist[dst64]
+			if ans.Parent != nil {
+				resp["parent"] = ans.Parent[dst64]
+			}
+		}
+	}
+	if r.URL.Query().Get("full") == "1" {
+		resp["dist_all"] = ans.Dist
+		if ans.Parent != nil {
+			resp["parent_all"] = ans.Parent
+		}
+	}
 }
 
 // validateAnswer checks the answer against the serial oracle and the
@@ -349,6 +424,9 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget on SIGTERM")
 		load         = flag.String("load", "", "graph file to serve at startup (.mtx, .bin, else edge list)")
 		maxBody      = flag.Int64("max-body", 1<<30, "maximum /load request body bytes")
+		batch        = flag.Bool("batch", true, "fuse concurrent queries into multi-source batched runs (per-query opt-out: ?batch=0)")
+		batchWindow  = flag.Duration("batch-window", time.Millisecond, "how long a batch collects lanes before dispatch")
+		batchLanes   = flag.Int("batch-lanes", 64, "max fused lanes per batch (<= 64)")
 	)
 	flag.Parse()
 
@@ -363,6 +441,11 @@ func main() {
 		Options: core.Options{
 			Workers:      *workers,
 			StallTimeout: *stallTimeout,
+		},
+		Batch: serve.BatchConfig{
+			Enabled:  *batch,
+			Window:   *batchWindow,
+			MaxLanes: *batchLanes,
 		},
 	}
 	d := newDaemon(cfg, reg, *maxBody)

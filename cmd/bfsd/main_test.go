@@ -23,6 +23,7 @@ func testDaemon(t *testing.T) (*daemon, *httptest.Server) {
 		Concurrency: 1,
 		Deadline:    10 * time.Second,
 		Options:     core.Options{Workers: 2},
+		Batch:       serve.BatchConfig{Enabled: true, Window: time.Millisecond},
 	}, obs.New(), 1<<20)
 	ts := httptest.NewServer(d.handler())
 	t.Cleanup(func() {

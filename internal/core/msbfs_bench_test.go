@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"optibfs/internal/gen"
+	"optibfs/internal/graph"
+)
+
+var (
+	rmat18Once sync.Once
+	rmat18G    *graph.CSR
+	rmat18Err  error
+)
+
+// rmat18 builds (once) the Graph500 scale-18 benchmark graph:
+// 2^18 vertices, edgefactor 16.
+func rmat18(b *testing.B) *graph.CSR {
+	b.Helper()
+	rmat18Once.Do(func() {
+		rmat18G, rmat18Err = gen.Graph500RMAT(1<<18, 16<<18, 42, gen.Options{})
+	})
+	if rmat18Err != nil {
+		b.Fatal(rmat18Err)
+	}
+	return rmat18G
+}
+
+// BenchmarkAggregateQPS compares per-query dispatch (one warm solo
+// engine answering K sources back to back — what the serve layer did
+// before fusion) against one fused MS-BFS run packing the same K
+// sources into lane masks. The reported "qps" metric is aggregate
+// queries per second: K×iters / elapsed.
+func BenchmarkAggregateQPS(b *testing.B) {
+	g := rmat18(b)
+	for _, k := range []int{1, 8, 64} {
+		srcs := make([]int32, k)
+		for i := range srcs {
+			srcs[i] = int32((i*2654435761 + 12345) % int(g.NumVertices()))
+		}
+		b.Run(fmt.Sprintf("solo/sources=%d", k), func(b *testing.B) {
+			eng, err := NewEngine(g, BFSWL, Options{TrackParents: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			if _, err := eng.Run(srcs[0]); err != nil { // warm the pools
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, s := range srcs {
+					if _, err := eng.Run(s); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ReportMetric(float64(k*b.N)/b.Elapsed().Seconds(), "qps")
+		})
+		b.Run(fmt.Sprintf("fused/sources=%d", k), func(b *testing.B) {
+			eng, err := NewMSEngine(g, Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer eng.Close()
+			if _, err := eng.Run(srcs); err != nil { // warm the pools
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Run(srcs); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(k*b.N)/b.Elapsed().Seconds(), "qps")
+		})
+	}
+}

@@ -1,0 +1,252 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"optibfs/internal/core"
+	"optibfs/internal/graph"
+	"optibfs/internal/obs"
+)
+
+// checkAnswerFrom validates an answer for an arbitrary source.
+func checkAnswerFrom(t *testing.T, g *graph.CSR, src int32, ans *Answer) {
+	t.Helper()
+	want := graph.ReferenceBFS(g, src)
+	if err := graph.EqualDistances(ans.Dist, want); err != nil {
+		t.Fatalf("src %d: %v", src, err)
+	}
+	if err := graph.ValidateParents(g, src, ans.Dist, ans.Parent); err != nil {
+		t.Fatalf("src %d: %v", src, err)
+	}
+}
+
+// TestFusedBatchOK: concurrent QueryFused calls land in one fused run,
+// every lane demuxes to a correct per-source answer, and the batch
+// metrics record the occupancy.
+func TestFusedBatchOK(t *testing.T) {
+	g := testGraph(t)
+	reg := obs.New()
+	gd, err := New(g, Config{
+		Concurrency: 1,
+		Registry:    reg,
+		Batch:       BatchConfig{Enabled: true, Window: 200 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gd.Close()
+
+	const lanes = 8
+	anss := make([]*Answer, lanes)
+	errs := make([]error, lanes)
+	var wg sync.WaitGroup
+	for i := 0; i < lanes; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			anss[i], errs[i] = gd.QueryFused(context.Background(), int32(i*13))
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < lanes; i++ {
+		if errs[i] != nil {
+			t.Fatalf("lane %d: %v", i, errs[i])
+		}
+		if anss[i].Outcome != "ok" {
+			t.Fatalf("lane %d: outcome %q, want ok", i, anss[i].Outcome)
+		}
+		if !anss[i].Fused {
+			t.Fatalf("lane %d: answer not marked fused", i)
+		}
+		if anss[i].Algorithm != core.MSBFSL {
+			t.Fatalf("lane %d: algorithm %q, want %q", i, anss[i].Algorithm, core.MSBFSL)
+		}
+		checkAnswerFrom(t, g, int32(i*13), anss[i])
+	}
+	if n := reg.Counter("optibfs_serve_fused_lanes_total").Value(); n != lanes {
+		t.Fatalf("fused lanes counted = %d, want %d", n, lanes)
+	}
+	if n := reg.Counter("optibfs_serve_fused_batches_total").Value(); n != 1 {
+		t.Fatalf("fused batches = %d, want 1 (collection window missed lanes)", n)
+	}
+	if n := reg.Histogram("optibfs_serve_batch_lanes",
+		[]float64{1, 2, 4, 8, 16, 32, 48, 64}).Count(); n != 1 {
+		t.Fatalf("occupancy observations = %d, want 1", n)
+	}
+	if n := reg.Counter("optibfs_serve_requests_total", obs.L("outcome", "ok")).Value(); n != lanes {
+		t.Fatalf("ok requests counted = %d, want %d", n, lanes)
+	}
+}
+
+// TestFusedCanceledLaneMasked: a lane whose caller has already gone is
+// masked out of the batch instead of aborting it — the surviving lane
+// still gets a fused ok answer.
+func TestFusedCanceledLaneMasked(t *testing.T) {
+	g := testGraph(t)
+	reg := obs.New()
+	gd, err := New(g, Config{
+		Concurrency: 1,
+		Registry:    reg,
+		Batch:       BatchConfig{Enabled: true, Window: 150 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gd.Close()
+
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	var wg sync.WaitGroup
+	var liveAns *Answer
+	var liveErr, deadErr error
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, deadErr = gd.QueryFused(dead, 7)
+	}()
+	go func() {
+		defer wg.Done()
+		liveAns, liveErr = gd.QueryFused(context.Background(), 0)
+	}()
+	wg.Wait()
+	if !errors.Is(deadErr, context.Canceled) {
+		t.Fatalf("canceled lane: err = %v, want context.Canceled", deadErr)
+	}
+	if liveErr != nil {
+		t.Fatal(liveErr)
+	}
+	if liveAns.Outcome != "ok" || !liveAns.Fused {
+		t.Fatalf("surviving lane: outcome %q fused=%v, want ok fused", liveAns.Outcome, liveAns.Fused)
+	}
+	if liveAns.BatchLanes != 1 {
+		t.Fatalf("surviving lane ran with %d live lanes, want 1 (dead lane not masked)", liveAns.BatchLanes)
+	}
+	checkAnswer(t, g, liveAns)
+}
+
+// TestFusedEngineFailureRerunsSolo: a worker panic inside the fused
+// run fails the whole batch; every surviving lane is re-run solo
+// through the ladder and still answers correctly.
+func TestFusedEngineFailureRerunsSolo(t *testing.T) {
+	g := testGraph(t)
+	var fired int32
+	reg := obs.New()
+	gd, err := New(g, Config{
+		Concurrency: 1,
+		Registry:    reg,
+		Batch:       BatchConfig{Enabled: true, Window: 150 * time.Millisecond},
+		Options: core.Options{Workers: 2, Chaos: hookFunc(func(p core.ChaosPoint, _ int, _ int64) {
+			if p == core.ChaosStall && atomic.CompareAndSwapInt32(&fired, 0, 1) {
+				panic("batch test: injected fused panic")
+			}
+		})},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gd.Close()
+
+	const lanes = 2
+	anss := make([]*Answer, lanes)
+	errs := make([]error, lanes)
+	var wg sync.WaitGroup
+	for i := 0; i < lanes; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			anss[i], errs[i] = gd.QueryFused(context.Background(), int32(i*11))
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < lanes; i++ {
+		if errs[i] != nil {
+			t.Fatalf("lane %d: %v", i, errs[i])
+		}
+		if anss[i].Fused {
+			t.Fatalf("lane %d: solo re-run still marked fused", i)
+		}
+		checkAnswerFrom(t, g, int32(i*11), anss[i])
+	}
+	if n := reg.Counter("optibfs_serve_fused_failures_total", obs.L("kind", "panic")).Value(); n != 1 {
+		t.Fatalf("fused panic failures = %d, want 1", n)
+	}
+	if n := reg.Counter("optibfs_serve_fused_solo_reruns_total").Value(); n != lanes {
+		t.Fatalf("solo reruns = %d, want %d", n, lanes)
+	}
+}
+
+// TestFusedPartialOnDeadline: a fused run aborted by its batch
+// deadline demuxes a per-lane partial answer alongside the error.
+func TestFusedPartialOnDeadline(t *testing.T) {
+	g := testGraph(t)
+	reg := obs.New()
+	gd, err := New(g, Config{
+		Concurrency: 1,
+		Registry:    reg,
+		Grace:       5 * time.Second,
+		Batch:       BatchConfig{Enabled: true, Window: time.Millisecond},
+		Options: core.Options{
+			Workers:      2,
+			StallTimeout: time.Minute, // slow progress is not a stall
+			Chaos: hookFunc(func(p core.ChaosPoint, _ int, _ int64) {
+				if p == core.ChaosStall {
+					time.Sleep(20 * time.Millisecond)
+				}
+			}),
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gd.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer cancel()
+	ans, qerr := gd.QueryFused(ctx, 0)
+	if !errors.Is(qerr, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", qerr)
+	}
+	if ans == nil {
+		t.Fatal("no partial answer demuxed on batch deadline")
+	}
+	if ans.Outcome != "deadline" {
+		t.Fatalf("outcome = %q, want deadline", ans.Outcome)
+	}
+	if !ans.Fused {
+		t.Fatal("partial answer not marked fused")
+	}
+	// Every settled distance must already be exact.
+	want := graph.ReferenceBFS(g, 0)
+	for v, d := range ans.Dist {
+		if d != graph.Unreached && d != want[v] {
+			t.Fatalf("partial dist[%d] = %d, want %d", v, d, want[v])
+		}
+	}
+}
+
+// TestFusedDisabledFallsBack: QueryFused without Batch.Enabled is
+// plain Query.
+func TestFusedDisabledFallsBack(t *testing.T) {
+	g := testGraph(t)
+	gd, err := New(g, Config{Concurrency: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gd.Close()
+	ans, err := gd.QueryFused(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ans.Fused {
+		t.Fatal("solo fallback marked fused")
+	}
+	if ans.Outcome != "ok" {
+		t.Fatalf("outcome = %q, want ok", ans.Outcome)
+	}
+	checkAnswer(t, g, ans)
+}

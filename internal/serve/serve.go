@@ -32,6 +32,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"optibfs/internal/core"
@@ -81,6 +83,9 @@ type Config struct {
 	// Registry receives the serving metrics. Nil = a private registry
 	// (metrics still work, just unexported).
 	Registry *obs.Registry
+	// Batch configures the micro-batching fused admission queue (see
+	// BatchConfig). Disabled unless Batch.Enabled is set.
+	Batch BatchConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -134,6 +139,10 @@ type Answer struct {
 	// Algorithm is the variant that produced the answer (the serial
 	// oracle when degraded).
 	Algorithm core.Algorithm
+	// Fused reports that the answer came out of a multi-source fused
+	// run; BatchLanes is how many live lanes shared that run.
+	Fused      bool
+	BatchLanes int
 }
 
 // Guard is the hardened serving wrapper. Safe for concurrent use.
@@ -148,7 +157,17 @@ type Guard struct {
 	inflight *obs.Gauge
 	latency  *obs.Histogram
 
-	closed chan struct{}
+	closed    chan struct{}
+	closeOnce sync.Once
+
+	batch *batcher // nil unless Config.Batch.Enabled
+
+	// Test seams for the runGuarded wedge-race regression: ctxExpired
+	// fires after the ctx.Done() arm is taken and before the grace
+	// wait; delivered fires after the run goroutine's delivery attempt.
+	// Nil outside tests.
+	testHookCtxExpired func()
+	testHookDelivered  func()
 }
 
 // New builds a Guard with Concurrency warm engines over g.
@@ -178,6 +197,14 @@ func New(g *graph.CSR, cfg Config) (*Guard, error) {
 			return nil, fmt.Errorf("serve: building engine %d: %w", i, err)
 		}
 		gd.slots <- &slot{eng: eng}
+	}
+	if cfg.Batch.Enabled {
+		b, err := newBatcher(gd)
+		if err != nil {
+			gd.drainAndClose(cfg.Concurrency)
+			return nil, fmt.Errorf("serve: building fused engine: %w", err)
+		}
+		gd.batch = b
 	}
 	return gd, nil
 }
@@ -219,8 +246,13 @@ func (gd *Guard) Query(ctx context.Context, src int32) (*Answer, error) {
 		gd.latency.Observe(time.Since(start).Seconds())
 		gd.slots <- s
 	}()
+	return gd.ladder(ctx, s, src)
+}
 
-	// Escalation ladder: primary, rebuild + retry once, then serial.
+// ladder runs the escalation policy on an already-acquired slot:
+// primary, rebuild + retry once, then the serial oracle. Shared by
+// Query and the batcher's solo re-runs; counts request outcomes.
+func (gd *Guard) ladder(ctx context.Context, s *slot, src int32) (*Answer, error) {
 	for attempt := 0; attempt < 2; attempt++ {
 		if s.eng == nil {
 			// A previous owner's rebuild failed; retry it now.
@@ -299,30 +331,49 @@ func (gd *Guard) acquire(ctx context.Context) (*slot, error) {
 }
 
 // runGuarded executes one engine run on its own goroutine so the Guard
-// can abandon it if it wedges. The goroutine deep-copies the result
-// out of the engine's pooled arrays before handing it over; if the
-// Guard has already given up (select default), the goroutine owns the
-// engine's corpse and closes it — safe, because the run has returned.
+// can abandon it if it wedges. The result channel is buffered (cap 1)
+// so the run goroutine's send always lands, and an atomic handoff word
+// decides who owns the engine's fate: the goroutine commits "delivered"
+// after its send, the parent commits "abandoned" when the grace window
+// expires. Exactly one CAS wins. A run that completes in the window
+// between the parent's ctx.Done() arm and its grace wait — the old
+// unbuffered-send-with-default race — now parks its answer in the
+// buffer and the parent's grace select receives it immediately, instead
+// of the answer being lost, the healthy engine torn down, and the full
+// Grace window burned into a spurious errWedged.
 func (gd *Guard) runGuarded(ctx context.Context, s *slot, src int32) (*Answer, error) {
 	type outcome struct {
 		ans *Answer
 		err error
 	}
+	const (
+		handPending int32 = iota
+		handDelivered
+		handAbandoned
+	)
 	eng := s.eng
-	ch := make(chan outcome)
+	ch := make(chan outcome, 1)
+	var hand atomic.Int32
 	go func() {
 		res, err := eng.RunContext(ctx, src)
-		out := outcome{ans: copyAnswer(res), err: err}
-		select {
-		case ch <- out:
-		default:
+		ch <- outcome{ans: copyAnswer(res), err: err} // cap 1: never blocks
+		if !hand.CompareAndSwap(handPending, handDelivered) {
+			// The parent already abandoned the run: it will never read
+			// the buffered outcome, and this goroutine owns the corpse.
+			// Closing here is safe — the run has returned.
 			eng.Close()
+		}
+		if gd.testHookDelivered != nil {
+			gd.testHookDelivered()
 		}
 	}()
 	select {
 	case out := <-ch:
 		return out.ans, out.err
 	case <-ctx.Done():
+	}
+	if gd.testHookCtxExpired != nil {
+		gd.testHookCtxExpired()
 	}
 	// The context expired mid-run. The watchdog (StallTimeout) aborts
 	// the run cooperatively; give it Grace to come back.
@@ -332,12 +383,20 @@ func (gd *Guard) runGuarded(ctx context.Context, s *slot, src int32) (*Answer, e
 	case out := <-ch:
 		return out.ans, out.err
 	case <-t.C:
-		// Wedged: abandon the engine. It is NOT closed here — its
-		// goroutines may be live inside the barrier protocol — the
-		// run goroutine above closes it if the run ever returns.
-		s.eng = nil
-		return nil, errWedged
 	}
+	if !hand.CompareAndSwap(handPending, handAbandoned) {
+		// The run finished just as the grace timer fired: the outcome
+		// is already in the buffer (the send happens-before the losing
+		// CAS observed here). Take it — the answer is real and the
+		// engine is healthy.
+		out := <-ch
+		return out.ans, out.err
+	}
+	// Wedged: abandon the engine. It is NOT closed here — its
+	// goroutines may be live inside the barrier protocol — the run
+	// goroutine above closes it if the run ever returns.
+	s.eng = nil
+	return nil, errWedged
 }
 
 // rebuild replaces the slot's engine with a fresh one. The old engine
@@ -359,10 +418,16 @@ func (gd *Guard) rebuild(s *slot) error {
 
 // Close shuts the Guard: new queries fail with ErrClosed, and Close
 // blocks until every in-flight query returns its slot, then closes the
-// engines. Safe to call once.
+// engines. Idempotent: repeated and concurrent calls are safe; every
+// caller returns only after the one real shutdown has completed.
 func (gd *Guard) Close() {
-	close(gd.closed)
-	gd.drainAndClose(gd.cfg.Concurrency)
+	gd.closeOnce.Do(func() {
+		close(gd.closed)
+		if gd.batch != nil {
+			gd.batch.close()
+		}
+		gd.drainAndClose(gd.cfg.Concurrency)
+	})
 }
 
 // drainAndClose collects n circulating slots — blocking on slots held

@@ -43,6 +43,33 @@ curl -fsS "${BASE}/metrics" -o metrics.txt
 grep -q '^optibfs_serve_requests_total{outcome="ok"} 1$' metrics.txt || {
   echo "serve counters missing from /metrics:"; grep optibfs_serve metrics.txt || true; exit 1; }
 
+# Fire 64 concurrent self-validating queries through the fused
+# batcher (batching is the daemon default). Every one must come back
+# valid; the burst must light up the batch-occupancy metrics.
+BURST_PIDS=()
+for i in $(seq 0 63); do
+  curl -fsS "${BASE}/query?src=$(( (i * 17) % 4096 ))&validate=1" -o "burst_${i}.json" &
+  BURST_PIDS+=("$!")
+done
+# Wait only on the curls — a bare `wait` would also wait on the
+# long-running daemon job and hang forever.
+wait "${BURST_PIDS[@]}"
+for i in $(seq 0 63); do
+  grep -q '"valid":true' "burst_${i}.json" || {
+    echo "burst query $i did not validate:"; cat "burst_${i}.json"; exit 1; }
+done
+FUSED=$(grep -l '"fused":true' burst_*.json | wc -l)
+[ "$FUSED" -ge 1 ] || { echo "no burst query was fused"; exit 1; }
+rm -f burst_*.json
+
+curl -fsS "${BASE}/metrics" -o metrics.txt
+grep -q '^optibfs_serve_batch_lanes_count [1-9]' metrics.txt || {
+  echo "batch occupancy histogram missing from /metrics:"
+  grep optibfs_serve_batch metrics.txt || true; exit 1; }
+grep -q '^optibfs_serve_fused_lanes_total [1-9]' metrics.txt || {
+  echo "fused lane counter missing from /metrics:"
+  grep optibfs_serve_fused metrics.txt || true; exit 1; }
+
 # Graceful drain: SIGTERM must exit 0.
 kill -TERM "$BFSD_PID"
 WAIT_CODE=0
