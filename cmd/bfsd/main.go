@@ -6,6 +6,7 @@
 //
 //	POST /load?gen=rmat&n=4096&m=32768&seed=1   generate and serve a graph
 //	POST /load?format=edges|mtx|bin             load a graph from the body
+//	POST /load?path=/data/graph.bin2            load (mmap when possible) a server-side file
 //	GET  /query?src=0[&dst=7][&full=1][&validate=1][&batch=0]
 //	GET  /healthz                               liveness (always 200)
 //	GET  /readyz                                readiness (503 until loaded)
@@ -40,11 +41,33 @@ import (
 	"optibfs/internal/serve"
 )
 
-// loaded is the daemon's current graph and its serving guard.
+// loaded is the daemon's current graph and its serving guard. mapped
+// is non-nil when the graph's Offsets/Edges alias an mmap (path loads
+// of v2 binary files): the loaded holds the mapping's base reference,
+// and every request pins it with retain/release so a /load swap can
+// never munmap pages a draining query still reads.
 type loaded struct {
-	g     *graph.CSR
-	guard *serve.Guard
-	desc  string
+	g      *graph.CSR
+	guard  *serve.Guard
+	desc   string
+	mapped *mmio.MappedGraph
+}
+
+// retain pins the loaded graph's backing storage for one request.
+// Must be called under the daemon's read lock (see daemon.acquire):
+// the lock orders the pin before any /load swap, so the base
+// reference is still held when the pin lands.
+func (l *loaded) retain() {
+	if l.mapped != nil {
+		l.mapped.Retain()
+	}
+}
+
+// release undoes retain once the request is done with the graph.
+func (l *loaded) release() {
+	if l.mapped != nil {
+		l.mapped.Release()
+	}
 }
 
 // daemon holds the HTTP state. The guard swap on /load is the only
@@ -88,6 +111,20 @@ func (d *daemon) current() *loaded {
 	return d.cur
 }
 
+// acquire snapshots the current loaded graph with its storage pinned;
+// the caller must release() it when done. The pin happens under the
+// read lock, which orders it before any concurrent install: the swap's
+// background base-reference drop therefore cannot be the final one
+// while this request runs.
+func (d *daemon) acquire() *loaded {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	if d.cur != nil {
+		d.cur.retain()
+	}
+	return d.cur
+}
+
 // install swaps in a freshly built guard and retires the old one in
 // the background (Close blocks until its in-flight queries drain).
 func (d *daemon) install(l *loaded) {
@@ -96,8 +133,25 @@ func (d *daemon) install(l *loaded) {
 	d.cur = l
 	d.mu.Unlock()
 	if old != nil {
-		go old.guard.Close()
+		go retire(old)
 	}
+}
+
+// retire closes a displaced guard and drops the loaded's base mapping
+// reference. Close returns only after every slot came home, so no
+// healthy engine can still be draining; an engine the guard abandoned
+// as wedged may still be reading the pages, though, in which case the
+// mapping is deliberately leaked along with it.
+func retire(old *loaded) {
+	old.guard.Close()
+	if old.mapped == nil {
+		return
+	}
+	if n := old.guard.Abandoned(); n > 0 {
+		log.Printf("bfsd: leaking mmap of retired graph %q: %d wedged engine(s) may still read it", old.desc, n)
+		return
+	}
+	old.mapped.Release()
 }
 
 // closeGuard shuts the active guard during daemon drain.
@@ -107,7 +161,7 @@ func (d *daemon) closeGuard() {
 	d.cur = nil
 	d.mu.Unlock()
 	if old != nil {
-		old.guard.Close()
+		retire(old)
 	}
 }
 
@@ -125,11 +179,25 @@ func (d *daemon) handleLoad(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var (
-		g    *graph.CSR
-		desc string
-		err  error
+		g      *graph.CSR
+		mapped *mmio.MappedGraph
+		desc   string
+		err    error
 	)
-	if kind := r.URL.Query().Get("gen"); kind != "" {
+	if path := r.URL.Query().Get("path"); path != "" {
+		g, mapped, desc, err = openGraphFile(path, d.maxBody)
+		if err != nil {
+			status := http.StatusInternalServerError
+			switch {
+			case errors.Is(err, errFileTooLarge):
+				status = http.StatusRequestEntityTooLarge
+			case errors.Is(err, mmio.ErrMalformed):
+				status = http.StatusBadRequest
+			}
+			writeJSON(w, status, map[string]any{"error": err.Error()})
+			return
+		}
+	} else if kind := r.URL.Query().Get("gen"); kind != "" {
 		g, desc, err = generate(kind, r.URL.Query())
 		if err != nil {
 			writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
@@ -170,15 +238,19 @@ func (d *daemon) handleLoad(w http.ResponseWriter, r *http.Request) {
 	}
 	guard, err := serve.New(g, d.cfg)
 	if err != nil {
+		if mapped != nil {
+			mapped.Release()
+		}
 		writeJSON(w, http.StatusInternalServerError, map[string]any{"error": err.Error()})
 		return
 	}
-	d.install(&loaded{g: g, guard: guard, desc: desc})
+	d.install(&loaded{g: g, guard: guard, desc: desc, mapped: mapped})
 	writeJSON(w, http.StatusOK, map[string]any{
 		"vertices":  g.NumVertices(),
 		"edges":     g.NumEdges(),
 		"algorithm": string(guard.Algorithm()),
 		"desc":      desc,
+		"mapped":    mapped != nil && mapped.Mapped(),
 	})
 }
 
@@ -227,11 +299,16 @@ func generate(kind string, q map[string][]string) (*graph.CSR, string, error) {
 }
 
 func (d *daemon) handleQuery(w http.ResponseWriter, r *http.Request) {
-	cur := d.current()
+	cur := d.acquire()
 	if cur == nil {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": "no graph loaded"})
 		return
 	}
+	// The pin taken by acquire keeps a mapped graph's pages resident for
+	// the whole request — the projection and validation reads below touch
+	// cur.g after the guard query returns, past the point a concurrent
+	// /load swap may have retired (and otherwise unmapped) the graph.
+	defer func() { cur.release() }()
 	if d.testHookAfterSnapshot != nil {
 		d.testHookAfterSnapshot()
 	}
@@ -248,8 +325,10 @@ func (d *daemon) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if errors.Is(err, serve.ErrClosed) {
 		// The snapshot lost a race with a concurrent /load swap: the old
 		// guard drained under us while a fresh one is serving. Re-fetch
-		// and retry once before admitting defeat.
-		if cur = d.current(); cur != nil {
+		// (swapping the pin) and retry once before admitting defeat.
+		if next := d.acquire(); next != nil {
+			cur.release()
+			cur = next
 			ans, err = queryGuard(r.Context(), cur, src, batched)
 		}
 	}
@@ -380,30 +459,64 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-// loadFile serves -load at startup: a graph file by extension.
-func loadFile(d *daemon, path string) error {
+// errFileTooLarge reports a path load whose file exceeds -max-body.
+// File loads used to bypass the body limit entirely; the limit is the
+// operator's memory budget, so it applies to every ingest route.
+var errFileTooLarge = errors.New("bfsd: graph file exceeds -max-body")
+
+// openGraphFile loads a server-side graph file by extension, applying
+// the -max-body budget to the file size up front. Binary files go
+// through mmio.LoadMapped: v2 files map zero-copy (the returned
+// MappedGraph owns the mapping), v1 files fall back to a heap read.
+// Text formats stream from the opened file. Errors keep the mmio
+// taxonomy: ErrMalformed is the file's fault, everything else is I/O.
+func openGraphFile(path string, maxBody int64) (*graph.CSR, *mmio.MappedGraph, string, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return nil, nil, "", fmt.Errorf("%w: %v", mmio.ErrMalformed, err)
+	}
+	if maxBody > 0 && fi.Size() > maxBody {
+		return nil, nil, "", fmt.Errorf("%w: %d bytes > limit %d", errFileTooLarge, fi.Size(), maxBody)
+	}
+	if hasSuffix(path, ".bin") || hasSuffix(path, ".bin2") {
+		mg, err := mmio.LoadMapped(path, mmio.MapOptions{})
+		if err != nil {
+			return nil, nil, "", err
+		}
+		return mg.Graph(), mg, path, nil
+	}
 	f, err := os.Open(path)
 	if err != nil {
-		return err
+		return nil, nil, "", fmt.Errorf("%w: %v", mmio.ErrMalformed, err)
 	}
 	defer f.Close()
 	var g *graph.CSR
-	switch {
-	case hasSuffix(path, ".mtx"):
+	if hasSuffix(path, ".mtx") {
 		g, err = mmio.ReadMatrixMarket(f)
-	case hasSuffix(path, ".bin"):
-		g, err = mmio.ReadBinary(f)
-	default:
+	} else {
 		g, err = mmio.ReadEdgeList(f)
 	}
+	if err != nil {
+		return nil, nil, "", err
+	}
+	return g, nil, path, nil
+}
+
+// loadFile serves -load at startup: a graph file by extension, under
+// the same size budget and mmap path as POST /load?path=.
+func loadFile(d *daemon, path string) error {
+	g, mapped, desc, err := openGraphFile(path, d.maxBody)
 	if err != nil {
 		return err
 	}
 	guard, err := serve.New(g, d.cfg)
 	if err != nil {
+		if mapped != nil {
+			mapped.Release()
+		}
 		return err
 	}
-	d.install(&loaded{g: g, guard: guard, desc: path})
+	d.install(&loaded{g: g, guard: guard, desc: desc, mapped: mapped})
 	return nil
 }
 
@@ -416,6 +529,7 @@ func main() {
 		addr         = flag.String("addr", ":8090", "listen address")
 		algo         = flag.String("algo", string(core.BFSWL), "BFS variant to serve")
 		workers      = flag.Int("workers", 0, "workers per engine (0 = GOMAXPROCS)")
+		shards       = flag.Int("shards", 1, "graph shards per engine (each with its own worker set)")
 		concurrency  = flag.Int("concurrency", 2, "engine fleet size (max queries in flight)")
 		deadline     = flag.Duration("deadline", 5*time.Second, "default per-query deadline")
 		stallTimeout = flag.Duration("stall-timeout", time.Second, "watchdog window for wedged workers")
@@ -440,6 +554,7 @@ func main() {
 		QueueWait:   *queueWait,
 		Options: core.Options{
 			Workers:      *workers,
+			Shards:       *shards,
 			StallTimeout: *stallTimeout,
 		},
 		Batch: serve.BatchConfig{

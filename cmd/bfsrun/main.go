@@ -41,9 +41,10 @@ func main() {
 		balance   = flag.Bool("balance", false, "print per-worker load balance of the last source")
 		trace     = flag.String("trace", "", "write the last source's dispatch trace as Chrome trace_event JSON (load in Perfetto)")
 		reorderM  = flag.String("reorder", "", "vertex relabeling: degree|bfs (results stay in original ids)")
+		shards    = flag.Int("shards", 1, "CSR shards for the core family (>1 = owner-compute sharded engines)")
 	)
 	flag.Parse()
-	if err := run(*algoName, *graphPath, *suite, *scale, *src, *sources, *workers, *seed, *validate, *machine, *profile, *balance, *trace, *reorderM); err != nil {
+	if err := run(*algoName, *graphPath, *suite, *scale, *src, *sources, *workers, *seed, *validate, *machine, *profile, *balance, *trace, *reorderM, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "bfsrun:", err)
 		os.Exit(1)
 	}
@@ -66,8 +67,13 @@ func loadGraph(path, suite string, scale int) (*graph.CSR, error) {
 	}
 	defer f.Close()
 	switch {
-	case hasSuffix(path, ".bin"):
-		return mmio.ReadBinary(f)
+	case hasSuffix(path, ".bin") || hasSuffix(path, ".bin2"):
+		// v2 files mmap zero-copy; the mapping lives until process exit.
+		m, err := mmio.LoadMapped(path, mmio.MapOptions{})
+		if err != nil {
+			return nil, err
+		}
+		return m.Graph(), nil
 	case hasSuffix(path, ".mtx"):
 		return mmio.ReadMatrixMarket(f)
 	default:
@@ -97,7 +103,7 @@ func writeTrace(path, algoName string, src int32, res *core.Result) error {
 	return f.Close()
 }
 
-func run(algoName, graphPath, suite string, scale, src, sources, workers int, seed uint64, validate bool, machineName string, profile, balance bool, trace, reorderMode string) error {
+func run(algoName, graphPath, suite string, scale, src, sources, workers int, seed uint64, validate bool, machineName string, profile, balance bool, trace, reorderMode string, shards int) error {
 	algo, err := harness.AlgoByName(algoName)
 	if err != nil {
 		return err
@@ -127,11 +133,14 @@ func run(algoName, graphPath, suite string, scale, src, sources, workers int, se
 	} else {
 		srcs = harness.PickSources(g, sources, seed)
 	}
-	opt := core.Options{Workers: workers, Seed: seed, Reorder: core.ReorderMode(reorderMode)}
+	opt := core.Options{Workers: workers, Seed: seed, Reorder: core.ReorderMode(reorderMode), Shards: shards}
 	if opt.Reorder != core.ReorderNone {
 		// The engine relabels internally and maps results back, so the
 		// -validate comparison below stays in original vertex ids.
 		fmt.Printf("reorder: %s (results mapped back to original ids)\n", opt.Reorder)
+	}
+	if shards > 1 {
+		fmt.Printf("shards: %d (owner-compute, cross-shard frontier exchange)\n", shards)
 	}
 	if trace != "" {
 		// Event buffers sized generously: dispatch events are rare

@@ -44,6 +44,7 @@ func main() {
 		engines     = flag.Bool("engines", false, "reuse one engine per (graph, algorithm) so the audit covers state-reuse bugs")
 		verbose     = flag.Bool("v", false, "log every run, not just failures")
 		metricsAddr = flag.String("metrics-addr", "", "serve live /metrics, /debug/vars, /debug/pprof on this address while sweeping (empty = off)")
+		shards      = flag.Int("shards", 0, "pin the CSR shard count for every run (0 = each run draws from {1,2,4})")
 	)
 	flag.Parse()
 	var reg *obs.Registry
@@ -63,7 +64,7 @@ func main() {
 	}
 	// os.Exit skips defers: drain the metrics listener explicitly on
 	// every exit path so the final scrape isn't dropped mid-response.
-	code, err := run(os.Stdout, *duration, *seeds, *workers, *seed, *profiles, *algos, *artifacts, *replay, *list, *engines, *verbose, reg)
+	code, err := run(os.Stdout, *duration, *seeds, *workers, *shards, *seed, *profiles, *algos, *artifacts, *replay, *list, *engines, *verbose, reg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bfssoak:", err)
 		code = 2
@@ -73,7 +74,7 @@ func main() {
 }
 
 // run executes the selected mode and returns the process exit code.
-func run(w io.Writer, duration time.Duration, seeds, workers int, seed uint64,
+func run(w io.Writer, duration time.Duration, seeds, workers, shards int, seed uint64,
 	profiles, algos, artifacts, replay string, list, engines, verbose bool, reg *obs.Registry) (int, error) {
 	if list {
 		for _, p := range chaos.Profiles() {
@@ -105,6 +106,7 @@ func run(w io.Writer, duration time.Duration, seeds, workers int, seed uint64,
 	cfg := chaos.SoakConfig{
 		Seeds:       seeds,
 		Workers:     workers,
+		Shards:      shards,
 		BaseSeed:    seed,
 		Duration:    duration,
 		Engines:     engines,

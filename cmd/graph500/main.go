@@ -39,15 +39,16 @@ func main() {
 		skipVal    = flag.Bool("skip-validation", false, "skip per-round validation")
 		machine    = flag.String("machine", "Lonestar", "cost-model machine for modeled TEPS")
 		reorderM   = flag.String("reorder", "", "vertex relabeling: degree|bfs (validation stays in original ids)")
+		shards     = flag.Int("shards", 1, "CSR shards (>1 = owner-compute sharded engines)")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *scale, *edgefactor, *algoName, *rounds, *workers, *seed, *skipVal, *machine, *reorderM); err != nil {
+	if err := run(os.Stdout, *scale, *edgefactor, *algoName, *rounds, *workers, *seed, *skipVal, *machine, *reorderM, *shards); err != nil {
 		fmt.Fprintln(os.Stderr, "graph500:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w *os.File, scale int, edgefactor int64, algoName string, rounds, workers int, seed uint64, skipVal bool, machineName, reorderMode string) error {
+func run(w *os.File, scale int, edgefactor int64, algoName string, rounds, workers int, seed uint64, skipVal bool, machineName, reorderMode string, shards int) error {
 	if scale < 1 || scale > 30 {
 		return fmt.Errorf("scale %d out of [1,30]", scale)
 	}
@@ -85,7 +86,10 @@ func run(w *os.File, scale int, edgefactor int64, algoName string, rounds, worke
 	sources := harness.PickSources(g, rounds, seed^0x9e3779b9)
 	opt := core.Options{
 		Workers: workers, TrackParents: !skipVal, PersistentWorkers: true,
-		Reorder: core.ReorderMode(reorderMode),
+		Reorder: core.ReorderMode(reorderMode), Shards: shards,
+	}
+	if shards > 1 {
+		fmt.Fprintf(w, "shards: %d (owner-compute, cross-shard frontier exchange)\n", shards)
 	}
 	if opt.Reorder != core.ReorderNone {
 		// The engine relabels internally; ValidateDistances and

@@ -6,8 +6,8 @@
 //	graphgen -kind powerlaw -gamma 2.2 -n 65536 -m 1048576 -format mtx -o wiki.mtx
 //	graphgen -suite wikipedia -scale 64 -o wiki.bin   # paper Table IV stand-in
 //
-// Formats: bin (compact binary CSR, default), mtx (MatrixMarket),
-// edges (text edge list).
+// Formats: bin (compact binary CSR, default), bin2 (aligned v2 binary,
+// mmap-loadable zero-copy), mtx (MatrixMarket), edges (text edge list).
 package main
 
 import (
@@ -35,7 +35,7 @@ func main() {
 		depth  = flag.Int("depth", 32, "z dimension for grid3d")
 		scale  = flag.Int("scale", 64, "size divisor for -suite")
 		seed   = flag.Uint64("seed", 1, "generator seed")
-		format = flag.String("format", "bin", "output format: bin|mtx|edges")
+		format = flag.String("format", "bin", "output format: bin|bin2|mtx|edges (bin2 mmaps zero-copy)")
 		out    = flag.String("o", "", "output file (default stdout)")
 	)
 	flag.Parse()
@@ -102,6 +102,8 @@ func run(kind, suite string, n int32, m int64, layers int32, gamma float64,
 	switch format {
 	case "bin":
 		err = mmio.WriteBinary(w, g)
+	case "bin2":
+		err = mmio.WriteBinaryV2(w, g)
 	case "mtx":
 		err = mmio.WriteMatrixMarket(w, g)
 	case "edges":

@@ -26,12 +26,15 @@ import (
 // The paper's algorithms (and DirectionOptimizing) run on true pooled
 // engines; the Baseline1/Baseline2 comparison runtimes have no engine
 // layer, so an Engine over them transparently falls back to one-shot
-// dispatch per Run (correct, just not amortized).
+// dispatch per Run (correct, just not amortized). Options.Shards > 1
+// routes the paper's algorithms onto the sharded owner-compute backend
+// (per-shard pooled engines with cross-shard frontier exchange); the
+// default is the single-engine path.
 type Engine struct {
 	g      *Graph
 	algo   Algorithm
 	opt    Options
-	ce     *core.Engine
+	ce     core.Backend
 	be     *beamer.Engine
 	closed bool
 }
@@ -46,7 +49,7 @@ func NewEngine(g *Graph, algo Algorithm, opt *Options) (*Engine, error) {
 	e := &Engine{g: g, algo: algo, opt: o}
 	switch algo {
 	case Serial, BFSC, BFSCL, BFSDL, BFSW, BFSWL, BFSWS, BFSWSL, BFSEL:
-		ce, err := core.NewEngine(g, core.Algorithm(algo), o)
+		ce, err := core.NewBackend(g, core.Algorithm(algo), o)
 		if err != nil {
 			return nil, err
 		}

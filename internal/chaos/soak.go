@@ -98,6 +98,9 @@ type RunOptions struct {
 	PublishBlock int `json:"publish_block,omitempty"`
 	// Reorder names the vertex-relabeling mode ("" | "degree" | "bfs").
 	Reorder string `json:"reorder,omitempty"`
+	// Shards is the CSR shard count (0/1 = classic single engine; more
+	// runs the owner-compute sharded backend with cross-shard exchange).
+	Shards int `json:"shards,omitempty"`
 	// StallTimeoutMillis arms the watchdog (core.Options.StallTimeout);
 	// 0 leaves it off. Set by the soak for Disruptive profiles so forced
 	// stalls are detected rather than hanging the sweep.
@@ -120,9 +123,20 @@ func (o RunOptions) Core() core.Options {
 		PersistentWorkers: o.PersistentWorkers,
 		PublishBlock:      o.PublishBlock,
 		Reorder:           core.ReorderMode(o.Reorder),
+		Shards:            o.Shards,
 		StallTimeout:      time.Duration(o.StallTimeoutMillis) * time.Millisecond,
 		Seed:              o.Seed,
 	}
+}
+
+// injectorWorkers is how many worker-id slots the injector must cover
+// for this option set: sharded backends run Shards engines of Workers
+// goroutines each and offset their chaos worker ids by shard.
+func (o RunOptions) injectorWorkers() int {
+	if o.Shards > 1 {
+		return o.Shards * o.Workers
+	}
+	return o.Workers
 }
 
 // Repro is the minimal JSON artifact emitted when a soak run breaks an
@@ -202,7 +216,7 @@ func Replay(r Repro) ([]Violation, *core.Result, error) {
 		// Typed recovery aborts (injected panics, forced stalls) are not
 		// violations; a panic poisons the engine, so the loop rebuilds
 		// it and keeps replaying, same as the soak does.
-		e, err := core.NewEngine(g, r.Algorithm, opt)
+		e, err := core.NewBackend(g, r.Algorithm, opt)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -210,7 +224,7 @@ func Replay(r Repro) ([]Violation, *core.Result, error) {
 		var all []Violation
 		var res *core.Result
 		for i := 0; i < 3; i++ {
-			inj := NewInjector(r.Profile, r.InjectionSeed, opt.Workers)
+			inj := NewInjector(r.Profile, r.InjectionSeed, r.Options.injectorWorkers())
 			e.SetChaos(inj)
 			e.Reseed(opt.Seed)
 			res, err = e.Run(r.Source)
@@ -219,7 +233,7 @@ func Replay(r Repro) ([]Violation, *core.Result, error) {
 					return nil, nil, err
 				}
 				e.Close()
-				e, err = core.NewEngine(g, r.Algorithm, opt)
+				e, err = core.NewBackend(g, r.Algorithm, opt)
 				if err != nil {
 					return nil, nil, err
 				}
@@ -231,9 +245,14 @@ func Replay(r Repro) ([]Violation, *core.Result, error) {
 		}
 		return all, res, nil
 	}
-	inj := NewInjector(r.Profile, r.InjectionSeed, opt.Workers)
+	inj := NewInjector(r.Profile, r.InjectionSeed, r.Options.injectorWorkers())
 	opt.Chaos = inj
-	res, err := core.Run(g, r.Source, r.Algorithm, opt)
+	b, err := core.NewBackend(g, r.Algorithm, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := b.Run(r.Source)
+	b.Close()
 	if err != nil {
 		if recoveryAbort(err) {
 			return nil, res, nil
@@ -286,6 +305,11 @@ type SoakConfig struct {
 	// oversubscription is deliberate, it gives the injector's yields
 	// real interleavings to provoke.
 	Workers int
+	// Shards pins the CSR shard count for every run: 1 forces the
+	// classic single engine, >1 forces that many shards (dropping
+	// Reorder, which the sharded backend rejects). 0 lets each derived
+	// option set draw its own shard count from {1, 2, 4}.
+	Shards int
 	// BaseSeed derives every per-run seed. Default 0xb5f5c4a0.
 	BaseSeed uint64
 	// Duration stops the sweep (checked between runs) once exceeded;
@@ -437,6 +461,19 @@ func deriveOptions(r *rng.SplitMix64, maxWorkers int) RunOptions {
 	case 1:
 		o.Reorder = string(core.ReorderBFS)
 	}
+	// Shards: half the runs keep the classic single engine, the rest
+	// exercise the owner-compute sharded backend and its cross-shard
+	// exchange. The sharded runtime rejects relabeling, so those draws
+	// drop Reorder rather than fail construction.
+	switch r.Next() % 4 {
+	case 0:
+		o.Shards = 2
+	case 1:
+		o.Shards = 4
+	}
+	if o.Shards > 1 {
+		o.Reorder = ""
+	}
 	return o
 }
 
@@ -479,7 +516,7 @@ func Soak(cfg SoakConfig) (*SoakReport, error) {
 		disr bool
 	}
 	type sharedEng struct {
-		e    *core.Engine
+		e    core.Backend
 		opts RunOptions
 	}
 	engines := make(map[engKey]*sharedEng)
@@ -502,6 +539,12 @@ func Soak(cfg SoakConfig) (*SoakReport, error) {
 							rng.Mix64(uint64(len(pg.spec.Kind))+pg.spec.Seed) ^ hashString(string(algo)+prof.Name))
 						r := rng.NewSplitMix64(cell)
 						opts := deriveOptions(r, cfg.Workers)
+						if cfg.Shards > 0 {
+							opts.Shards = cfg.Shards
+							if opts.Shards > 1 {
+								opts.Reorder = ""
+							}
+						}
 						injSeed := r.Next()
 						if prof.Disruptive() {
 							// Arm the watchdog so forced stalls abort with
@@ -517,7 +560,7 @@ func Soak(cfg SoakConfig) (*SoakReport, error) {
 							key := engKey{gi, algo, prof.Disruptive()}
 							se := engines[key]
 							if se == nil {
-								e, eerr := core.NewEngine(pg.g, algo, opts.Core())
+								e, eerr := core.NewBackend(pg.g, algo, opts.Core())
 								if eerr != nil {
 									return nil, fmt.Errorf("chaos: engine for %s on %s: %w", algo, pg.spec, eerr)
 								}
@@ -531,7 +574,7 @@ func Soak(cfg SoakConfig) (*SoakReport, error) {
 							seed := opts.Seed
 							opts = se.opts
 							opts.Seed = seed
-							inj = NewInjector(prof, injSeed, opts.Workers)
+							inj = NewInjector(prof, injSeed, opts.injectorWorkers())
 							se.e.SetChaos(inj)
 							se.e.Reseed(seed)
 							res, rerr = se.e.Run(0)
@@ -551,10 +594,21 @@ func Soak(cfg SoakConfig) (*SoakReport, error) {
 							}
 							rep.EngineRuns++
 						} else {
-							inj = NewInjector(prof, injSeed, opts.Workers)
+							inj = NewInjector(prof, injSeed, opts.injectorWorkers())
 							copt := opts.Core()
 							copt.Chaos = inj
-							res, rerr = core.Run(pg.g, 0, algo, copt)
+							if opts.Shards > 1 {
+								// NewBackend routes to the sharded runtime;
+								// one-shot, so build, run, and tear down here.
+								b, berr := core.NewBackend(pg.g, algo, copt)
+								if berr != nil {
+									return nil, fmt.Errorf("chaos: backend for %s on %s: %w", algo, pg.spec, berr)
+								}
+								res, rerr = b.Run(0)
+								b.Close()
+							} else {
+								res, rerr = core.Run(pg.g, 0, algo, copt)
+							}
 							if rerr != nil && !recoveryAbort(rerr) {
 								return nil, fmt.Errorf("chaos: %s on %s: %w", algo, pg.spec, rerr)
 							}

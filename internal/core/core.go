@@ -182,6 +182,17 @@ type Options struct {
 	// disables the local preference entirely; negative values select
 	// the default 0.9; values above 1 are clamped to 1.
 	SameSocketBias float64
+	// Shards partitions the graph into this many contiguous
+	// degree-balanced vertex shards, each explored by its own pooled
+	// engine of Workers workers, with remote discoveries exchanged
+	// through per-(shard,worker) queues at the level barriers (see
+	// ShardedEngine). Honored by NewBackend and the one-shot
+	// Run/RunContext; NewEngine ignores it (that constructor is the
+	// single-engine path by contract — use NewBackend to route). 0 or
+	// 1 (the default) run the single-engine path, and the serial
+	// baseline always ignores it (one CSR, one goroutine, by
+	// definition).
+	Shards int
 	// StallTimeout arms the per-run stall watchdog: if no worker makes
 	// dispatch progress (segment fetches, steal-drain publications,
 	// hot-vertex chunks) for this long, the run aborts with a
@@ -226,6 +237,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Pools > o.Workers {
 		o.Pools = o.Workers
+	}
+	if o.Shards <= 0 {
+		o.Shards = 1
 	}
 	if o.Sockets <= 0 {
 		o.Sockets = 1
@@ -328,9 +342,11 @@ func RunContext(ctx context.Context, g *graph.CSR, src int32, algo Algorithm, op
 	return run(g, src, algo, opt)
 }
 
-// run is the one-shot wrapper over the Engine layer: build, run once,
-// release. Validation order (graph, then source, then algorithm) is
-// preserved from the pre-engine implementation.
+// run is the one-shot wrapper over the engine layer: build the
+// backend Options.Shards asks for (plain Engine by default, sharded
+// when Shards > 1), run once, release. Validation order (graph, then
+// source, then algorithm) is preserved from the pre-engine
+// implementation.
 func run(g *graph.CSR, src int32, algo Algorithm, opt Options) (*Result, error) {
 	if g == nil {
 		return nil, fmt.Errorf("core: nil graph")
@@ -338,7 +354,7 @@ func run(g *graph.CSR, src int32, algo Algorithm, opt Options) (*Result, error) 
 	if src < 0 || src >= g.NumVertices() {
 		return nil, fmt.Errorf("core: source %d out of range [0,%d)", src, g.NumVertices())
 	}
-	e, err := NewEngine(g, algo, opt)
+	e, err := NewBackend(g, algo, opt)
 	if err != nil {
 		return nil, err
 	}

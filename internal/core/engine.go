@@ -117,34 +117,46 @@ func NewEngine(g *graph.CSR, algo Algorithm, opt Options) (*Engine, error) {
 			e.rmParent = make([]int32, g.NumVertices())
 		}
 	}
-	var bf bindFunc
-	switch algo {
-	case Serial:
+	if algo == Serial {
 		e.impl = newSerialEngine(rg, opt)
 		return e, nil
-	case BFSC:
-		bf = bindCentralized
-	case BFSCL:
+	}
+	if algo == BFSCL {
 		// BFS_CL is BFS_DL with a single pool (paper §IV-A3).
 		opt.Pools = 1
-		bf = bindDecentralized
-	case BFSDL:
-		bf = bindDecentralized
-	case BFSW:
-		bf = bindWorkSteal(true, false)
-	case BFSWL:
-		bf = bindWorkSteal(false, false)
-	case BFSWS:
-		bf = bindWorkSteal(true, true)
-	case BFSWSL:
-		bf = bindWorkSteal(false, true)
-	case BFSEL:
-		bf = bindEdgePartitioned
-	default:
-		return nil, fmt.Errorf("core: unknown algorithm %q", algo)
+	}
+	bf, err := bindingFor(algo)
+	if err != nil {
+		return nil, err
 	}
 	e.impl = newParEngine(rg, opt, bf, algo)
 	return e, nil
+}
+
+// bindingFor maps a parallel variant to its family's binding
+// constructor — the one algorithm switch shared by Engine and
+// ShardedEngine construction. Serial has no binding (it is not a
+// per-level parallel family) and reports unknown like any other
+// unrecognized name.
+func bindingFor(algo Algorithm) (bindFunc, error) {
+	switch algo {
+	case BFSC:
+		return bindCentralized, nil
+	case BFSCL, BFSDL:
+		return bindDecentralized, nil
+	case BFSW:
+		return bindWorkSteal(true, false), nil
+	case BFSWL:
+		return bindWorkSteal(false, false), nil
+	case BFSWS:
+		return bindWorkSteal(true, true), nil
+	case BFSWSL:
+		return bindWorkSteal(false, true), nil
+	case BFSEL:
+		return bindEdgePartitioned, nil
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %q", algo)
+	}
 }
 
 // Run executes one search from src, reusing the engine's pooled state.

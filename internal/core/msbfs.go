@@ -189,13 +189,13 @@ func NewMSEngine(g *graph.CSR, opt Options) (*MSEngine, error) {
 	opt = opt.withDefaults()
 	n := g.NumVertices()
 	e := &MSEngine{
-		g:      g,
-		opt:    opt,
+		g:     g,
+		opt:   opt,
 		meta:  make([]msMeta, n),
 		marks: make([]laneMark, n),
 		out:   make([][]msEntry, opt.Workers),
-		chaos:  opt.Chaos,
-		yield:  opt.Workers > runtime.GOMAXPROCS(0),
+		chaos: opt.Chaos,
+		yield: opt.Workers > runtime.GOMAXPROCS(0),
 	}
 	for i := range e.out {
 		e.out[i] = make([]msEntry, 0, 256)

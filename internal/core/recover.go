@@ -208,10 +208,18 @@ func (st *state) recoverWorker(id int) {
 // run is already aborted: the bindings' own abort checks make it
 // cheap, and skipping it here would strand peers at the scale-free
 // phase barrier, which expects all p parties.
+// Sharded engines add a trailing exchange flush: whatever the binding
+// left in the worker's private remote blocks is published before the
+// global barrier, the cross-shard analogue of the bindings' own
+// endLevelOut — placed here because it is the one point every family's
+// worker passes on both the spawn and the persistent-pool path.
 func (st *state) workerLevel(id int, perLevel func(id int)) {
 	defer st.recoverWorker(id)
 	st.chaosAt(ChaosStall, id, int64(st.level))
 	perLevel(id)
+	if st.shardEx != nil {
+		st.endLevelRemote(id)
+	}
 }
 
 // abortError maps the abort flag to the error the run surfaces.

@@ -140,6 +140,29 @@ type state struct {
 	abortHooks []func()
 	beats      []beatLane
 	levelA     int32 // atomic
+
+	// Sharded-engine fields (sharded.go); all zero for unsharded
+	// engines and for a 1-shard ShardedEngine, whose hot paths are
+	// therefore identical to the plain Engine's. When shardEx is
+	// non-nil this state belongs to the shard owning [shardLo, shardHi)
+	// and discover routes targets outside that range through the
+	// cross-shard exchange. For remote vertices the epoch array doubles
+	// as a per-shard "already forwarded" filter: it is advisory (two
+	// workers may race past it and forward twice — a benign duplicate
+	// the owner dedups), and it means epoch[v] == cur no longer implies
+	// v was *claimed* here, only that this shard touched it — which is
+	// why a sharded run's result is assembled from each shard's owned
+	// range only (mergedFinish), never from a full finish() scan.
+	// remoteBlk[id*S+d] is worker id's private block of (parent,
+	// vertex) pairs destined for shard d, published to the exchange
+	// queue with the same one-append-one-tail-store protocol as local
+	// blocks. chaosBase offsets worker ids passed to the chaos hook so
+	// one injector serves all shards without stream collisions.
+	shardEx          *exchange
+	shardID          int
+	shardLo, shardHi int32
+	remoteBlk        [][]int32
+	chaosBase        int
 }
 
 // allocState allocates run state for g sized by opt, without priming it
@@ -206,6 +229,15 @@ func allocState(g *graph.CSR, opt Options) *state {
 // high-water capacity instead of resetting to 256); the per-vertex
 // arrays are invalidated wholesale by the epoch bump.
 func (st *state) beginRun(src int32) {
+	st.beginRunCommon()
+	st.seedSource(src)
+}
+
+// beginRunCommon is the source-independent half of beginRun: epoch
+// bump, counter/trace/abort resets, and all queues primed empty. A
+// sharded run calls it on every shard and seedSource only on the
+// source's owner.
+func (st *state) beginRunCommon() {
 	st.cur++
 	if st.cur == 0 {
 		// uint32 wraparound: a stamp written 2^32 runs ago would alias
@@ -235,12 +267,7 @@ func (st *state) beginRun(src int32) {
 		st.dropped[i] = 0
 	}
 	st.beginTimeline()
-	// Seed: the source sits in worker 0's queue; all other queues are
-	// empty (a single sentinel slot).
-	st.in[0].buf = append(st.in[0].buf[:0], src+1, emptySlot)
-	st.in[0].origR = 1
-	atomic.StoreInt64(&st.in[0].front, 0)
-	for i := 1; i < st.opt.Workers; i++ {
+	for i := 0; i < st.opt.Workers; i++ {
 		st.in[i].buf = append(st.in[i].buf[:0], emptySlot)
 		st.in[i].origR = 0
 		atomic.StoreInt64(&st.in[i].front, 0)
@@ -250,6 +277,17 @@ func (st *state) beginRun(src int32) {
 		atomic.StoreInt64(&st.out[i].tail, 0)
 		st.blk[i] = st.blk[i][:0]
 	}
+	for i := range st.remoteBlk {
+		st.remoteBlk[i] = st.remoteBlk[i][:0]
+	}
+}
+
+// seedSource plants src in worker 0's input queue and stamps its
+// per-vertex entries. Must follow beginRunCommon in the same run.
+func (st *state) seedSource(src int32) {
+	st.in[0].buf = append(st.in[0].buf[:0], src+1, emptySlot)
+	st.in[0].origR = 1
+	atomic.StoreInt64(&st.in[0].front, 0)
 	st.dist[src] = 0
 	if st.claim != nil {
 		st.claim[src] = 0
@@ -339,6 +377,14 @@ func (st *state) endLevelOut(id int, block []int32) []int32 {
 // observes epoch[w] == cur is ordered after the payload it would
 // otherwise have written itself.
 func (st *state) discover(id int, u, w int32, out []int32) []int32 {
+	// Owner-compute routing (sharded engines only): a target another
+	// shard owns is forwarded through the exchange instead of claimed
+	// here. Unsharded engines — and 1-shard ShardedEngines, which leave
+	// shardEx nil — pay exactly one pointer load and branch for this.
+	if st.shardEx != nil && (w < st.shardLo || w >= st.shardHi) {
+		st.discoverRemote(id, u, w)
+		return out
+	}
 	if atomic.LoadUint32(&st.epoch[w]) != st.cur {
 		atomic.StoreInt32(&st.dist[w], st.level+1)
 		if st.claim != nil {

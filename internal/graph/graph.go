@@ -12,6 +12,8 @@ package graph
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
 )
 
 // Unreached marks a vertex not reached by a BFS in distance arrays.
@@ -29,6 +31,14 @@ type CSR struct {
 	Offsets []int64
 	// Edges holds destination vertices grouped by source.
 	Edges []int32
+
+	// Transpose cache. CSRs are immutable once built, so the reverse
+	// graph is computed at most once and shared by every caller
+	// (reorder passes, shard builds, the bottom-up kernel all want it).
+	// CSR values must not be copied once Transpose has been called; the
+	// repository always passes *CSR.
+	tmu       sync.Mutex
+	transpose *CSR
 }
 
 // NumVertices returns the number of vertices.
@@ -106,25 +116,153 @@ func (g *CSR) String() string {
 }
 
 // Transpose returns the reverse graph (every edge u->v becomes v->u).
+// The result is computed on first call — counting and scatter passes
+// run in parallel over contiguous edge chunks — and cached on the
+// receiver, so repeated callers (reorder passes, shard builds, the
+// bottom-up kernel) share one copy. The cached CSR is immutable like
+// any other and its in-neighbor lists are in ascending source order,
+// identical to the serial algorithm's output.
 func (g *CSR) Transpose() *CSR {
+	g.tmu.Lock()
+	defer g.tmu.Unlock()
+	if g.transpose == nil {
+		g.transpose = g.transposeUncached()
+	}
+	return g.transpose
+}
+
+// transposeWorkers picks the counting/scatter parallelism: bounded by
+// GOMAXPROCS and by the per-worker count-row memory (4 bytes × n each,
+// capped at 256 MiB total so huge graphs don't double their footprint
+// during a build), with small graphs staying serial — the fork/join
+// overhead exceeds the scan below ~128k edges.
+func (g *CSR) transposeWorkers() int {
+	const minEdgesParallel = 1 << 17
+	const rowBudgetBytes = 256 << 20
+	w := runtime.GOMAXPROCS(0)
+	if w > 8 {
+		w = 8
+	}
+	// The scatter cursors are int32 rows; keep the parallel path to
+	// graphs whose running per-target totals cannot overflow them.
+	if int64(len(g.Edges)) < minEdgesParallel || int64(len(g.Edges)) >= 1<<31 {
+		return 1
+	}
+	if rows := rowBudgetBytes / (4 * (int64(g.NumVertices()) + 1)); rows < int64(w) {
+		w = int(rows)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+func (g *CSR) transposeUncached() *CSR {
 	n := g.NumVertices()
+	m := int64(len(g.Edges))
 	offsets := make([]int64, n+1)
-	for _, w := range g.Edges {
-		offsets[w+1]++
+	workers := g.transposeWorkers()
+	if workers == 1 {
+		for _, w := range g.Edges {
+			offsets[w+1]++
+		}
+		for v := int32(0); v < n; v++ {
+			offsets[v+1] += offsets[v]
+		}
+		edges := make([]int32, m)
+		cursor := make([]int64, n)
+		copy(cursor, offsets[:n])
+		for u := int32(0); u < n; u++ {
+			for _, w := range g.Neighbors(u) {
+				edges[cursor[w]] = u
+				cursor[w]++
+			}
+		}
+		return &CSR{Offsets: offsets, Edges: edges}
 	}
+
+	// Chunk the edge array contiguously: worker k owns edge indices
+	// [bounds[k], bounds[k+1]). Chunks may split a vertex's list; the
+	// scatter pass recovers the source of the first edge by binary
+	// search and walks forward from there.
+	bounds := make([]int64, workers+1)
+	for k := 0; k <= workers; k++ {
+		bounds[k] = m * int64(k) / int64(workers)
+	}
+
+	// Pass 1 (parallel): per-worker in-degree count rows.
+	counts := make([][]int32, workers)
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		counts[k] = make([]int32, n)
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			row := counts[k]
+			for _, w := range g.Edges[bounds[k]:bounds[k+1]] {
+				row[w]++
+			}
+		}(k)
+	}
+	wg.Wait()
+
+	// Serial prefix pass: totals become offsets, and each count row is
+	// rewritten in place into the worker's starting cursor per target
+	// (offset of the target plus everything earlier workers will
+	// scatter there). Earlier chunks hold earlier edges, so the output
+	// slot order per target matches the serial scan exactly.
 	for v := int32(0); v < n; v++ {
-		offsets[v+1] += offsets[v]
+		var total int64
+		for k := 0; k < workers; k++ {
+			c := int64(counts[k][v])
+			counts[k][v] = int32(total) // offset added during scatter
+			total += c
+		}
+		offsets[v+1] = offsets[v] + total
 	}
-	edges := make([]int32, len(g.Edges))
-	cursor := make([]int64, n)
-	copy(cursor, offsets[:n])
-	for u := int32(0); u < n; u++ {
-		for _, w := range g.Neighbors(u) {
-			edges[cursor[w]] = u
-			cursor[w]++
+
+	// Pass 2 (parallel): deterministic scatter. Workers write disjoint
+	// slots (disjoint cursor ranges per target), so no synchronization
+	// is needed beyond the join.
+	edges := make([]int32, m)
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			lo, hi := bounds[k], bounds[k+1]
+			if lo == hi {
+				return
+			}
+			row := counts[k]
+			// First source whose edge list intersects [lo, hi).
+			u := int32(upperBound(g.Offsets, lo) - 1)
+			for e := lo; e < hi; e++ {
+				for g.Offsets[u+1] <= e {
+					u++
+				}
+				w := g.Edges[e]
+				edges[offsets[w]+int64(row[w])] = u
+				row[w]++
+			}
+		}(k)
+	}
+	wg.Wait()
+	return &CSR{Offsets: offsets, Edges: edges}
+}
+
+// upperBound returns the smallest index i with a[i] > x, assuming a is
+// sorted ascending (a CSR offsets array).
+func upperBound(a []int64, x int64) int {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] <= x {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
 	}
-	return &CSR{Offsets: offsets, Edges: edges}
+	return lo
 }
 
 // DegreeHistogram returns counts of vertices per out-degree, capped:

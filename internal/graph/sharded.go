@@ -1,0 +1,174 @@
+package graph
+
+import "fmt"
+
+// ShardedCSR partitions a CSR's vertices into contiguous 1D ranges
+// ("1D partitioning" in the sense of Buluç & Madduri: each shard owns
+// a block of rows, i.e. of source vertices, together with all their
+// out-edges). Shard s owns the half-open vertex range
+// [Starts[s], Starts[s+1]); the split is degree-balanced, so each
+// shard holds roughly the same number of edges rather than the same
+// number of vertices.
+//
+// Edge storage is shared: every per-shard CSR aliases subranges of
+// Full's arrays, so sharding a graph costs O(shards) extra memory, not
+// O(m). This also means a ShardedCSR built over a memory-mapped graph
+// keeps the mapping live for as long as any shard is in use.
+type ShardedCSR struct {
+	// Full is the original unpartitioned graph. BFS oracles, the
+	// serving layer's degraded path, and merged validation all run
+	// against it.
+	Full *CSR
+	// Starts has length NumShards()+1 with Starts[0] == 0 and
+	// Starts[NumShards()] == Full.NumVertices(); shard s owns vertices
+	// [Starts[s], Starts[s+1]).
+	Starts []int32
+	// Local holds one self-contained CSR per shard over the shard's
+	// local sources: Local[s] has Starts[s+1]-Starts[s] vertices whose
+	// offsets are rebased to the shard's edge range. Edge targets stay
+	// GLOBAL vertex ids (a target may live in any shard); Local[s].Edges
+	// aliases Full.Edges.
+	Local []*CSR
+}
+
+// Partition splits g into the given number of contiguous degree-balanced
+// shards. shards must be in [1, max(1, NumVertices)]. The boundaries are
+// chosen by binary search on the offsets array so that shard s begins at
+// the first vertex whose edge range reaches s/shards of the total edge
+// count; shards never overlap and may own zero vertices only when the
+// graph itself is empty.
+func Partition(g *CSR, shards int) (*ShardedCSR, error) {
+	n := g.NumVertices()
+	if shards < 1 {
+		return nil, fmt.Errorf("graph: shards %d < 1", shards)
+	}
+	if n > 0 && int64(shards) > int64(n) {
+		return nil, fmt.Errorf("graph: shards %d > vertices %d", shards, n)
+	}
+	starts := make([]int32, shards+1)
+	m := g.NumEdges()
+	for s := 1; s < shards; s++ {
+		target := m * int64(s) / int64(shards)
+		// First vertex v with Offsets[v] >= target: the preceding
+		// vertices hold (just under) s/shards of the edges.
+		v := int32(lowerBound(g.Offsets[:n+1], target))
+		if v > n {
+			v = n
+		}
+		if v < starts[s-1] {
+			v = starts[s-1] // degenerate (many zero-degree vertices)
+		}
+		starts[s] = v
+	}
+	starts[shards] = n
+	// A heavily skewed graph (one huge hub) can collapse consecutive
+	// boundaries onto the same vertex, leaving empty shards. Spread
+	// such boundaries apart so every shard owns at least one vertex;
+	// degree balance degrades but the ownership map stays total.
+	// Feasible because shards <= n: starts[s-1] <= n-(shards-s+1)
+	// inductively, so both pushes stay in range.
+	if n > 0 {
+		for s := 1; s < shards; s++ {
+			if starts[s] <= starts[s-1] {
+				starts[s] = starts[s-1] + 1
+			}
+			if max := n - int32(shards-s); starts[s] > max {
+				starts[s] = max
+			}
+		}
+	}
+	local := make([]*CSR, shards)
+	for s := 0; s < shards; s++ {
+		lo, hi := starts[s], starts[s+1]
+		elo, ehi := g.Offsets[lo], g.Offsets[hi]
+		off := make([]int64, hi-lo+1)
+		for i := range off {
+			off[i] = g.Offsets[lo+int32(i)] - elo
+		}
+		local[s] = &CSR{Offsets: off, Edges: g.Edges[elo:ehi:ehi]}
+	}
+	return &ShardedCSR{Full: g, Starts: starts, Local: local}, nil
+}
+
+// NumShards returns the number of shards.
+func (sg *ShardedCSR) NumShards() int { return len(sg.Starts) - 1 }
+
+// Range returns the vertex range [lo, hi) owned by shard s.
+func (sg *ShardedCSR) Range(s int) (lo, hi int32) {
+	return sg.Starts[s], sg.Starts[s+1]
+}
+
+// Owner returns the shard owning vertex v, by binary search over the
+// boundary array (at most log2(shards)+1 compares; shards is small).
+func (sg *ShardedCSR) Owner(v int32) int {
+	return upperBound64(sg.Starts, v) - 1
+}
+
+// Validate checks the partition invariants: boundaries monotone and
+// covering [0, n), each local CSR structurally consistent with the
+// corresponding slice of the full graph.
+func (sg *ShardedCSR) Validate() error {
+	n := sg.Full.NumVertices()
+	S := sg.NumShards()
+	if S < 1 {
+		return fmt.Errorf("graph: sharded CSR with %d shards", S)
+	}
+	if sg.Starts[0] != 0 || sg.Starts[S] != n {
+		return fmt.Errorf("graph: shard boundaries [%d, %d] do not cover [0, %d]", sg.Starts[0], sg.Starts[S], n)
+	}
+	if len(sg.Local) != S {
+		return fmt.Errorf("graph: %d local CSRs for %d shards", len(sg.Local), S)
+	}
+	for s := 0; s < S; s++ {
+		lo, hi := sg.Range(s)
+		if hi < lo {
+			return fmt.Errorf("graph: shard %d range [%d, %d) not monotone", s, lo, hi)
+		}
+		if n > 0 && hi == lo {
+			return fmt.Errorf("graph: shard %d owns no vertices", s)
+		}
+		l := sg.Local[s]
+		if got, want := l.NumVertices(), hi-lo; got != want {
+			return fmt.Errorf("graph: shard %d local CSR has %d vertices, want %d", s, got, want)
+		}
+		if got, want := l.NumEdges(), sg.Full.Offsets[hi]-sg.Full.Offsets[lo]; got != want {
+			return fmt.Errorf("graph: shard %d local CSR has %d edges, want %d", s, got, want)
+		}
+		for i := int32(0); i < l.NumVertices(); i++ {
+			if l.Offsets[i+1]-l.Offsets[i] != sg.Full.OutDegree(lo+i) {
+				return fmt.Errorf("graph: shard %d vertex %d degree mismatch", s, lo+i)
+			}
+		}
+	}
+	return nil
+}
+
+// lowerBound returns the smallest index i with a[i] >= x, assuming a is
+// sorted ascending.
+func lowerBound(a []int64, x int64) int {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] < x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// upperBound64 returns the smallest index i with a[i] > x, assuming a
+// is sorted ascending.
+func upperBound64(a []int32, x int32) int {
+	lo, hi := 0, len(a)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if a[mid] <= x {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -1,0 +1,191 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+
+	"optibfs/internal/rng"
+)
+
+func randomCSR(t *testing.T, seed uint64, n int32, m int) *CSR {
+	t.Helper()
+	r := rng.NewXoshiro256(seed)
+	edges := make([]Edge, m)
+	for i := range edges {
+		edges[i] = Edge{Src: r.Int32n(n), Dst: r.Int32n(n)}
+	}
+	return MustFromEdges(n, edges, BuildOptions{})
+}
+
+func TestPartitionCoversAndValidates(t *testing.T) {
+	g := randomCSR(t, 1, 200, 1500)
+	for _, shards := range []int{1, 2, 3, 4, 7, 64, 200} {
+		sg, err := Partition(g, shards)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if sg.NumShards() != shards {
+			t.Fatalf("shards=%d: NumShards=%d", shards, sg.NumShards())
+		}
+		if err := sg.Validate(); err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+	}
+}
+
+func TestPartitionOwnerMatchesRanges(t *testing.T) {
+	g := randomCSR(t, 2, 137, 900)
+	sg, err := Partition(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := int32(0); v < g.NumVertices(); v++ {
+		s := sg.Owner(v)
+		lo, hi := sg.Range(s)
+		if v < lo || v >= hi {
+			t.Fatalf("Owner(%d)=%d but range is [%d,%d)", v, s, lo, hi)
+		}
+	}
+}
+
+func TestPartitionDegreeBalance(t *testing.T) {
+	// A graph with uniform random degrees should split into shards
+	// within a modest factor of the ideal m/shards edge count.
+	g := randomCSR(t, 3, 1000, 20000)
+	sg, err := Partition(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal := g.NumEdges() / 4
+	for s := 0; s < 4; s++ {
+		got := sg.Local[s].NumEdges()
+		if got < ideal/2 || got > 2*ideal {
+			t.Fatalf("shard %d has %d edges, ideal %d", s, got, ideal)
+		}
+	}
+}
+
+func TestPartitionHubGraphNoEmptyShards(t *testing.T) {
+	// All edges on one mid-range hub: naive boundary search collapses
+	// every split point onto the hub, which must be corrected so each
+	// shard still owns at least one vertex.
+	var edges []Edge
+	for i := int32(0); i < 100; i++ {
+		if i != 50 {
+			edges = append(edges, Edge{Src: 50, Dst: i})
+		}
+	}
+	g := MustFromEdges(100, edges, BuildOptions{})
+	for _, shards := range []int{2, 4, 8, 100} {
+		sg, err := Partition(g, shards)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if err := sg.Validate(); err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+	}
+}
+
+func TestPartitionLocalCSRContents(t *testing.T) {
+	g := MustFromEdges(6, []Edge{
+		{0, 1}, {0, 2}, {1, 3}, {2, 4}, {3, 5}, {4, 0}, {5, 1}, {5, 2},
+	}, BuildOptions{})
+	sg, err := Partition(g, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sg.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 3; s++ {
+		lo, hi := sg.Range(s)
+		for v := lo; v < hi; v++ {
+			want := g.Neighbors(v)
+			got := sg.Local[s].Neighbors(v - lo)
+			if len(want) != len(got) {
+				t.Fatalf("shard %d vertex %d: %v vs %v", s, v, got, want)
+			}
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("shard %d vertex %d: %v vs %v", s, v, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	g := randomCSR(t, 4, 10, 30)
+	if _, err := Partition(g, 0); err == nil {
+		t.Fatal("shards=0 accepted")
+	}
+	if _, err := Partition(g, 11); err == nil {
+		t.Fatal("shards>n accepted")
+	}
+}
+
+func TestShardedValidateCatchesCorruptBoundaries(t *testing.T) {
+	g := randomCSR(t, 5, 50, 200)
+	sg, err := Partition(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	save := sg.Starts[2]
+	sg.Starts[2] = sg.Starts[1] // empty shard
+	if err := sg.Validate(); err == nil || !strings.Contains(err.Error(), "owns no vertices") {
+		t.Fatalf("corrupt boundary not caught: %v", err)
+	}
+	sg.Starts[2] = save
+	sg.Starts[4] = g.NumVertices() - 1
+	if err := sg.Validate(); err == nil || !strings.Contains(err.Error(), "do not cover") {
+		t.Fatalf("short cover not caught: %v", err)
+	}
+}
+
+// Transpose determinism: the parallel counting/scatter passes must
+// produce byte-identical output to the naive serial algorithm (the
+// binary format checksums are order-sensitive, and tests elsewhere
+// assume in-neighbor lists ascend by source).
+func TestTransposeParallelMatchesSerial(t *testing.T) {
+	// Big enough to cross the parallel threshold (1<<17 edges).
+	g := randomCSR(t, 6, 5000, 1<<17+4096)
+	got := g.Transpose()
+
+	n := g.NumVertices()
+	offsets := make([]int64, n+1)
+	for _, w := range g.Edges {
+		offsets[w+1]++
+	}
+	for v := int32(0); v < n; v++ {
+		offsets[v+1] += offsets[v]
+	}
+	edges := make([]int32, len(g.Edges))
+	cursor := make([]int64, n)
+	copy(cursor, offsets[:n])
+	for u := int32(0); u < n; u++ {
+		for _, w := range g.Neighbors(u) {
+			edges[cursor[w]] = u
+			cursor[w]++
+		}
+	}
+
+	for v := int32(0); v <= n; v++ {
+		if got.Offsets[v] != offsets[v] {
+			t.Fatalf("Offsets[%d] = %d, want %d", v, got.Offsets[v], offsets[v])
+		}
+	}
+	for i := range edges {
+		if got.Edges[i] != edges[i] {
+			t.Fatalf("Edges[%d] = %d, want %d", i, got.Edges[i], edges[i])
+		}
+	}
+}
+
+func TestTransposeCached(t *testing.T) {
+	g := randomCSR(t, 7, 64, 256)
+	a := g.Transpose()
+	if b := g.Transpose(); a != b {
+		t.Fatal("Transpose not cached: distinct results")
+	}
+}

@@ -111,7 +111,7 @@ type Runner struct {
 	spec AlgoSpec
 	g    *graph.CSR
 	opt  core.Options
-	ce   *core.Engine
+	ce   core.Backend
 	be   *beamer.Engine
 }
 
@@ -119,12 +119,14 @@ type Runner struct {
 // honored by the core family only (the engine relabels internally and
 // maps results back to original ids); the Baseline1/Baseline2 and
 // direction-optimizing runtimes have no engine relabeling layer and
-// traverse the graph as given.
+// traverse the graph as given. Options.Shards routes the core family
+// through core.NewBackend: 0/1 is the classic single engine, more gets
+// the sharded owner-compute runtime (which rejects Reorder).
 func (a AlgoSpec) NewRunner(g *graph.CSR, opt core.Options) (*Runner, error) {
 	r := &Runner{spec: a, g: g, opt: opt}
 	switch a.fam {
 	case familyCore:
-		e, err := core.NewEngine(g, a.algo, opt)
+		e, err := core.NewBackend(g, a.algo, opt)
 		if err != nil {
 			return nil, err
 		}

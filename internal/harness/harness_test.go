@@ -96,6 +96,37 @@ func TestAlgoSpecsRunEverywhere(t *testing.T) {
 	}
 }
 
+// TestAlgoSpecsShardedEverySuiteGraph validates the sharded backend
+// against the serial oracle on every graph of the paper's Table IV
+// suite (scaled down), at 2 and 4 shards. Distances must be exactly
+// the oracle's on every graph — cross-shard forwarding may duplicate
+// work but must never lose or corrupt a discovery.
+func TestAlgoSpecsShardedEverySuiteGraph(t *testing.T) {
+	algos := []string{"BFS_WL", "BFS_WSL"}
+	for _, spec := range Suite {
+		g, err := spec.Generate(2048)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		want := graph.ReferenceBFS(g, 0)
+		for _, name := range algos {
+			algo, err := AlgoByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, shards := range []int{2, 4} {
+				res, err := algo.Run(g, 0, core.Options{Workers: 4, Seed: 9, Shards: shards})
+				if err != nil {
+					t.Fatalf("%s/%s shards=%d: %v", spec.Name, name, shards, err)
+				}
+				if err := graph.EqualDistances(res.Dist, want); err != nil {
+					t.Fatalf("%s/%s shards=%d: %v", spec.Name, name, shards, err)
+				}
+			}
+		}
+	}
+}
+
 func TestExtensionAlgosRunAndResolve(t *testing.T) {
 	spec, _ := SpecByName("kkt-power")
 	g, err := spec.Generate(2048)

@@ -1,0 +1,283 @@
+package mmio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"io"
+	"runtime"
+	"sync"
+
+	"optibfs/internal/graph"
+	"optibfs/internal/rng"
+)
+
+// Binary CSR format, version 2 — designed so a reader can mmap the
+// file and hand the section bytes directly to the engine as the
+// Offsets/Edges arrays (zero copies, load cost O(page faults)):
+//
+//	0x00  magic     [8]byte "OPTIBFS2"
+//	0x08  n         int64   vertices
+//	0x10  m         int64   edges
+//	0x18  sections  uint32  (always 2)
+//	0x1c  flags     uint32  (always 0; reserved)
+//	0x20  table     2 × {off uint64, len uint64, sum uint64}
+//	0x50  headerSum uint64  Mix64 chain over bytes [0x00, 0x50)
+//	0x58  zero padding to 0x80
+//	0x80  section 0: offsets, (n+1)×8 bytes
+//	      zero padding to the next 64-byte boundary
+//	      section 1: edges, m×4 bytes
+//
+// All integers little-endian. Every section begins on a 64-byte
+// boundary (cache-line aligned, and in particular 8-byte aligned so the
+// mapped bytes can be viewed as []int64/[]int32 directly). Each section
+// carries its own checksum — an XOR of per-element index-salted Mix64
+// values, so verification parallelizes over chunks and computes
+// identically whether the data was streamed or mapped.
+var binaryMagic2 = [8]byte{'O', 'P', 'T', 'I', 'B', 'F', 'S', '2'}
+
+const (
+	// v2HeaderSize is the byte offset of section 0: fixed header plus
+	// table plus padding. A multiple of v2Align.
+	v2HeaderSize = 0x80
+	// v2Align is the section alignment.
+	v2Align = 64
+	// v2Sections is the number of sections (offsets, edges).
+	v2Sections = 2
+)
+
+// v2Section describes one entry of the v2 section table.
+type v2Section struct {
+	off, length, sum uint64
+}
+
+// v2Header is the parsed fixed header of a v2 file.
+type v2Header struct {
+	n, m int64
+	sec  [v2Sections]v2Section
+}
+
+// align64 rounds x up to the next multiple of v2Align.
+func align64(x uint64) uint64 {
+	return (x + v2Align - 1) &^ (v2Align - 1)
+}
+
+// sumChunkMin is the smallest per-goroutine chunk worth forking for in
+// the parallel section checksums.
+const sumChunkMin = 1 << 18
+
+// sumOffsets checksums an offsets section. XOR-combining makes the sum
+// independent of chunking, so it is computed in parallel.
+func sumOffsets(offs []int64) uint64 {
+	return parallelSum(len(offs), func(lo, hi int) uint64 {
+		var h uint64
+		for i := lo; i < hi; i++ {
+			h ^= rng.Mix64(uint64(offs[i]) + uint64(i)*0x9e37)
+		}
+		return h
+	})
+}
+
+// sumEdges checksums an edges section, chunk-independent like sumOffsets.
+func sumEdges(edges []int32) uint64 {
+	return parallelSum(len(edges), func(lo, hi int) uint64 {
+		var h uint64
+		for i := lo; i < hi; i++ {
+			h ^= rng.Mix64(uint64(uint32(edges[i])) + uint64(i)*0x85eb)
+		}
+		return h
+	})
+}
+
+// parallelSum XOR-combines f over chunks of [0, n) using up to
+// GOMAXPROCS goroutines for large n.
+func parallelSum(n int, f func(lo, hi int) uint64) uint64 {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 8 {
+		workers = 8
+	}
+	if n < sumChunkMin || workers < 2 {
+		return f(0, n)
+	}
+	parts := make([]uint64, workers)
+	var wg sync.WaitGroup
+	for k := 0; k < workers; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			parts[k] = f(n*k/workers, n*(k+1)/workers)
+		}(k)
+	}
+	wg.Wait()
+	var h uint64
+	for _, p := range parts {
+		h ^= p
+	}
+	return h
+}
+
+// v2HeaderSum hashes the first 0x50 header bytes as ten uint64 words.
+func v2HeaderSum(hdr []byte) uint64 {
+	var h uint64
+	for i := 0; i < 0x50; i += 8 {
+		h ^= rng.Mix64(binary.LittleEndian.Uint64(hdr[i:]) + uint64(i)*0xc2b2)
+	}
+	return h
+}
+
+// v2Layout computes the section table for a graph of n vertices and m
+// edges (offsets and lengths only; sums filled by the caller).
+func v2Layout(n, m int64) [v2Sections]v2Section {
+	var sec [v2Sections]v2Section
+	sec[0].off = v2HeaderSize
+	sec[0].length = uint64(n+1) * 8
+	sec[1].off = align64(sec[0].off + sec[0].length)
+	sec[1].length = uint64(m) * 4
+	return sec
+}
+
+// encodeV2Header serializes the fixed header (including headerSum) into
+// a v2HeaderSize-byte block, zero padded.
+func encodeV2Header(h v2Header) []byte {
+	buf := make([]byte, v2HeaderSize)
+	copy(buf, binaryMagic2[:])
+	binary.LittleEndian.PutUint64(buf[0x08:], uint64(h.n))
+	binary.LittleEndian.PutUint64(buf[0x10:], uint64(h.m))
+	binary.LittleEndian.PutUint32(buf[0x18:], v2Sections)
+	binary.LittleEndian.PutUint32(buf[0x1c:], 0)
+	for i, s := range h.sec {
+		base := 0x20 + 24*i
+		binary.LittleEndian.PutUint64(buf[base:], s.off)
+		binary.LittleEndian.PutUint64(buf[base+8:], s.length)
+		binary.LittleEndian.PutUint64(buf[base+16:], s.sum)
+	}
+	binary.LittleEndian.PutUint64(buf[0x50:], v2HeaderSum(buf))
+	return buf
+}
+
+// parseV2Header validates and decodes a v2HeaderSize-byte header block
+// against the total file size (fileSize < 0 skips the bounds check, for
+// streaming readers that do not know the size up front).
+func parseV2Header(buf []byte, fileSize int64) (v2Header, error) {
+	var h v2Header
+	if len(buf) < v2HeaderSize {
+		return h, malformed("truncated v2 header: %d bytes", len(buf))
+	}
+	if [8]byte(buf[:8]) != binaryMagic2 {
+		return h, malformed("bad magic %q", buf[:8])
+	}
+	if got, want := binary.LittleEndian.Uint64(buf[0x50:]), v2HeaderSum(buf); got != want {
+		return h, malformed("header checksum mismatch: file %#x, computed %#x", got, want)
+	}
+	h.n = int64(binary.LittleEndian.Uint64(buf[0x08:]))
+	h.m = int64(binary.LittleEndian.Uint64(buf[0x10:]))
+	if h.n < 0 || h.m < 0 || h.n > MaxVertices || h.m > 64*MaxVertices {
+		return h, malformed("implausible header n=%d m=%d", h.n, h.m)
+	}
+	if ns := binary.LittleEndian.Uint32(buf[0x18:]); ns != v2Sections {
+		return h, malformed("section table has %d sections, want %d", ns, v2Sections)
+	}
+	want := v2Layout(h.n, h.m)
+	for i := range h.sec {
+		base := 0x20 + 24*i
+		h.sec[i] = v2Section{
+			off:    binary.LittleEndian.Uint64(buf[base:]),
+			length: binary.LittleEndian.Uint64(buf[base+8:]),
+			sum:    binary.LittleEndian.Uint64(buf[base+16:]),
+		}
+		if h.sec[i].off != want[i].off || h.sec[i].length != want[i].length {
+			return h, malformed("section %d at [%d,+%d), want [%d,+%d) (misaligned or inconsistent with n/m)",
+				i, h.sec[i].off, h.sec[i].length, want[i].off, want[i].length)
+		}
+		if h.sec[i].off%v2Align != 0 {
+			return h, malformed("section %d offset %d not %d-byte aligned", i, h.sec[i].off, v2Align)
+		}
+	}
+	if fileSize >= 0 {
+		last := h.sec[v2Sections-1]
+		if need := int64(last.off + last.length); fileSize < need {
+			return h, malformed("file is %d bytes, sections need %d", fileSize, need)
+		}
+	}
+	return h, nil
+}
+
+// WriteBinaryV2 writes g in binary format version 2 (the mappable,
+// section-checksummed layout). Prefer it over WriteBinary for graphs
+// that will be served by bfsd or reloaded often; readers accept both.
+func WriteBinaryV2(w io.Writer, g *graph.CSR) error {
+	n, m := int64(g.NumVertices()), g.NumEdges()
+	offsets := g.Offsets
+	if len(offsets) == 0 {
+		offsets = []int64{0}
+	}
+	h := v2Header{n: n, m: m, sec: v2Layout(n, m)}
+	h.sec[0].sum = sumOffsets(offsets)
+	h.sec[1].sum = sumEdges(g.Edges)
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(encodeV2Header(h)); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, offsets); err != nil {
+		return err
+	}
+	if pad := int(h.sec[1].off - (h.sec[0].off + h.sec[0].length)); pad > 0 {
+		if _, err := bw.Write(make([]byte, pad)); err != nil {
+			return err
+		}
+	}
+	if m > 0 {
+		if err := binary.Write(bw, binary.LittleEndian, g.Edges); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// readBinaryV2 reads the stream form of a v2 file whose 8 magic bytes
+// have already been consumed. Streaming always verifies section
+// checksums and structural validity — it is the trust-establishing
+// path; only LoadMapped offers the O(page faults) fast load.
+func readBinaryV2(br *bufio.Reader) (*graph.CSR, error) {
+	hdr := make([]byte, v2HeaderSize)
+	copy(hdr, binaryMagic2[:])
+	if _, err := io.ReadFull(br, hdr[8:]); err != nil {
+		return nil, readErr(err, "v2 header")
+	}
+	h, err := parseV2Header(hdr, -1)
+	if err != nil {
+		return nil, err
+	}
+	g := &graph.CSR{
+		Offsets: make([]int64, h.n+1),
+		Edges:   make([]int32, h.m),
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.Offsets); err != nil {
+		return nil, readErr(err, "offsets")
+	}
+	if pad := int(h.sec[1].off - (h.sec[0].off + h.sec[0].length)); pad > 0 {
+		if _, err := io.CopyN(io.Discard, br, int64(pad)); err != nil {
+			return nil, readErr(err, "section padding")
+		}
+	}
+	if h.m > 0 {
+		if err := binary.Read(br, binary.LittleEndian, g.Edges); err != nil {
+			return nil, readErr(err, "edges")
+		}
+	}
+	return g, verifyV2Sections(g, h)
+}
+
+// verifyV2Sections checks both section checksums and the structural
+// CSR invariants of an already-materialized v2 graph.
+func verifyV2Sections(g *graph.CSR, h v2Header) error {
+	if got := sumOffsets(g.Offsets); got != h.sec[0].sum {
+		return malformed("offsets checksum mismatch: file %#x, computed %#x", h.sec[0].sum, got)
+	}
+	if got := sumEdges(g.Edges); got != h.sec[1].sum {
+		return malformed("edges checksum mismatch: file %#x, computed %#x", h.sec[1].sum, got)
+	}
+	if err := g.Validate(); err != nil {
+		return malformed("%v", err)
+	}
+	return nil
+}

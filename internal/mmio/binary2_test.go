@@ -1,0 +1,279 @@
+package mmio
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"optibfs/internal/gen"
+	"optibfs/internal/graph"
+)
+
+func v2File(t *testing.T, g *graph.CSR) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.bin2")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinaryV2(f, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func mustSameGraph(t *testing.T, got, want *graph.CSR) {
+	t.Helper()
+	if err := sameGraph(got, want); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBinaryV2StreamRoundTrip(t *testing.T) {
+	g, err := gen.ErdosRenyi(500, 3000, 7, gen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinaryV2(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustSameGraph(t, got, g)
+}
+
+func TestBinaryV2EmptyGraph(t *testing.T) {
+	for _, g := range []*graph.CSR{{}, {Offsets: []int64{0, 0, 0}}} {
+		var buf bytes.Buffer
+		if err := WriteBinaryV2(&buf, g); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.NumEdges() != 0 {
+			t.Fatalf("empty graph round-trip got %v", got)
+		}
+	}
+}
+
+func TestLoadMappedZeroCopy(t *testing.T) {
+	g, err := gen.ErdosRenyi(300, 2000, 3, gen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg, err := LoadMapped(v2File(t, g), MapOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !mg.Mapped() {
+		t.Fatal("v2 file did not map")
+	}
+	mustSameGraph(t, mg.Graph(), g)
+	if err := mg.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if !mg.Unmapped() {
+		t.Fatal("final Release did not unmap")
+	}
+}
+
+func TestLoadMappedSkipVerify(t *testing.T) {
+	g, err := gen.ErdosRenyi(200, 900, 4, gen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg, err := LoadMapped(v2File(t, g), MapOptions{SkipVerify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mg.Release()
+	mustSameGraph(t, mg.Graph(), g)
+}
+
+func TestLoadMappedRefcount(t *testing.T) {
+	g, err := gen.ErdosRenyi(50, 120, 5, gen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg, err := LoadMapped(v2File(t, g), MapOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg.Retain()
+	if err := mg.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if mg.Unmapped() {
+		t.Fatal("unmapped while a reference was still held")
+	}
+	// The graph must stay readable through the extra reference.
+	if mg.Graph().Offsets[0] != 0 {
+		t.Fatal("mapped graph unreadable")
+	}
+	if err := mg.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if !mg.Unmapped() {
+		t.Fatal("not unmapped after final release")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release past zero did not panic")
+		}
+	}()
+	mg.Release()
+}
+
+func TestLoadMappedV1Fallback(t *testing.T) {
+	g, err := gen.ErdosRenyi(80, 400, 6, gen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "g.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(f, g); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	mg, err := LoadMapped(path, MapOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mg.Release()
+	if mg.Mapped() {
+		t.Fatal("v1 file claims to be mapped")
+	}
+	mustSameGraph(t, mg.Graph(), g)
+}
+
+func TestLoadMappedPathTaxonomy(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := LoadMapped(filepath.Join(dir, "missing.bin"), MapOptions{}); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("missing file: %v, want ErrMalformed", err)
+	}
+	if _, err := LoadMapped(dir, MapOptions{}); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("directory: %v, want ErrMalformed", err)
+	}
+}
+
+// corruptV2 returns a valid v2 file's bytes with mutate applied.
+func corruptV2(t *testing.T, mutate func([]byte)) []byte {
+	t.Helper()
+	g, err := gen.ErdosRenyi(120, 700, 8, gen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinaryV2(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	b := buf.Bytes()
+	mutate(b)
+	return b
+}
+
+func TestBinaryV2DetectsCorruption(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func([]byte)
+	}{
+		{"header n flipped", func(b []byte) { b[0x08] ^= 1 }},
+		{"section table offset flipped", func(b []byte) { b[0x20] ^= 1 }},
+		{"bad offsets checksum in table", func(b []byte) { b[0x30] ^= 1 }},
+		{"bad edges checksum in table", func(b []byte) { b[0x48] ^= 1 }},
+		{"header checksum flipped", func(b []byte) { b[0x50] ^= 1 }},
+		{"offsets payload flipped", func(b []byte) { b[v2HeaderSize+8] ^= 1 }},
+		{"edges payload flipped", func(b []byte) { b[len(b)-2] ^= 1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data := corruptV2(t, tc.mutate)
+			if _, err := ReadBinary(bytes.NewReader(data)); !errors.Is(err, ErrMalformed) {
+				t.Fatalf("stream read: %v, want ErrMalformed", err)
+			}
+			path := filepath.Join(t.TempDir(), "bad.bin2")
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := LoadMapped(path, MapOptions{}); !errors.Is(err, ErrMalformed) {
+				t.Fatalf("mapped read: %v, want ErrMalformed", err)
+			}
+		})
+	}
+}
+
+func TestBinaryV2Truncations(t *testing.T) {
+	full := corruptV2(t, func([]byte) {})
+	for _, cut := range []int{0x10, 0x28, 0x4f, v2HeaderSize - 1, v2HeaderSize + 5, len(full) - 3} {
+		data := full[:cut]
+		if _, err := ReadBinary(bytes.NewReader(data)); !errors.Is(err, ErrMalformed) {
+			t.Fatalf("cut %d stream: %v, want ErrMalformed", cut, err)
+		}
+		path := filepath.Join(t.TempDir(), "cut.bin2")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadMapped(path, MapOptions{}); !errors.Is(err, ErrMalformed) {
+			t.Fatalf("cut %d mapped: %v, want ErrMalformed", cut, err)
+		}
+	}
+}
+
+// A crafted header whose section table is internally consistent but
+// points at a misaligned offset must be rejected before any unsafe
+// slice cast, by both readers.
+func TestBinaryV2RejectsMisalignedSections(t *testing.T) {
+	g, err := gen.ErdosRenyi(60, 200, 9, gen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, m := int64(g.NumVertices()), g.NumEdges()
+	h := v2Header{n: n, m: m, sec: v2Layout(n, m)}
+	h.sec[1].off += 4 // well-formed headerSum, misaligned edges section
+	hdr := encodeV2Header(h)
+	body := make([]byte, int(h.sec[1].off+h.sec[1].length)-v2HeaderSize)
+	data := append(hdr, body...)
+	if _, err := ReadBinary(bytes.NewReader(data)); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("stream: %v, want ErrMalformed", err)
+	}
+	path := filepath.Join(t.TempDir(), "misaligned.bin2")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadMapped(path, MapOptions{}); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("mapped: %v, want ErrMalformed", err)
+	}
+}
+
+func TestBinaryV2ChecksumMatchesMappedAndStreamed(t *testing.T) {
+	// The section checksums must compute identically over heap slices
+	// and mapped slices: load both ways and compare sums directly.
+	g, err := gen.ErdosRenyi(400, 2500, 10, gen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mg, err := LoadMapped(v2File(t, g), MapOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mg.Release()
+	if sumOffsets(mg.Graph().Offsets) != sumOffsets(g.Offsets) {
+		t.Fatal("offsets checksum differs between mapped and heap")
+	}
+	if sumEdges(mg.Graph().Edges) != sumEdges(g.Edges) {
+		t.Fatal("edges checksum differs between mapped and heap")
+	}
+}

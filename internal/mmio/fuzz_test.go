@@ -80,6 +80,26 @@ func FuzzReadBinary(f *testing.F) {
 	bigM := append([]byte(nil), valid...)
 	bigM[22] = 0x7f // top byte of little-endian m at offset 16..23
 	f.Add(bigM)
+	// Version-2 seeds: a valid file, truncations through the section
+	// table and header checksum, a misaligned section offset (header
+	// checksum recomputed so the alignment gate itself is reached), and
+	// a corrupted per-section checksum.
+	var buf2 bytes.Buffer
+	if err := WriteBinaryV2(&buf2, g); err != nil {
+		f.Fatal(err)
+	}
+	valid2 := buf2.Bytes()
+	f.Add(valid2)
+	for _, cut := range []int{0x18, 0x2c, 0x41, 0x57, v2HeaderSize, len(valid2) - 5} {
+		f.Add(valid2[:cut])
+	}
+	n, m := int64(g.NumVertices()), g.NumEdges()
+	mis := v2Header{n: n, m: m, sec: v2Layout(n, m)}
+	mis.sec[1].off += 4
+	f.Add(append(encodeV2Header(mis), valid2[v2HeaderSize:]...))
+	badSum := append([]byte(nil), valid2...)
+	badSum[v2HeaderSize+16] ^= 0x80 // offsets payload; section checksum catches it
+	f.Add(badSum)
 	f.Fuzz(func(t *testing.T, in []byte) {
 		g, err := ReadBinary(bytes.NewReader(in))
 		if err == nil && g.Validate() != nil {

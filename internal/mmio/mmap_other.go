@@ -1,0 +1,20 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd || dragonfly || solaris)
+
+package mmio
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapSupported reports that this platform cannot map files; LoadMapped
+// takes the verified heap path instead.
+const mmapSupported = false
+
+// mmapFile is unreachable when mmapSupported is false.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, errors.ErrUnsupported
+}
+
+// munmapFile is unreachable when mmapSupported is false.
+func munmapFile(b []byte) error { return nil }

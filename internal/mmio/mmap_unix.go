@@ -1,0 +1,22 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd || dragonfly || solaris
+
+package mmio
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports that this platform can map files read-only.
+const mmapSupported = true
+
+// mmapFile maps size bytes of f read-only, shared.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size == 0 {
+		return nil, syscall.EINVAL
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapFile releases a mapping created by mmapFile.
+func munmapFile(b []byte) error { return syscall.Munmap(b) }

@@ -311,13 +311,16 @@ func WriteBinary(w io.Writer, g *graph.CSR) error {
 	return bw.Flush()
 }
 
-// ReadBinary reads a graph written by WriteBinary, verifying the magic
-// and checksum.
+// ReadBinary reads a graph written by WriteBinary or WriteBinaryV2
+// (dispatching on the magic), verifying magic and checksums.
 func ReadBinary(r io.Reader) (*graph.CSR, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	var magic [8]byte
 	if _, err := io.ReadFull(br, magic[:]); err != nil {
 		return nil, readErr(err, "magic")
+	}
+	if magic == binaryMagic2 {
+		return readBinaryV2(br)
 	}
 	if magic != binaryMagic {
 		return nil, malformed("bad magic %q", magic[:])

@@ -399,6 +399,7 @@ func (b *batcher) runFused(ctx context.Context, srcs []int32) (*core.MSResult, e
 		out := <-ch
 		return out.res, out.err
 	}
+	b.gd.abandoned.Add(1)
 	b.eng = nil
 	return nil, errWedged
 }

@@ -1,6 +1,8 @@
 // Package serve hardens the BFS engines for long-running request
-// serving. A Guard wraps a small fleet of core.Engine instances with
-// the failure-containment policy a daemon needs and batch tools don't:
+// serving. A Guard wraps a small fleet of core.Backend instances —
+// plain engines, or sharded engines when Options.Shards asks for them —
+// with the failure-containment policy a daemon needs and batch tools
+// don't:
 //
 //   - Deadline budgets: every query runs under a context deadline
 //     (the caller's, or Config.Deadline when the caller set none), so
@@ -64,7 +66,9 @@ type Config struct {
 	// Options configures the engines. TrackParents is forced on (the
 	// serving API answers parent queries) and StallTimeout defaults to
 	// one second so the watchdog converts wedged workers into typed
-	// stalls the ladder can recover from.
+	// stalls the ladder can recover from. Options.Shards > 1 gives each
+	// slot a sharded engine (core.NewBackend decides); the ladder,
+	// wedge handling, and rebuilds are backend-agnostic.
 	Options core.Options
 	// Concurrency is the engine-fleet size: the maximum number of
 	// queries in flight at once. Default 2.
@@ -115,7 +119,7 @@ func (c Config) withDefaults() Config {
 // Guard's buffered channel; a query owns at most one at a time.
 // eng is nil after a failed rebuild; the next owner retries the build.
 type slot struct {
-	eng *core.Engine
+	eng core.Backend
 }
 
 // Answer is one query's result, deep-copied out of the engine's pooled
@@ -159,6 +163,7 @@ type Guard struct {
 
 	closed    chan struct{}
 	closeOnce sync.Once
+	abandoned atomic.Int64 // engines declared wedged and leaked
 
 	batch *batcher // nil unless Config.Batch.Enabled
 
@@ -191,7 +196,7 @@ func New(g *graph.CSR, cfg Config) (*Guard, error) {
 	gd.latency = reg.Histogram("optibfs_serve_latency_seconds",
 		[]float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10})
 	for i := 0; i < cfg.Concurrency; i++ {
-		eng, err := core.NewEngine(g, cfg.Algo, cfg.Options)
+		eng, err := core.NewBackend(g, cfg.Algo, cfg.Options)
 		if err != nil {
 			gd.drainAndClose(i)
 			return nil, fmt.Errorf("serve: building engine %d: %w", i, err)
@@ -395,9 +400,17 @@ func (gd *Guard) runGuarded(ctx context.Context, s *slot, src int32) (*Answer, e
 	// Wedged: abandon the engine. It is NOT closed here — its
 	// goroutines may be live inside the barrier protocol — the run
 	// goroutine above closes it if the run ever returns.
+	gd.abandoned.Add(1)
 	s.eng = nil
 	return nil, errWedged
 }
+
+// Abandoned reports how many engines this Guard has declared wedged
+// and leaked over its lifetime. A wedged engine's goroutines may still
+// be reading the graph after Close returns, so an owner that backs the
+// graph with externally managed storage (an mmap, say) must not
+// reclaim that storage while this is nonzero.
+func (gd *Guard) Abandoned() int64 { return gd.abandoned.Load() }
 
 // rebuild replaces the slot's engine with a fresh one. The old engine
 // is closed unless it was abandoned as wedged (s.eng == nil), in which
@@ -407,7 +420,7 @@ func (gd *Guard) rebuild(s *slot) error {
 		s.eng.Close()
 		s.eng = nil
 	}
-	eng, err := core.NewEngine(gd.g, gd.cfg.Algo, gd.cfg.Options)
+	eng, err := core.NewBackend(gd.g, gd.cfg.Algo, gd.cfg.Options)
 	if err != nil {
 		return err
 	}

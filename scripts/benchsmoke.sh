@@ -11,17 +11,25 @@
 # timed region, so batched publication + prefetched drains must run
 # allocation-free at every block size.
 #
+# BenchmarkShardedSteadyState (warm sharded backends, shards 1/2/4)
+# gets the same stochastic headroom as the engine benchmark
+# (MAX_ALLOCS_SHARDED): the cross-shard exchange queues and remote
+# blocks are pooled, but their high-water capacities settle over the
+# first few runs just like the in-queues do.
+#
 # Usage: scripts/benchsmoke.sh [output-file]
-#   MAX_ALLOCS        gate for BenchmarkEngineSteadyState (default 8)
-#   MAX_ALLOCS_DRAIN  gate for BenchmarkDrainLocality (default 0)
+#   MAX_ALLOCS          gate for BenchmarkEngineSteadyState (default 8)
+#   MAX_ALLOCS_DRAIN    gate for BenchmarkDrainLocality (default 0)
+#   MAX_ALLOCS_SHARDED  gate for BenchmarkShardedSteadyState (default 8)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 out="${1:-bench-smoke.txt}"
 max_allocs="${MAX_ALLOCS:-8}"
 max_allocs_drain="${MAX_ALLOCS_DRAIN:-0}"
+max_allocs_sharded="${MAX_ALLOCS_SHARDED:-8}"
 
-go test -run '^$' -bench 'BenchmarkEngineSteadyState|BenchmarkEngineRunMany|BenchmarkDrainLocality' \
+go test -run '^$' -bench 'BenchmarkEngineSteadyState|BenchmarkEngineRunMany|BenchmarkDrainLocality|BenchmarkShardedSteadyState' \
   -benchtime 3x -benchmem . | tee "$out"
 
 fail=0
@@ -48,5 +56,6 @@ gate() {
 
 gate '^BenchmarkEngineSteadyState' "$max_allocs" 4
 gate '^BenchmarkDrainLocality' "$max_allocs_drain" 6
+gate '^BenchmarkShardedSteadyState' "$max_allocs_sharded" 6
 
 exit "$fail"

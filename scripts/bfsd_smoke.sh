@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
 # bfsd_smoke.sh — end-to-end smoke of the hardened serving daemon:
 # start bfsd, load a small RMAT graph over the API, run a
-# self-validating query, check the serving counters on /metrics, then
-# SIGTERM it and require a clean (exit 0) graceful drain.
+# self-validating query, check the serving counters on /metrics, swap
+# in an mmap-loaded v2 file via /load?path= and query it, then SIGTERM
+# the daemon and require a clean (exit 0) graceful drain.
 #
 # Usage: scripts/bfsd_smoke.sh [port]
 set -euo pipefail
@@ -11,6 +12,7 @@ PORT="${1:-9481}"
 BASE="http://127.0.0.1:${PORT}"
 
 go build -o bfsd ./cmd/bfsd
+go build -o graphgen ./cmd/graphgen
 
 ./bfsd -addr "127.0.0.1:${PORT}" -drain-timeout 10s &
 BFSD_PID=$!
@@ -69,6 +71,18 @@ grep -q '^optibfs_serve_batch_lanes_count [1-9]' metrics.txt || {
 grep -q '^optibfs_serve_fused_lanes_total [1-9]' metrics.txt || {
   echo "fused lane counter missing from /metrics:"
   grep optibfs_serve_fused metrics.txt || true; exit 1; }
+
+# mmap path load: write a v2 file, swap it in with /load?path=, and
+# run a self-validating query against the mapped graph. The response
+# must report "mapped":true — the zero-copy path, not the heap
+# fallback.
+./graphgen -kind rmat -n 2048 -m 16384 -seed 7 -format bin2 -o smoke.bin2
+curl -fsS -X POST "${BASE}/load?path=$(pwd)/smoke.bin2" -o load2.json
+grep -q '"vertices":2048' load2.json || { echo "bad /load?path response:"; cat load2.json; exit 1; }
+grep -q '"mapped":true' load2.json || { echo "path load not mmapped:"; cat load2.json; exit 1; }
+curl -fsS "${BASE}/query?src=0&validate=1" -o query2.json
+grep -q '"valid":true' query2.json || { echo "mapped query did not validate:"; cat query2.json; exit 1; }
+rm -f smoke.bin2 load2.json query2.json
 
 # Graceful drain: SIGTERM must exit 0.
 kill -TERM "$BFSD_PID"
