@@ -378,6 +378,56 @@ func BenchmarkEngineSteadyState(b *testing.B) {
 	}
 }
 
+// BenchmarkHybridSteadyState is the warm-path discipline check for the
+// in-core direction-optimizing mode: after warmup every hybrid
+// structure — the frontier bitmaps, the cached transpose, the
+// per-worker decision lanes, and the compaction scatter's queue
+// targets — is pooled on the engine, so allocs/op must be 0 exactly
+// like the plain steady-state engines. The wikipedia stand-in's
+// low-diameter frontier growth takes the alpha/beta switch every run,
+// so the bottom-up kernel and both representation conversions are on
+// the measured path. scripts/benchsmoke.sh gates CI on these numbers.
+func BenchmarkHybridSteadyState(b *testing.B) {
+	g := benchGraph(b, "wikipedia")
+	src := harness.PickSources(g, 1, 0xbe7c)[0]
+	for _, algo := range []Algorithm{BFSWL, BFSWSL} {
+		b.Run(string(algo), func(b *testing.B) {
+			e, err := NewEngine(g, algo, &Options{
+				Workers: 8, Seed: 1, PersistentWorkers: true, Hybrid: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer e.Close()
+			var sawBottomUp bool
+			for i := 0; i < 8; i++ { // warm the pooled buffers
+				res, err := e.Run(src)
+				if err != nil {
+					b.Fatal(err)
+				}
+				sawBottomUp = sawBottomUp || res.Counters.BottomUpLevels > 0
+			}
+			if !sawBottomUp {
+				b.Fatal("hybrid run never went bottom-up; the benchmark would measure plain top-down")
+			}
+			var edges int64
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := e.Run(src)
+				if err != nil {
+					b.Fatal(err)
+				}
+				edges += res.EdgesTraversed
+			}
+			b.StopTimer()
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(edges)/secs/1e6, "MTEPS")
+			}
+		})
+	}
+}
+
 // BenchmarkEngineRunMany compares one warm engine sweeping 32 sources
 // against 32 one-shot BFS calls — the allocation/zeroing cost the
 // engine amortizes is the entire difference, so engine-32src must beat

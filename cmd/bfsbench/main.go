@@ -37,7 +37,7 @@ import (
 
 func main() {
 	var (
-		exp           = flag.String("exp", "all", "experiment: table5a|table5b|fig2a|fig2b|fig3a|fig3b|table6|graphs|machines|all")
+		exp           = flag.String("exp", "all", "experiment: table5a|table5b|fig2a|fig2b|fig3a|fig3b|table6|graphs|machines|hybrid|all")
 		scale         = flag.Int("scale", 64, "graph size divisor (1 = paper's full sizes)")
 		sources       = flag.Int("sources", 8, "random sources averaged per (algorithm, graph) cell")
 		seed          = flag.Uint64("seed", 0xb5f5, "experiment seed")
@@ -48,6 +48,7 @@ func main() {
 		metricsLinger = flag.Duration("metrics-linger", 0, "keep the metrics endpoint up this long after the experiments finish")
 		reorderM      = flag.String("reorder", "", "vertex relabeling for the core engines: degree|bfs (baselines traverse as given)")
 		shards        = flag.Int("shards", 1, "CSR shards for the core engines (>1 = owner-compute sharded; baselines unaffected)")
+		hybrid        = flag.Bool("hybrid", false, "direction-optimizing mode for the core engines (bottom-up levels on large frontiers; baselines unaffected)")
 	)
 	flag.Parse()
 	var reg *obs.Registry
@@ -68,7 +69,7 @@ func main() {
 	// Every exit path below must drain the metrics listener explicitly:
 	// os.Exit skips defers, which used to drop in-flight scrapes.
 	code := 0
-	if err := run(os.Stdout, *exp, *scale, *sources, *seed, *reps, *csv, *workers, *reorderM, *shards, reg); err != nil {
+	if err := run(os.Stdout, *exp, *scale, *sources, *seed, *reps, *csv, *workers, *reorderM, *shards, *hybrid, reg); err != nil {
 		fmt.Fprintln(os.Stderr, "bfsbench:", err)
 		code = 1
 	}
@@ -80,7 +81,7 @@ func main() {
 	os.Exit(code)
 }
 
-func run(w io.Writer, exp string, scale, sources int, seed uint64, reps int, csv bool, workers int, reorderMode string, shards int, reg *obs.Registry) error {
+func run(w io.Writer, exp string, scale, sources int, seed uint64, reps int, csv bool, workers int, reorderMode string, shards int, hybrid bool, reg *obs.Registry) error {
 	cfg := func(m costmodel.Machine) harness.Config {
 		return harness.Config{
 			Machine:  m,
@@ -88,7 +89,7 @@ func run(w io.Writer, exp string, scale, sources int, seed uint64, reps int, csv
 			Sources:  sources,
 			ScaleDiv: scale,
 			Seed:     seed,
-			Opt:      core.Options{Reorder: core.ReorderMode(reorderMode), Shards: shards},
+			Opt:      core.Options{Reorder: core.ReorderMode(reorderMode), Shards: shards, Hybrid: hybrid},
 			Registry: reg,
 		}.WithDefaults()
 	}
@@ -112,9 +113,10 @@ func run(w io.Writer, exp string, scale, sources int, seed uint64, reps int, csv
 		"graphs":     func() error { return emit(harness.GraphsTable(nil, cfg(costmodel.Lonestar))) },
 		"machines":   func() error { return emit(harness.MachinesTable(nil)) },
 		"extensions": func() error { return emit(harness.Extensions(nil, cfg(costmodel.Lonestar))) },
+		"hybrid":     func() error { return emit(harness.HybridTable(nil, cfg(costmodel.Lonestar))) },
 	}
 	if exp == "all" {
-		for _, name := range []string{"machines", "graphs", "table5a", "table5b", "fig2a", "fig2b", "fig3a", "fig3b", "table6", "extensions"} {
+		for _, name := range []string{"machines", "graphs", "table5a", "table5b", "fig2a", "fig2b", "fig3a", "fig3b", "table6", "extensions", "hybrid"} {
 			if err := experiments[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

@@ -530,6 +530,7 @@ func main() {
 		algo         = flag.String("algo", string(core.BFSWL), "BFS variant to serve")
 		workers      = flag.Int("workers", 0, "workers per engine (0 = GOMAXPROCS)")
 		shards       = flag.Int("shards", 1, "graph shards per engine (each with its own worker set)")
+		hybrid       = flag.Bool("hybrid", false, "direction-optimizing engines: bottom-up levels on large frontiers (single-source path; fused MS-BFS batches ignore it)")
 		concurrency  = flag.Int("concurrency", 2, "engine fleet size (max queries in flight)")
 		deadline     = flag.Duration("deadline", 5*time.Second, "default per-query deadline")
 		stallTimeout = flag.Duration("stall-timeout", time.Second, "watchdog window for wedged workers")
@@ -555,6 +556,7 @@ func main() {
 		Options: core.Options{
 			Workers:      *workers,
 			Shards:       *shards,
+			Hybrid:       *hybrid,
 			StallTimeout: *stallTimeout,
 		},
 		Batch: serve.BatchConfig{

@@ -42,9 +42,10 @@ func main() {
 		trace     = flag.String("trace", "", "write the last source's dispatch trace as Chrome trace_event JSON (load in Perfetto)")
 		reorderM  = flag.String("reorder", "", "vertex relabeling: degree|bfs (results stay in original ids)")
 		shards    = flag.Int("shards", 1, "CSR shards for the core family (>1 = owner-compute sharded engines)")
+		hybrid    = flag.Bool("hybrid", false, "direction-optimizing mode: bottom-up levels on large frontiers (core parallel family)")
 	)
 	flag.Parse()
-	if err := run(*algoName, *graphPath, *suite, *scale, *src, *sources, *workers, *seed, *validate, *machine, *profile, *balance, *trace, *reorderM, *shards); err != nil {
+	if err := run(*algoName, *graphPath, *suite, *scale, *src, *sources, *workers, *seed, *validate, *machine, *profile, *balance, *trace, *reorderM, *shards, *hybrid); err != nil {
 		fmt.Fprintln(os.Stderr, "bfsrun:", err)
 		os.Exit(1)
 	}
@@ -103,7 +104,7 @@ func writeTrace(path, algoName string, src int32, res *core.Result) error {
 	return f.Close()
 }
 
-func run(algoName, graphPath, suite string, scale, src, sources, workers int, seed uint64, validate bool, machineName string, profile, balance bool, trace, reorderMode string, shards int) error {
+func run(algoName, graphPath, suite string, scale, src, sources, workers int, seed uint64, validate bool, machineName string, profile, balance bool, trace, reorderMode string, shards int, hybrid bool) error {
 	algo, err := harness.AlgoByName(algoName)
 	if err != nil {
 		return err
@@ -133,7 +134,7 @@ func run(algoName, graphPath, suite string, scale, src, sources, workers int, se
 	} else {
 		srcs = harness.PickSources(g, sources, seed)
 	}
-	opt := core.Options{Workers: workers, Seed: seed, Reorder: core.ReorderMode(reorderMode), Shards: shards}
+	opt := core.Options{Workers: workers, Seed: seed, Reorder: core.ReorderMode(reorderMode), Shards: shards, Hybrid: hybrid}
 	if opt.Reorder != core.ReorderNone {
 		// The engine relabels internally and maps results back, so the
 		// -validate comparison below stays in original vertex ids.

@@ -45,6 +45,7 @@ func main() {
 		verbose     = flag.Bool("v", false, "log every run, not just failures")
 		metricsAddr = flag.String("metrics-addr", "", "serve live /metrics, /debug/vars, /debug/pprof on this address while sweeping (empty = off)")
 		shards      = flag.Int("shards", 0, "pin the CSR shard count for every run (0 = each run draws from {1,2,4})")
+		hybrid      = flag.Bool("hybrid", false, "pin direction-optimizing mode on for every run (default: each run draws it 1-in-4; serial cells always drop it)")
 	)
 	flag.Parse()
 	var reg *obs.Registry
@@ -64,7 +65,7 @@ func main() {
 	}
 	// os.Exit skips defers: drain the metrics listener explicitly on
 	// every exit path so the final scrape isn't dropped mid-response.
-	code, err := run(os.Stdout, *duration, *seeds, *workers, *shards, *seed, *profiles, *algos, *artifacts, *replay, *list, *engines, *verbose, reg)
+	code, err := run(os.Stdout, *duration, *seeds, *workers, *shards, *seed, *profiles, *algos, *artifacts, *replay, *list, *engines, *verbose, *hybrid, reg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bfssoak:", err)
 		code = 2
@@ -75,7 +76,7 @@ func main() {
 
 // run executes the selected mode and returns the process exit code.
 func run(w io.Writer, duration time.Duration, seeds, workers, shards int, seed uint64,
-	profiles, algos, artifacts, replay string, list, engines, verbose bool, reg *obs.Registry) (int, error) {
+	profiles, algos, artifacts, replay string, list, engines, verbose, hybrid bool, reg *obs.Registry) (int, error) {
 	if list {
 		for _, p := range chaos.Profiles() {
 			fmt.Fprintf(w, "%-12s yields=%d spin=%d prob=%v\n", p.Name, p.Yields, p.Spin, p.Prob)
@@ -107,6 +108,7 @@ func run(w io.Writer, duration time.Duration, seeds, workers, shards int, seed u
 		Seeds:       seeds,
 		Workers:     workers,
 		Shards:      shards,
+		Hybrid:      hybrid,
 		BaseSeed:    seed,
 		Duration:    duration,
 		Engines:     engines,

@@ -40,15 +40,16 @@ func main() {
 		machine    = flag.String("machine", "Lonestar", "cost-model machine for modeled TEPS")
 		reorderM   = flag.String("reorder", "", "vertex relabeling: degree|bfs (validation stays in original ids)")
 		shards     = flag.Int("shards", 1, "CSR shards (>1 = owner-compute sharded engines)")
+		hybrid     = flag.Bool("hybrid", false, "direction-optimizing mode (bottom-up levels on large frontiers)")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *scale, *edgefactor, *algoName, *rounds, *workers, *seed, *skipVal, *machine, *reorderM, *shards); err != nil {
+	if err := run(os.Stdout, *scale, *edgefactor, *algoName, *rounds, *workers, *seed, *skipVal, *machine, *reorderM, *shards, *hybrid); err != nil {
 		fmt.Fprintln(os.Stderr, "graph500:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w *os.File, scale int, edgefactor int64, algoName string, rounds, workers int, seed uint64, skipVal bool, machineName, reorderMode string, shards int) error {
+func run(w *os.File, scale int, edgefactor int64, algoName string, rounds, workers int, seed uint64, skipVal bool, machineName, reorderMode string, shards int, hybrid bool) error {
 	if scale < 1 || scale > 30 {
 		return fmt.Errorf("scale %d out of [1,30]", scale)
 	}
@@ -86,10 +87,13 @@ func run(w *os.File, scale int, edgefactor int64, algoName string, rounds, worke
 	sources := harness.PickSources(g, rounds, seed^0x9e3779b9)
 	opt := core.Options{
 		Workers: workers, TrackParents: !skipVal, PersistentWorkers: true,
-		Reorder: core.ReorderMode(reorderMode), Shards: shards,
+		Reorder: core.ReorderMode(reorderMode), Shards: shards, Hybrid: hybrid,
 	}
 	if shards > 1 {
 		fmt.Fprintf(w, "shards: %d (owner-compute, cross-shard frontier exchange)\n", shards)
+	}
+	if hybrid {
+		fmt.Fprintf(w, "hybrid: direction-optimizing (alpha/beta switched bottom-up levels)\n")
 	}
 	if opt.Reorder != core.ReorderNone {
 		// The engine relabels internally; ValidateDistances and

@@ -11,7 +11,7 @@ func TestGraph500SmallRun(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer null.Close()
-	if err := run(null, 8, 8, "BFS_WSL", 3, 4, 1, false, "Lonestar", "", 1); err != nil {
+	if err := run(null, 8, 8, "BFS_WSL", 3, 4, 1, false, "Lonestar", "", 1, false); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -21,7 +21,7 @@ func TestGraph500SmallRun(t *testing.T) {
 func TestGraph500Sharded(t *testing.T) {
 	null, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
 	defer null.Close()
-	if err := run(null, 8, 8, "BFS_WSL", 3, 4, 1, false, "Lonestar", "", 2); err != nil {
+	if err := run(null, 8, 8, "BFS_WSL", 3, 4, 1, false, "Lonestar", "", 2, false); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -29,7 +29,7 @@ func TestGraph500Sharded(t *testing.T) {
 func TestGraph500SkipValidation(t *testing.T) {
 	null, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
 	defer null.Close()
-	if err := run(null, 7, 4, "sbfs", 2, 1, 1, true, "Trestles", "", 1); err != nil {
+	if err := run(null, 7, 4, "sbfs", 2, 1, 1, true, "Trestles", "", 1, false); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -41,7 +41,7 @@ func TestGraph500Reorder(t *testing.T) {
 	null, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
 	defer null.Close()
 	for _, mode := range []string{"degree", "bfs"} {
-		if err := run(null, 8, 8, "BFS_WSL", 3, 4, 1, false, "Lonestar", mode, 1); err != nil {
+		if err := run(null, 8, 8, "BFS_WSL", 3, 4, 1, false, "Lonestar", mode, 1, false); err != nil {
 			t.Fatalf("reorder %q: %v", mode, err)
 		}
 	}
@@ -50,16 +50,16 @@ func TestGraph500Reorder(t *testing.T) {
 func TestGraph500Errors(t *testing.T) {
 	null, _ := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
 	defer null.Close()
-	if err := run(null, 0, 8, "BFS_WSL", 3, 1, 1, false, "Lonestar", "", 1); err == nil {
+	if err := run(null, 0, 8, "BFS_WSL", 3, 1, 1, false, "Lonestar", "", 1, false); err == nil {
 		t.Fatal("accepted scale 0")
 	}
-	if err := run(null, 8, 8, "BFS_WSL", 0, 1, 1, false, "Lonestar", "", 1); err == nil {
+	if err := run(null, 8, 8, "BFS_WSL", 0, 1, 1, false, "Lonestar", "", 1, false); err == nil {
 		t.Fatal("accepted 0 rounds")
 	}
-	if err := run(null, 8, 8, "warp-bfs", 3, 1, 1, false, "Lonestar", "", 1); err == nil {
+	if err := run(null, 8, 8, "warp-bfs", 3, 1, 1, false, "Lonestar", "", 1, false); err == nil {
 		t.Fatal("accepted unknown algorithm")
 	}
-	if err := run(null, 8, 8, "BFS_WSL", 3, 1, 1, false, "DeepBlue", "", 1); err == nil {
+	if err := run(null, 8, 8, "BFS_WSL", 3, 1, 1, false, "DeepBlue", "", 1, false); err == nil {
 		t.Fatal("accepted unknown machine")
 	}
 }

@@ -1,0 +1,276 @@
+package beamer
+
+import (
+	"testing"
+
+	"optibfs/internal/core"
+	"optibfs/internal/graph"
+	"optibfs/internal/stats"
+)
+
+// dupStormGraph builds a layered graph engineered to flood the
+// top-down step with duplicate discoveries: src fans out to a wide
+// layer A, and every A vertex points at every vertex of a second layer
+// B (plus a long tail chain off B to keep the search running after the
+// switch window). With p workers exploring layer A concurrently, each
+// B vertex races p discoverers and the raw next frontier carries up to
+// |A| copies of every B vertex — the exact shape that inflated nf/mf
+// and over-drained the unexplored budget before the dedup fix.
+func dupStormGraph(t *testing.T, a, b, tail int) *graph.CSR {
+	t.Helper()
+	var edges []graph.Edge
+	n := int32(1 + a + b + tail)
+	av := func(i int) int32 { return int32(1 + i) }
+	bv := func(i int) int32 { return int32(1 + a + i) }
+	tv := func(i int) int32 { return int32(1 + a + b + i) }
+	for i := 0; i < a; i++ {
+		edges = append(edges, graph.Edge{Src: 0, Dst: av(i)})
+	}
+	for i := 0; i < a; i++ {
+		for j := 0; j < b; j++ {
+			edges = append(edges, graph.Edge{Src: av(i), Dst: bv(j)})
+		}
+	}
+	for i := 0; i < tail; i++ {
+		src := tv(i - 1)
+		if i == 0 {
+			src = bv(0)
+		}
+		edges = append(edges, graph.Edge{Src: src, Dst: tv(i)})
+	}
+	g, err := graph.FromEdges(n, edges, graph.BuildOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// oracleSchedule recomputes the switch schedule the alpha/beta
+// heuristics must produce when fed exact per-level counters: the level
+// sets come from the serial reference (direction choice changes work,
+// never the level sets), nf/mf are their exact sizes and degree sums,
+// and the budget convention matches Engine.Run — subtract the frontier
+// under decision, clamp at zero.
+func oracleSchedule(g *graph.CSR, src int32, alpha, beta int64) []bool {
+	dist := graph.ReferenceBFS(g, src)
+	depth := graph.Eccentricity(dist)
+	nf := make([]int64, depth+1)
+	mf := make([]int64, depth+1)
+	for v := int32(0); v < g.NumVertices(); v++ {
+		if d := dist[v]; d >= 0 {
+			nf[d]++
+			mf[d] += g.OutDegree(v)
+		}
+	}
+	n := int64(g.NumVertices())
+	unexplored := g.NumEdges()
+	bottomUp := false
+	prevNf := int64(0)
+	dirs := make([]bool, 0, depth+1)
+	for d := int32(0); d <= depth; d++ {
+		unexplored -= mf[d]
+		if unexplored < 0 {
+			unexplored = 0
+		}
+		if !bottomUp && mf[d] > unexplored/alpha && nf[d] > prevNf {
+			bottomUp = true
+		} else if bottomUp && nf[d] < n/beta {
+			bottomUp = false
+		}
+		prevNf = nf[d]
+		dirs = append(dirs, bottomUp)
+	}
+	return dirs
+}
+
+// TestBeamerSwitchScheduleExactUnderDuplicates is the accounting
+// regression: on the duplicate storm graph the engine's switch
+// schedule must equal the exact-counter oracle schedule on every run.
+// Before the dedup fix the raw duplicate-bearing frontier drove the
+// decisions, so the schedule depended on how many duplicate copies the
+// racing workers happened to append — wrong and nondeterministic.
+func TestBeamerSwitchScheduleExactUnderDuplicates(t *testing.T) {
+	g := dupStormGraph(t, 64, 48, 40)
+	want := oracleSchedule(g, 0, 15, 18)
+	var sawBottomUp bool
+	for _, b := range want {
+		sawBottomUp = sawBottomUp || b
+	}
+	if !sawBottomUp {
+		t.Fatal("oracle schedule never goes bottom-up; the graph no longer exercises the switch")
+	}
+	e, err := NewEngine(g, Options{Options: core.Options{Workers: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for run := 0; run < 20; run++ {
+		res, err := e.Run(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := graph.EqualDistances(res.Dist, graph.ReferenceBFS(g, 0)); err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		got := e.Directions()
+		if len(got) != len(want) {
+			t.Fatalf("run %d: %d levels in schedule, want %d (%v vs %v)", run, len(got), len(want), got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("run %d: level %d direction = %v, want %v (schedule %v, oracle %v)",
+					run, i, got[i], want[i], got, want)
+			}
+		}
+	}
+}
+
+// TestBeamerScheduleDeterministicAcrossRuns drives a multi-run engine
+// across the duplicate storm and checks, via the schedule, that
+// accounting stays stable run over run: identical inputs must give
+// identical schedules, which the pre-fix drift (per-run duplicate
+// counts feeding the heuristics) violated.
+func TestBeamerScheduleDeterministicAcrossRuns(t *testing.T) {
+	g := dupStormGraph(t, 96, 64, 10)
+	e, err := NewEngine(g, Options{Options: core.Options{Workers: 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first []bool
+	for run := 0; run < 10; run++ {
+		if _, err := e.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		got := append([]bool(nil), e.Directions()...)
+		if run == 0 {
+			first = got
+			continue
+		}
+		if len(got) != len(first) {
+			t.Fatalf("run %d schedule %v differs from first %v", run, got, first)
+		}
+		for i := range got {
+			if got[i] != first[i] {
+				t.Fatalf("run %d schedule %v differs from first %v", run, got, first)
+			}
+		}
+	}
+}
+
+// TestBeamerKernelCounterParity runs both kernels over the same level
+// of the same search state and pins the cross-direction counter
+// contract: both kernels must report the vertices whose adjacency they
+// walked as VerticesPopped, the edges they actually inspected as
+// EdgesScanned, and discoveries covering the same vertex set — the
+// invariants that make PerWorker sums comparable across directions.
+// (Bottom-up
+// VerticesPopped used to count only hits, duplicating Discovered and
+// hiding the scan work.)
+func TestBeamerKernelCounterParity(t *testing.T) {
+	g := dupStormGraph(t, 32, 24, 8)
+	gT := g.Transpose()
+	n := g.NumVertices()
+
+	// Run level 0 (src → layer A) top-down on a fresh runner, then
+	// replay level 1 (layer A → layer B) with each kernel from an
+	// identical snapshot.
+	build := func() (*runner, []int32) {
+		r := &runner{
+			g: g, gT: gT, workers: 4, alpha: 15, beta: 18,
+			dist:     make([]int32, n),
+			epoch:    make([]uint32, n),
+			outs:     make([][]int32, 4),
+			counters: stats.NewPerWorker(4),
+		}
+		for i := range r.dist {
+			r.dist[i] = graph.Unreached
+		}
+		for i := range r.outs {
+			r.outs[i] = make([]int32, 0, 64)
+		}
+		r.cur = 1
+		r.dist[0] = 0
+		r.epoch[0] = 1
+		frontier := r.stepTopDown([]int32{0}, 0, nil)
+		for i := range r.counters {
+			r.counters[i] = stats.PaddedCounters{}
+		}
+		return r, frontier
+	}
+
+	rTD, frontier := build()
+	next := rTD.stepTopDown(frontier, 1, nil)
+	td := stats.Sum(rTD.counters)
+	tdNext := dedupSorted(next)
+
+	rBU, frontierBU := build()
+	bits := make([]uint64, (int(n)+63)/64)
+	for _, v := range frontierBU {
+		setBit(bits, v)
+	}
+	nextBU := rBU.stepBottomUp(bits, 1, nil)
+	bu := stats.Sum(rBU.counters)
+	buNext := dedupSorted(nextBU)
+
+	// Same level, same discoveries (as sets; TD may race duplicates).
+	if len(tdNext) != len(buNext) {
+		t.Fatalf("kernels discovered different sets: TD %d vs BU %d vertices", len(tdNext), len(buNext))
+	}
+	for i := range tdNext {
+		if tdNext[i] != buNext[i] {
+			t.Fatalf("kernels discovered different sets at %d: %d vs %d", i, tdNext[i], buNext[i])
+		}
+	}
+	if bu.Discovered != int64(len(buNext)) {
+		t.Fatalf("BU Discovered=%d, want %d (race-free kernel must not duplicate)", bu.Discovered, len(buNext))
+	}
+	// TD pops the frontier it was handed; BU walks every unvisited
+	// vertex — which here is everything except src and layer A.
+	if td.VerticesPopped != int64(len(frontier)) {
+		t.Fatalf("TD VerticesPopped=%d, want frontier size %d", td.VerticesPopped, len(frontier))
+	}
+	wantBuScan := int64(n) - 1 - int64(len(frontierBU))
+	if bu.VerticesPopped != wantBuScan {
+		t.Fatalf("BU VerticesPopped=%d, want unvisited count %d (pops must count scanned vertices, not hits)",
+			bu.VerticesPopped, wantBuScan)
+	}
+	if bu.VerticesPopped == bu.Discovered {
+		t.Fatal("BU VerticesPopped equals Discovered; the parity fix should count non-discovering scans too")
+	}
+	// Both kernels must report real inspection work: TD scanned the
+	// whole adjacency of every popped vertex; BU's early-exit scans at
+	// least one in-edge per discovery and at most the full in-degree of
+	// every scanned vertex.
+	var tdWant int64
+	for _, v := range frontier {
+		tdWant += g.OutDegree(v)
+	}
+	if td.EdgesScanned != tdWant {
+		t.Fatalf("TD EdgesScanned=%d, want %d", td.EdgesScanned, tdWant)
+	}
+	var buMax int64
+	for v := int32(0); v < n; v++ {
+		if rBU.epoch[v] != rBU.cur || rBU.dist[v] == 2 {
+			buMax += gT.OutDegree(v)
+		}
+	}
+	if bu.EdgesScanned < bu.Discovered || bu.EdgesScanned > buMax {
+		t.Fatalf("BU EdgesScanned=%d outside [%d, %d]", bu.EdgesScanned, bu.Discovered, buMax)
+	}
+}
+
+func dedupSorted(vs []int32) []int32 {
+	seen := map[int32]bool{}
+	var out []int32
+	for _, v := range vs {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -73,8 +73,15 @@ type Engine struct {
 	next         []int32
 	frontierBits []uint64
 	levelSizes   []int64
+	dirs         []bool // per-level direction log of the last run
 	res          core.Result
 }
+
+// Directions reports the direction of every level the last Run
+// executed, in order (false = top-down, true = bottom-up) — the switch
+// schedule the alpha/beta heuristics actually chose. The slice aliases
+// pooled engine state and is valid only until the next run.
+func (e *Engine) Directions() []bool { return e.dirs }
 
 // NewEngine builds a reusable engine over g, computing the transpose
 // once if opt.Transpose is nil.
@@ -156,49 +163,69 @@ func (e *Engine) Run(src int32) (*core.Result, error) {
 
 	frontier := append(e.frontier[:0], src)
 	next := e.next
-	// Unexplored out-edge budget, maintained incrementally for the
-	// alpha test.
-	unexplored := g.NumEdges() - g.OutDegree(src)
+	// Unexplored out-edge budget for the alpha test. Every level's
+	// (deduplicated) frontier degree sum is subtracted before that
+	// level's decision, so at decision time the budget always excludes
+	// the frontier under decision — the same convention the original
+	// source-pre-subtracted initialization established.
+	unexplored := g.NumEdges()
 
 	bottomUp := false
 	var levels int32
 	prevNf := int64(0)
-	for {
-		nf := int64(len(frontier))
-		if nf == 0 {
-			break
+	e.dirs = e.dirs[:0]
+	for len(frontier) > 0 {
+		// Deduplicate the frontier in place before any accounting. A
+		// top-down step's racing discoverers can append the same vertex
+		// to several workers' output queues (the protocol's benign
+		// duplicate); feeding those duplicates into the heuristics
+		// inflated nf/mf and over-drained the unexplored budget —
+		// drifting, even underflowing, exactly on the high-degree
+		// graphs the hybrid exists for. One test-and-set pass over the
+		// frontier bitmap keeps each vertex's first occurrence and
+		// makes every decision input exact. The set bits double as the
+		// bottom-up step's frontier membership test.
+		w := 0
+		var mf int64
+		for _, v := range frontier {
+			if testBit(e.frontierBits, v) {
+				continue
+			}
+			setBit(e.frontierBits, v)
+			frontier[w] = v
+			w++
+			mf += g.OutDegree(v)
+		}
+		frontier = frontier[:w]
+		nf := int64(w)
+		unexplored -= mf
+		if unexplored < 0 {
+			// Exact accounting cannot underflow on simple graphs, but
+			// multi-edges legitimately revisit out-degrees; the alpha
+			// ratio is meaningless below zero either way.
+			unexplored = 0
 		}
 		// Direction choice (Beamer's heuristics): go bottom-up when the
 		// frontier's out-edges dominate the unexplored edges AND the
 		// frontier is still growing; return top-down once the frontier
 		// shrinks below n/beta.
-		var mf int64
-		for _, v := range frontier {
-			mf += g.OutDegree(v)
-		}
 		if !bottomUp && mf > unexplored/r.alpha && nf > prevNf {
 			bottomUp = true
 		} else if bottomUp && nf < int64(n)/r.beta {
 			bottomUp = false
 		}
 		prevNf = nf
+		e.dirs = append(e.dirs, bottomUp)
 
 		level := levels
 		if bottomUp {
-			setBits(e.frontierBits, frontier)
 			next = r.stepBottomUp(e.frontierBits, level, next[:0])
-			clearBits(e.frontierBits, frontier)
 		} else {
 			next = r.stepTopDown(frontier, level, next[:0])
 		}
+		clearBits(e.frontierBits, frontier)
 		frontier, next = next, frontier
-		for _, v := range frontier {
-			unexplored -= g.OutDegree(v)
-		}
 		levels++
-		if len(frontier) == 0 {
-			break
-		}
 	}
 	e.frontier, e.next = frontier, next
 
@@ -309,6 +336,15 @@ func (r *runner) stepTopDown(frontier []int32, level int32, dest []int32) []int3
 // stepBottomUp scans all unvisited vertices child→parent: a vertex
 // joins the next frontier when any in-neighbor is in the current one.
 // Race-free: each vertex's state is written only by its range owner.
+//
+// Counter parity with stepTopDown (so PerWorker sums compare across
+// directions): VerticesPopped counts every vertex whose adjacency was
+// walked — there, frontier entries; here, every unvisited vertex
+// scanned, discovered or not — EdgesScanned counts edges actually
+// inspected (a partial in-edge scan, because of the early exit), and
+// Discovered counts claims. Counting pops only on hits, as this kernel
+// once did, made bottom-up VerticesPopped a duplicate of Discovered
+// and hid the scan work the direction trade-off is about.
 func (r *runner) stepBottomUp(frontierBits []uint64, level int32, dest []int32) []int32 {
 	n := int(r.g.NumVertices())
 	r.parallel(func(id int) {
@@ -323,6 +359,7 @@ func (r *runner) stepBottomUp(frontierBits []uint64, level int32, dest []int32) 
 			if r.epoch[v] == r.cur {
 				continue
 			}
+			c.VerticesPopped++
 			for _, u := range r.gT.Neighbors(int32(v)) {
 				c.EdgesScanned++
 				if testBit(frontierBits, u) {
@@ -332,7 +369,6 @@ func (r *runner) stepBottomUp(frontierBits []uint64, level int32, dest []int32) 
 					}
 					r.epoch[v] = r.cur
 					c.Discovered++
-					c.VerticesPopped++
 					out = append(out, int32(v))
 					break
 				}
@@ -349,10 +385,8 @@ func (r *runner) stepBottomUp(frontierBits []uint64, level int32, dest []int32) 
 	return dest
 }
 
-func setBits(bits []uint64, vs []int32) {
-	for _, v := range vs {
-		bits[v>>6] |= 1 << (uint(v) & 63)
-	}
+func setBit(bits []uint64, v int32) {
+	bits[v>>6] |= 1 << (uint(v) & 63)
 }
 
 func clearBits(bits []uint64, vs []int32) {

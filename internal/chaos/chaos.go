@@ -67,6 +67,16 @@ type Profile struct {
 	// watchdog fires within Options.StallTimeout. Other points are
 	// unaffected (their perturbations stay yields/spin/panic).
 	StallMillis int `json:"stall_millis,omitempty"`
+	// FlipProb is the probability that a hybrid engine's alpha/beta
+	// direction decision is inverted at each level barrier
+	// (core.ChaosDirectionFlip via core.ChaosDirectionController) —
+	// driving the frontier representation conversions through
+	// boundaries the heuristics would rarely pick. Drawn from a
+	// dedicated stream (the decision runs single-threaded on the
+	// driver, not on a worker), so flips replay deterministically per
+	// (profile, seed, decision count). Only benign: a flipped decision
+	// changes work shape, never correctness.
+	FlipProb float64 `json:"flip_prob,omitempty"`
 }
 
 // Disruptive reports whether the profile injects malign faults —
@@ -111,6 +121,14 @@ func Profiles() []Profile {
 		// partially published.
 		{Name: "flush-storm", Prob: prob(core.ChaosBlockFlush, 0.8, core.ChaosStealPublish, 0.5, core.ChaosSlotZero, 0.02), Yields: 3, Spin: 32},
 		{Name: "mixed", Prob: uniformProb(0.1), Yields: 2, Spin: 16},
+		// direction-flip attacks the hybrid conversions: invert roughly a
+		// third of the alpha/beta decisions so bottom-up levels start on
+		// tiny frontiers, top-down resumes mid-growth, and the bitmap↔
+		// queue conversions cross hostile boundaries — with mild benign
+		// jitter underneath so the conversions overlap in-flight races.
+		// Meaningful only on runs with Options.Hybrid; elsewhere it
+		// degrades to plain jitter.
+		{Name: "direction-flip", Prob: uniformProb(0.05), Yields: 2, Spin: 16, FlipProb: 0.35},
 		// panic-storm is the malign-fault profile: every worker rolls at
 		// the top of every level (ChaosStall) and a perturbation there
 		// either panics (PanicProb) or sleeps StallMillis; the sparse
@@ -156,6 +174,15 @@ type Injector struct {
 	seed    uint64
 	workers []injWorker
 
+	// dirR is the direction-flip decision stream (FlipProb). The hybrid
+	// decision runs single-threaded on the driver goroutine, but a
+	// sharded engine has no worker identity there and soak reuse must
+	// stay race-clean, so the stream sits behind its own mutex instead
+	// of a worker lane.
+	dirMu sync.Mutex
+	dirR  rng.SplitMix64
+	flips int64
+
 	mu         sync.Mutex
 	violations []string
 }
@@ -169,6 +196,7 @@ func NewInjector(prof Profile, seed uint64, workers int) *Injector {
 	for i := range in.workers {
 		in.workers[i].r = *rng.NewSplitMix64(rng.Mix64(seed ^ rng.Mix64(uint64(i)+0xc4a05)))
 	}
+	in.dirR = *rng.NewSplitMix64(rng.Mix64(seed ^ 0xd17ec7))
 	return in
 }
 
@@ -196,8 +224,13 @@ func (in *Injector) At(point core.ChaosPoint, worker int, value int64) {
 	if pp := in.prof.PanicProb; pp > 0 && float64(w.r.Next()>>11)/(1<<53) < pp {
 		// The panic draw consumes one stream step whether or not it
 		// fires, keeping later decisions deterministic either way.
-		w.panics++
-		panic(fmt.Sprintf("chaos: injected panic at %s (worker %d, value %d)", point, worker, value))
+		// ChaosDirectionFlip runs on the driver goroutine outside any
+		// recovery barrier (see its doc), so the malign fault is
+		// suppressed there — after the draw, keeping the stream aligned.
+		if point != core.ChaosDirectionFlip {
+			w.panics++
+			panic(fmt.Sprintf("chaos: injected panic at %s (worker %d, value %d)", point, worker, value))
+		}
 	}
 	if point == core.ChaosStall && in.prof.StallMillis > 0 {
 		w.stalls++
@@ -214,6 +247,38 @@ func (in *Injector) At(point core.ChaosPoint, worker int, value int64) {
 		}
 		w.spinSink += x
 	}
+}
+
+// DirectionChoice implements core.ChaosDirectionController: with
+// probability Profile.FlipProb, invert the hybrid engine's alpha/beta
+// decision for the next level. The draw always consumes one step of
+// the dedicated direction stream, so the flip schedule is a
+// deterministic function of (profile, seed, decision index) regardless
+// of what the heuristics chose. Runs on the driver goroutine between
+// level barriers — never panics, never sleeps.
+func (in *Injector) DirectionChoice(level int32, bottomUp bool) bool {
+	fp := in.prof.FlipProb
+	if fp <= 0 {
+		return bottomUp
+	}
+	in.dirMu.Lock()
+	flip := float64(in.dirR.Next()>>11)/(1<<53) < fp
+	if flip {
+		in.flips++
+	}
+	in.dirMu.Unlock()
+	if flip {
+		return !bottomUp
+	}
+	return bottomUp
+}
+
+// DirectionFlips returns how many hybrid direction decisions the
+// injector inverted.
+func (in *Injector) DirectionFlips() int64 {
+	in.dirMu.Lock()
+	defer in.dirMu.Unlock()
+	return in.flips
 }
 
 // LevelEnd implements core.ChaosLevelAuditor: any unconsumed input-

@@ -101,6 +101,10 @@ type RunOptions struct {
 	// Shards is the CSR shard count (0/1 = classic single engine; more
 	// runs the owner-compute sharded backend with cross-shard exchange).
 	Shards int `json:"shards,omitempty"`
+	// Hybrid enables direction-optimizing bottom-up levels
+	// (core.Options.Hybrid); meaningless for the serial variant, which
+	// rejects it.
+	Hybrid bool `json:"hybrid,omitempty"`
 	// StallTimeoutMillis arms the watchdog (core.Options.StallTimeout);
 	// 0 leaves it off. Set by the soak for Disruptive profiles so forced
 	// stalls are detected rather than hanging the sweep.
@@ -124,6 +128,7 @@ func (o RunOptions) Core() core.Options {
 		PublishBlock:      o.PublishBlock,
 		Reorder:           core.ReorderMode(o.Reorder),
 		Shards:            o.Shards,
+		Hybrid:            o.Hybrid,
 		StallTimeout:      time.Duration(o.StallTimeoutMillis) * time.Millisecond,
 		Seed:              o.Seed,
 	}
@@ -310,6 +315,11 @@ type SoakConfig struct {
 	// Reorder, which the sharded backend rejects). 0 lets each derived
 	// option set draw its own shard count from {1, 2, 4}.
 	Shards int
+	// Hybrid pins direction-optimizing mode on for every run instead of
+	// the default one-in-four draw. Serial cells always drop it — the
+	// serial variant rejects hybrid — so the differential baseline
+	// stays in the sweep.
+	Hybrid bool
 	// BaseSeed derives every per-run seed. Default 0xb5f5c4a0.
 	BaseSeed uint64
 	// Duration stops the sweep (checked between runs) once exceeded;
@@ -474,6 +484,10 @@ func deriveOptions(r *rng.SplitMix64, maxWorkers int) RunOptions {
 	if o.Shards > 1 {
 		o.Reorder = ""
 	}
+	// Hybrid: a quarter of the runs take bottom-up levels through the
+	// soak, crossing the direction machinery with every other dimension
+	// (claims, sharding, persistence, publication blocks).
+	o.Hybrid = r.Next()%4 == 0
 	return o
 }
 
@@ -544,6 +558,15 @@ func Soak(cfg SoakConfig) (*SoakReport, error) {
 							if opts.Shards > 1 {
 								opts.Reorder = ""
 							}
+						}
+						if cfg.Hybrid {
+							opts.Hybrid = true
+						}
+						if algo == core.Serial {
+							// The serial variant rejects Hybrid at
+							// construction; the draw (or pin) only
+							// applies to the parallel cells.
+							opts.Hybrid = false
 						}
 						injSeed := r.Next()
 						if prof.Disruptive() {
@@ -639,7 +662,13 @@ func Soak(cfg SoakConfig) (*SoakReport, error) {
 							continue
 						}
 						rep.StaleSteals += res.Counters.StealStale
-						rep.Duplicates += res.Duplicates()
+						if d := res.Duplicates(); d > 0 {
+							// Hybrid runs can report negative
+							// Duplicates() — bottom-up levels settle
+							// vertices without pops — which would
+							// silently shrink the sweep total.
+							rep.Duplicates += d
+						}
 
 						vs := Audit(pg.g, 0, pg.want, res)
 						vs = append(vs, levelViolations(inj)...)
@@ -691,7 +720,11 @@ func publishSoakRun(reg *obs.Registry, algo core.Algorithm, prof Profile, inj *I
 	reg.Counter("optibfs_soak_runs_total", algoL, profL).Inc()
 	reg.Counter("optibfs_soak_injections_total", algoL, profL).Add(inj.Injections())
 	reg.Counter("optibfs_soak_stale_steals_total", algoL, profL).Add(res.Counters.StealStale)
-	reg.Counter("optibfs_soak_duplicates_total", algoL, profL).Add(res.Duplicates())
+	if d := res.Duplicates(); d > 0 {
+		// Negative under hybrid (bottom-up settles without pops); a
+		// counter must never go backwards.
+		reg.Counter("optibfs_soak_duplicates_total", algoL, profL).Add(d)
+	}
 	if violations > 0 {
 		reg.Counter("optibfs_soak_failures_total", algoL, profL).Inc()
 	}

@@ -76,6 +76,16 @@ const (
 	// owner, which the destination's barrier-ordered drain must
 	// tolerate. Value is the tail about to be published.
 	ChaosShardFlush
+	// ChaosDirectionFlip fires in a hybrid engine's barrier-time
+	// direction step (hybridAdvance), after the alpha/beta decision and
+	// before the frontier representation converts — the place a hook
+	// implementing ChaosDirectionController can override the decision
+	// and force a switch at a hostile boundary. Value is the BFS level
+	// just completed. Unlike every other point this one runs on the
+	// driver goroutine, OUTSIDE any worker recovery barrier: injectors
+	// must not panic or stall here (the standard internal/chaos
+	// injector skips its malign faults for this point).
+	ChaosDirectionFlip
 	// NumChaosPoints is the number of instrumented points, not a
 	// point itself; it sizes per-point tables.
 	NumChaosPoints
@@ -102,6 +112,8 @@ func (p ChaosPoint) String() string {
 		return "stall"
 	case ChaosShardFlush:
 		return "shard-flush"
+	case ChaosDirectionFlip:
+		return "direction-flip"
 	default:
 		return "unknown"
 	}
@@ -144,6 +156,20 @@ type ChaosLevelAuditor interface {
 type ChaosFlushAuditor interface {
 	// FlushEnd reports the unpublished-entry count for one level.
 	FlushEnd(level int32, unpublished int64)
+}
+
+// ChaosDirectionController is optionally implemented by a ChaosHook to
+// override the hybrid alpha/beta decision at each level barrier
+// (ChaosDirectionFlip): it receives the level just completed and the
+// direction the heuristics chose for the next level, and returns the
+// direction to actually run. Forcing flips at hostile boundaries
+// (empty frontiers, levels mid-growth) exercises the representation
+// conversions the heuristics would rarely take. Called single-threaded
+// between level barriers, never concurrently with workers; the same
+// no-panic/no-stall caveat as ChaosDirectionFlip applies.
+type ChaosDirectionController interface {
+	// DirectionChoice returns whether the next level runs bottom-up.
+	DirectionChoice(level int32, bottomUp bool) bool
 }
 
 // chaosAt forwards to the installed hook; the nil-check is the entire

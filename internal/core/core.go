@@ -193,6 +193,34 @@ type Options struct {
 	// baseline always ignores it (one CSR, one goroutine, by
 	// definition).
 	Shards int
+	// Hybrid enables in-core direction-optimizing traversal (Beamer,
+	// Asanović & Patterson): at every level barrier the driver decides,
+	// from the exact frontier counters it just committed, whether the
+	// next level runs top-down through the family's queue machinery or
+	// bottom-up over the cached transpose. Bottom-up levels keep the
+	// frontier as a dense uint64 bitmap (plain stores — a redundantly
+	// set bit is the same benign duplicate the protocol already
+	// tolerates) and scan unvisited vertices over in-edges, writing only
+	// vertex-owned state, so the kernel needs no locks and no atomic
+	// RMW. Switching back top-down compacts the bitmap into the batched
+	// queue publication path with an atomics-free per-worker prefix-sum
+	// pass (Tithi, Fogel & Chowdhury 2022). Unlike the internal/beamer
+	// wrapper, the switch never sees duplicate-inflated estimates: the
+	// decision inputs are deduplicated at the barrier by construction.
+	// Not supported for the Serial algorithm (use the plain serial
+	// baseline or internal/beamer for a serial hybrid).
+	Hybrid bool
+	// Alpha is the top-down→bottom-up switch aggressiveness: switch
+	// when mf > unexplored/Alpha and the frontier is growing, where mf
+	// is the number of edges incident to the (deduplicated) frontier
+	// and unexplored is the remaining untraversed-edge budget. Larger
+	// values switch earlier. Default 15 (the Beamer paper's tuned
+	// value). Ignored unless Hybrid is set.
+	Alpha int64
+	// Beta is the bottom-up→top-down switch threshold: switch back when
+	// the frontier shrinks below n/Beta vertices. Larger values switch
+	// back later. Default 18. Ignored unless Hybrid is set.
+	Beta int64
 	// StallTimeout arms the per-run stall watchdog: if no worker makes
 	// dispatch progress (segment fetches, steal-drain publications,
 	// hot-vertex chunks) for this long, the run aborts with a
@@ -240,6 +268,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Shards <= 0 {
 		o.Shards = 1
+	}
+	if o.Alpha <= 0 {
+		o.Alpha = 15
+	}
+	if o.Beta <= 0 {
+		o.Beta = 18
 	}
 	if o.Sockets <= 0 {
 		o.Sockets = 1
@@ -317,7 +351,10 @@ type Result struct {
 	LevelStats []LevelStat
 }
 
-// Duplicates returns the number of duplicate explorations.
+// Duplicates returns the number of duplicate explorations. Under
+// Options.Hybrid it can be negative: bottom-up levels settle vertices
+// without popping queue entries, so Pops undercounts Reached by the
+// number of bottom-up discoveries.
 func (r *Result) Duplicates() int64 { return r.Pops - r.Reached }
 
 // Run executes the selected algorithm on g from src. It is the

@@ -118,6 +118,11 @@ func NewEngine(g *graph.CSR, algo Algorithm, opt Options) (*Engine, error) {
 		}
 	}
 	if algo == Serial {
+		if opt.Hybrid {
+			// Serial has no per-level binding to interpose the switch
+			// on; the serial baseline stays a pure queue walk.
+			return nil, fmt.Errorf("core: Hybrid requires a parallel variant, not %s", Serial)
+		}
 		e.impl = newSerialEngine(rg, opt)
 		return e, nil
 	}
@@ -308,6 +313,11 @@ func newParEngine(g *graph.CSR, opt Options, bf bindFunc, algo Algorithm) *parEn
 	st.algo = algo
 	e := &parEngine{st: st}
 	e.b = bf(st)
+	if opt.Hybrid {
+		// Wrap before the pool captures the binding so persistent
+		// workers run the direction-switched perLevel too.
+		e.b = wrapHybrid(st, e.b)
+	}
 	if opt.PersistentWorkers {
 		e.pool = newRunPool(st, e.b.setup, e.b.perLevel, algo)
 	}
@@ -459,6 +469,7 @@ func (pw *runPool) advance() {
 	st.level++
 	atomic.StoreInt32(&st.levelA, st.level)
 	st.swap()
+	st.hybridAdvance()
 	if st.volume() == 0 || st.canceled() || st.aborted() {
 		pw.done = true
 		return

@@ -1,0 +1,315 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+
+	"optibfs/internal/gen"
+	"optibfs/internal/graph"
+)
+
+// checkHybridRun verifies a hybrid Result against the serial oracle and
+// the accounting invariants that survive direction optimization:
+// bottom-up levels settle vertices without queue pops, so the classic
+// Pops >= Reached cover and non-negative Duplicates() no longer hold
+// structurally, but distances, structure, reach, and the per-direction
+// level split must be exact.
+func checkHybridRun(t *testing.T, g *graph.CSR, src int32, res *Result) {
+	t.Helper()
+	want := graph.ReferenceBFS(g, src)
+	if err := graph.EqualDistances(res.Dist, want); err != nil {
+		t.Fatalf("wrong distances: %v", err)
+	}
+	if err := graph.ValidateDistances(g, src, res.Dist); err != nil {
+		t.Fatalf("structural validation: %v", err)
+	}
+	if res.Parent != nil {
+		if err := graph.ValidateParents(g, src, res.Dist, res.Parent); err != nil {
+			t.Fatalf("parent validation: %v", err)
+		}
+	}
+	if res.Levels != graph.Eccentricity(want)+1 {
+		t.Fatalf("Levels=%d, want %d", res.Levels, graph.Eccentricity(want)+1)
+	}
+	wantReached, wantEdges := graph.ReachedCount(g, want)
+	if res.Reached != wantReached || res.EdgesTraversed != wantEdges {
+		t.Fatalf("reached=%d edges=%d, want %d/%d", res.Reached, res.EdgesTraversed, wantReached, wantEdges)
+	}
+	var sizes int64
+	for _, s := range res.LevelSizes {
+		sizes += s
+	}
+	if sizes != res.Reached {
+		t.Fatalf("level sizes sum %d != reached %d", sizes, res.Reached)
+	}
+	if got := res.Counters.TopDownLevels + res.Counters.BottomUpLevels; got != int64(res.Levels) {
+		t.Fatalf("TopDownLevels+BottomUpLevels = %d, want Levels = %d", got, res.Levels)
+	}
+	if res.Counters.BottomUpLevels == 0 && res.Duplicates() < 0 {
+		t.Fatalf("negative duplicates (%d) in an all-top-down run", res.Duplicates())
+	}
+}
+
+func TestHybridMatchesOracleEverywhere(t *testing.T) {
+	graphs := testGraphs(t)
+	for _, algo := range parallelAlgos {
+		for _, persistent := range []bool{false, true} {
+			algo, persistent := algo, persistent
+			t.Run(fmt.Sprintf("%s/persistent=%v", algo, persistent), func(t *testing.T) {
+				t.Parallel()
+				for name, g := range graphs {
+					e, err := NewEngine(g, algo, Options{
+						Workers: 4, Seed: 7, Hybrid: true,
+						TrackParents: true, PersistentWorkers: persistent,
+					})
+					if err != nil {
+						t.Fatalf("%s: %v", name, err)
+					}
+					for run := 0; run < 3; run++ {
+						res, err := e.Run(0)
+						if err != nil {
+							e.Close()
+							t.Fatalf("%s run %d: %v", name, run, err)
+						}
+						func() {
+							defer func() {
+								if t.Failed() {
+									t.Logf("graph %s run %d", name, run)
+								}
+							}()
+							checkHybridRun(t, g, 0, res)
+						}()
+					}
+					e.Close()
+				}
+			})
+		}
+	}
+}
+
+// TestHybridActuallySwitches pins that the heuristics really take the
+// bottom-up path on the frontier shapes they exist for — otherwise the
+// oracle tests would vacuously pass on an all-top-down engine.
+func TestHybridActuallySwitches(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    func() (*graph.CSR, error)
+	}{
+		{"complete", func() (*graph.CSR, error) { return gen.Complete(40) }},
+		{"rmat", func() (*graph.CSR, error) { return gen.Graph500RMAT(2048, 16384, 42, gen.Options{}) }},
+	} {
+		g, err := tc.g()
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(g, 0, BFSWSL, Options{Workers: 4, Hybrid: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Counters.BottomUpLevels == 0 {
+			t.Fatalf("%s: hybrid run never went bottom-up (levels=%d td=%d)",
+				tc.name, res.Levels, res.Counters.TopDownLevels)
+		}
+	}
+}
+
+// TestHybridParentClaimFilter runs the §IV-D claim filter through both
+// representation conversions: vertices discovered bottom-up re-enter
+// the queues via the compaction scatter, which must record the claim
+// the pop-side filter checks.
+func TestHybridParentClaimFilter(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		res, err := Run(g, 0, BFSWL, Options{
+			Workers: 4, Hybrid: true, ParentClaim: true, TrackParents: true,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		checkHybridRun(t, g, 0, res)
+	}
+}
+
+// flipController forces a direction change at every level boundary
+// whose (seeded, deterministic) coin lands heads, regardless of what
+// the heuristics chose — driving the representation conversions
+// through hostile boundaries (tiny frontiers, mid-growth switches,
+// empty final frontiers).
+type flipController struct {
+	state uint64
+	flips int64
+}
+
+func (f *flipController) At(point ChaosPoint, worker int, value int64) {}
+
+func (f *flipController) DirectionChoice(level int32, bottomUp bool) bool {
+	// SplitMix64 step; deterministic across runs for a given seed.
+	f.state += 0x9e3779b97f4a7c15
+	z := f.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z&1 == 0 {
+		atomic.AddInt64(&f.flips, 1)
+		return !bottomUp
+	}
+	return bottomUp
+}
+
+func TestHybridForcedDirectionFlips(t *testing.T) {
+	graphs := testGraphs(t)
+	for _, algo := range []Algorithm{BFSWL, BFSWSL, BFSEL} {
+		for name, g := range graphs {
+			ctl := &flipController{state: 0xf11b}
+			e, err := NewEngine(g, algo, Options{
+				Workers: 4, Seed: 3, Hybrid: true, TrackParents: true,
+				PersistentWorkers: true, Chaos: ctl,
+			})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", algo, name, err)
+			}
+			for run := 0; run < 3; run++ {
+				res, err := e.Run(0)
+				if err != nil {
+					e.Close()
+					t.Fatalf("%s/%s run %d: %v", algo, name, run, err)
+				}
+				func() {
+					defer func() {
+						if t.Failed() {
+							t.Logf("algo %s graph %s run %d", algo, name, run)
+						}
+					}()
+					checkHybridRun(t, g, 0, res)
+				}()
+			}
+			e.Close()
+			if ctl.flips == 0 {
+				t.Fatalf("%s/%s: controller never flipped a decision", algo, name)
+			}
+		}
+	}
+}
+
+func TestHybridSharded(t *testing.T) {
+	graphs := testGraphs(t)
+	for _, shards := range shardCounts {
+		for _, algo := range []Algorithm{BFSWL, BFSWSL} {
+			shards, algo := shards, algo
+			t.Run(fmt.Sprintf("%s/s%d", algo, shards), func(t *testing.T) {
+				t.Parallel()
+				for name, g := range graphs {
+					e := newShardedForTest(t, g, shards, algo, Options{
+						Workers: 4, Seed: 11, Hybrid: true, TrackParents: true,
+						PersistentWorkers: true,
+					})
+					for run := 0; run < 3; run++ {
+						res, err := e.Run(0)
+						if err != nil {
+							e.Close()
+							t.Fatalf("%s run %d: %v", name, run, err)
+						}
+						func() {
+							defer func() {
+								if t.Failed() {
+									t.Logf("graph %s shards %d run %d", name, shards, run)
+								}
+							}()
+							checkHybridRun(t, g, 0, res)
+						}()
+					}
+					e.Close()
+				}
+			})
+		}
+	}
+}
+
+// TestHybridShardedForcedFlips drives the sharded conversions (global
+// bitmap merge, per-shard compaction) through forced switches.
+func TestHybridShardedForcedFlips(t *testing.T) {
+	graphs := testGraphs(t)
+	for name, g := range graphs {
+		ctl := &flipController{state: 0x5a5a}
+		e := newShardedForTest(t, g, 4, BFSWSL, Options{
+			Workers: 2, Seed: 5, Hybrid: true, TrackParents: true, Chaos: ctl,
+		})
+		res, err := e.Run(0)
+		if err != nil {
+			e.Close()
+			t.Fatalf("%s: %v", name, err)
+		}
+		checkHybridRun(t, g, 0, res)
+		e.Close()
+	}
+}
+
+func TestHybridSerialRejected(t *testing.T) {
+	g, err := gen.Path(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEngine(g, Serial, Options{Hybrid: true}); err == nil {
+		t.Fatal("NewEngine(Serial, Hybrid) succeeded, want error")
+	}
+	if _, err := Run(g, 0, Serial, Options{Hybrid: true}); err == nil {
+		t.Fatal("Run(Serial, Hybrid) succeeded, want error")
+	}
+}
+
+// TestHybridReorderCompose runs hybrid over both reorder modes: the
+// transpose is taken from the relabeled CSR, so distances must still
+// come back in original ids.
+func TestHybridReorderCompose(t *testing.T) {
+	graphs := testGraphs(t)
+	for _, mode := range []ReorderMode{ReorderDegree, ReorderBFS} {
+		for name, g := range graphs {
+			e, err := NewEngine(g, BFSWSL, Options{
+				Workers: 4, Hybrid: true, Reorder: mode, TrackParents: true,
+			})
+			if err != nil {
+				t.Fatalf("%s/%s: %v", mode, name, err)
+			}
+			res, err := e.Run(0)
+			if err != nil {
+				e.Close()
+				t.Fatalf("%s/%s: %v", mode, name, err)
+			}
+			checkHybridRun(t, g, 0, res)
+			e.Close()
+		}
+	}
+}
+
+// TestHybridTimelineFrontiers pins that the per-level timeline stays
+// truthful through direction switches: each LevelStat's Frontier must
+// reflect the level's real frontier size (deduplicated while bottom-up,
+// duplicate-bearing queue volume while top-down, as documented).
+func TestHybridTimelineFrontiers(t *testing.T) {
+	g, err := gen.Graph500RMAT(2048, 16384, 9, gen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(g, BFSWSL, Options{Workers: 4, Hybrid: true, LevelTimeline: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	res, err := e.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.LevelStats) != int(res.Levels) {
+		t.Fatalf("timeline has %d levels, want %d", len(res.LevelStats), res.Levels)
+	}
+	var frontierSum int64
+	for _, ls := range res.LevelStats {
+		frontierSum += ls.Frontier
+	}
+	// Frontier sums can exceed Reached (top-down queues carry benign
+	// duplicates) but can never fall short: every reached vertex was in
+	// exactly one level's frontier.
+	if frontierSum < res.Reached {
+		t.Fatalf("timeline frontier sum %d < reached %d", frontierSum, res.Reached)
+	}
+}

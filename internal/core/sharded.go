@@ -311,6 +311,11 @@ type ShardedEngine struct {
 	levelA  int32  // atomic; global level mirror for the watchdog
 	running []bool // per-shard released-phase flags, pooled
 
+	// hy is the engine half of direction optimization (hybrid.go); nil
+	// unless Options.Hybrid. The per-shard halves live on each shard
+	// state's hybridState, with curBits aliased to hy's global bitmap.
+	hy *shardedHybrid
+
 	// Pooled merged-result storage (mergedFinish).
 	dist       []int32
 	parent     []int32
@@ -360,6 +365,13 @@ func NewShardedEngine(sg *graph.ShardedCSR, algo Algorithm, opt Options) (*Shard
 	if S > 1 {
 		e.ex = newExchange(sg, opt.Workers)
 	}
+	if opt.Hybrid {
+		e.hy = &shardedHybrid{
+			curBits: make([]uint64, (int(sg.Full.NumVertices())+63)/64),
+			alpha:   opt.Alpha,
+			beta:    opt.Beta,
+		}
+	}
 	for s := 0; s < S; s++ {
 		sOpt := opt
 		sOpt.Seed = shardSeed(opt.Seed, s)
@@ -367,6 +379,7 @@ func NewShardedEngine(sg *graph.ShardedCSR, algo Algorithm, opt Options) (*Shard
 		st.algo = algo
 		if e.ex != nil {
 			st.shardEx = e.ex
+			st.single = false
 			st.shardID = s
 			st.shardLo, st.shardHi = sg.Range(s)
 			st.chaosBase = s * opt.Workers
@@ -377,6 +390,18 @@ func NewShardedEngine(sg *graph.ShardedCSR, algo Algorithm, opt Options) (*Shard
 		}
 		se := &shardEngine{st: st}
 		se.b = bf(st)
+		if e.hy != nil {
+			// Rebind the shard's hybrid state to the global frontier
+			// bitmap and its owned vertex range (allocState partitioned
+			// [0, n) not knowing about shards); the shard reads every
+			// shard's frontier through the shared curBits but scans and
+			// discovers only owned vertices. sg.Range is used directly —
+			// shardLo/shardHi stay unset when S == 1 (ex == nil).
+			lo, hi := sg.Range(s)
+			st.hy.curBits = e.hy.curBits
+			st.hy.lo, st.hy.hi = hybridRanges(lo, hi, opt.Workers)
+			se.b = wrapHybrid(st, se.b)
+		}
 		se.drainFn = st.drainRemote
 		if opt.PersistentWorkers {
 			se.pool = newShardPool(st)
@@ -424,6 +449,11 @@ func (e *ShardedEngine) RunContext(ctx context.Context, src int32) (*Result, err
 		se.st.beginRunCommon()
 	}
 	e.shards[e.sg.Owner(src)].st.seedSource(src)
+	if e.hy != nil {
+		e.hy.bottomUp = false
+		e.hy.prevNf = 1
+		e.hy.unexplored = e.sg.Full.NumEdges() - e.sg.Full.OutDegree(src)
+	}
 	if e.ex != nil {
 		e.ex.reset()
 	}
@@ -456,8 +486,13 @@ func (e *ShardedEngine) runLoop() {
 		if e.volume() == 0 || e.canceled() || e.anyAborted() {
 			return
 		}
+		bu := e.hy != nil && e.hy.bottomUp
 		for s, se := range e.shards {
-			if se.st.volume() > 0 {
+			// A bottom-up level releases every shard regardless of its
+			// owned frontier: a shard with no frontier vertices still
+			// has unvisited vertices whose in-neighbors may sit in other
+			// shards' portions of the global bitmap.
+			if se.st.volume() > 0 || bu {
 				if se.b.setup != nil {
 					se.b.setup()
 				}
@@ -487,6 +522,7 @@ func (e *ShardedEngine) runLoop() {
 			st.swap()
 		}
 		atomic.StoreInt32(&e.levelA, e.shards[0].st.level)
+		e.hybridAdvance()
 	}
 }
 

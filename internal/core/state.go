@@ -112,6 +112,20 @@ type state struct {
 	// untouched.
 	yield bool
 
+	// single marks a one-worker unsharded state: no thief, no racing
+	// discoverer, no cross-shard reader — every queue slot and every
+	// per-vertex word has exactly one writer and no concurrent reader
+	// (driver and worker hand off through level barriers). The hot
+	// paths then use plain stores where the parallel protocol needs
+	// atomic ones. This is not a protocol change but a Go artifact
+	// removed: the paper's benign-race stores are plain MOVs in C on
+	// x86, while Go's atomic.Store is a full XCHG — a ~25-cycle tax per
+	// claimed vertex and per zeroed slot that buys nothing without a
+	// second worker. Cleared by the sharded constructor alongside
+	// shardEx: the exchange makes remote epoch words cross-shard
+	// shared even at one worker per shard.
+	single bool
+
 	// chaos is Options.Chaos, kept as a direct field so the hot-path
 	// nil-check compiles to one load+branch; levelAudit is the same
 	// hook's optional per-level audit view. slotAudit is set by the
@@ -123,6 +137,11 @@ type state struct {
 	slotAudit  bool
 
 	pops int64 // total pops, accumulated across levels after barriers
+
+	// hy is the direction-optimizing machinery (hybrid.go); nil unless
+	// Options.Hybrid. While hy.bottomUp the in-queues are empty — the
+	// frontier lives in hy's bitmap and volume() reports hy.curCount.
+	hy *hybridState
 
 	// Failure machinery (recover.go). algo names the bound variant for
 	// error reports; abortFlag is the run's abort word (atomic reads,
@@ -190,6 +209,7 @@ func allocState(g *graph.CSR, opt Options) *state {
 		blkSize:  blkSize,
 		counters: stats.NewPerWorker(p),
 		yield:    p > runtime.GOMAXPROCS(0),
+		single:   p == 1,
 		chaos:    opt.Chaos,
 		beats:    make([]beatLane, p),
 	}
@@ -217,6 +237,11 @@ func allocState(g *graph.CSR, opt Options) *state {
 	for i := range st.out {
 		st.out[i].buf = make([]int32, 0, 256)
 		st.blk[i] = make([]int32, 0, blkSize)
+	}
+	if opt.Hybrid {
+		// Eager: Transpose() is cached on the CSR, so the O(n+m) build
+		// (and its allocation) lands here, never inside a warm Run.
+		st.hy = newHybridState(g, opt)
 	}
 	st.initTrace()
 	st.initTimeline()
@@ -280,6 +305,9 @@ func (st *state) beginRunCommon() {
 	for i := range st.remoteBlk {
 		st.remoteBlk[i] = st.remoteBlk[i][:0]
 	}
+	if st.hy != nil {
+		st.resetHybrid()
+	}
 }
 
 // seedSource plants src in worker 0's input queue and stamps its
@@ -296,6 +324,13 @@ func (st *state) seedSource(src int32) {
 		st.parent[src] = src
 	}
 	st.epoch[src] = st.cur
+	if st.hy != nil {
+		// Match the beamer wrapper's budget convention: unexplored
+		// excludes the frontier under decision, starting with the
+		// source. (Under a ShardedEngine this touches the owner shard's
+		// unused per-state budget; the global one lives on the engine.)
+		st.hy.unexplored -= st.g.OutDegree(src)
+	}
 }
 
 // newState allocates state and primes it for a search from src — the
@@ -307,8 +342,13 @@ func newState(g *graph.CSR, src int32, opt Options) *state {
 	return st
 }
 
-// volume returns the total number of valid entries across input queues.
+// volume returns the total number of valid entries across input
+// queues — or, during a bottom-up hybrid level, the bitmap frontier's
+// owned-vertex count (the queues are then deliberately empty).
 func (st *state) volume() int64 {
+	if st.hy != nil && st.hy.bottomUp {
+		return st.hy.curCount
+	}
 	var v int64
 	for i := range st.in {
 		v += st.in[i].origR
@@ -386,17 +426,30 @@ func (st *state) discover(id int, u, w int32, out []int32) []int32 {
 		return out
 	}
 	if atomic.LoadUint32(&st.epoch[w]) != st.cur {
-		atomic.StoreInt32(&st.dist[w], st.level+1)
-		if st.claim != nil {
-			atomic.StoreInt32(&st.claim[w], int32(id))
+		if st.single {
+			// One-worker state: no concurrent observer, so the payload
+			// and stamp stores are plain (see state.single).
+			st.dist[w] = st.level + 1
+			if st.claim != nil {
+				st.claim[w] = int32(id)
+			}
+			if st.parent != nil {
+				st.parent[w] = u
+			}
+			st.epoch[w] = st.cur
+		} else {
+			atomic.StoreInt32(&st.dist[w], st.level+1)
+			if st.claim != nil {
+				atomic.StoreInt32(&st.claim[w], int32(id))
+			}
+			if st.parent != nil {
+				// Arbitrary concurrent write: racing discoverers are all
+				// at the same level, so whichever store survives names a
+				// valid BFS-tree parent.
+				atomic.StoreInt32(&st.parent[w], u)
+			}
+			atomic.StoreUint32(&st.epoch[w], st.cur)
 		}
-		if st.parent != nil {
-			// Arbitrary concurrent write: racing discoverers are all
-			// at the same level, so whichever store survives names a
-			// valid BFS-tree parent.
-			atomic.StoreInt32(&st.parent[w], u)
-		}
-		atomic.StoreUint32(&st.epoch[w], st.cur)
 		st.counters[id].Discovered++
 		out = append(out, w+1)
 		if len(out) >= st.blkSize {
@@ -421,6 +474,9 @@ const prefetchWindow = 8
 // a data race — and because Go never eliminates an atomic op, so the
 // prefetch cannot be dead-code-eliminated out of the loop.
 func (st *state) scanNeighbors(id int, u int32, nb []int32, out []int32) []int32 {
+	if st.shardEx == nil && st.claim == nil && st.parent == nil {
+		return st.scanNeighborsLean(id, nb, out)
+	}
 	n := len(nb)
 	for i := 0; i < prefetchWindow && i < n; i++ {
 		_ = atomic.LoadUint32(&st.epoch[nb[i]])
@@ -432,6 +488,64 @@ func (st *state) scanNeighbors(id int, u int32, nb []int32, out []int32) []int32
 	}
 	for ; i < n; i++ {
 		out = st.discover(id, u, nb[i], out)
+	}
+	return out
+}
+
+// scanNeighborsLean is scanNeighbors for the common configuration — no
+// shard exchange, no claim filter, no parent tracking. discover's
+// generality costs a function call plus three dead branches per
+// scanned edge; at one or two claims per edge that overhead rivals the
+// useful work, and on low-degree high-diameter graphs it dominated
+// whole searches. This copy hoists every loop-invariant load and
+// inlines the claim, and skips the prefetch lookahead entirely on
+// short adjacency rows, where the warm-up touches would nearly double
+// the epoch traffic without covering any memory latency. Claim
+// protocol and counter semantics are identical to discover's.
+func (st *state) scanNeighborsLean(id int, nb []int32, out []int32) []int32 {
+	epoch, dist := st.epoch, st.dist
+	cur, lvl := st.cur, st.level+1
+	single := st.single
+	c := &st.counters[id]
+	n := len(nb)
+	i := 0
+	if n > 2*prefetchWindow {
+		for ; i < prefetchWindow; i++ {
+			_ = atomic.LoadUint32(&epoch[nb[i]])
+		}
+		for i = 0; i < n-prefetchWindow; i++ {
+			_ = atomic.LoadUint32(&epoch[nb[i+prefetchWindow]])
+			w := nb[i]
+			if atomic.LoadUint32(&epoch[w]) != cur {
+				if single {
+					dist[w], epoch[w] = lvl, cur
+				} else {
+					atomic.StoreInt32(&dist[w], lvl)
+					atomic.StoreUint32(&epoch[w], cur)
+				}
+				c.Discovered++
+				out = append(out, w+1)
+				if len(out) >= st.blkSize {
+					out = st.flushBlock(id, out)
+				}
+			}
+		}
+	}
+	for ; i < n; i++ {
+		w := nb[i]
+		if atomic.LoadUint32(&epoch[w]) != cur {
+			if single {
+				dist[w], epoch[w] = lvl, cur
+			} else {
+				atomic.StoreInt32(&dist[w], lvl)
+				atomic.StoreUint32(&epoch[w], cur)
+			}
+			c.Discovered++
+			out = append(out, w+1)
+			if len(out) >= st.blkSize {
+				out = st.flushBlock(id, out)
+			}
+		}
 	}
 	return out
 }
@@ -505,6 +619,7 @@ func (st *state) runLevels(setup func(), perLevel func(id int)) {
 		st.level++
 		atomic.StoreInt32(&st.levelA, st.level)
 		st.swap()
+		st.hybridAdvance()
 	}
 }
 

@@ -274,8 +274,23 @@ func (w *wsWorker) drainOwn(d *segDesc) {
 	// instead of once per pop (see the constant's comment); published
 	// tracks the last value actually stored to d.f.
 	published := j
+	// A single-worker state has no thief to observe the slot words, so
+	// the per-pop load/zero pair can use plain accesses (see
+	// state.single); ledger semantics — every popped slot is zeroed —
+	// are identical either way. Descriptor publication stays atomic.
+	single := w.st.single
+	if single && w.st.claim == nil && w.st.parent == nil &&
+		w.st.shardEx == nil && w.st.chaos == nil {
+		atomic.StoreInt64(&d.f, w.drainOwnLean(d, buf, j))
+		return
+	}
 	for {
-		slot := atomic.LoadInt32(&buf[j])
+		var slot int32
+		if single {
+			slot = buf[j]
+		} else {
+			slot = atomic.LoadInt32(&buf[j])
+		}
 		if slot == emptySlot {
 			if j != published {
 				w.st.chaosAt(ChaosDrainAdvance, w.id, j)
@@ -284,7 +299,11 @@ func (w *wsWorker) drainOwn(d *segDesc) {
 			return
 		}
 		w.st.chaosAt(ChaosSlotZero, w.id, j)
-		atomic.StoreInt32(&buf[j], emptySlot)
+		if single {
+			buf[j] = emptySlot
+		} else {
+			atomic.StoreInt32(&buf[j], emptySlot)
+		}
 		j++
 		if j-published >= stealCheckPeriod {
 			w.st.chaosAt(ChaosDrainAdvance, w.id, j)
@@ -301,7 +320,13 @@ func (w *wsWorker) drainOwn(d *segDesc) {
 		// Peek the next slot (atomic: a concurrent thief's drain zeroes
 		// slots) and warm its vertex's CSR offsets before the current
 		// vertex's adjacency scan hides the latency.
-		if nxt := atomic.LoadInt32(&buf[j]); nxt != emptySlot {
+		var nxt int32
+		if single {
+			nxt = buf[j]
+		} else {
+			nxt = atomic.LoadInt32(&buf[j])
+		}
+		if nxt != emptySlot {
 			w.st.prefetchVertex(nxt - 1)
 		}
 		w.process(int(qi), slot-1)
@@ -309,6 +334,79 @@ func (w *wsWorker) drainOwn(d *segDesc) {
 			w.st.maybeYield()
 		}
 	}
+}
+
+// drainOwnLean is drainOwn's fused one-worker fast path: the same
+// slot-zeroing ledger and front-publication cadence, with the pop →
+// adjacency-scan → claim chain inlined into one loop. The general path
+// pays a three-deep call (process → scanNeighbors → the kernel) per
+// popped vertex, and the kernel's prologue — field hoists, counter
+// pointer — is per-call; on short-adjacency graphs (meshes) that
+// prologue rivals the scan itself. Here it is hoisted once per drain.
+// Long rows still route through scanNeighborsLean for its prefetch
+// pipeline, amortizing the call over the row, and scale-free mode's
+// hot-vertex deferral keeps its exact routing. Preconditions (checked
+// by the caller): single-worker state, no claim/parent arrays,
+// unsharded, no chaos hook. Returns the final front, which the caller
+// publishes.
+func (w *wsWorker) drainOwnLean(d *segDesc, buf []int32, j int64) int64 {
+	st := w.st
+	epoch, dist := st.epoch, st.dist
+	cur, lvl := st.cur, st.level+1
+	goff, gedges := st.g.Offsets, st.g.Edges
+	threshold := w.threshold
+	c := w.c
+	out := w.out
+	blk := st.blkSize
+	published := j
+	popped := 0
+	for {
+		slot := buf[j]
+		if slot == emptySlot {
+			break
+		}
+		buf[j] = emptySlot
+		j++
+		if j-published >= stealCheckPeriod {
+			atomic.StoreInt64(&d.f, j)
+			published = j
+			st.beat(w.id)
+			if st.aborted() {
+				break
+			}
+		}
+		if nxt := buf[j]; nxt != emptySlot {
+			st.prefetchVertex(nxt - 1)
+		}
+		v := slot - 1
+		c.VerticesPopped++
+		o0, o1 := goff[v], goff[v+1]
+		switch {
+		case threshold > 0 && o1-o0 >= threshold:
+			w.ctx.hot[w.id] = append(w.ctx.hot[w.id], v)
+			c.HotVertices++
+		case o1-o0 > 2*prefetchWindow:
+			c.EdgesScanned += o1 - o0
+			out = st.scanNeighborsLean(w.id, gedges[o0:o1], out)
+		default:
+			c.EdgesScanned += o1 - o0
+			for _, u := range gedges[o0:o1] {
+				if epoch[u] != cur {
+					dist[u], epoch[u] = lvl, cur
+					c.Discovered++
+					out = append(out, u+1)
+					if len(out) >= blk {
+						out = st.flushBlock(w.id, out)
+					}
+				}
+			}
+		}
+		if popped++; popped%yieldEvery == 0 {
+			st.maybeYield()
+		}
+	}
+	w.out = out
+	return j
 }
 
 // stealLockfree attempts to take the right half of victim's segment

@@ -89,6 +89,12 @@ func AlgoByName(name string) (AlgoSpec, error) {
 func (a AlgoSpec) Run(g *graph.CSR, src int32, opt core.Options) (*core.Result, error) {
 	switch a.fam {
 	case familyCore:
+		if a.algo == core.Serial {
+			// Parallel-only knobs don't apply to the serial baseline;
+			// drop Hybrid the same way NewBackend ignores Shards for it,
+			// so one option set can sweep a whole algorithm table.
+			opt.Hybrid = false
+		}
 		return core.Run(g, src, a.algo, opt)
 	case familyBaseline1:
 		return baseline1.Run(g, src, opt)
@@ -122,10 +128,17 @@ type Runner struct {
 // traverse the graph as given. Options.Shards routes the core family
 // through core.NewBackend: 0/1 is the classic single engine, more gets
 // the sharded owner-compute runtime (which rejects Reorder).
+// Options.Hybrid enables direction-optimizing levels for the parallel
+// core variants; the serial baseline drops it (and the non-core
+// runtimes never see core's option struct semantics for it).
 func (a AlgoSpec) NewRunner(g *graph.CSR, opt core.Options) (*Runner, error) {
 	r := &Runner{spec: a, g: g, opt: opt}
 	switch a.fam {
 	case familyCore:
+		if a.algo == core.Serial {
+			// Same parallel-only-knob convention as AlgoSpec.Run.
+			opt.Hybrid = false
+		}
 		e, err := core.NewBackend(g, a.algo, opt)
 		if err != nil {
 			return nil, err

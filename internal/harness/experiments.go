@@ -3,6 +3,8 @@ package harness
 import (
 	"fmt"
 	"io"
+	"sort"
+	"time"
 
 	"optibfs/internal/core"
 	"optibfs/internal/costmodel"
@@ -274,6 +276,152 @@ func Extensions(w io.Writer, cfg Config) (*Table, error) {
 		}
 	}
 	return t, nil
+}
+
+// HybridTable compares the in-core direction-optimizing mode (PR 8)
+// against plain BFS_WSL and the standalone beamer wrapper on every
+// suite graph: measured wall-clock MTEPS on this host (harmonic-mean
+// convention), plus the hybrid's speedups over both. This is a
+// measured experiment, not a modeled one — the cost model has no
+// bottom-up shape, and the claim under test ("the fused hybrid beats
+// the wrapper everywhere") is about real allocation, conversion, and
+// scan costs.
+//
+// Measurement is paired: per graph, all variants share one source set
+// and one warmed runner each, and every repetition times each
+// variant's full source sweep back-to-back, alternating the order by
+// repetition parity. Reported MTEPS are medians over repetitions, and
+// the ratio rows are medians of the per-repetition time ratios.
+// Host-frequency and GC drift over a run's lifetime moves adjacent
+// blocks together, so paired ratios survive it; the naive
+// one-contiguous-block-per-variant design this replaced could swing a
+// ratio ±20% between invocations on a busy host.
+func HybridTable(w io.Writer, cfg Config) (*Table, error) {
+	cfg = cfg.WithDefaults()
+	variants := []struct {
+		name   string
+		algo   AlgoSpec
+		hybrid bool
+	}{
+		{"BFS_WSL", coreSpec(core.BFSWSL), false},
+		{"BFS_WSL+hybrid", coreSpec(core.BFSWSL), true},
+		{"DirectionOptimizing(wrapper)", AlgoSpec{Name: "DirectionOptimizing", fam: familyBeamer}, false},
+	}
+	// Odd so every median is an actual observation, high enough that
+	// one descheduled repetition cannot reach the middle ranks.
+	const reps = 9
+	t := &Table{
+		Title: fmt.Sprintf("Hybrid — in-core direction optimization vs wrapper and plain BFS_WSL (measured MTEPS, p=%d, scale 1/%d)",
+			cfg.Workers, cfg.ScaleDiv),
+		Headers: append([]string{"algorithm"}, suiteNames()...),
+		Notes: []string{
+			"measured wall-clock on this host, harmonic-mean TEPS across sources",
+			fmt.Sprintf("paired runs: each of %d repetitions times every variant back-to-back (order alternating); MTEPS are medians over repetitions", reps),
+			"hybrid/wrapper and hybrid/plain are medians of per-repetition time ratios (>1 = in-core hybrid faster), so they may differ slightly from the MTEPS quotients",
+		},
+	}
+	rows := make([][]string, len(variants)+2)
+	for i, v := range variants {
+		rows[i] = []string{v.name}
+	}
+	rows[len(variants)] = []string{"hybrid/wrapper"}
+	rows[len(variants)+1] = []string{"hybrid/plain"}
+	for _, spec := range Suite {
+		g, err := spec.Generate(cfg.ScaleDiv)
+		if err != nil {
+			return nil, err
+		}
+		// One shared source set: paired ratios are only meaningful if
+		// every variant sweeps the identical searches.
+		sources := PickSources(g, cfg.Sources, cfg.Seed)
+		runners := make([]*Runner, len(variants))
+		edges := make([]int64, len(variants))
+		for i, v := range variants {
+			opt := cfg.Opt
+			opt.Workers = cfg.Workers
+			opt.Hybrid = v.hybrid
+			r, err := v.algo.NewRunner(g, opt)
+			if err != nil {
+				return nil, fmt.Errorf("%s on %s: %w", v.name, spec.Name, err)
+			}
+			defer r.Close()
+			runners[i] = r
+			// Warm pass: faults pooled state in, captures the sweep's
+			// edge total for the TEPS denominators, and feeds the
+			// registry exactly like RunCell does (publishing stays
+			// outside every timed block below).
+			shape := v.algo.Shape()
+			pub := newCellPublisher(cfg.Registry, v.name)
+			for k, src := range sources {
+				r.Reseed(cfg.Seed + uint64(k)*0x9e37 + 1)
+				start := time.Now()
+				res, err := r.Run(src)
+				if err != nil {
+					return nil, fmt.Errorf("%s on %s source %d: %w", v.name, spec.Name, src, err)
+				}
+				elapsed := time.Since(start).Seconds()
+				edges[i] += res.EdgesTraversed
+				pub.run(res, elapsed, costmodel.Modeled(cfg.Machine, shape, res))
+			}
+		}
+		block := func(r *Runner) (float64, error) {
+			start := time.Now()
+			for k, src := range sources {
+				r.Reseed(cfg.Seed + uint64(k)*0x9e37 + 1)
+				if _, err := r.Run(src); err != nil {
+					return 0, err
+				}
+			}
+			return time.Since(start).Seconds(), nil
+		}
+		times := make([][]float64, len(variants))
+		for rep := 0; rep < reps; rep++ {
+			for j := range variants {
+				i := j
+				if rep%2 == 1 {
+					i = len(variants) - 1 - j
+				}
+				sec, err := block(runners[i])
+				if err != nil {
+					return nil, fmt.Errorf("%s on %s: %w", variants[i].name, spec.Name, err)
+				}
+				times[i] = append(times[i], sec)
+			}
+		}
+		ratio := func(num, den int) float64 {
+			rs := make([]float64, reps)
+			for rep := range rs {
+				rs[rep] = times[num][rep] / times[den][rep]
+			}
+			return median(rs)
+		}
+		for i := range variants {
+			rows[i] = append(rows[i], fmt.Sprintf("%.1f", float64(edges[i])/median(times[i])/1e6))
+		}
+		rows[len(variants)] = append(rows[len(variants)], fmt.Sprintf("%.2fx", ratio(2, 1)))
+		rows[len(variants)+1] = append(rows[len(variants)+1], fmt.Sprintf("%.2fx", ratio(0, 1)))
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
+	}
+	if w != nil {
+		if err := t.Render(w); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// median returns the middle order statistic (mean of the two middle
+// ones for even lengths) without mutating its argument.
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	}
+	n := len(s)
+	return (s[n/2-1] + s[n/2]) / 2
 }
 
 // GraphsTable reproduces Table IV: the generated suite with its actual

@@ -127,6 +127,54 @@ func TestAlgoSpecsShardedEverySuiteGraph(t *testing.T) {
 	}
 }
 
+// TestAlgoSpecsHybridEverySuiteGraph validates the in-core
+// direction-optimizing mode against the serial oracle on every graph
+// of the paper's Table IV suite (scaled down), across the classic and
+// sharded backends and both reorder modes. The hybrid's bottom-up
+// levels and frontier conversions must never lose or corrupt a
+// discovery; sharded backends still reject relabeling, hybrid or not.
+func TestAlgoSpecsHybridEverySuiteGraph(t *testing.T) {
+	algos := []string{"BFS_WL", "BFS_WSL"}
+	for _, spec := range Suite {
+		g, err := spec.Generate(2048)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.Name, err)
+		}
+		want := graph.ReferenceBFS(g, 0)
+		for _, name := range algos {
+			algo, err := AlgoByName(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, shards := range []int{1, 2, 4} {
+				for _, reorder := range []core.ReorderMode{core.ReorderNone, core.ReorderDegree} {
+					opt := core.Options{
+						Workers: 4, Seed: 9, Hybrid: true,
+						Shards: shards, Reorder: reorder,
+					}
+					res, err := algo.Run(g, 0, opt)
+					if shards > 1 && reorder != core.ReorderNone {
+						if err == nil {
+							t.Fatalf("%s/%s shards=%d reorder=%s: sharded run accepted relabeling", spec.Name, name, shards, reorder)
+						}
+						continue
+					}
+					if err != nil {
+						t.Fatalf("%s/%s shards=%d reorder=%s: %v", spec.Name, name, shards, reorder, err)
+					}
+					if err := graph.EqualDistances(res.Dist, want); err != nil {
+						t.Fatalf("%s/%s shards=%d reorder=%s: %v", spec.Name, name, shards, reorder, err)
+					}
+					if got := res.Counters.TopDownLevels + res.Counters.BottomUpLevels; got != int64(res.Levels) {
+						t.Fatalf("%s/%s shards=%d reorder=%s: direction levels %d != levels %d",
+							spec.Name, name, shards, reorder, got, res.Levels)
+					}
+				}
+			}
+		}
+	}
+}
+
 func TestExtensionAlgosRunAndResolve(t *testing.T) {
 	spec, _ := SpecByName("kkt-power")
 	g, err := spec.Generate(2048)

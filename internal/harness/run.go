@@ -96,6 +96,11 @@ type Cell struct {
 
 	// MeasuredMS is mean wall-clock per source on this host.
 	MeasuredMS float64
+	// MeasuredTEPS is total edges traversed divided by total wall-clock
+	// seconds across all sources — the same harmonic-mean convention as
+	// ModeledTEPS, but on this host's real clock (the hybrid-vs-wrapper
+	// comparison is a measured claim, not a modeled one).
+	MeasuredTEPS float64
 	// ModeledMS is the cost-model mean per source for Config.Machine.
 	ModeledMS float64
 	// ModeledTEPS is total edges traversed divided by total modeled
@@ -162,6 +167,7 @@ func RunCell(g *graph.CSR, algo AlgoSpec, cfg Config) (Cell, error) {
 	// Averaging per-source TEPS instead would let cheap sources (tiny
 	// BFS trees with high instantaneous rates) dominate the figure.
 	cell.ModeledTEPS = stats.TEPS(edges, modeled)
+	cell.MeasuredTEPS = stats.TEPS(edges, measured)
 	pub.cell(&cell)
 	cell.Levels /= k
 	cell.Reached /= k

@@ -17,10 +17,17 @@
 # blocks are pooled, but their high-water capacities settle over the
 # first few runs just like the in-queues do.
 #
+# BenchmarkHybridSteadyState (warm direction-optimizing engines) is
+# gated at 0 allocs/op by default (MAX_ALLOCS_HYBRID): the bitmaps,
+# transpose, and compaction targets are all engine-pooled, and the
+# bottom-up kernel writes race-free into preallocated state, so the
+# hybrid warm path has no stochastic growth source at all.
+#
 # Usage: scripts/benchsmoke.sh [output-file]
 #   MAX_ALLOCS          gate for BenchmarkEngineSteadyState (default 8)
 #   MAX_ALLOCS_DRAIN    gate for BenchmarkDrainLocality (default 0)
 #   MAX_ALLOCS_SHARDED  gate for BenchmarkShardedSteadyState (default 8)
+#   MAX_ALLOCS_HYBRID   gate for BenchmarkHybridSteadyState (default 0)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -28,8 +35,9 @@ out="${1:-bench-smoke.txt}"
 max_allocs="${MAX_ALLOCS:-8}"
 max_allocs_drain="${MAX_ALLOCS_DRAIN:-0}"
 max_allocs_sharded="${MAX_ALLOCS_SHARDED:-8}"
+max_allocs_hybrid="${MAX_ALLOCS_HYBRID:-0}"
 
-go test -run '^$' -bench 'BenchmarkEngineSteadyState|BenchmarkEngineRunMany|BenchmarkDrainLocality|BenchmarkShardedSteadyState' \
+go test -run '^$' -bench 'BenchmarkEngineSteadyState|BenchmarkEngineRunMany|BenchmarkDrainLocality|BenchmarkShardedSteadyState|BenchmarkHybridSteadyState' \
   -benchtime 3x -benchmem . | tee "$out"
 
 fail=0
@@ -57,5 +65,6 @@ gate() {
 gate '^BenchmarkEngineSteadyState' "$max_allocs" 4
 gate '^BenchmarkDrainLocality' "$max_allocs_drain" 6
 gate '^BenchmarkShardedSteadyState' "$max_allocs_sharded" 6
+gate '^BenchmarkHybridSteadyState' "$max_allocs_hybrid" 2
 
 exit "$fail"
