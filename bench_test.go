@@ -13,6 +13,7 @@ package optibfs
 // TEPS. Graphs are the Table IV stand-ins scaled by benchScale.
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sync"
@@ -425,6 +426,75 @@ func BenchmarkHybridSteadyState(b *testing.B) {
 				b.ReportMetric(float64(edges)/secs/1e6, "MTEPS")
 			}
 		})
+	}
+}
+
+// BenchmarkGoalSteadyState is the warm-path discipline check for
+// goal-directed termination: a warm engine repeatedly runs an s-t
+// search to a mid-depth target (plus a depth-bounded variant). The goal
+// predicate is evaluated only at level barriers on pooled state, so
+// allocs/op must be 0 exactly like the plain steady-state engines, and
+// the truncated partial sweep must traverse strictly fewer edges than
+// the full run it short-circuits. scripts/benchsmoke.sh gates CI on
+// these numbers.
+func BenchmarkGoalSteadyState(b *testing.B) {
+	g := benchGraph(b, "wikipedia")
+	src := harness.PickSources(g, 1, 0xbe7c)[0]
+	ctx := context.Background()
+	for _, algo := range []Algorithm{BFSWL, BFSWSL} {
+		e, err := NewEngine(g, algo, &Options{Workers: 8, Seed: 1, PersistentWorkers: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer e.Close()
+		full, err := e.Run(src) // picks the mid-depth target
+		if err != nil {
+			b.Fatal(err)
+		}
+		fullEdges := full.EdgesTraversed
+		wantDepth := full.Levels / 2
+		if wantDepth < 1 {
+			wantDepth = 1
+		}
+		dst := src
+		for v, d := range full.Dist {
+			if d == int32(wantDepth) {
+				dst = int32(v)
+				break
+			}
+		}
+		for _, gc := range []struct {
+			name string
+			goal Goal
+		}{
+			{"st", GoalTo(dst)},
+			{"depth2", Goal{MaxDepth: 2}},
+		} {
+			b.Run(fmt.Sprintf("%s/%s", algo, gc.name), func(b *testing.B) {
+				for i := 0; i < 8; i++ { // warm the pooled buffers
+					if _, err := e.RunGoal(ctx, src, gc.goal); err != nil {
+						b.Fatal(err)
+					}
+				}
+				var edges int64
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := e.RunGoal(ctx, src, gc.goal)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if !res.Truncated {
+						b.Fatal("goal run was not truncated; the benchmark would measure a full sweep")
+					}
+					edges += res.EdgesTraversed
+				}
+				b.StopTimer()
+				if b.N > 0 {
+					b.ReportMetric(float64(edges)/float64(b.N)/float64(fullEdges)*100, "edge-%")
+				}
+			})
+		}
 	}
 }
 

@@ -37,7 +37,7 @@ import (
 
 func main() {
 	var (
-		exp           = flag.String("exp", "all", "experiment: table5a|table5b|fig2a|fig2b|fig3a|fig3b|table6|graphs|machines|hybrid|all")
+		exp           = flag.String("exp", "all", "experiment: table5a|table5b|fig2a|fig2b|fig3a|fig3b|table6|graphs|machines|hybrid|goal|all")
 		scale         = flag.Int("scale", 64, "graph size divisor (1 = paper's full sizes)")
 		sources       = flag.Int("sources", 8, "random sources averaged per (algorithm, graph) cell")
 		seed          = flag.Uint64("seed", 0xb5f5, "experiment seed")
@@ -114,9 +114,10 @@ func run(w io.Writer, exp string, scale, sources int, seed uint64, reps int, csv
 		"machines":   func() error { return emit(harness.MachinesTable(nil)) },
 		"extensions": func() error { return emit(harness.Extensions(nil, cfg(costmodel.Lonestar))) },
 		"hybrid":     func() error { return emit(harness.HybridTable(nil, cfg(costmodel.Lonestar))) },
+		"goal":       func() error { return emit(harness.GoalTable(nil, cfg(costmodel.Lonestar))) },
 	}
 	if exp == "all" {
-		for _, name := range []string{"machines", "graphs", "table5a", "table5b", "fig2a", "fig2b", "fig3a", "fig3b", "table6", "extensions", "hybrid"} {
+		for _, name := range []string{"machines", "graphs", "table5a", "table5b", "fig2a", "fig2b", "fig3a", "fig3b", "table6", "extensions", "hybrid", "goal"} {
 			if err := experiments[name](); err != nil {
 				return fmt.Errorf("%s: %w", name, err)
 			}

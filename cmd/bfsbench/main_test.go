@@ -18,7 +18,7 @@ func TestRunSingleExperiments(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiment drivers")
 	}
-	for _, exp := range []string{"machines", "graphs", "table6", "fig2a"} {
+	for _, exp := range []string{"machines", "graphs", "table6", "fig2a", "goal"} {
 		var buf bytes.Buffer
 		if err := run(&buf, exp, testScale, testSources, testSeed, testReps, false, 4, "", 1, false, nil); err != nil {
 			t.Fatalf("%s: %v", exp, err)

@@ -7,10 +7,19 @@
 //	POST /load?gen=rmat&n=4096&m=32768&seed=1   generate and serve a graph
 //	POST /load?format=edges|mtx|bin             load a graph from the body
 //	POST /load?path=/data/graph.bin2            load (mmap when possible) a server-side file
-//	GET  /query?src=0[&dst=7][&full=1][&validate=1][&batch=0]
+//	GET  /query?src=0[&dst=7][&k=3][&path=1][&full=1][&validate=1][&batch=0]
+//	GET  /query?kind=components                 weakly-connected components (cached per load)
+//	GET  /query?kind=ecc&src=0                  eccentricity of src's reachable set
 //	GET  /healthz                               liveness (always 200)
-//	GET  /readyz                                readiness (503 until loaded)
+//	GET  /readyz                                readiness (503 until loaded; reports the graph)
 //	GET  /metrics                               Prometheus text exposition
+//
+// dst= and k= are goal-directed: the engine terminates at the level
+// barrier where dst's distance commits (or after k closed levels), so
+// an s–t query costs the levels up to dst, not a whole-graph
+// traversal. Truncated answers report truncated=true and are exact for
+// every closed level; dst cannot be combined with full=1 because the
+// distance array is deliberately partial.
 //
 // plus /debug/vars and /debug/pprof from the shared exposition mux.
 // SIGTERM/SIGINT triggers a graceful drain: the listener closes,
@@ -33,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	"optibfs/internal/analysis"
 	"optibfs/internal/core"
 	"optibfs/internal/gen"
 	"optibfs/internal/graph"
@@ -51,6 +61,12 @@ type loaded struct {
 	guard  *serve.Guard
 	desc   string
 	mapped *mmio.MappedGraph
+
+	// Components are immutable per load, so the first kind=components
+	// query computes them once and every later one reads the cache.
+	compOnce  sync.Once
+	compSizes []int64
+	compErr   error
 }
 
 // retain pins the loaded graph's backing storage for one request.
@@ -166,11 +182,20 @@ func (d *daemon) closeGuard() {
 }
 
 func (d *daemon) handleReady(w http.ResponseWriter, _ *http.Request) {
-	if d.current() == nil {
+	cur := d.current()
+	if cur == nil {
 		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "error": "no graph loaded"})
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"ready": true})
+	// Load generators size their source/target draws off this, so the
+	// ready probe doubles as the graph descriptor.
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ready":     true,
+		"vertices":  cur.g.NumVertices(),
+		"edges":     cur.g.NumEdges(),
+		"desc":      cur.desc,
+		"algorithm": string(cur.guard.Algorithm()),
+	})
 }
 
 func (d *daemon) handleLoad(w http.ResponseWriter, r *http.Request) {
@@ -312,16 +337,39 @@ func (d *daemon) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if d.testHookAfterSnapshot != nil {
 		d.testHookAfterSnapshot()
 	}
+	switch kind := r.URL.Query().Get("kind"); kind {
+	case "", "bfs":
+	case "components":
+		d.handleComponents(w, cur)
+		return
+	case "ecc":
+		d.handleEcc(w, r, cur)
+		return
+	default:
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": fmt.Sprintf("unknown kind %q (want bfs, components, or ecc)", kind)})
+		return
+	}
 	src64, err := strconv.ParseInt(r.URL.Query().Get("src"), 10, 32)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, map[string]any{"error": fmt.Sprintf("bad src: %v", err)})
 		return
 	}
 	src := int32(src64)
+	goal, dst, err := parseGoal(r, cur.g.NumVertices())
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+		return
+	}
+	if dst >= 0 && r.URL.Query().Get("full") == "1" {
+		// A dst query truncates at dst's level; its distance array is
+		// deliberately partial, so handing it out as "full" would lie.
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": "dst and full=1 are mutually exclusive: a goal-truncated run settles only the levels up to dst"})
+		return
+	}
 	// Batched (fused) admission is the default; ?batch=0 opts a query
 	// out to solo dispatch.
 	batched := r.URL.Query().Get("batch") != "0"
-	ans, err := queryGuard(r.Context(), cur, src, batched)
+	ans, err := queryGuard(r.Context(), cur, src, goal, batched)
 	if errors.Is(err, serve.ErrClosed) {
 		// The snapshot lost a race with a concurrent /load swap: the old
 		// guard drained under us while a fresh one is serving. Re-fetch
@@ -329,7 +377,7 @@ func (d *daemon) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if next := d.acquire(); next != nil {
 			cur.release()
 			cur = next
-			ans, err = queryGuard(r.Context(), cur, src, batched)
+			ans, err = queryGuard(r.Context(), cur, src, goal, batched)
 		}
 	}
 	if err != nil {
@@ -346,7 +394,7 @@ func (d *daemon) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		status := http.StatusInternalServerError
 		switch {
-		case errors.Is(err, serve.ErrBadSource):
+		case errors.Is(err, serve.ErrBadSource), errors.Is(err, serve.ErrBadGoal):
 			status = http.StatusBadRequest
 		case errors.Is(err, serve.ErrOverloaded):
 			status = http.StatusServiceUnavailable
@@ -360,16 +408,14 @@ func (d *daemon) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := answerFields(src, ans)
-	if dstS := r.URL.Query().Get("dst"); dstS != "" {
-		dst64, derr := strconv.ParseInt(dstS, 10, 32)
-		if derr != nil || dst64 < 0 || int32(dst64) >= cur.g.NumVertices() {
-			writeJSON(w, http.StatusBadRequest, map[string]any{"error": fmt.Sprintf("bad dst %q", dstS)})
-			return
-		}
-		resp["dst"] = dst64
-		resp["dist"] = ans.Dist[dst64]
+	if dst >= 0 {
+		resp["dst"] = dst
+		resp["dist"] = ans.Dist[dst]
 		if ans.Parent != nil {
-			resp["parent"] = ans.Parent[dst64]
+			resp["parent"] = ans.Parent[dst]
+			if r.URL.Query().Get("path") == "1" && ans.Dist[dst] != graph.Unreached {
+				resp["path"] = walkPath(src, dst, ans)
+			}
 		}
 	}
 	if r.URL.Query().Get("full") == "1" {
@@ -379,7 +425,7 @@ func (d *daemon) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if r.URL.Query().Get("validate") == "1" {
-		if verr := validateAnswer(cur.g, src, ans); verr != nil {
+		if verr := validateAnswer(cur.g, src, goal, ans); verr != nil {
 			writeJSON(w, http.StatusInternalServerError, map[string]any{"error": verr.Error(), "valid": false})
 			return
 		}
@@ -388,12 +434,93 @@ func (d *daemon) handleQuery(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
-// queryGuard dispatches one query solo or through the fused batcher.
-func queryGuard(ctx context.Context, cur *loaded, src int32, batched bool) (*serve.Answer, error) {
-	if batched {
-		return cur.guard.QueryFused(ctx, src)
+// parseGoal extracts the goal-directed params: dst (target vertex) and
+// k (depth bound, closed levels). Returns dst=-1 when absent. Every
+// violation is the client's fault — the caller maps errors to 400.
+func parseGoal(r *http.Request, n int32) (goal core.Goal, dst int32, err error) {
+	dst = -1
+	if dstS := r.URL.Query().Get("dst"); dstS != "" {
+		dst64, derr := strconv.ParseInt(dstS, 10, 32)
+		if derr != nil || dst64 < 0 || int32(dst64) >= n {
+			return goal, -1, fmt.Errorf("bad dst %q: want a vertex in [0,%d)", dstS, n)
+		}
+		dst = int32(dst64)
+		goal = core.GoalTo(dst)
 	}
-	return cur.guard.Query(ctx, src)
+	if kS := r.URL.Query().Get("k"); kS != "" {
+		k64, kerr := strconv.ParseInt(kS, 10, 32)
+		if kerr != nil || k64 < 1 {
+			return goal, -1, fmt.Errorf("bad k %q: want a positive depth bound", kS)
+		}
+		goal.MaxDepth = int32(k64)
+	}
+	return goal, dst, nil
+}
+
+// walkPath reconstructs the src→dst shortest path from the BFS tree.
+func walkPath(src, dst int32, ans *serve.Answer) []int32 {
+	path := make([]int32, 0, ans.Dist[dst]+1)
+	for v := dst; ; v = ans.Parent[v] {
+		path = append(path, v)
+		if v == src {
+			break
+		}
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+// handleComponents serves kind=components from the per-load cache.
+func (d *daemon) handleComponents(w http.ResponseWriter, cur *loaded) {
+	cur.compOnce.Do(func() {
+		_, sizes, err := analysis.Components(cur.g, core.Options{Workers: d.cfg.Options.Workers})
+		cur.compSizes, cur.compErr = sizes, err
+	})
+	if cur.compErr != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]any{"error": cur.compErr.Error()})
+		return
+	}
+	var largest int64
+	for _, s := range cur.compSizes {
+		if s > largest {
+			largest = s
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"kind":       "components",
+		"components": len(cur.compSizes),
+		"largest":    largest,
+	})
+}
+
+// handleEcc serves kind=ecc: one full BFS from src, reduced to the
+// eccentricity of its reachable set.
+func (d *daemon) handleEcc(w http.ResponseWriter, r *http.Request, cur *loaded) {
+	src64, err := strconv.ParseInt(r.URL.Query().Get("src"), 10, 32)
+	if err != nil || src64 < 0 || int32(src64) >= cur.g.NumVertices() {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": fmt.Sprintf("bad src %q", r.URL.Query().Get("src"))})
+		return
+	}
+	eccs, err := analysis.Eccentricities(cur.g, []int32{int32(src64)}, core.Options{Workers: d.cfg.Options.Workers})
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]any{"error": err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"kind": "ecc",
+		"src":  src64,
+		"ecc":  eccs[0],
+	})
+}
+
+// queryGuard dispatches one query solo or through the fused batcher.
+func queryGuard(ctx context.Context, cur *loaded, src int32, goal core.Goal, batched bool) (*serve.Answer, error) {
+	if batched {
+		return cur.guard.QueryFusedGoal(ctx, src, goal)
+	}
+	return cur.guard.QueryGoal(ctx, src, goal)
 }
 
 // answerFields builds the response fields every answer — complete or
@@ -410,6 +537,9 @@ func answerFields(src int32, ans *serve.Answer) map[string]any {
 	if ans.Fused {
 		resp["fused"] = true
 		resp["batch_lanes"] = ans.BatchLanes
+	}
+	if ans.Truncated {
+		resp["truncated"] = true
 	}
 	return resp
 }
@@ -437,8 +567,34 @@ func addProjection(resp map[string]any, r *http.Request, cur *loaded, ans *serve
 
 // validateAnswer checks the answer against the serial oracle and the
 // structural BFS-tree rules — the daemon's self-check for CI smoke.
-func validateAnswer(g *graph.CSR, src int32, ans *serve.Answer) error {
-	if err := graph.EqualDistances(ans.Dist, graph.ReferenceBFS(g, src)); err != nil {
+// Goal-directed answers are checked against the oracle's closed
+// levels: exact distances up to Answer.Levels, Unreached beyond.
+func validateAnswer(g *graph.CSR, src int32, goal core.Goal, ans *serve.Answer) error {
+	want := graph.ReferenceBFS(g, src)
+	if goal.Bounded() {
+		for v, d := range ans.Dist {
+			if wd := want[v]; wd != graph.Unreached && wd <= ans.Levels {
+				if d != wd {
+					return fmt.Errorf("bfsd: dist[%d]=%d, oracle %d (closed level)", v, d, wd)
+				}
+			} else if d != graph.Unreached {
+				return fmt.Errorf("bfsd: dist[%d]=%d, want Unreached past level %d", v, d, ans.Levels)
+			}
+			if p := ans.Parent[v]; d == graph.Unreached {
+				if p != -1 {
+					return fmt.Errorf("bfsd: unreached %d has parent %d", v, p)
+				}
+			} else if int32(v) != src && (p < 0 || ans.Dist[p] != d-1) {
+				return fmt.Errorf("bfsd: vertex %d depth %d has parent %d", v, d, p)
+			}
+		}
+		if tv := goal.TargetVertex(); tv >= 0 && want[tv] != graph.Unreached &&
+			(goal.MaxDepth == 0 || want[tv] <= goal.MaxDepth) && ans.Dist[tv] != want[tv] {
+			return fmt.Errorf("bfsd: target %d not settled: dist=%d, oracle %d", tv, ans.Dist[tv], want[tv])
+		}
+		return nil
+	}
+	if err := graph.EqualDistances(ans.Dist, want); err != nil {
 		return err
 	}
 	if err := graph.ValidateDistances(g, src, ans.Dist); err != nil {

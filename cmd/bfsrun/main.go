@@ -7,6 +7,8 @@
 //	bfsrun -algo BFS_CL -suite wikipedia -scale 128 -sources 16
 //	bfsrun -algo Baseline1(bag) -suite cage14 -validate
 //	bfsrun -algo BFS_WSL -suite wikipedia -trace run.json   # Perfetto trace
+//	bfsrun -algo BFS_WSL -suite wikipedia -src 0 -dst 4711  # s–t: stop at dst's level
+//	bfsrun -algo BFS_CL -suite cage14 -src 0 -k 4           # 4-hop neighborhood
 package main
 
 import (
@@ -43,9 +45,11 @@ func main() {
 		reorderM  = flag.String("reorder", "", "vertex relabeling: degree|bfs (results stay in original ids)")
 		shards    = flag.Int("shards", 1, "CSR shards for the core family (>1 = owner-compute sharded engines)")
 		hybrid    = flag.Bool("hybrid", false, "direction-optimizing mode: bottom-up levels on large frontiers (core parallel family)")
+		dst       = flag.Int("dst", -1, "goal vertex: terminate at the level barrier that settles it (core family)")
+		maxDepth  = flag.Int("k", 0, "depth bound: explore k closed levels then stop (core family, 0 = unbounded)")
 	)
 	flag.Parse()
-	if err := run(*algoName, *graphPath, *suite, *scale, *src, *sources, *workers, *seed, *validate, *machine, *profile, *balance, *trace, *reorderM, *shards, *hybrid); err != nil {
+	if err := run(*algoName, *graphPath, *suite, *scale, *src, *sources, *workers, *seed, *validate, *machine, *profile, *balance, *trace, *reorderM, *shards, *hybrid, *dst, *maxDepth); err != nil {
 		fmt.Fprintln(os.Stderr, "bfsrun:", err)
 		os.Exit(1)
 	}
@@ -104,10 +108,20 @@ func writeTrace(path, algoName string, src int32, res *core.Result) error {
 	return f.Close()
 }
 
-func run(algoName, graphPath, suite string, scale, src, sources, workers int, seed uint64, validate bool, machineName string, profile, balance bool, trace, reorderMode string, shards int, hybrid bool) error {
+func run(algoName, graphPath, suite string, scale, src, sources, workers int, seed uint64, validate bool, machineName string, profile, balance bool, trace, reorderMode string, shards int, hybrid bool, dst, maxDepth int) error {
 	algo, err := harness.AlgoByName(algoName)
 	if err != nil {
 		return err
+	}
+	goal := core.Goal{MaxDepth: int32(maxDepth)}
+	if dst >= 0 {
+		goal.Target = int32(dst) + 1
+	}
+	if goal.Bounded() && !algo.SupportsGoals() {
+		return fmt.Errorf("-dst/-k need the core family; %s runs to exhaustion", algoName)
+	}
+	if maxDepth < 0 {
+		return fmt.Errorf("-k %d: want a non-negative depth bound", maxDepth)
 	}
 	var machine costmodel.Machine
 	switch machineName {
@@ -127,6 +141,12 @@ func run(algoName, graphPath, suite string, scale, src, sources, workers int, se
 		return err
 	}
 	fmt.Printf("graph: n=%d m=%d avg-deg=%.1f\n", g.NumVertices(), g.NumEdges(), g.AvgDegree())
+	if dst >= 0 && int32(dst) >= g.NumVertices() {
+		return fmt.Errorf("-dst %d not in [0, %d)", dst, g.NumVertices())
+	}
+	if goal.Bounded() {
+		fmt.Printf("goal: target=%d depth-bound=%d (terminate at the closing level barrier)\n", dst, maxDepth)
+	}
 
 	var srcs []int32
 	if src >= 0 {
@@ -134,7 +154,8 @@ func run(algoName, graphPath, suite string, scale, src, sources, workers int, se
 	} else {
 		srcs = harness.PickSources(g, sources, seed)
 	}
-	opt := core.Options{Workers: workers, Seed: seed, Reorder: core.ReorderMode(reorderMode), Shards: shards, Hybrid: hybrid}
+	opt := core.Options{Workers: workers, Seed: seed, Reorder: core.ReorderMode(reorderMode), Shards: shards, Hybrid: hybrid,
+		Target: goal.Target, MaxDepth: goal.MaxDepth}
 	if opt.Reorder != core.ReorderNone {
 		// The engine relabels internally and maps results back, so the
 		// -validate comparison below stays in original vertex ids.
@@ -170,8 +191,7 @@ func run(algoName, graphPath, suite string, scale, src, sources, workers int, se
 		}
 		elapsed := time.Since(start)
 		if validate {
-			want := graph.ReferenceBFS(g, s)
-			if err := graph.EqualDistances(res.Dist, want); err != nil {
+			if err := validateRun(g, s, goal, res); err != nil {
 				return fmt.Errorf("validation failed from source %d: %w", s, err)
 			}
 		}
@@ -179,8 +199,15 @@ func run(algoName, graphPath, suite string, scale, src, sources, workers int, se
 		measured += elapsed.Seconds()
 		modeled += model
 		agg.Add(&res.Counters)
-		fmt.Printf("src=%-8d levels=%-4d reached=%-9d dup=%-7d measured=%8.3fms modeled(%s)=%8.3fms\n",
-			s, res.Levels, res.Reached, res.Duplicates(), elapsed.Seconds()*1e3, machine.Name, model*1e3)
+		mark := ""
+		if res.Truncated {
+			mark = " truncated"
+			if dst >= 0 {
+				mark = fmt.Sprintf(" truncated dist(%d)=%d", dst, res.Dist[dst])
+			}
+		}
+		fmt.Printf("src=%-8d levels=%-4d reached=%-9d dup=%-7d measured=%8.3fms modeled(%s)=%8.3fms%s\n",
+			s, res.Levels, res.Reached, res.Duplicates(), elapsed.Seconds()*1e3, machine.Name, model*1e3, mark)
 		lastLevels = res.LevelSizes
 		lastPerWorker = res.PerWorker
 		lastRes, lastSrc = res, s
@@ -238,7 +265,33 @@ func run(algoName, graphPath, suite string, scale, src, sources, workers int, se
 			agg.StealTooSmall, agg.StealStale, agg.StealInvalid)
 	}
 	if validate {
-		fmt.Println("validation: OK (distances match serial BFS)")
+		if goal.Bounded() {
+			fmt.Println("validation: OK (closed levels exact against serial BFS)")
+		} else {
+			fmt.Println("validation: OK (distances match serial BFS)")
+		}
+	}
+	return nil
+}
+
+// validateRun diffs one result against the serial oracle. Unbounded
+// runs must match everywhere; goal-truncated runs are exact over their
+// closed levels (every oracle distance <= res.Levels settled exactly,
+// everything deeper Unreached) — the same contract the chaos auditor
+// enforces.
+func validateRun(g *graph.CSR, src int32, goal core.Goal, res *core.Result) error {
+	want := graph.ReferenceBFS(g, src)
+	if !goal.Bounded() {
+		return graph.EqualDistances(res.Dist, want)
+	}
+	for v, d := range want {
+		if d != graph.Unreached && d <= res.Levels {
+			if res.Dist[v] != d {
+				return fmt.Errorf("dist[%d] = %d, oracle says %d at closed level", v, res.Dist[v], d)
+			}
+		} else if res.Dist[v] != graph.Unreached {
+			return fmt.Errorf("dist[%d] = %d, want Unreached past level %d", v, res.Dist[v], res.Levels)
+		}
 	}
 	return nil
 }

@@ -11,9 +11,17 @@
 // Usage:
 //
 //	graph500 -scale 18 -edgefactor 16 -algo BFS_WSL -rounds 16
+//
+// With -st the procedure measures goal-directed point-to-point search
+// instead of TEPS: each round runs one validated full BFS to pick a
+// mid-depth target, then times a full sweep and an s-t search
+// (core.Options.Target early termination) back to back in alternating
+// order, reporting per-round and paired-median speedup plus the edge
+// fraction the s-t search actually touched.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
@@ -41,15 +49,16 @@ func main() {
 		reorderM   = flag.String("reorder", "", "vertex relabeling: degree|bfs (validation stays in original ids)")
 		shards     = flag.Int("shards", 1, "CSR shards (>1 = owner-compute sharded engines)")
 		hybrid     = flag.Bool("hybrid", false, "direction-optimizing mode (bottom-up levels on large frontiers)")
+		st         = flag.Bool("st", false, "paired s-t mode: time full BFS vs goal-directed search to a mid-depth target each round")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *scale, *edgefactor, *algoName, *rounds, *workers, *seed, *skipVal, *machine, *reorderM, *shards, *hybrid); err != nil {
+	if err := run(os.Stdout, *scale, *edgefactor, *algoName, *rounds, *workers, *seed, *skipVal, *machine, *reorderM, *shards, *hybrid, *st); err != nil {
 		fmt.Fprintln(os.Stderr, "graph500:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w *os.File, scale int, edgefactor int64, algoName string, rounds, workers int, seed uint64, skipVal bool, machineName, reorderMode string, shards int, hybrid bool) error {
+func run(w *os.File, scale int, edgefactor int64, algoName string, rounds, workers int, seed uint64, skipVal bool, machineName, reorderMode string, shards int, hybrid bool, st bool) error {
 	if scale < 1 || scale > 30 {
 		return fmt.Errorf("scale %d out of [1,30]", scale)
 	}
@@ -59,6 +68,9 @@ func run(w *os.File, scale int, edgefactor int64, algoName string, rounds, worke
 	algo, err := harness.AlgoByName(algoName)
 	if err != nil {
 		return err
+	}
+	if st && !algo.SupportsGoals() {
+		return fmt.Errorf("-st needs the core family; %s runs to exhaustion", algoName)
 	}
 	var machine costmodel.Machine
 	switch machineName {
@@ -110,6 +122,9 @@ func run(w *os.File, scale int, edgefactor int64, algoName string, rounds, worke
 		return err
 	}
 	defer runner.Close()
+	if st {
+		return runST(w, g, runner, sources, seed, skipVal)
+	}
 	var harmonicAcc, modeledHarmonicAcc float64
 	valid := 0
 	for i, src := range sources {
@@ -151,6 +166,100 @@ func run(w *os.File, scale int, edgefactor int64, algoName string, rounds, worke
 	if !skipVal {
 		fmt.Fprintf(w, "validation: %d/%d rounds passed\n", valid, len(sources))
 	}
+	return nil
+}
+
+// runST is the -st procedure: per round, one validated full BFS picks a
+// target at roughly half the eccentricity, then a full sweep and a
+// goal-directed search to that target are timed back to back (order
+// alternating by round, both reseeded identically, same pooled engine),
+// so each round yields one paired full/s-t ratio. The headline number is
+// the median of those per-round ratios — pairing makes it immune to
+// slow drift (thermal, page cache) across the run.
+func runST(w *os.File, g *graph.CSR, runner *harness.Runner, sources []int32, seed uint64, skipVal bool) error {
+	ctx := context.Background()
+	var ratios, fracs, fullMS, stMS []float64
+	for i, src := range sources {
+		roundSeed := seed + uint64(i) + 1
+
+		// Pick + validate round: untimed full run chooses the target.
+		runner.Reseed(roundSeed)
+		res, err := runner.Run(src)
+		if err != nil {
+			return err
+		}
+		if !skipVal {
+			if err := graph.ValidateDistances(g, src, res.Dist); err != nil {
+				return fmt.Errorf("round %d: %w", i, err)
+			}
+		}
+		wantDepth := res.Levels / 2
+		if wantDepth < 1 {
+			wantDepth = 1
+		}
+		dst := src
+		for v, d := range res.Dist {
+			if d == int32(wantDepth) {
+				dst = int32(v)
+				break
+			}
+		}
+		wantDist := res.Dist[dst]
+		fullEdges := res.EdgesTraversed
+
+		// Timed pair, order alternating by round parity.
+		timedFull := func() (float64, error) {
+			runner.Reseed(roundSeed)
+			start := time.Now()
+			_, err := runner.Run(src)
+			return time.Since(start).Seconds(), err
+		}
+		timedST := func() (float64, int64, error) {
+			runner.Reseed(roundSeed)
+			start := time.Now()
+			res, err := runner.RunGoal(ctx, src, core.GoalTo(dst))
+			elapsed := time.Since(start).Seconds()
+			if err != nil {
+				return 0, 0, err
+			}
+			if res.Dist[dst] != wantDist {
+				return 0, 0, fmt.Errorf("round %d: s-t dist[%d] = %d, full BFS says %d", i, dst, res.Dist[dst], wantDist)
+			}
+			return elapsed, res.EdgesTraversed, nil
+		}
+		var tFull, tST float64
+		var stEdges int64
+		if i%2 == 0 {
+			if tFull, err = timedFull(); err != nil {
+				return err
+			}
+			if tST, stEdges, err = timedST(); err != nil {
+				return err
+			}
+		} else {
+			if tST, stEdges, err = timedST(); err != nil {
+				return err
+			}
+			if tFull, err = timedFull(); err != nil {
+				return err
+			}
+		}
+		ratio := tFull / tST
+		frac := float64(stEdges) / float64(fullEdges)
+		ratios = append(ratios, ratio)
+		fracs = append(fracs, frac)
+		fullMS = append(fullMS, tFull*1e3)
+		stMS = append(stMS, tST*1e3)
+		status := "skipped"
+		if !skipVal {
+			status = "ok"
+		}
+		fmt.Fprintf(w, "round %2d: src=%-9d dst=%-9d dist=%-3d full=%8.2fms s-t=%8.2fms speedup=%5.2fx edges=%5.1f%% validation=%s\n",
+			i, src, dst, wantDist, tFull*1e3, tST*1e3, ratio, frac*100, status)
+	}
+	fmt.Fprintf(w, "\npaired-median s-t speedup: %.2fx (full %.2fms vs s-t %.2fms median, %.1f%% of edges) over %d rounds\n",
+		stats.Summarize(ratios).Median, stats.Summarize(fullMS).Median, stats.Summarize(stMS).Median,
+		stats.Summarize(fracs).Median*100, len(sources))
 	return nil
 }
 

@@ -97,6 +97,24 @@ func (e *Engine) RunContext(ctx context.Context, src int32) (*Result, error) {
 	}
 }
 
+// RunGoal executes one goal-directed search from src: the run stops at
+// the level barrier that settles goal (target committed or depth bound
+// reached), and the partial Result is exact for every closed level —
+// distances at or below Result.Levels are final, deeper vertices are
+// Unreached, Result.Truncated reports whether the goal fired. Goal
+// checks happen only at level barriers, so the hot traversal path is
+// identical to Run's. Supported by the paper's algorithms (the engine
+// family); the baseline fallbacks have no goal machinery and refuse.
+func (e *Engine) RunGoal(ctx context.Context, src int32, goal Goal) (*Result, error) {
+	if e.closed {
+		return nil, fmt.Errorf("optibfs: engine is closed")
+	}
+	if e.ce == nil {
+		return nil, fmt.Errorf("optibfs: %s does not support goal-directed termination", e.algo)
+	}
+	return e.ce.RunGoal(ctx, src, goal)
+}
+
 // RunMany runs one search per source, invoking visit (if non-nil)
 // after each. The Result passed to visit aliases pooled state and is
 // only valid for the duration of that call; visit returning a non-nil

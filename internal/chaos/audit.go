@@ -49,6 +49,102 @@ func (v Violation) String() string { return v.Invariant + ": " + v.Detail }
 // therefore drops pops-cover-reached and the upper conservation bound,
 // keeping the lower bound (every reached vertex was still discovered
 // exactly through some kernel) and every distance/level invariant.
+// AuditGoal is Audit for goal-directed runs: a bounded goal changes
+// what "correct" means, so the oracle comparison becomes exactness
+// over the closed levels. The expected stop point is derived from the
+// full oracle (whichever of target/depth fires first wins), then:
+//
+//	goal-levels-match           Levels equals the derived closed-level count.
+//	goal-truncation-honest      Truncated is set iff the goal actually fired.
+//	goal-distances-exact        every oracle distance ≤ Levels is settled
+//	                            exactly; everything deeper reads Unreached.
+//	parents-valid (prefix)      parent pointers over settled vertices only.
+//	level-sizes-account         Σ LevelSizes counts exactly the vertices at
+//	                            closed levels (< Levels).
+//
+// The queue-conservation upper bound and pops-cover-reached are
+// dropped for truncated runs — termination at a barrier legitimately
+// leaves discovered final-frontier entries unpopped — but the lower
+// bound (every reached vertex was discovered) still holds and is
+// checked. An unbounded goal delegates to Audit untouched.
+func AuditGoal(g *graph.CSR, src int32, want []int32, goal core.Goal, res *core.Result) []Violation {
+	if !goal.Bounded() {
+		return Audit(g, src, want, res)
+	}
+	var vs []Violation
+	add := func(invariant, format string, args ...any) {
+		vs = append(vs, Violation{Invariant: invariant, Detail: fmt.Sprintf(format, args...)})
+	}
+	if want == nil {
+		want = graph.ReferenceBFS(g, src)
+	}
+	ecc := graph.Eccentricity(want)
+	wantLevels := ecc + 1
+	wantTrunc := false
+	if d := goal.MaxDepth; d > 0 && ecc >= d {
+		wantLevels = d
+		wantTrunc = true
+	}
+	if tv := goal.TargetVertex(); tv >= 0 && tv < int32(len(want)) {
+		if dt := want[tv]; dt != graph.Unreached && dt < wantLevels {
+			wantLevels = dt
+			wantTrunc = true
+		}
+	}
+	if res.Levels != wantLevels {
+		add("goal-levels-match", "Levels = %d, oracle stop point %d (goal %+v)", res.Levels, wantLevels, goal)
+	}
+	if res.Truncated != wantTrunc {
+		add("goal-truncation-honest", "Truncated = %v, want %v (goal %+v)", res.Truncated, wantTrunc, goal)
+	}
+	for v := range res.Dist {
+		if d := want[v]; d != graph.Unreached && d <= wantLevels {
+			if res.Dist[v] != d {
+				add("goal-distances-exact", "dist[%d] = %d, oracle %d at closed level", v, res.Dist[v], d)
+				break
+			}
+		} else if res.Dist[v] != graph.Unreached {
+			add("goal-distances-exact", "dist[%d] = %d, want Unreached past level %d", v, res.Dist[v], wantLevels)
+			break
+		}
+	}
+	if res.Parent != nil {
+		for v, p := range res.Parent {
+			d := res.Dist[v]
+			switch {
+			case d == graph.Unreached:
+				if p != -1 {
+					add("parents-valid", "unreached vertex %d has parent %d", v, p)
+				}
+			case int32(v) == src:
+				if p != src {
+					add("parents-valid", "source parent = %d", p)
+				}
+			default:
+				if p < 0 || res.Dist[p] != d-1 {
+					add("parents-valid", "vertex %d at depth %d has parent %d", v, d, p)
+				}
+			}
+		}
+	}
+	if got := res.Counters.Discovered; got < res.Reached-1 {
+		add("discovered-conservation", "Σ Discovered = %d < Reached−1 = %d", got, res.Reached-1)
+	}
+	var lv, settled int64
+	for _, s := range res.LevelSizes {
+		lv += s
+	}
+	for _, d := range res.Dist {
+		if d != graph.Unreached && d < res.Levels {
+			settled++
+		}
+	}
+	if lv != settled {
+		add("level-sizes-account", "Σ LevelSizes = %d, want %d closed-level vertices", lv, settled)
+	}
+	return vs
+}
+
 func Audit(g *graph.CSR, src int32, want []int32, res *core.Result) []Violation {
 	var vs []Violation
 	add := func(invariant, format string, args ...any) {

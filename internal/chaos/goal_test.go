@@ -1,0 +1,196 @@
+package chaos
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"optibfs/internal/core"
+	"optibfs/internal/gen"
+	"optibfs/internal/graph"
+)
+
+// TestAuditGoalContract: a goal-terminated run passes the goal-aware
+// audit, tampering with a settled distance, the truncation flag, or
+// the level count is caught, and an unbounded goal delegates to the
+// plain full-oracle Audit.
+func TestAuditGoalContract(t *testing.T) {
+	g, err := gen.LayeredRandom(1500, 7500, 30, 9, gen.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := graph.ReferenceBFS(g, 0)
+
+	// Depth-bounded run: 5 closed levels, everything deeper Unreached.
+	goal := core.Goal{MaxDepth: 5}
+	res, err := core.Run(g, 0, core.BFSWL, core.Options{Workers: 4, TrackParents: true, MaxDepth: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated || res.Levels != 5 {
+		t.Fatalf("depth-bounded run: Levels=%d Truncated=%v", res.Levels, res.Truncated)
+	}
+	if vs := AuditGoal(g, 0, want, goal, res); len(vs) != 0 {
+		t.Fatalf("clean truncated run flagged: %v", vs)
+	}
+	// nil oracle computes its own reference.
+	if vs := AuditGoal(g, 0, nil, goal, res); len(vs) != 0 {
+		t.Fatalf("clean truncated run flagged with computed oracle: %v", vs)
+	}
+
+	flagged := func(vs []Violation, invariant string) bool {
+		for _, v := range vs {
+			if v.Invariant == invariant {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Tamper with a settled distance: caught as goal-distances-exact.
+	var settled int32 = -1
+	for v, d := range want {
+		if d > 0 && d < 5 {
+			settled = int32(v)
+			break
+		}
+	}
+	saved := res.Dist[settled]
+	res.Dist[settled] = saved + 1
+	if vs := AuditGoal(g, 0, want, goal, res); !flagged(vs, "goal-distances-exact") {
+		t.Fatalf("corrupted settled distance not flagged: %v", vs)
+	}
+	res.Dist[settled] = saved
+
+	// Lie about truncation: caught as goal-truncation-honest.
+	res.Truncated = false
+	if vs := AuditGoal(g, 0, want, goal, res); !flagged(vs, "goal-truncation-honest") {
+		t.Fatalf("false truncation flag not flagged: %v", vs)
+	}
+	res.Truncated = true
+
+	// Misreport the closed-level count: caught as goal-levels-match
+	// (and the level histogram no longer accounts for the prefix).
+	res.Levels--
+	if vs := AuditGoal(g, 0, want, goal, res); !flagged(vs, "goal-levels-match") {
+		t.Fatalf("wrong closed-level count not flagged: %v", vs)
+	}
+	res.Levels++
+
+	// Target goal: terminate at a depth-8 vertex's level barrier.
+	var deep int32 = -1
+	for v, d := range want {
+		if d == 8 {
+			deep = int32(v)
+			break
+		}
+	}
+	tres, err := core.Run(g, 0, core.BFSWL, core.Options{Workers: 4, Target: deep + 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := AuditGoal(g, 0, want, core.GoalTo(deep), tres); len(vs) != 0 {
+		t.Fatalf("clean target run flagged: %v", vs)
+	}
+
+	// Unbounded goal delegates to the full-oracle Audit.
+	full, err := core.Run(g, 0, core.BFSWL, core.Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vs := AuditGoal(g, 0, want, core.Goal{}, full); len(vs) != 0 {
+		t.Fatalf("unbounded delegation flagged a clean run: %v", vs)
+	}
+	full.Dist[settled] = -7
+	if vs := AuditGoal(g, 0, want, core.Goal{}, full); !flagged(vs, "distances-match-oracle") {
+		t.Fatalf("unbounded delegation missed a corrupted distance: %v", vs)
+	}
+}
+
+// TestSoakGoalDimension sweeps a deep layered graph so the derived
+// goals (targets and shallow depth bounds) genuinely truncate runs:
+// the sweep must come back clean under the goal-aware audit, some
+// cells must actually have terminated early, and the report line must
+// say so. The engine sweep reuses one engine per pair across bounded
+// and unbounded cells — a leaked truncation (stale goal surviving into
+// the next run) would surface as a goal-levels-match violation there.
+func TestSoakGoalDimension(t *testing.T) {
+	graphs := []GraphSpec{{Kind: "layered", N: 1500, M: 7500, Layers: 30, Seed: 9}}
+	profiles := []Profile{{Name: "baseline"}, mustProfile(t, "mixed")}
+	for _, engines := range []bool{false, true} {
+		var buf bytes.Buffer
+		rep, err := Soak(SoakConfig{
+			Graphs:     graphs,
+			Profiles:   profiles,
+			Seeds:      3,
+			Workers:    4,
+			Engines:    engines,
+			Log:        &buf,
+			Algorithms: []core.Algorithm{core.Serial, core.BFSWL, core.BFSWSL},
+		})
+		if err != nil {
+			t.Fatalf("engines=%v: %v", engines, err)
+		}
+		if rep.Failures != 0 {
+			t.Fatalf("engines=%v: goal sweep broke invariants:\n%s", engines, buf.String())
+		}
+		if rep.Truncated == 0 {
+			t.Fatalf("engines=%v: no cell terminated early; the goal dimension is dead", engines)
+		}
+		if !strings.Contains(rep.String(), "goal-truncated") {
+			t.Fatalf("engines=%v: report line omits the goal dimension: %s", engines, rep)
+		}
+	}
+}
+
+// TestReplayGoalRun round-trips a goal through a repro artifact: the
+// replayed run terminates where the recorded one did and the replay
+// audits it by the goal-aware contract (a full-oracle audit would
+// flag every Unreached vertex past the bound).
+func TestReplayGoalRun(t *testing.T) {
+	r := Repro{
+		Graph:     GraphSpec{Kind: "layered", N: 1500, M: 7500, Layers: 30, Seed: 9},
+		Source:    0,
+		Algorithm: core.BFSWSL,
+		Options: RunOptions{
+			Workers: 4, TrackParents: true, MaxDepth: 4, Seed: 0xfeed,
+		},
+		Profile:       mustProfile(t, "steal-storm"),
+		InjectionSeed: 0xabcde,
+	}
+	dir := t.TempDir()
+	path, err := WriteRepro(dir, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadRepro(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Options.MaxDepth != 4 {
+		t.Fatalf("depth bound lost in artifact round-trip: %+v", got.Options)
+	}
+	vs, res, err := Replay(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Fatalf("goal replay of a correct run reported violations: %v", vs)
+	}
+	if !res.Truncated || res.Levels != 4 {
+		t.Fatalf("goal replay: Levels=%d Truncated=%v, want 4/true", res.Levels, res.Truncated)
+	}
+
+	// The engine-run replay path honors the construction-time goal too.
+	got.EngineRun = true
+	vs, res, err = Replay(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 0 {
+		t.Fatalf("engine goal replay reported violations: %v", vs)
+	}
+	if !res.Truncated || res.Levels != 4 {
+		t.Fatalf("engine goal replay: Levels=%d Truncated=%v, want 4/true", res.Levels, res.Truncated)
+	}
+}

@@ -1,6 +1,7 @@
 package chaos
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -109,6 +110,12 @@ type RunOptions struct {
 	// 0 leaves it off. Set by the soak for Disruptive profiles so forced
 	// stalls are detected rather than hanging the sweep.
 	StallTimeoutMillis int `json:"stall_timeout_millis,omitempty"`
+	// Target is a goal-directed termination target, in core.Options'
+	// vertex+1 sentinel encoding (0 = none): the run stops at the level
+	// barrier that settles vertex Target−1.
+	Target int32 `json:"target,omitempty"`
+	// MaxDepth bounds the run to that many closed levels (0 = none).
+	MaxDepth int32 `json:"max_depth,omitempty"`
 	// Seed drives victim/pool selection inside the run.
 	Seed uint64 `json:"seed"`
 }
@@ -130,6 +137,8 @@ func (o RunOptions) Core() core.Options {
 		Shards:            o.Shards,
 		Hybrid:            o.Hybrid,
 		StallTimeout:      time.Duration(o.StallTimeoutMillis) * time.Millisecond,
+		Target:            o.Target,
+		MaxDepth:          o.MaxDepth,
 		Seed:              o.Seed,
 	}
 }
@@ -214,6 +223,10 @@ func Replay(r Repro) ([]Violation, *core.Result, error) {
 	if opt.Workers <= 0 {
 		opt.Workers = runtime.GOMAXPROCS(0)
 	}
+	// The artifact's goal rides in as construction-time options, so the
+	// replayed run terminates where the recorded one did; the audit
+	// judges it by the same goal-aware contract.
+	goal := core.Goal{Target: r.Options.Target, MaxDepth: r.Options.MaxDepth}
 	if r.EngineRun {
 		// The failure was observed on a reused engine: replay the run
 		// three times on one engine so second-run-and-later bugs (state
@@ -244,7 +257,7 @@ func Replay(r Repro) ([]Violation, *core.Result, error) {
 				}
 				continue
 			}
-			vs := Audit(g, r.Source, nil, res)
+			vs := AuditGoal(g, r.Source, nil, goal, res)
 			vs = append(vs, levelViolations(inj)...)
 			all = append(all, vs...)
 		}
@@ -264,7 +277,7 @@ func Replay(r Repro) ([]Violation, *core.Result, error) {
 		}
 		return nil, nil, err
 	}
-	vs := Audit(g, r.Source, nil, res)
+	vs := AuditGoal(g, r.Source, nil, goal, res)
 	vs = append(vs, levelViolations(inj)...)
 	return vs, res, nil
 }
@@ -400,6 +413,10 @@ type SoakReport struct {
 	// Duplicates is the total duplicate work (Pops − Reached) the
 	// optimistic runs absorbed.
 	Duplicates int64
+	// Truncated is how many runs a goal (target or depth bound)
+	// terminated early at a level barrier; those runs are audited by
+	// the goal-aware closed-level contract instead of the full oracle.
+	Truncated int
 	// Panics is how many runs aborted with a recovered worker panic
 	// (Disruptive profiles only; each one is a survived process crash).
 	Panics int
@@ -422,14 +439,22 @@ func (r *SoakReport) String() string {
 	if r.Panics > 0 || r.Stalls > 0 {
 		faults = fmt.Sprintf(", %d recovered panics, %d detected stalls", r.Panics, r.Stalls)
 	}
-	return fmt.Sprintf("soak: %d runs%s, %d failures, %d injections, %d stale steals, %d duplicate pops%s, %s",
-		r.Runs, engines, r.Failures, r.Injections, r.StaleSteals, r.Duplicates, faults, r.Elapsed.Round(time.Millisecond))
+	goals := ""
+	if r.Truncated > 0 {
+		goals = fmt.Sprintf(", %d goal-truncated", r.Truncated)
+	}
+	return fmt.Sprintf("soak: %d runs%s, %d failures, %d injections, %d stale steals, %d duplicate pops%s%s, %s",
+		r.Runs, engines, r.Failures, r.Injections, r.StaleSteals, r.Duplicates, faults, goals, r.Elapsed.Round(time.Millisecond))
 }
 
 // deriveOptions expands one per-run seed into a full option set,
 // covering the configuration space (segment sizes, pools, NUMA
 // simulation, claim/parent/persistence toggles) deterministically.
-func deriveOptions(r *rng.SplitMix64, maxWorkers int) RunOptions {
+// n is the graph's vertex count: about a third of the runs draw a
+// goal (a random termination target, a random depth bound, or both)
+// so barrier-time early termination is crossed with every other
+// dimension under injection.
+func deriveOptions(r *rng.SplitMix64, maxWorkers int, n int32) RunOptions {
 	o := RunOptions{
 		Workers: 2 + int(r.Next()%uint64(maxWorkers-1)),
 		Seed:    r.Next(),
@@ -488,6 +513,21 @@ func deriveOptions(r *rng.SplitMix64, maxWorkers int) RunOptions {
 	// soak, crossing the direction machinery with every other dimension
 	// (claims, sharding, persistence, publication blocks).
 	o.Hybrid = r.Next()%4 == 0
+	// Goals: a third of the runs terminate early — at a random target
+	// vertex, a random (shallow) depth bound, or occasionally both, so
+	// the whichever-fires-first rule is exercised too. The rest stay
+	// unbounded and keep the full differential baseline.
+	if n > 0 {
+		switch r.Next() % 3 {
+		case 0:
+			o.Target = 1 + int32(r.Next()%uint64(n))
+			if r.Next()%4 == 0 {
+				o.MaxDepth = 1 + int32(r.Next()%8)
+			}
+		case 1:
+			o.MaxDepth = 1 + int32(r.Next()%8)
+		}
+	}
 	return o
 }
 
@@ -552,7 +592,7 @@ func Soak(cfg SoakConfig) (*SoakReport, error) {
 						cell := rng.Mix64(cfg.BaseSeed ^ rng.Mix64(uint64(round)<<32|uint64(s)) ^
 							rng.Mix64(uint64(len(pg.spec.Kind))+pg.spec.Seed) ^ hashString(string(algo)+prof.Name))
 						r := rng.NewSplitMix64(cell)
-						opts := deriveOptions(r, cfg.Workers)
+						opts := deriveOptions(r, cfg.Workers, pg.g.NumVertices())
 						if cfg.Shards > 0 {
 							opts.Shards = cfg.Shards
 							if opts.Shards > 1 {
@@ -568,6 +608,9 @@ func Soak(cfg SoakConfig) (*SoakReport, error) {
 							// applies to the parallel cells.
 							opts.Hybrid = false
 						}
+						// The cell's goal, captured before engines mode
+						// swaps opts for the shared engine's frozen set.
+						goal := core.Goal{Target: opts.Target, MaxDepth: opts.MaxDepth}
 						injSeed := r.Next()
 						if prof.Disruptive() {
 							// Arm the watchdog so forced stalls abort with
@@ -583,24 +626,31 @@ func Soak(cfg SoakConfig) (*SoakReport, error) {
 							key := engKey{gi, algo, prof.Disruptive()}
 							se := engines[key]
 							if se == nil {
-								e, eerr := core.NewBackend(pg.g, algo, opts.Core())
+								// The shared engine is built goal-free —
+								// each cell's goal is a per-run RunGoal
+								// override, never frozen into the build.
+								bopts := opts
+								bopts.Target, bopts.MaxDepth = 0, 0
+								e, eerr := core.NewBackend(pg.g, algo, bopts.Core())
 								if eerr != nil {
 									return nil, fmt.Errorf("chaos: engine for %s on %s: %w", algo, pg.spec, eerr)
 								}
-								se = &sharedEng{e: e, opts: opts}
+								se = &sharedEng{e: e, opts: bopts}
 								engines[key] = se
 							}
 							// The engine froze everything but the seed at
 							// build time; this cell contributes a fresh
-							// run seed and a fresh injector (sized for the
-							// engine's worker count, not this cell's).
+							// run seed, a fresh goal, and a fresh injector
+							// (sized for the engine's worker count, not
+							// this cell's).
 							seed := opts.Seed
 							opts = se.opts
 							opts.Seed = seed
+							opts.Target, opts.MaxDepth = goal.Target, goal.MaxDepth
 							inj = NewInjector(prof, injSeed, opts.injectorWorkers())
 							se.e.SetChaos(inj)
 							se.e.Reseed(seed)
-							res, rerr = se.e.Run(0)
+							res, rerr = se.e.RunGoal(context.Background(), 0, goal)
 							if rerr != nil && !recoveryAbort(rerr) {
 								return nil, fmt.Errorf("chaos: %s on %s (engine): %w", algo, pg.spec, rerr)
 							}
@@ -661,6 +711,9 @@ func Soak(cfg SoakConfig) (*SoakReport, error) {
 							}
 							continue
 						}
+						if res.Truncated {
+							rep.Truncated++
+						}
 						rep.StaleSteals += res.Counters.StealStale
 						if d := res.Duplicates(); d > 0 {
 							// Hybrid runs can report negative
@@ -670,7 +723,7 @@ func Soak(cfg SoakConfig) (*SoakReport, error) {
 							rep.Duplicates += d
 						}
 
-						vs := Audit(pg.g, 0, pg.want, res)
+						vs := AuditGoal(pg.g, 0, pg.want, goal, res)
 						vs = append(vs, levelViolations(inj)...)
 						publishSoakRun(cfg.Registry, algo, prof, inj, res, len(vs))
 						if cfg.Verbose {

@@ -28,8 +28,10 @@ func TestGraphSpecGenerate(t *testing.T) {
 func TestDeriveOptionsStayInRange(t *testing.T) {
 	r := rng.NewSplitMix64(17)
 	const maxWorkers = 9
+	const n = 4096
+	goals := 0
 	for i := 0; i < 500; i++ {
-		o := deriveOptions(r, maxWorkers)
+		o := deriveOptions(r, maxWorkers, n)
 		if o.Workers < 2 || o.Workers > maxWorkers {
 			t.Fatalf("workers %d out of [2, %d]", o.Workers, maxWorkers)
 		}
@@ -56,6 +58,23 @@ func TestDeriveOptionsStayInRange(t *testing.T) {
 		if o.Core().Shards != o.Shards {
 			t.Fatalf("shards %d lost in Core() conversion", o.Shards)
 		}
+		if o.Target < 0 || o.Target > n {
+			t.Fatalf("target %d out of vertex+1 range [0, %d]", o.Target, n)
+		}
+		if o.MaxDepth < 0 || o.MaxDepth > 8 {
+			t.Fatalf("depth bound %d out of [0, 8]", o.MaxDepth)
+		}
+		if o.Core().Target != o.Target || o.Core().MaxDepth != o.MaxDepth {
+			t.Fatalf("goal (%d, %d) lost in Core() conversion", o.Target, o.MaxDepth)
+		}
+		if o.Target != 0 || o.MaxDepth != 0 {
+			goals++
+		}
+	}
+	// About a third of the derived sets must carry a goal — the sweep
+	// would silently stop covering early termination if the draw broke.
+	if goals < 100 || goals > 450 {
+		t.Fatalf("%d of 500 derived option sets carry a goal, want roughly two thirds", goals)
 	}
 }
 

@@ -231,6 +231,29 @@ type Options struct {
 	// and notice ctx only at level boundaries, as before.
 	StallTimeout time.Duration
 
+	// Target, when non-zero, holds dst+1 — the same vertex+1 sentinel
+	// encoding the queue slots use, so the zero Options stays fully
+	// unbounded while vertex 0 remains a legal target (use GoalTo or
+	// SetTarget rather than open-coding the +1). A targeted search
+	// terminates at the first level barrier after dst's distance
+	// commits. The barrier is already the run's one single-threaded
+	// point, so termination adds no locks and no atomic RMW: the driver
+	// reads the target's epoch stamp where the level's happens-before
+	// edge already exists. Level synchrony makes the partial Result
+	// exact — when the barrier after exploring level d-1 observes the
+	// target settled at distance d, every vertex at distance <= d has
+	// its final distance, and everything deeper reads Unreached. The
+	// Result is marked Truncated. Engines honor a per-run override via
+	// RunGoal without rebuilding.
+	Target int32
+	// MaxDepth, when positive, bounds the traversal to that many
+	// levels: the run stops at the barrier where the completed-level
+	// count reaches MaxDepth, settling every vertex at distance <=
+	// MaxDepth (a k-hop neighborhood) and never scanning the edges of
+	// the deepest rank. 0 (the default) is unbounded. Composes with
+	// Target: whichever goal fires first terminates the run.
+	MaxDepth int32
+
 	// Chaos, when non-nil, receives a callback at each of the
 	// optimistic protocols' instrumented racy points (see ChaosPoint)
 	// so tests and the internal/chaos soak harness can provoke rare
@@ -290,7 +313,67 @@ func (o Options) withDefaults() Options {
 	} else if o.SameSocketBias > 1 {
 		o.SameSocketBias = 1
 	}
+	if o.MaxDepth < 0 {
+		o.MaxDepth = 0
+	}
 	return o
+}
+
+// SetTarget records dst as the Options' target vertex in the vertex+1
+// sentinel encoding (see Options.Target). A negative dst clears it.
+func (o *Options) SetTarget(dst int32) {
+	if dst < 0 {
+		o.Target = 0
+		return
+	}
+	o.Target = dst + 1
+}
+
+// Goal is a per-run traversal bound, the pair of Options.Target and
+// Options.MaxDepth lifted out so one warm engine can answer queries
+// with different goals without rebuilding (see Engine.RunGoal and
+// Backend.RunGoal). Target uses the same vertex+1 sentinel encoding as
+// Options.Target — zero means no target — so the zero Goal bounds
+// nothing and RunGoal with it is exactly RunContext.
+type Goal struct {
+	// Target is dst+1, or 0 for no target (see Options.Target).
+	Target int32
+	// MaxDepth bounds the completed-level count; 0 is unbounded (see
+	// Options.MaxDepth).
+	MaxDepth int32
+}
+
+// GoalTo returns a Goal that terminates once dst's distance commits.
+// A negative dst yields the unbounded zero Goal.
+func GoalTo(dst int32) Goal {
+	if dst < 0 {
+		return Goal{}
+	}
+	return Goal{Target: dst + 1}
+}
+
+// TargetVertex decodes the goal's target vertex, or -1 when none.
+func (g Goal) TargetVertex() int32 { return g.Target - 1 }
+
+// Bounded reports whether the goal terminates anything at all.
+func (g Goal) Bounded() bool { return g.Target != 0 || g.MaxDepth > 0 }
+
+// goal extracts the construction-time goal from resolved options.
+func (o Options) goal() Goal { return Goal{Target: o.Target, MaxDepth: o.MaxDepth} }
+
+// validGoal rejects goals that name a vertex outside [0, n) or carry a
+// negative (meaningless) encoding. The zero Goal is always valid.
+func validGoal(g Goal, n int32) error {
+	if g.Target < 0 {
+		return fmt.Errorf("core: negative goal target encoding %d", g.Target)
+	}
+	if g.Target > n {
+		return fmt.Errorf("core: goal target %d out of range [0,%d)", g.Target-1, n)
+	}
+	if g.MaxDepth < 0 {
+		return fmt.Errorf("core: negative goal max depth %d", g.MaxDepth)
+	}
+	return nil
 }
 
 // maxSteal returns the MAX_STEAL bound c·k·log2(k) for k targets,
@@ -321,6 +404,14 @@ type Result struct {
 	LevelSizes []int64
 	// Levels is the number of BFS levels explored (depth+1 of the tree).
 	Levels int32
+	// Truncated reports that the run terminated at a goal — the target
+	// vertex's distance committed (Options.Target / Goal.Target) or the
+	// completed-level count reached Options.MaxDepth with frontier
+	// remaining — rather than by frontier exhaustion. Every distance at
+	// a closed level (< Levels, plus the target itself) is exact; deeper
+	// vertices read Unreached except for the final frontier, which is
+	// settled at distance == Levels but outside LevelSizes.
+	Truncated bool
 	// Reached is the number of vertices reached, including the source.
 	Reached int64
 	// EdgesTraversed is the number of edges incident to reached

@@ -50,15 +50,23 @@ type Engine struct {
 	inv      []int32
 	rmDist   []int32
 	rmParent []int32
+
+	// baseGoal is the construction-time goal from Options.Target /
+	// Options.MaxDepth, held in relabeled space so RunGoal can restore
+	// it on the impl after a per-run override.
+	baseGoal Goal
 }
 
 // engineImpl is the per-family backend behind an Engine. run returns
 // the (possibly partial) Result together with the abort error, if any:
-// *WorkerPanicError, *StallError, or ErrPoisoned.
+// *WorkerPanicError, *StallError, or ErrPoisoned. setGoal rebinds the
+// termination goal between runs (vertex+1 target encoding, relabeled
+// space); it must not be called while a search is in flight.
 type engineImpl interface {
 	run(ctx context.Context, src int32) (*Result, error)
 	reseed(seed uint64)
 	setChaos(h ChaosHook)
+	setGoal(target, depth int32)
 	close()
 }
 
@@ -88,6 +96,9 @@ func NewEngine(g *graph.CSR, algo Algorithm, opt Options) (*Engine, error) {
 		return nil, fmt.Errorf("core: nil graph")
 	}
 	opt = opt.withDefaults()
+	if err := validGoal(opt.goal(), g.NumVertices()); err != nil {
+		return nil, err
+	}
 	rg := g
 	var perm, inv []int32
 	switch opt.Reorder {
@@ -116,7 +127,13 @@ func NewEngine(g *graph.CSR, algo Algorithm, opt Options) (*Engine, error) {
 		if opt.TrackParents {
 			e.rmParent = make([]int32, g.NumVertices())
 		}
+		// The backend traverses relabeled ids, so the target must be
+		// translated the same way the source is in RunContext.
+		if opt.Target > 0 {
+			opt.Target = perm[opt.Target-1] + 1
+		}
 	}
+	e.baseGoal = opt.goal()
 	if algo == Serial {
 		if opt.Hybrid {
 			// Serial has no per-level binding to interpose the switch
@@ -202,6 +219,29 @@ func (e *Engine) RunContext(ctx context.Context, src int32) (*Result, error) {
 		return res, cerr
 	}
 	return res, nil
+}
+
+// RunGoal is RunContext with a per-run termination goal: the search
+// stops at the first level barrier where goal.Target's distance has
+// committed or the completed-level count reaches goal.MaxDepth, and the
+// partial Result (marked Truncated) is exact for every closed level.
+// The override lasts for this run only — the engine's construction-time
+// Options.Target/MaxDepth goal is restored afterward — so one warm
+// engine serves queries with different goals without rebuilding. The
+// zero Goal runs unbounded, exactly like RunContext.
+func (e *Engine) RunGoal(ctx context.Context, src int32, goal Goal) (*Result, error) {
+	if e.closed {
+		return nil, fmt.Errorf("core: engine is closed")
+	}
+	if err := validGoal(goal, e.g.NumVertices()); err != nil {
+		return nil, err
+	}
+	if e.perm != nil && goal.Target > 0 {
+		goal.Target = e.perm[goal.Target-1] + 1
+	}
+	e.impl.setGoal(goal.Target, goal.MaxDepth)
+	defer e.impl.setGoal(e.baseGoal.Target, e.baseGoal.MaxDepth)
+	return e.RunContext(ctx, src)
 }
 
 // remapResult translates a relabeled-space Result back into original
@@ -375,6 +415,10 @@ func (e *parEngine) setChaos(h ChaosHook) {
 	}
 }
 
+func (e *parEngine) setGoal(target, depth int32) {
+	e.st.setGoal(target, depth)
+}
+
 func (e *parEngine) close() {
 	if e.pool != nil {
 		e.pool.close()
@@ -470,7 +514,7 @@ func (pw *runPool) advance() {
 	atomic.StoreInt32(&st.levelA, st.level)
 	st.swap()
 	st.hybridAdvance()
-	if st.volume() == 0 || st.canceled() || st.aborted() {
+	if st.volume() == 0 || st.canceled() || st.aborted() || st.goalDone() {
 		pw.done = true
 		return
 	}
@@ -484,7 +528,7 @@ func (pw *runPool) advance() {
 // are ordered by the gate barrier's lock, so plain fields suffice.
 func (pw *runPool) runSearch() {
 	st := pw.st
-	if st.volume() == 0 || st.canceled() {
+	if st.volume() == 0 || st.canceled() || st.goalDone() {
 		return
 	}
 	pw.done = false

@@ -596,10 +596,24 @@ func rangeWord(bm []uint64, w, wlo, whi int, lo, hi int32) uint64 {
 // always a loss; a frontier worth the scan is either large (≥ n/beta,
 // so bottom-up persists) or exploding (≥ 2× the previous level, so
 // the next frontier will be).
-func hybridDecide(bu bool, nf, mf, unexplored, prevNf, n, alpha, beta int64) bool {
+// Goal-directed runs refine the entry decision further (goalBound is
+// the number of levels the depth bound still allows, 0 for unbounded;
+// goalTarget reports a pending s-t target): with exactly one level
+// left the Ω(unvisited) conversion scan can never amortize, so entry
+// is refused outright, and with a target pending — which typically
+// ends the run within a few levels of its discovery — entry demands
+// both signals (large AND exploding) instead of either, so a search
+// about to terminate does not pay for a scan it will not reuse.
+func hybridDecide(bu bool, nf, mf, unexplored, prevNf, n, alpha, beta, goalBound int64, goalTarget bool) bool {
 	if !bu {
 		if mf <= unexplored/alpha || nf <= prevNf {
 			return false
+		}
+		if goalBound == 1 {
+			return false
+		}
+		if goalTarget {
+			return nf >= n/beta && nf >= 2*prevNf
 		}
 		return nf >= n/beta || nf >= 2*prevNf
 	}
@@ -643,8 +657,16 @@ func (st *state) hybridAdvance() {
 	if hy.unexplored < 0 {
 		hy.unexplored = 0
 	}
+	var goalBound int64
+	if st.goalDepth > 0 {
+		// hybridAdvance runs after the barrier's level bump, so st.level
+		// is the level the decision is for; <= 0 means the depth goal
+		// fires at the loop top before another level runs.
+		goalBound = int64(st.goalDepth - st.level)
+	}
 	bu := hybridDecide(wasBU, nf, mf, hy.unexplored, hy.prevNf,
-		int64(st.g.NumVertices()), hy.alpha, hy.beta)
+		int64(st.g.NumVertices()), hy.alpha, hy.beta,
+		goalBound, st.goalTarget >= 0)
 	hy.prevNf = nf
 	st.chaosAt(ChaosDirectionFlip, 0, int64(st.level))
 	if ctl, ok := st.chaos.(ChaosDirectionController); ok {
@@ -786,8 +808,13 @@ func (e *ShardedEngine) hybridAdvance() {
 	if hy.unexplored < 0 {
 		hy.unexplored = 0
 	}
+	var goalBound int64
+	if e.goalDepth > 0 {
+		goalBound = int64(e.goalDepth - st0.level)
+	}
 	bu := hybridDecide(wasBU, nf, mf, hy.unexplored, hy.prevNf,
-		int64(e.sg.Full.NumVertices()), hy.alpha, hy.beta)
+		int64(e.sg.Full.NumVertices()), hy.alpha, hy.beta,
+		goalBound, e.goalTarget >= 0)
 	hy.prevNf = nf
 	st0.chaosAt(ChaosDirectionFlip, 0, int64(st0.level))
 	if ctl, ok := st0.chaos.(ChaosDirectionController); ok {

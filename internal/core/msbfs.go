@@ -110,6 +110,12 @@ type LaneResult struct {
 	// EdgesTraversed is the lane's TEPS numerator (edges incident to
 	// reached vertices).
 	EdgesTraversed int64
+	// Truncated reports that the lane retired at its goal (target
+	// settled or depth bound reached with frontier remaining) rather
+	// than by exhausting its frontier; see RunGoals. A retired lane's
+	// Dist/Parent are exact for every committed level, exactly like a
+	// solo Result.Truncated run's.
+	Truncated bool
 }
 
 // MSResult reports one fused run. Lane views alias pooled engine
@@ -120,7 +126,12 @@ type MSResult struct {
 	// Levels is the number of completed fused levels (the max over
 	// lanes; an aborted run stops all lanes at the same barrier).
 	Levels int32
-	lanes  []LaneResult
+	// EdgesScanned is the total adjacency entries the fused expansion
+	// examined across all levels and workers — the denominator lane
+	// retirement shrinks: a retired lane's bits leave the frontier
+	// masks, so remaining lanes filter and scan strictly less.
+	EdgesScanned int64
+	lanes        []LaneResult
 }
 
 // Lane returns lane i's view.
@@ -163,6 +174,19 @@ type MSEngine struct {
 	cfr, nfr []msEntry   // current / next frontier (double-buffered)
 	out      [][]msEntry // per-worker private discovery buffers
 	front    int64       // atomic dispatch cursor over cfr
+	scanned  []int64     // per-worker adjacency entries examined
+
+	// Per-lane goals (RunGoals). active is the mask of lanes still
+	// traversing; a lane whose goal closes is retired at the barrier —
+	// cleared from active and filtered out of the next frontier, so
+	// remaining lanes expand strictly smaller masks. laneTrunc records
+	// which lanes retired at a goal (vs draining naturally), feeding
+	// LaneResult.Truncated. All barrier-private: the masks change only
+	// in the single-threaded commit path, and expand never reads them.
+	goals     [MaxLanes]Goal
+	hasGoals  bool
+	active    uint64
+	laneTrunc uint64
 
 	chaos ChaosHook
 	yield bool // oversubscribed: Gosched at segment boundaries
@@ -189,13 +213,14 @@ func NewMSEngine(g *graph.CSR, opt Options) (*MSEngine, error) {
 	opt = opt.withDefaults()
 	n := g.NumVertices()
 	e := &MSEngine{
-		g:     g,
-		opt:   opt,
-		meta:  make([]msMeta, n),
-		marks: make([]laneMark, n),
-		out:   make([][]msEntry, opt.Workers),
-		chaos: opt.Chaos,
-		yield: opt.Workers > runtime.GOMAXPROCS(0),
+		g:       g,
+		opt:     opt,
+		meta:    make([]msMeta, n),
+		marks:   make([]laneMark, n),
+		out:     make([][]msEntry, opt.Workers),
+		scanned: make([]int64, opt.Workers),
+		chaos:   opt.Chaos,
+		yield:   opt.Workers > runtime.GOMAXPROCS(0),
 	}
 	for i := range e.out {
 		e.out[i] = make([]msEntry, 0, 256)
@@ -242,6 +267,18 @@ func (e *MSEngine) Run(sources []int32) (*MSResult, error) {
 // the engine (see ErrPoisoned) and returns a *WorkerPanicError with
 // the partial results.
 func (e *MSEngine) RunContext(ctx context.Context, sources []int32) (*MSResult, error) {
+	return e.RunGoals(ctx, sources, nil)
+}
+
+// RunGoals is RunContext with one termination goal per lane: goals is
+// nil (no goals anywhere) or one Goal per source, zero Goals running
+// unbounded. A lane whose goal closes is retired at the level barrier —
+// its bit leaves the advisory frontier masks, so the remaining lanes
+// traverse strictly less — and its LaneResult (marked Truncated) demuxes
+// the exact early answer: every committed level's distances match a
+// solo goal-directed run's. The fused run ends when every lane has
+// drained or retired.
+func (e *MSEngine) RunGoals(ctx context.Context, sources []int32, goals []Goal) (*MSResult, error) {
 	if e.closed {
 		return nil, fmt.Errorf("core: ms engine is closed")
 	}
@@ -251,14 +288,30 @@ func (e *MSEngine) RunContext(ctx context.Context, sources []int32) (*MSResult, 
 	if len(sources) == 0 || len(sources) > MaxLanes {
 		return nil, fmt.Errorf("core: %d sources out of range [1,%d]", len(sources), MaxLanes)
 	}
+	if goals != nil && len(goals) != len(sources) {
+		return nil, fmt.Errorf("core: %d goals for %d sources", len(goals), len(sources))
+	}
 	n := e.g.NumVertices()
 	for _, s := range sources {
 		if s < 0 || s >= n {
 			return nil, fmt.Errorf("core: source %d out of range [0,%d)", s, n)
 		}
 	}
+	e.hasGoals = false
+	for lane := range goals {
+		if err := validGoal(goals[lane], n); err != nil {
+			return nil, err
+		}
+		e.goals[lane] = goals[lane]
+		if goals[lane].Bounded() {
+			e.hasGoals = true
+		}
+	}
 	e.growLanes(len(sources))
 	e.beginRun(sources)
+	// A target that is its own source is settled by seeding; retire it
+	// before the first level rather than traversing for it.
+	e.retireLanes()
 	err := e.runLevels(ctx)
 	res := e.finish(sources)
 	if err != nil {
@@ -289,6 +342,15 @@ func (e *MSEngine) beginRun(sources []int32) {
 	atomic.StoreInt32(&e.abortFlag, abortNone)
 	e.wpanic = nil
 	atomic.StoreInt64(&e.front, 0)
+	for i := range e.scanned {
+		e.scanned[i] = 0
+	}
+	if len(sources) == MaxLanes {
+		e.active = ^uint64(0)
+	} else {
+		e.active = (uint64(1) << uint(len(sources))) - 1
+	}
+	e.laneTrunc = 0
 	e.cfr = e.cfr[:0]
 	stride := e.laneCap
 	for lane, s := range sources {
@@ -365,8 +427,70 @@ func (e *MSEngine) runLevels(ctx context.Context) error {
 			return e.wpanic
 		}
 		e.commitLevel()
+		e.retireLanes()
 	}
 	return nil
+}
+
+// retireLanes is the barrier-time per-lane goal check, run after each
+// commit (and once after seeding, for a target that equals its source).
+// A lane retires when its depth bound has been reached or its target's
+// seen bit has committed; retirement clears the lane from the active
+// mask and filters its bits out of the just-built frontier, so every
+// remaining expansion carries strictly smaller masks. The check reads
+// only barrier-committed state (meta, level, cfr) on the driver
+// goroutine — the same no-new-synchronization argument as
+// state.goalDone, in lane-mask form.
+func (e *MSEngine) retireLanes() {
+	if !e.hasGoals || e.active == 0 {
+		return
+	}
+	// present marks lanes with frontier entries left: a lane at its
+	// depth bound with work remaining was truncated, one whose frontier
+	// drained on its own merely finished.
+	var present uint64
+	for _, ent := range e.cfr {
+		present |= ent.m
+	}
+	act := e.active
+	for b := act; b != 0; b &= b - 1 {
+		lane := bits.TrailingZeros64(b)
+		bit := uint64(1) << uint(lane)
+		g := e.goals[lane]
+		if g.MaxDepth > 0 && e.level >= g.MaxDepth {
+			act &^= bit
+			e.laneTrunc |= present & bit
+			continue
+		}
+		if t := g.TargetVertex(); t >= 0 {
+			mt := &e.meta[t]
+			if mt.sepoch == e.cur && mt.seen&bit != 0 {
+				act &^= bit
+				e.laneTrunc |= bit
+			}
+		}
+	}
+	if act != e.active {
+		e.active = act
+		e.filterFrontier()
+	}
+}
+
+// filterFrontier drops retired lanes' bits from the current frontier,
+// compacting in place (safe: the write index never passes the read
+// index). Entries whose masks empty out vanish entirely, so a level
+// all of whose discoveries belonged to retired lanes ends the run.
+// Stale advisory marks for retired lanes are harmless: marks only
+// filter candidates, and candidate masks no longer carry retired bits.
+func (e *MSEngine) filterFrontier() {
+	out := e.cfr[:0]
+	for _, ent := range e.cfr {
+		if m := ent.m & e.active; m != 0 {
+			ent.m = m
+			out = append(out, ent)
+		}
+	}
+	e.cfr = out
 }
 
 // expand is one worker's share of a level: dispatch frontier segments
@@ -380,6 +504,7 @@ func (e *MSEngine) expand(ctx context.Context, id int) {
 	buf := e.out[id][:0]
 	total := int64(len(e.cfr))
 	cfr, marks := e.cfr, e.marks
+	var scanned int64
 	for {
 		if e.msAborted() {
 			break
@@ -407,7 +532,9 @@ func (e *MSEngine) expand(ctx context.Context, id int) {
 		}
 		for _, ent := range cfr[f:hi] {
 			v, mv := ent.v, ent.m
-			for _, x := range g.Neighbors(v) {
+			nb := g.Neighbors(v)
+			scanned += int64(len(nb))
+			for _, x := range nb {
 				// Advisory filter: the marks accumulate every lane ever
 				// discovered for x this run (committed levels included),
 				// so they subsume the seen check — one cache line per
@@ -439,6 +566,7 @@ func (e *MSEngine) expand(ctx context.Context, id int) {
 		}
 	}
 	e.out[id] = buf
+	e.scanned[id] += scanned
 }
 
 // commitLevel is the barrier: dedup every discovery entry against the
@@ -511,13 +639,18 @@ func (e *MSEngine) finish(sources []int32) *MSResult {
 	res := &e.res
 	res.Lanes = len(sources)
 	res.Levels = e.level
+	res.EdgesScanned = 0
+	for _, s := range e.scanned {
+		res.EdgesScanned += s
+	}
 	res.lanes = res.lanes[:len(sources)]
 	for lane, src := range sources {
 		lr := &res.lanes[lane]
 		*lr = LaneResult{
-			Src:    src,
-			Dist:   e.dist[lane*n : (lane+1)*n],
-			Parent: e.parent[lane*n : (lane+1)*n],
+			Src:       src,
+			Dist:      e.dist[lane*n : (lane+1)*n],
+			Parent:    e.parent[lane*n : (lane+1)*n],
+			Truncated: e.laneTrunc&(uint64(1)<<uint(lane)) != 0,
 		}
 	}
 	var maxD [MaxLanes]int32
@@ -570,7 +703,15 @@ func (e *MSEngine) finish(sources []int32) *MSResult {
 		}
 	}
 	for lane := range res.lanes {
-		res.lanes[lane].Levels = maxD[lane] + 1
+		lr := &res.lanes[lane]
+		if lr.Truncated {
+			// A retired lane's deepest settled vertices are its final
+			// frontier, which sits beyond the closed levels — the same
+			// convention as a truncated solo Result.
+			lr.Levels = maxD[lane]
+		} else {
+			lr.Levels = maxD[lane] + 1
+		}
 	}
 	return res
 }

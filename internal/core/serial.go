@@ -24,6 +24,15 @@ type serialEngine struct {
 	queue      []int32
 	levelSizes []int64
 	res        Result
+
+	// Goal-directed termination, decoded like state's: target is the
+	// goal vertex (-1 for none), maxDepth the level bound (0 for none).
+	// The serial queue walk terminates at exactly the same point the
+	// parallel barriers do — on the first pop whose depth would open a
+	// level past the goal — so the oracle stays bit-identical to the
+	// parallel engines' closed levels under truncation too.
+	target   int32
+	maxDepth int32
 }
 
 func newSerialEngine(g *graph.CSR, opt Options) *serialEngine {
@@ -35,6 +44,7 @@ func newSerialEngine(g *graph.CSR, opt Options) *serialEngine {
 		epoch: make([]uint32, n),
 		queue: make([]int32, 0, 1024),
 	}
+	e.setGoal(opt.Target, opt.MaxDepth)
 	for i := range e.dist {
 		e.dist[i] = graph.Unreached
 	}
@@ -66,12 +76,29 @@ func (e *serialEngine) run(ctx context.Context, src int32) (*Result, error) {
 	var c stats.Counters
 	queue := append(e.queue[:0], src)
 	var levels int32
+	truncated := false
+	target, maxDepth := e.target, e.maxDepth
 	for head := 0; head < len(queue); head++ {
 		if ctx != nil && head&4095 == 0 && ctx.Err() != nil {
 			break
 		}
 		u := queue[head]
 		du := dist[u]
+		// Goal checks mirror the parallel barrier predicate (see
+		// state.goalDone): stop before popping the first vertex whose
+		// level the goal closes, so `levels` — and therefore every
+		// closed level of the histogram — matches the parallel engines'
+		// truncation point exactly. The target check fires on the first
+		// pop at the target's own depth: by then every shallower vertex
+		// has been popped, so all distances <= dist[target] are final.
+		if maxDepth > 0 && du >= maxDepth {
+			truncated = true
+			break
+		}
+		if target >= 0 && epoch[target] == cur && du >= dist[target] {
+			truncated = true
+			break
+		}
 		if du+1 > levels {
 			levels = du + 1
 		}
@@ -104,6 +131,7 @@ func (e *serialEngine) run(ctx context.Context, src int32) (*Result, error) {
 		Dist:       dist,
 		Parent:     parent,
 		Levels:     levels,
+		Truncated:  truncated,
 		Workers:    1,
 		Counters:   c,
 		Pops:       c.VerticesPopped,
@@ -132,3 +160,11 @@ func (e *serialEngine) run(ctx context.Context, src int32) (*Result, error) {
 func (e *serialEngine) reseed(seed uint64) { e.opt.Seed = seed }
 func (e *serialEngine) setChaos(ChaosHook) {}
 func (e *serialEngine) close()             {}
+
+func (e *serialEngine) setGoal(target, depth int32) {
+	e.target = target - 1
+	if depth < 0 {
+		depth = 0
+	}
+	e.maxDepth = depth
+}

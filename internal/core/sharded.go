@@ -311,6 +311,19 @@ type ShardedEngine struct {
 	levelA  int32  // atomic; global level mirror for the watchdog
 	running []bool // per-shard released-phase flags, pooled
 
+	// Goal-directed termination. The goal lives at the engine level
+	// only — each shard's own state gets a zero goal — because a shard's
+	// epoch stamp on a vertex it does not own means "forwarded", not
+	// "settled"; goalDone consults the target's *owner* shard, the one
+	// place its stamp is authoritative. goalTarget/goalDepth are the
+	// current run's decoded goal, base{Target,Depth} the construction-
+	// time goal RunGoal restores.
+	goalTarget int32
+	goalDepth  int32
+	baseTarget int32
+	baseDepth  int32
+	truncated  bool
+
 	// hy is the engine half of direction optimization (hybrid.go); nil
 	// unless Options.Hybrid. The per-shard halves live on each shard
 	// state's hybridState, with curBits aliased to hy's global bitmap.
@@ -340,6 +353,9 @@ func NewShardedEngine(sg *graph.ShardedCSR, algo Algorithm, opt Options) (*Shard
 		return nil, fmt.Errorf("core: sharded execution does not support Reorder=%q", opt.Reorder)
 	}
 	opt = opt.withDefaults()
+	if err := validGoal(opt.goal(), sg.Full.NumVertices()); err != nil {
+		return nil, err
+	}
 	// Per-worker traces and the level timeline describe one state's
 	// run; neither composes across shards. Strip rather than reject so
 	// option sets tuned for Engine sweeps work unchanged.
@@ -362,6 +378,8 @@ func NewShardedEngine(sg *graph.ShardedCSR, algo Algorithm, opt Options) (*Shard
 		shards:  make([]*shardEngine, S),
 		running: make([]bool, S),
 	}
+	e.setGoal(opt.Target, opt.MaxDepth)
+	e.baseTarget, e.baseDepth = e.goalTarget, e.goalDepth
 	if S > 1 {
 		e.ex = newExchange(sg, opt.Workers)
 	}
@@ -375,6 +393,10 @@ func NewShardedEngine(sg *graph.ShardedCSR, algo Algorithm, opt Options) (*Shard
 	for s := 0; s < S; s++ {
 		sOpt := opt
 		sOpt.Seed = shardSeed(opt.Seed, s)
+		// The goal is evaluated at the engine's global barrier (see the
+		// field comment); a shard observing the target's stamp locally
+		// could terminate on a merely-forwarded vertex.
+		sOpt.Target, sOpt.MaxDepth = 0, 0
 		st := allocState(sg.Full, sOpt)
 		st.algo = algo
 		if e.ex != nil {
@@ -444,6 +466,7 @@ func (e *ShardedEngine) RunContext(ctx context.Context, src int32) (*Result, err
 	if src < 0 || src >= n {
 		return nil, fmt.Errorf("core: source %d out of range [0,%d)", src, n)
 	}
+	e.truncated = false
 	for _, se := range e.shards {
 		se.st.opt.ctx = ctx
 		se.st.beginRunCommon()
@@ -483,7 +506,7 @@ func (e *ShardedEngine) RunContext(ctx context.Context, src int32) (*Result, err
 // which legitimately sees unconsumed state then.
 func (e *ShardedEngine) runLoop() {
 	for {
-		if e.volume() == 0 || e.canceled() || e.anyAborted() {
+		if e.volume() == 0 || e.canceled() || e.anyAborted() || e.goalDone() {
 			return
 		}
 		bu := e.hy != nil && e.hy.bottomUp
@@ -524,6 +547,55 @@ func (e *ShardedEngine) runLoop() {
 		atomic.StoreInt32(&e.levelA, e.shards[0].st.level)
 		e.hybridAdvance()
 	}
+}
+
+// setGoal decodes a goal into the engine's current-run fields, exactly
+// as state.setGoal does for an unsharded state.
+func (e *ShardedEngine) setGoal(target, depth int32) {
+	e.goalTarget = target - 1
+	if depth < 0 {
+		depth = 0
+	}
+	e.goalDepth = depth
+}
+
+// goalDone is the sharded barrier-time termination predicate: the
+// shards have all joined the level barrier (runLoop's loop top), so
+// this is the run's single-threaded point and the target's stamp is
+// read on its owner shard — the one shard whose epoch entry means
+// "settled" rather than "forwarded" — with a plain load. The shards
+// effectively vote through their quiescence at the barrier; the driver
+// casts the verdict.
+func (e *ShardedEngine) goalDone() bool {
+	if e.goalDepth > 0 && e.shards[0].st.level >= e.goalDepth {
+		e.truncated = true
+		return true
+	}
+	if t := e.goalTarget; t >= 0 {
+		st := e.shards[e.sg.Owner(t)].st
+		if st.epoch[t] == st.cur {
+			e.truncated = true
+			return true
+		}
+	}
+	return false
+}
+
+// RunGoal is RunContext with a per-run termination goal, under
+// Engine.RunGoal's exact contract: the override lasts one run and the
+// construction-time goal is restored afterward.
+func (e *ShardedEngine) RunGoal(ctx context.Context, src int32, goal Goal) (*Result, error) {
+	if e.closed {
+		return nil, fmt.Errorf("core: engine is closed")
+	}
+	if err := validGoal(goal, e.sg.Full.NumVertices()); err != nil {
+		return nil, err
+	}
+	e.setGoal(goal.Target, goal.MaxDepth)
+	defer func() {
+		e.goalTarget, e.goalDepth = e.baseTarget, e.baseDepth
+	}()
+	return e.RunContext(ctx, src)
 }
 
 // joinRunning waits for every released phase and clears the flags.
@@ -700,6 +772,7 @@ func (e *ShardedEngine) mergedFinish() *Result {
 		Dist:       e.dist,
 		Parent:     e.parent,
 		Levels:     levels,
+		Truncated:  e.truncated,
 		Workers:    len(e.shards) * p,
 		Counters:   total,
 		PerWorker:  e.perWorker,
@@ -805,6 +878,10 @@ type Backend interface {
 	Run(src int32) (*Result, error)
 	// RunContext is Run with cancellation.
 	RunContext(ctx context.Context, src int32) (*Result, error)
+	// RunGoal is RunContext with a per-run termination goal (early
+	// s-t termination and/or a depth bound); the zero Goal is exactly
+	// RunContext. The override lasts one run.
+	RunGoal(ctx context.Context, src int32, goal Goal) (*Result, error)
 	// Reseed restarts the RNG streams from seed.
 	Reseed(seed uint64)
 	// SetChaos swaps the chaos hook between runs.

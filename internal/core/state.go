@@ -88,6 +88,18 @@ type state struct {
 	dropped  []int64   // per-worker events dropped on full buffers
 	level    int32     // current BFS level being produced (dist of children)
 
+	// Goal-directed termination (Options.Target / Options.MaxDepth,
+	// overridable per run via setGoal). goalTarget is the decoded
+	// target vertex (-1 for none); goalDepth the level bound (0 for
+	// none); truncated records that goalDone fired this run. The
+	// predicate runs only at level barriers — the run's existing
+	// single-threaded points — so it reads epoch and level with plain
+	// loads under the barrier's happens-before edge and adds no
+	// synchronization to the workers' hot paths.
+	goalTarget int32
+	goalDepth  int32
+	truncated  bool
+
 	// Per-level timeline (Options.LevelTimeline): lvl is the pooled
 	// LevelStat storage recordLevel appends to at each level barrier,
 	// lvlPrev the previous barrier's cumulative counter sum, lvlStart
@@ -213,6 +225,7 @@ func allocState(g *graph.CSR, opt Options) *state {
 		chaos:    opt.Chaos,
 		beats:    make([]beatLane, p),
 	}
+	st.setGoal(opt.Target, opt.MaxDepth)
 	if a, ok := opt.Chaos.(ChaosLevelAuditor); ok {
 		st.levelAudit = a
 	}
@@ -275,6 +288,7 @@ func (st *state) beginRunCommon() {
 	}
 	st.level = 0
 	st.pops = 0
+	st.truncated = false
 	atomic.StoreInt32(&st.levelA, 0)
 	atomic.StoreInt32(&st.abortFlag, abortNone)
 	st.wpanic = nil
@@ -579,6 +593,40 @@ func (st *state) claimAllows(qid int, v int32) bool {
 	return atomic.LoadInt32(&st.claim[v]) == int32(qid)
 }
 
+// setGoal (re)binds the state's termination goal: target in the
+// vertex+1 Options.Target encoding (0 clears it), depth the MaxDepth
+// bound (<=0 clears it). Called at construction from Options and
+// between runs by RunGoal; never during a run.
+func (st *state) setGoal(target, depth int32) {
+	st.goalTarget = target - 1
+	if depth < 0 {
+		depth = 0
+	}
+	st.goalDepth = depth
+}
+
+// goalDone is the barrier-time termination predicate: true once the
+// completed-level count reaches the depth bound or the target vertex's
+// distance has committed. Called only from the single-threaded driver
+// at level barriers, after the checks for natural exhaustion — so a
+// run whose frontier emptied on its own is never marked truncated —
+// and ordered after the level's worker stores by the barrier itself,
+// which is why the epoch read is plain. Level synchrony makes the
+// partial result exact: when the barrier after exploring level d-1
+// observes the target settled at distance d, every vertex at distance
+// <= d holds its final distance and everything deeper reads Unreached.
+func (st *state) goalDone() bool {
+	if st.goalDepth > 0 && st.level >= st.goalDepth {
+		st.truncated = true
+		return true
+	}
+	if t := st.goalTarget; t >= 0 && st.epoch[t] == st.cur {
+		st.truncated = true
+		return true
+	}
+	return false
+}
+
 // runLevels drives the level-synchronous loop: setup (optional) resets
 // the algorithm's shared dispatch state before each level's workers
 // start; perLevel must explore every input-queue entry (with the
@@ -597,7 +645,7 @@ func (st *state) claimAllows(qid int, v int32) bool {
 func (st *state) runLevels(setup func(), perLevel func(id int)) {
 	p := st.opt.Workers
 	for {
-		if st.volume() == 0 || st.canceled() || st.aborted() {
+		if st.volume() == 0 || st.canceled() || st.aborted() || st.goalDone() {
 			break
 		}
 		if setup != nil {
@@ -645,6 +693,7 @@ func (st *state) finish() *Result {
 		Dist:          st.dist,
 		Parent:        st.parent,
 		Levels:        st.level,
+		Truncated:     st.truncated,
 		Workers:       st.opt.Workers,
 		Counters:      total,
 		PerWorker:     st.counters,

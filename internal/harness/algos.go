@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"optibfs/internal/baseline1"
@@ -166,6 +167,17 @@ func (r *Runner) Run(src int32) (*core.Result, error) {
 	}
 }
 
+// RunGoal executes one goal-directed search on the pooled state: the
+// run stops at the level barrier that settles goal (target committed or
+// depth bound reached) and the partial Result is exact for every closed
+// level. Core family only — see SupportsGoals.
+func (r *Runner) RunGoal(ctx context.Context, src int32, goal core.Goal) (*core.Result, error) {
+	if r.ce == nil {
+		return nil, fmt.Errorf("harness: %s does not support goal-directed termination", r.spec.Name)
+	}
+	return r.ce.RunGoal(ctx, src, goal)
+}
+
 // Reseed re-derives the algorithm's RNG streams from seed, matching
 // what a fresh run with Options.Seed = seed would use.
 func (r *Runner) Reseed(seed uint64) {
@@ -198,4 +210,13 @@ func (a AlgoSpec) Shape() costmodel.Shape {
 // with one worker regardless of the experiment's p).
 func (a AlgoSpec) IsSerial() bool {
 	return a.fam == familyCore && a.algo == core.Serial
+}
+
+// SupportsGoals reports whether the spec's runtime honors goal-directed
+// early termination (core.Options.Target / MaxDepth): the core family
+// does, serial baseline included; the Baseline1/Baseline2 and
+// direction-optimizing extension runtimes have no goal machinery and
+// would silently run to exhaustion.
+func (a AlgoSpec) SupportsGoals() bool {
+	return a.fam == familyCore
 }

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -400,6 +401,162 @@ func HybridTable(w io.Writer, cfg Config) (*Table, error) {
 		}
 		rows[len(variants)] = append(rows[len(variants)], fmt.Sprintf("%.2fx", ratio(2, 1)))
 		rows[len(variants)+1] = append(rows[len(variants)+1], fmt.Sprintf("%.2fx", ratio(0, 1)))
+	}
+	for _, row := range rows {
+		t.AddRow(row...)
+	}
+	if w != nil {
+		if err := t.Render(w); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// GoalTable measures goal-directed traversal against the
+// full-BFS-then-lookup baseline across the suite: per graph, one
+// warmed BFS_WSL engine answers the same source set three ways —
+// unbounded, s–t to a mid-depth target (the level barrier that settles
+// the target terminates the run), and a 4-hop neighborhood bound. The
+// targets come from a warm full sweep (the first vertex at half the
+// source's explored depth), so every s–t query does real work instead
+// of stopping at level one.
+//
+// Measurement is paired exactly like HybridTable: every repetition
+// times each variant's full source sweep back-to-back in alternating
+// order, latencies are medians over repetitions, and the speedup rows
+// are medians of the per-repetition time ratios, which cancels
+// host-frequency and GC drift. The edge-fraction row is the traversal
+// work the goal runs actually did (from the warm sweeps), the
+// mechanism behind the latency wins.
+func GoalTable(w io.Writer, cfg Config) (*Table, error) {
+	cfg = cfg.WithDefaults()
+	spec := coreSpec(core.BFSWSL)
+	const reps = 9
+	const hop = 4
+	t := &Table{
+		Title: fmt.Sprintf("Goal-directed traversal — s–t and depth-bounded vs full BFS (BFS_WSL, p=%d, scale 1/%d)",
+			cfg.Workers, cfg.ScaleDiv),
+		Headers: append([]string{"measurement"}, suiteNames()...),
+		Notes: []string{
+			"one warmed engine per graph; every query validated against the closed-level oracle contract in the warm pass",
+			fmt.Sprintf("paired runs: each of %d repetitions times all three variants back-to-back (order alternating); latencies are medians over repetitions", reps),
+			"speedup rows are medians of per-repetition time ratios (>1 = goal run faster), edge fraction is goal-run edges / full-run edges",
+		},
+	}
+	rows := [][]string{
+		{"full BFS (ms/query)"},
+		{"s-t mid-depth (ms/query)"},
+		{fmt.Sprintf("%d-hop (ms/query)", hop)},
+		{"s-t speedup (paired)"},
+		{fmt.Sprintf("%d-hop speedup (paired)", hop)},
+		{"s-t edge fraction"},
+	}
+	ctx := context.Background()
+	for _, gs := range Suite {
+		g, err := gs.Generate(cfg.ScaleDiv)
+		if err != nil {
+			return nil, err
+		}
+		sources := PickSources(g, cfg.Sources, cfg.Seed)
+		opt := cfg.Opt
+		opt.Workers = cfg.Workers
+		r, err := spec.NewRunner(g, opt)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", gs.Name, err)
+		}
+		defer r.Close()
+
+		// Warm pass: full sweep faults pooled state in, yields the edge
+		// totals, and picks each source's mid-depth target.
+		dsts := make([]int32, len(sources))
+		var fullEdges, stEdges int64
+		for i, src := range sources {
+			r.Reseed(cfg.Seed + uint64(i)*0x9e37 + 1)
+			res, err := r.Run(src)
+			if err != nil {
+				return nil, fmt.Errorf("%s source %d: %w", gs.Name, src, err)
+			}
+			fullEdges += res.EdgesTraversed
+			depth := res.Levels / 2
+			if depth < 1 {
+				depth = 1
+			}
+			dsts[i] = src
+			for v, d := range res.Dist {
+				if d == depth {
+					dsts[i] = int32(v)
+					break
+				}
+			}
+		}
+		// Warm goal sweep: edge totals plus the correctness check — the
+		// target must be settled exactly in the truncated result.
+		for i, src := range sources {
+			r.Reseed(cfg.Seed + uint64(i)*0x9e37 + 1)
+			res, err := r.RunGoal(ctx, src, core.GoalTo(dsts[i]))
+			if err != nil {
+				return nil, fmt.Errorf("%s s-t source %d: %w", gs.Name, src, err)
+			}
+			stEdges += res.EdgesTraversed
+			if res.Dist[dsts[i]] == graph.Unreached {
+				return nil, fmt.Errorf("%s: s-t run from %d left target %d unsettled", gs.Name, src, dsts[i])
+			}
+		}
+
+		block := func(goal func(i int) core.Goal) func() (float64, error) {
+			return func() (float64, error) {
+				start := time.Now()
+				for i, src := range sources {
+					r.Reseed(cfg.Seed + uint64(i)*0x9e37 + 1)
+					var err error
+					if goal == nil {
+						_, err = r.Run(src)
+					} else {
+						_, err = r.RunGoal(ctx, src, goal(i))
+					}
+					if err != nil {
+						return 0, err
+					}
+				}
+				return time.Since(start).Seconds(), nil
+			}
+		}
+		blocks := []func() (float64, error){
+			block(nil),
+			block(func(i int) core.Goal { return core.GoalTo(dsts[i]) }),
+			block(func(int) core.Goal { return core.Goal{MaxDepth: hop} }),
+		}
+		times := make([][]float64, len(blocks))
+		for rep := 0; rep < reps; rep++ {
+			for j := range blocks {
+				i := j
+				if rep%2 == 1 {
+					i = len(blocks) - 1 - j
+				}
+				sec, err := blocks[i]()
+				if err != nil {
+					return nil, fmt.Errorf("%s: %w", gs.Name, err)
+				}
+				times[i] = append(times[i], sec)
+			}
+		}
+		speedup := func(den int) float64 {
+			rs := make([]float64, reps)
+			for rep := range rs {
+				rs[rep] = times[0][rep] / times[den][rep]
+			}
+			return median(rs)
+		}
+		perQueryMS := func(i int) float64 {
+			return median(times[i]) / float64(len(sources)) * 1e3
+		}
+		rows[0] = append(rows[0], fmt.Sprintf("%.3f", perQueryMS(0)))
+		rows[1] = append(rows[1], fmt.Sprintf("%.3f", perQueryMS(1)))
+		rows[2] = append(rows[2], fmt.Sprintf("%.3f", perQueryMS(2)))
+		rows[3] = append(rows[3], fmt.Sprintf("%.2fx", speedup(1)))
+		rows[4] = append(rows[4], fmt.Sprintf("%.2fx", speedup(2)))
+		rows[5] = append(rows[5], fmt.Sprintf("%.2f", float64(stEdges)/float64(fullEdges)))
 	}
 	for _, row := range rows {
 		t.AddRow(row...)

@@ -69,9 +69,10 @@ type fusedResp struct {
 // buffered (cap 1) so the dispatcher's response never blocks on a
 // caller that gave up.
 type fusedReq struct {
-	ctx context.Context
-	src int32
-	out chan fusedResp
+	ctx  context.Context
+	src  int32
+	goal core.Goal
+	out  chan fusedResp
 }
 
 // batcher owns the fused engine and the single dispatcher goroutine.
@@ -88,12 +89,13 @@ type batcher struct {
 
 	eng *core.MSEngine // dispatcher-confined; nil after wedge abandon
 
-	occupancy *obs.Histogram
-	batches   *obs.Counter
-	lanes     *obs.Counter
-	seconds   *obs.Histogram
-	soloRerun *obs.Counter
-	ffailures func(kind string) *obs.Counter
+	occupancy    *obs.Histogram
+	batches      *obs.Counter
+	lanes        *obs.Counter
+	seconds      *obs.Histogram
+	soloRerun    *obs.Counter
+	soloDispatch *obs.Counter
+	ffailures    func(kind string) *obs.Counter
 
 	scratch []*fusedReq
 }
@@ -121,6 +123,11 @@ func newBatcher(gd *Guard) (*batcher, error) {
 		seconds: reg.Histogram("optibfs_serve_fused_batch_seconds",
 			[]float64{0.001, 0.005, 0.025, 0.1, 0.5, 2.5, 10}),
 		soloRerun: reg.Counter("optibfs_serve_fused_solo_reruns_total"),
+		// A batch that collapsed to one live lane skips the fused engine
+		// entirely: the lane-major MS-BFS layout costs ~13% over the solo
+		// word-per-vertex kernels at occupancy 1, so a singleton window
+		// dispatches through the Guard's solo fleet instead.
+		soloDispatch: reg.Counter("optibfs_serve_fused_solo_dispatch_total"),
 		ffailures: func(kind string) *obs.Counter {
 			return reg.Counter("optibfs_serve_fused_failures_total", obs.L("kind", kind))
 		},
@@ -149,8 +156,16 @@ func (b *batcher) close() {
 // the sharing. Falls back to solo Query when batching is disabled or
 // the admission queue is full.
 func (gd *Guard) QueryFused(ctx context.Context, src int32) (*Answer, error) {
+	return gd.QueryFusedGoal(ctx, src, core.Goal{})
+}
+
+// QueryFusedGoal is QueryFused with a per-lane goal: the lane retires
+// from the fused run at the level barrier where its target settles or
+// its depth bound is reached, and its Answer demuxes the exact
+// truncated result (see Answer.Truncated). Other lanes keep running.
+func (gd *Guard) QueryFusedGoal(ctx context.Context, src int32, goal core.Goal) (*Answer, error) {
 	if gd.batch == nil {
-		return gd.Query(ctx, src)
+		return gd.QueryGoal(ctx, src, goal)
 	}
 	select {
 	case <-gd.closed:
@@ -160,18 +175,21 @@ func (gd *Guard) QueryFused(ctx context.Context, src int32) (*Answer, error) {
 	if src < 0 || src >= gd.g.NumVertices() {
 		return nil, fmt.Errorf("%w: %d not in [0,%d)", ErrBadSource, src, gd.g.NumVertices())
 	}
+	if err := gd.checkGoal(goal); err != nil {
+		return nil, err
+	}
 	if _, ok := ctx.Deadline(); !ok {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, gd.cfg.Deadline)
 		defer cancel()
 	}
-	r := &fusedReq{ctx: ctx, src: src, out: make(chan fusedResp, 1)}
+	r := &fusedReq{ctx: ctx, src: src, goal: goal, out: make(chan fusedResp, 1)}
 	select {
 	case gd.batch.reqs <- r:
 	default:
 		// Admission queue saturated: shed to the solo path rather than
 		// stacking unbounded latency behind the dispatcher.
-		return gd.Query(ctx, src)
+		return gd.QueryGoal(ctx, src, goal)
 	}
 	gd.inflight.Add(1)
 	start := time.Now()
@@ -265,6 +283,27 @@ func (b *batcher) dispatch(batch []*fusedReq) {
 	if len(live) == 0 {
 		return
 	}
+	if len(live) == 1 {
+		// Singleton window: the fused engine's lane-major visited words
+		// and per-entry mask merges cost real time that sharing normally
+		// amortizes — at occupancy 1 there is nothing to share, and the
+		// solo kernels are measurably faster. Hand the lane to the
+		// Guard's solo fleet on its own goroutine so the dispatcher can
+		// keep collecting the next window.
+		r := live[0]
+		b.batches.Inc()
+		b.lanes.Inc()
+		b.occupancy.Observe(1)
+		b.soloDispatch.Inc()
+		go func() {
+			ans, err := b.gd.rerunSolo(r.ctx, r.src, r.goal)
+			if ans != nil {
+				ans.BatchLanes = 1
+			}
+			r.out <- fusedResp{ans: ans, err: err, counted: true}
+		}()
+		return
+	}
 
 	// The batch context: lives until the latest caller deadline (every
 	// fused req carries one), and is canceled early once every caller
@@ -304,11 +343,18 @@ func (b *batcher) dispatch(batch []*fusedReq) {
 	b.occupancy.Observe(float64(len(live)))
 
 	srcs := make([]int32, len(live))
+	var goals []core.Goal
 	for i, r := range live {
 		srcs[i] = r.src
+		if r.goal.Bounded() {
+			if goals == nil {
+				goals = make([]core.Goal, len(live))
+			}
+			goals[i] = r.goal
+		}
 	}
 	start := time.Now()
-	res, err := b.runFused(bctx, srcs)
+	res, err := b.runFused(bctx, srcs, goals)
 	b.seconds.Observe(time.Since(start).Seconds())
 
 	switch {
@@ -346,7 +392,7 @@ func (b *batcher) dispatch(batch []*fusedReq) {
 				continue
 			}
 			b.soloRerun.Inc()
-			ans, serr := b.gd.rerunSolo(r.ctx, r.src)
+			ans, serr := b.gd.rerunSolo(r.ctx, r.src, r.goal)
 			r.out <- fusedResp{ans: ans, err: serr, counted: true}
 		}
 	}
@@ -355,7 +401,7 @@ func (b *batcher) dispatch(batch []*fusedReq) {
 // runFused executes one fused run with the same abandon-on-wedge
 // protocol as runGuarded: buffered result channel, atomic handoff word,
 // exactly one party closes a wedged engine.
-func (b *batcher) runFused(ctx context.Context, srcs []int32) (*core.MSResult, error) {
+func (b *batcher) runFused(ctx context.Context, srcs []int32, goals []core.Goal) (*core.MSResult, error) {
 	if b.eng == nil {
 		eng, err := core.NewMSEngine(b.gd.g, b.gd.cfg.Options)
 		if err != nil {
@@ -377,7 +423,7 @@ func (b *batcher) runFused(ctx context.Context, srcs []int32) (*core.MSResult, e
 	ch := make(chan outcome, 1)
 	var hand atomic.Int32
 	go func() {
-		res, err := eng.RunContext(ctx, srcs)
+		res, err := eng.RunGoals(ctx, srcs, goals)
 		ch <- outcome{res: res, err: err}
 		if !hand.CompareAndSwap(handPending, handDelivered) {
 			eng.Close() // abandoned: the run has returned, closing is safe
@@ -422,7 +468,7 @@ func (b *batcher) rebuildFused(cause error) {
 // normal solo ladder. Unlike Query it never sheds: the caller already
 // paid admission latency, so it waits for a slot until its context
 // expires.
-func (gd *Guard) rerunSolo(ctx context.Context, src int32) (*Answer, error) {
+func (gd *Guard) rerunSolo(ctx context.Context, src int32, goal core.Goal) (*Answer, error) {
 	var s *slot
 	select {
 	case s = <-gd.slots:
@@ -431,7 +477,7 @@ func (gd *Guard) rerunSolo(ctx context.Context, src int32) (*Answer, error) {
 		return nil, ctx.Err()
 	}
 	defer func() { gd.slots <- s }()
-	return gd.ladder(ctx, s, src)
+	return gd.ladder(ctx, s, src, goal)
 }
 
 // drainPending answers everything still queued at close with ErrClosed.
@@ -456,6 +502,7 @@ func laneAnswer(lr *core.LaneResult, batchLanes int) *Answer {
 		Algorithm:      core.MSBFSL,
 		Fused:          true,
 		BatchLanes:     batchLanes,
+		Truncated:      lr.Truncated,
 	}
 	a.Dist = append([]int32(nil), lr.Dist...)
 	if lr.Parent != nil {

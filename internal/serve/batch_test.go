@@ -85,7 +85,9 @@ func TestFusedBatchOK(t *testing.T) {
 
 // TestFusedCanceledLaneMasked: a lane whose caller has already gone is
 // masked out of the batch instead of aborting it — the surviving lane
-// still gets a fused ok answer.
+// still answers ok. With one survivor the batch collapses to a
+// singleton and dispatches through the solo fleet (see soloDispatch),
+// so the answer is not marked fused.
 func TestFusedCanceledLaneMasked(t *testing.T) {
 	g := testGraph(t)
 	reg := obs.New()
@@ -120,11 +122,14 @@ func TestFusedCanceledLaneMasked(t *testing.T) {
 	if liveErr != nil {
 		t.Fatal(liveErr)
 	}
-	if liveAns.Outcome != "ok" || !liveAns.Fused {
-		t.Fatalf("surviving lane: outcome %q fused=%v, want ok fused", liveAns.Outcome, liveAns.Fused)
+	if liveAns.Outcome != "ok" || liveAns.Fused {
+		t.Fatalf("surviving lane: outcome %q fused=%v, want ok solo-dispatched", liveAns.Outcome, liveAns.Fused)
 	}
 	if liveAns.BatchLanes != 1 {
 		t.Fatalf("surviving lane ran with %d live lanes, want 1 (dead lane not masked)", liveAns.BatchLanes)
+	}
+	if n := reg.Counter("optibfs_serve_fused_solo_dispatch_total").Value(); n != 1 {
+		t.Fatalf("solo dispatches = %d, want 1", n)
 	}
 	checkAnswer(t, g, liveAns)
 }
@@ -189,7 +194,7 @@ func TestFusedPartialOnDeadline(t *testing.T) {
 		Concurrency: 1,
 		Registry:    reg,
 		Grace:       5 * time.Second,
-		Batch:       BatchConfig{Enabled: true, Window: time.Millisecond},
+		Batch:       BatchConfig{Enabled: true, Window: 200 * time.Millisecond, MaxLanes: 2},
 		Options: core.Options{
 			Workers:      2,
 			StallTimeout: time.Minute, // slow progress is not a stall
@@ -205,26 +210,46 @@ func TestFusedPartialOnDeadline(t *testing.T) {
 	}
 	defer gd.Close()
 
+	// Two lanes so the batch stays fused (a singleton would solo-
+	// dispatch); MaxLanes 2 dispatches as soon as both are seated.
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
 	defer cancel()
-	ans, qerr := gd.QueryFused(ctx, 0)
-	if !errors.Is(qerr, context.DeadlineExceeded) {
-		t.Fatalf("err = %v, want context.DeadlineExceeded", qerr)
+	anss := make([]*Answer, 2)
+	qerrs := make([]error, 2)
+	var wg sync.WaitGroup
+	for i := range anss {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			anss[i], qerrs[i] = gd.QueryFused(ctx, int32(i*5))
+		}(i)
 	}
-	if ans == nil {
-		t.Fatal("no partial answer demuxed on batch deadline")
-	}
-	if ans.Outcome != "deadline" {
-		t.Fatalf("outcome = %q, want deadline", ans.Outcome)
-	}
-	if !ans.Fused {
-		t.Fatal("partial answer not marked fused")
-	}
-	// Every settled distance must already be exact.
-	want := graph.ReferenceBFS(g, 0)
-	for v, d := range ans.Dist {
-		if d != graph.Unreached && d != want[v] {
-			t.Fatalf("partial dist[%d] = %d, want %d", v, d, want[v])
+	wg.Wait()
+	want0 := graph.ReferenceBFS(g, 0)
+	want1 := graph.ReferenceBFS(g, 5)
+	for i, qerr := range qerrs {
+		if !errors.Is(qerr, context.DeadlineExceeded) {
+			t.Fatalf("lane %d: err = %v, want context.DeadlineExceeded", i, qerr)
+		}
+		ans := anss[i]
+		if ans == nil {
+			t.Fatalf("lane %d: no partial answer demuxed on batch deadline", i)
+		}
+		if ans.Outcome != "deadline" {
+			t.Fatalf("lane %d: outcome = %q, want deadline", i, ans.Outcome)
+		}
+		if !ans.Fused {
+			t.Fatalf("lane %d: partial answer not marked fused", i)
+		}
+		// Every settled distance must already be exact.
+		want := want0
+		if i == 1 {
+			want = want1
+		}
+		for v, d := range ans.Dist {
+			if d != graph.Unreached && d != want[v] {
+				t.Fatalf("lane %d: partial dist[%d] = %d, want %d", i, v, d, want[v])
+			}
 		}
 	}
 }

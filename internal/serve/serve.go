@@ -54,6 +54,10 @@ var ErrClosed = errors.New("serve: guard closed")
 // ErrBadSource reports a source vertex outside the graph.
 var ErrBadSource = errors.New("serve: source vertex out of range")
 
+// ErrBadGoal reports a goal whose target vertex is outside the graph or
+// whose depth bound is negative.
+var ErrBadGoal = errors.New("serve: invalid goal")
+
 // errWedged marks an engine run that outlived both its context and the
 // grace window — the engine cannot be trusted or joined, only replaced.
 var errWedged = errors.New("serve: engine wedged past grace window")
@@ -147,6 +151,11 @@ type Answer struct {
 	// run; BatchLanes is how many live lanes shared that run.
 	Fused      bool
 	BatchLanes int
+	// Truncated reports that the run terminated at a goal (target
+	// settled, or depth bound reached) rather than by frontier
+	// exhaustion. Dist is exact for every closed level plus the settled
+	// final frontier; deeper vertices read graph.Unreached.
+	Truncated bool
 }
 
 // Guard is the hardened serving wrapper. Safe for concurrent use.
@@ -226,6 +235,16 @@ func (gd *Guard) Algorithm() core.Algorithm { return gd.cfg.Algo }
 // ErrBadSource, a context error, or — only if even the serial
 // fallback failed — the underlying failure.
 func (gd *Guard) Query(ctx context.Context, src int32) (*Answer, error) {
+	return gd.QueryGoal(ctx, src, core.Goal{})
+}
+
+// QueryGoal is Query with a per-run goal: a target vertex whose settled
+// distance terminates the run at the next level barrier, a depth bound,
+// or both (whichever fires first wins). The zero Goal is exactly Query.
+// A truncated Answer is exact for every closed level (Answer.Truncated
+// documents the contract); the escalation ladder and the degraded
+// serial fallback honor the same goal.
+func (gd *Guard) QueryGoal(ctx context.Context, src int32, goal core.Goal) (*Answer, error) {
 	select {
 	case <-gd.closed:
 		return nil, ErrClosed
@@ -233,6 +252,9 @@ func (gd *Guard) Query(ctx context.Context, src int32) (*Answer, error) {
 	}
 	if src < 0 || src >= gd.g.NumVertices() {
 		return nil, fmt.Errorf("%w: %d not in [0,%d)", ErrBadSource, src, gd.g.NumVertices())
+	}
+	if err := gd.checkGoal(goal); err != nil {
+		return nil, err
 	}
 	if _, ok := ctx.Deadline(); !ok {
 		var cancel context.CancelFunc
@@ -251,13 +273,25 @@ func (gd *Guard) Query(ctx context.Context, src int32) (*Answer, error) {
 		gd.latency.Observe(time.Since(start).Seconds())
 		gd.slots <- s
 	}()
-	return gd.ladder(ctx, s, src)
+	return gd.ladder(ctx, s, src, goal)
+}
+
+// checkGoal validates a goal against the graph before any slot is
+// spent on it, mapping violations to ErrBadGoal.
+func (gd *Guard) checkGoal(goal core.Goal) error {
+	if tv := goal.TargetVertex(); goal.Target != 0 && (tv < 0 || tv >= gd.g.NumVertices()) {
+		return fmt.Errorf("%w: target %d not in [0,%d)", ErrBadGoal, tv, gd.g.NumVertices())
+	}
+	if goal.MaxDepth < 0 {
+		return fmt.Errorf("%w: negative depth bound %d", ErrBadGoal, goal.MaxDepth)
+	}
+	return nil
 }
 
 // ladder runs the escalation policy on an already-acquired slot:
 // primary, rebuild + retry once, then the serial oracle. Shared by
 // Query and the batcher's solo re-runs; counts request outcomes.
-func (gd *Guard) ladder(ctx context.Context, s *slot, src int32) (*Answer, error) {
+func (gd *Guard) ladder(ctx context.Context, s *slot, src int32, goal core.Goal) (*Answer, error) {
 	for attempt := 0; attempt < 2; attempt++ {
 		if s.eng == nil {
 			// A previous owner's rebuild failed; retry it now.
@@ -265,7 +299,7 @@ func (gd *Guard) ladder(ctx context.Context, s *slot, src int32) (*Answer, error
 				break
 			}
 		}
-		ans, rerr := gd.runGuarded(ctx, s, src)
+		ans, rerr := gd.runGuarded(ctx, s, src, goal)
 		if rerr == nil {
 			if attempt == 0 {
 				ans.Outcome = "ok"
@@ -295,8 +329,10 @@ func (gd *Guard) ladder(ctx context.Context, s *slot, src int32) (*Answer, error
 	}
 
 	// Degraded mode: the serial oracle shares no state with the
-	// parallel engines and cannot race, panic, or stall on them.
-	sopt := core.Options{Workers: 1, TrackParents: true}
+	// parallel engines and cannot race, panic, or stall on them. The
+	// goal rides along so a degraded s–t query still terminates early.
+	sopt := core.Options{Workers: 1, TrackParents: true,
+		Target: goal.Target, MaxDepth: goal.MaxDepth}
 	res, serr := core.RunContext(ctx, gd.g, src, core.Serial, sopt)
 	if serr != nil {
 		gd.requests(outcomeForCtx(serr)).Inc()
@@ -346,7 +382,7 @@ func (gd *Guard) acquire(ctx context.Context) (*slot, error) {
 // buffer and the parent's grace select receives it immediately, instead
 // of the answer being lost, the healthy engine torn down, and the full
 // Grace window burned into a spurious errWedged.
-func (gd *Guard) runGuarded(ctx context.Context, s *slot, src int32) (*Answer, error) {
+func (gd *Guard) runGuarded(ctx context.Context, s *slot, src int32, goal core.Goal) (*Answer, error) {
 	type outcome struct {
 		ans *Answer
 		err error
@@ -360,7 +396,7 @@ func (gd *Guard) runGuarded(ctx context.Context, s *slot, src int32) (*Answer, e
 	ch := make(chan outcome, 1)
 	var hand atomic.Int32
 	go func() {
-		res, err := eng.RunContext(ctx, src)
+		res, err := eng.RunGoal(ctx, src, goal)
 		ch <- outcome{ans: copyAnswer(res), err: err} // cap 1: never blocks
 		if !hand.CompareAndSwap(handPending, handDelivered) {
 			// The parent already abandoned the run: it will never read
@@ -505,6 +541,7 @@ func copyAnswer(res *core.Result) *Answer {
 		Levels:         res.Levels,
 		Reached:        res.Reached,
 		EdgesTraversed: res.EdgesTraversed,
+		Truncated:      res.Truncated,
 	}
 	a.Dist = append([]int32(nil), res.Dist...)
 	if res.Parent != nil {

@@ -80,6 +80,17 @@ const (
 	ReorderBFS = core.ReorderBFS
 )
 
+// Goal bounds a goal-directed search: stop once a target vertex's level
+// is fully settled (Target, a vertex id + 1; see GoalTo) and/or once a
+// depth bound is reached (MaxDepth levels). The zero Goal means run to
+// exhaustion. Termination happens at the level barrier the goal closes,
+// so the partial Result is exact for every closed level and
+// Result.Truncated reports that deeper levels were skipped.
+type Goal = core.Goal
+
+// GoalTo returns a Goal that stops once vertex v's BFS level is settled.
+func GoalTo(v int32) Goal { return core.GoalTo(v) }
+
 // ChaosHook observes the lockfree protocols' racy points (see
 // Options.Chaos). Implementations may delay or yield to provoke rare
 // interleavings; the internal/chaos package provides a seeded

@@ -23,11 +23,22 @@
 # bottom-up kernel writes race-free into preallocated state, so the
 # hybrid warm path has no stochastic growth source at all.
 #
+# BenchmarkGoalSteadyState (warm goal-directed runs) is gated in two
+# halves: the depth-bounded rows at 0 allocs/op by default
+# (MAX_ALLOCS_GOAL) — the goal predicate runs at level barriers on
+# pooled state and adds no growth source of its own — while the s-t
+# rows get the engine-style stochastic headroom (MAX_ALLOCS_GOAL_ST):
+# they sweep almost the whole graph, so racy duplicate counts can still
+# land on a late queue high-water growth event exactly as in
+# BenchmarkEngineSteadyState.
+#
 # Usage: scripts/benchsmoke.sh [output-file]
 #   MAX_ALLOCS          gate for BenchmarkEngineSteadyState (default 8)
 #   MAX_ALLOCS_DRAIN    gate for BenchmarkDrainLocality (default 0)
 #   MAX_ALLOCS_SHARDED  gate for BenchmarkShardedSteadyState (default 8)
 #   MAX_ALLOCS_HYBRID   gate for BenchmarkHybridSteadyState (default 0)
+#   MAX_ALLOCS_GOAL     gate for BenchmarkGoalSteadyState depth rows (default 0)
+#   MAX_ALLOCS_GOAL_ST  gate for BenchmarkGoalSteadyState s-t rows (default 8)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -36,8 +47,10 @@ max_allocs="${MAX_ALLOCS:-8}"
 max_allocs_drain="${MAX_ALLOCS_DRAIN:-0}"
 max_allocs_sharded="${MAX_ALLOCS_SHARDED:-8}"
 max_allocs_hybrid="${MAX_ALLOCS_HYBRID:-0}"
+max_allocs_goal="${MAX_ALLOCS_GOAL:-0}"
+max_allocs_goal_st="${MAX_ALLOCS_GOAL_ST:-8}"
 
-go test -run '^$' -bench 'BenchmarkEngineSteadyState|BenchmarkEngineRunMany|BenchmarkDrainLocality|BenchmarkShardedSteadyState|BenchmarkHybridSteadyState' \
+go test -run '^$' -bench 'BenchmarkEngineSteadyState|BenchmarkEngineRunMany|BenchmarkDrainLocality|BenchmarkShardedSteadyState|BenchmarkHybridSteadyState|BenchmarkGoalSteadyState' \
   -benchtime 3x -benchmem . | tee "$out"
 
 fail=0
@@ -66,5 +79,7 @@ gate '^BenchmarkEngineSteadyState' "$max_allocs" 4
 gate '^BenchmarkDrainLocality' "$max_allocs_drain" 6
 gate '^BenchmarkShardedSteadyState' "$max_allocs_sharded" 6
 gate '^BenchmarkHybridSteadyState' "$max_allocs_hybrid" 2
+gate '^BenchmarkGoalSteadyState/.*depth' "$max_allocs_goal" 2
+gate '^BenchmarkGoalSteadyState/.*/st' "$max_allocs_goal_st" 2
 
 exit "$fail"

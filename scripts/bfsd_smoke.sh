@@ -45,6 +45,25 @@ curl -fsS "${BASE}/metrics" -o metrics.txt
 grep -q '^optibfs_serve_requests_total{outcome="ok"} 1$' metrics.txt || {
   echo "serve counters missing from /metrics:"; grep optibfs_serve metrics.txt || true; exit 1; }
 
+# Goal-directed and analysis queries: an s-t search with path
+# reconstruction, a depth-bounded k-hop sweep (must come back
+# truncated), components, and eccentricity. The validate=1 legs
+# self-check server-side against the serial oracle's closed levels.
+curl -fsS "${BASE}/query?src=0&dst=100&path=1&validate=1" -o st.json
+grep -q '"valid":true' st.json || { echo "s-t query did not validate:"; cat st.json; exit 1; }
+grep -q '"dst":100' st.json || { echo "s-t response missing dst:"; cat st.json; exit 1; }
+curl -fsS "${BASE}/query?src=0&k=2&validate=1" -o khop.json
+grep -q '"valid":true' khop.json || { echo "k-hop query did not validate:"; cat khop.json; exit 1; }
+grep -q '"truncated":true' khop.json || { echo "k-hop answer not truncated:"; cat khop.json; exit 1; }
+curl -fsS "${BASE}/query?kind=components" -o comp.json
+grep -q '"components":' comp.json || { echo "bad components response:"; cat comp.json; exit 1; }
+curl -fsS "${BASE}/query?kind=ecc&src=0" -o ecc.json
+grep -q '"ecc":' ecc.json || { echo "bad ecc response:"; cat ecc.json; exit 1; }
+# dst and full=1 are contractually exclusive — a 400, not a 500.
+FULL_STATUS=$(curl -s -o /dev/null -w '%{http_code}' "${BASE}/query?src=0&dst=5&full=1")
+[ "$FULL_STATUS" = "400" ] || { echo "dst+full=1: $FULL_STATUS, want 400"; exit 1; }
+rm -f st.json khop.json comp.json ecc.json
+
 # Fire 64 concurrent self-validating queries through the fused
 # batcher (batching is the daemon default). Every one must come back
 # valid; the burst must light up the batch-occupancy metrics.
