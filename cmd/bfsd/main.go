@@ -1,18 +1,30 @@
 // Command bfsd is a long-running BFS query daemon over the hardened
-// serving layer (internal/serve): load a graph once, then answer
-// distance/parent queries over HTTP with panic isolation, stall
-// detection, deadline budgets, bounded concurrency with load
-// shedding, and serial-oracle degradation. The JSON API:
+// serving layer (internal/serve): load graphs into a named registry,
+// then answer distance/parent queries over HTTP with panic isolation,
+// stall detection, deadline budgets, global admission control with
+// deadline-aware shedding, memory-budget LRU eviction, and
+// serial-oracle degradation. The JSON API:
 //
-//	POST /load?gen=rmat&n=4096&m=32768&seed=1   generate and serve a graph
-//	POST /load?format=edges|mtx|bin             load a graph from the body
+//	POST /load?gen=rmat&n=4096&m=32768&seed=1   load the default graph (generate)
+//	POST /load?format=edges|mtx|bin             load the default graph from the body
 //	POST /load?path=/data/graph.bin2            load (mmap when possible) a server-side file
-//	GET  /query?src=0[&dst=7][&k=3][&path=1][&full=1][&validate=1][&batch=0]
+//	POST /graphs/{name}?...                     same ingest routes, into a named graph
+//	GET  /graphs                                list resident graphs
+//	GET  /graphs/{name}                         one graph's state
+//	DELETE /graphs/{name}                       evict (draining queries finish first)
+//	GET  /query?src=0[&graph=name][&dst=7][&k=3][&path=1][&full=1][&validate=1][&batch=0]
 //	GET  /query?kind=components                 weakly-connected components (cached per load)
 //	GET  /query?kind=ecc&src=0                  eccentricity of src's reachable set
 //	GET  /healthz                               liveness (always 200)
-//	GET  /readyz                                readiness (503 until loaded; reports the graph)
+//	GET  /readyz[?graph=name]                   readiness (503 until loaded; reports graphs)
 //	GET  /metrics                               Prometheus text exposition
+//
+// Overload semantics: queries shed by the admission controller (global
+// concurrency, per-graph fair share, deadline-budget, queue caps)
+// return 429 with a Retry-After derived from the controller's
+// estimated wait; 503 is reserved for closed/draining/loading states
+// so clients can tell backpressure from outage. Loads that cannot fit
+// the memory budget even after LRU eviction return 507.
 //
 // dst= and k= are goal-directed: the engine terminates at the level
 // barrier where dst's distance commits (or after k closed levels), so
@@ -23,8 +35,8 @@
 //
 // plus /debug/vars and /debug/pprof from the shared exposition mux.
 // SIGTERM/SIGINT triggers a graceful drain: the listener closes,
-// in-flight requests finish (bounded by -drain-timeout), engines shut
-// down, and the process exits 0.
+// in-flight requests finish (bounded by -drain-timeout), the registry
+// closes its fleets in eviction (LRU) order, and the process exits 0.
 package main
 
 import (
@@ -34,10 +46,12 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"net/http"
 	"os"
 	"os/signal"
 	"strconv"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -51,67 +65,55 @@ import (
 	"optibfs/internal/serve"
 )
 
-// loaded is the daemon's current graph and its serving guard. mapped
-// is non-nil when the graph's Offsets/Edges alias an mmap (path loads
-// of v2 binary files): the loaded holds the mapping's base reference,
-// and every request pins it with retain/release so a /load swap can
-// never munmap pages a draining query still reads.
-type loaded struct {
-	g      *graph.CSR
-	guard  *serve.Guard
-	desc   string
-	mapped *mmio.MappedGraph
+// defaultGraph is the name the legacy single-graph routes (/load,
+// /query without graph=) operate on.
+const defaultGraph = "default"
 
-	// Components are immutable per load, so the first kind=components
-	// query computes them once and every later one reads the cache.
-	compOnce  sync.Once
-	compSizes []int64
-	compErr   error
-}
-
-// retain pins the loaded graph's backing storage for one request.
-// Must be called under the daemon's read lock (see daemon.acquire):
-// the lock orders the pin before any /load swap, so the base
-// reference is still held when the pin lands.
-func (l *loaded) retain() {
-	if l.mapped != nil {
-		l.mapped.Retain()
-	}
-}
-
-// release undoes retain once the request is done with the graph.
-func (l *loaded) release() {
-	if l.mapped != nil {
-		l.mapped.Release()
-	}
-}
-
-// daemon holds the HTTP state. The guard swap on /load is the only
-// mutation; queries take the read lock.
+// daemon holds the HTTP state: a serve.Registry doing all the
+// lifecycle work, plus cosmetic per-name descriptors.
 type daemon struct {
-	cfg     serve.Config
-	reg     *obs.Registry
-	maxBody int64
+	cfg      serve.Config
+	reg      *obs.Registry
+	registry *serve.Registry
+	maxBody  int64
 
-	mu  sync.RWMutex
-	cur *loaded
+	descs sync.Map // name -> desc string (cosmetic; authoritative state is the registry's)
 
-	// testHookAfterSnapshot fires in handleQuery between snapshotting
-	// d.current() and querying it — the window a concurrent /load swap
-	// races into. Nil outside tests.
+	// testHookAfterSnapshot fires in handleQuery between leasing the
+	// graph and querying it — the window a concurrent /load swap races
+	// into. Nil outside tests.
 	testHookAfterSnapshot func()
 }
 
+// newDaemon builds a daemon with default admission control and no
+// memory budget (the common test configuration).
 func newDaemon(cfg serve.Config, reg *obs.Registry, maxBody int64) *daemon {
+	return newDaemonFull(cfg, serve.AdmissionConfig{}, 0, reg, maxBody)
+}
+
+// newDaemonFull is newDaemon with explicit admission tuning and a
+// memory budget (bytes; 0 = unlimited).
+func newDaemonFull(cfg serve.Config, adm serve.AdmissionConfig, memBudget int64, reg *obs.Registry, maxBody int64) *daemon {
 	cfg.Registry = reg
-	return &daemon{cfg: cfg, reg: reg, maxBody: maxBody}
+	d := &daemon{cfg: cfg, reg: reg, maxBody: maxBody}
+	d.registry = serve.NewRegistry(serve.RegistryConfig{
+		MemoryBudget: memBudget,
+		Guard:        cfg,
+		Admission:    adm,
+		Obs:          reg,
+	})
+	return d
 }
 
 // handler mounts the API on the shared exposition mux, so /metrics,
 // /debug/vars, and /debug/pprof ride along for free.
 func (d *daemon) handler() http.Handler {
 	mux := obs.NewServeMux(d.reg)
-	mux.HandleFunc("/load", d.handleLoad)
+	mux.HandleFunc("/load", func(w http.ResponseWriter, r *http.Request) {
+		d.handleLoad(w, r, defaultGraph)
+	})
+	mux.HandleFunc("/graphs", d.handleGraphsList)
+	mux.HandleFunc("/graphs/", d.handleGraphsItem)
 	mux.HandleFunc("/query", d.handleQuery)
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
@@ -120,120 +122,201 @@ func (d *daemon) handler() http.Handler {
 	return mux
 }
 
-// current returns the graph being served, or nil before the first load.
-func (d *daemon) current() *loaded {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	return d.cur
-}
-
-// acquire snapshots the current loaded graph with its storage pinned;
-// the caller must release() it when done. The pin happens under the
-// read lock, which orders it before any concurrent install: the swap's
-// background base-reference drop therefore cannot be the final one
-// while this request runs.
-func (d *daemon) acquire() *loaded {
-	d.mu.RLock()
-	defer d.mu.RUnlock()
-	if d.cur != nil {
-		d.cur.retain()
-	}
-	return d.cur
-}
-
-// install swaps in a freshly built guard and retires the old one in
-// the background (Close blocks until its in-flight queries drain).
-func (d *daemon) install(l *loaded) {
-	d.mu.Lock()
-	old := d.cur
-	d.cur = l
-	d.mu.Unlock()
-	if old != nil {
-		go retire(old)
-	}
-}
-
-// retire closes a displaced guard and drops the loaded's base mapping
-// reference. Close returns only after every slot came home, so no
-// healthy engine can still be draining; an engine the guard abandoned
-// as wedged may still be reading the pages, though, in which case the
-// mapping is deliberately leaked along with it.
-func retire(old *loaded) {
-	old.guard.Close()
-	if old.mapped == nil {
-		return
-	}
-	if n := old.guard.Abandoned(); n > 0 {
-		log.Printf("bfsd: leaking mmap of retired graph %q: %d wedged engine(s) may still read it", old.desc, n)
-		return
-	}
-	old.mapped.Release()
-}
-
-// closeGuard shuts the active guard during daemon drain.
+// closeGuard drains the whole registry during daemon shutdown (the
+// name predates the registry; tests and main both use it).
 func (d *daemon) closeGuard() {
-	d.mu.Lock()
-	old := d.cur
-	d.cur = nil
-	d.mu.Unlock()
-	if old != nil {
-		retire(old)
-	}
+	d.registry.Close()
 }
 
-func (d *daemon) handleReady(w http.ResponseWriter, _ *http.Request) {
-	cur := d.current()
-	if cur == nil {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "error": "no graph loaded"})
+// graphName validates a client-supplied graph name: short, path-safe,
+// metric-label-safe.
+func graphName(name string) (string, error) {
+	if name == "" || len(name) > 64 {
+		return "", fmt.Errorf("graph name must be 1-64 characters")
+	}
+	for _, c := range name {
+		if !(c == '-' || c == '_' || c == '.' ||
+			(c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')) {
+			return "", fmt.Errorf("graph name %q: only [A-Za-z0-9._-] allowed", name)
+		}
+	}
+	return name, nil
+}
+
+// retryAfterSeconds derives the Retry-After header from an estimated
+// wait: rounded up to whole seconds, clamped to [1, 30].
+func retryAfterSeconds(est time.Duration) string {
+	s := int64(math.Ceil(est.Seconds()))
+	if s < 1 {
+		s = 1
+	}
+	if s > 30 {
+		s = 30
+	}
+	return strconv.FormatInt(s, 10)
+}
+
+func (d *daemon) handleReady(w http.ResponseWriter, r *http.Request) {
+	if name := r.URL.Query().Get("graph"); name != "" {
+		info, ok := d.registry.Info(name)
+		switch {
+		case !ok:
+			writeJSON(w, http.StatusNotFound, map[string]any{"ready": false, "error": fmt.Sprintf("graph %q not found", name)})
+		case info.Loading:
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"ready": false, "loading": true, "graph": name})
+		default:
+			writeJSON(w, http.StatusOK, d.graphFields(info, map[string]any{"ready": true}))
+		}
 		return
 	}
-	// Load generators size their source/target draws off this, so the
-	// ready probe doubles as the graph descriptor.
+	list := d.registry.List()
+	resident := make([]map[string]any, 0, len(list))
+	for _, info := range list {
+		resident = append(resident, d.graphFields(info, map[string]any{}))
+	}
+	resp := map[string]any{"graphs": resident, "resident_bytes": d.registry.ResidentBytes()}
+	if lease, err := d.registry.Acquire(defaultGraph); err == nil {
+		// Legacy single-graph fields: load generators size their
+		// source/target draws off these, so the ready probe doubles as
+		// the default graph's descriptor.
+		resp["ready"] = true
+		resp["vertices"] = lease.Graph().NumVertices()
+		resp["edges"] = lease.Graph().NumEdges()
+		resp["desc"] = d.descOf(defaultGraph)
+		resp["algorithm"] = string(lease.Guard().Algorithm())
+		lease.Release()
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	if len(list) > 0 {
+		resp["ready"] = true
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	resp["ready"] = false
+	resp["error"] = "no graph loaded"
+	writeJSON(w, http.StatusServiceUnavailable, resp)
+}
+
+// graphFields renders one GraphInfo (plus the daemon's descriptor)
+// into resp.
+func (d *daemon) graphFields(info serve.GraphInfo, resp map[string]any) map[string]any {
+	resp["graph"] = info.Name
+	resp["gen"] = info.Gen
+	resp["vertices"] = info.Vertices
+	resp["edges"] = info.Edges
+	resp["cost_bytes"] = info.Cost
+	resp["mapped"] = info.Mapped
+	if info.Loading {
+		resp["loading"] = true
+	}
+	if desc := d.descOf(info.Name); desc != "" {
+		resp["desc"] = desc
+	}
+	return resp
+}
+
+func (d *daemon) descOf(name string) string {
+	if v, ok := d.descs.Load(name); ok {
+		return v.(string)
+	}
+	return ""
+}
+
+// handleGraphsList serves GET /graphs.
+func (d *daemon) handleGraphsList(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]any{"error": "GET required"})
+		return
+	}
+	list := d.registry.List()
+	out := make([]map[string]any, 0, len(list))
+	for _, info := range list {
+		out = append(out, d.graphFields(info, map[string]any{}))
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"ready":     true,
-		"vertices":  cur.g.NumVertices(),
-		"edges":     cur.g.NumEdges(),
-		"desc":      cur.desc,
-		"algorithm": string(cur.guard.Algorithm()),
+		"graphs":         out,
+		"resident_bytes": d.registry.ResidentBytes(),
 	})
 }
 
-func (d *daemon) handleLoad(w http.ResponseWriter, r *http.Request) {
+// handleGraphsItem serves POST/GET/DELETE /graphs/{name}.
+func (d *daemon) handleGraphsItem(w http.ResponseWriter, r *http.Request) {
+	name, err := graphName(strings.TrimPrefix(r.URL.Path, "/graphs/"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
+		return
+	}
+	switch r.Method {
+	case http.MethodPost:
+		d.handleLoad(w, r, name)
+	case http.MethodGet:
+		info, ok := d.registry.Info(name)
+		if !ok {
+			writeJSON(w, http.StatusNotFound, map[string]any{"error": fmt.Sprintf("graph %q not found", name)})
+			return
+		}
+		writeJSON(w, http.StatusOK, d.graphFields(info, map[string]any{}))
+	case http.MethodDelete:
+		switch err := d.registry.Evict(name); {
+		case err == nil:
+			d.descs.Delete(name)
+			writeJSON(w, http.StatusOK, map[string]any{"evicted": name})
+		case errors.Is(err, serve.ErrNotFound):
+			writeJSON(w, http.StatusNotFound, map[string]any{"error": fmt.Sprintf("graph %q not found", name)})
+		case errors.Is(err, serve.ErrClosed):
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": "draining"})
+		default:
+			writeJSON(w, http.StatusInternalServerError, map[string]any{"error": err.Error()})
+		}
+	default:
+		writeJSON(w, http.StatusMethodNotAllowed, map[string]any{"error": "POST, GET, or DELETE required"})
+	}
+}
+
+// handleLoad ingests a graph (server-side file, generator, or request
+// body) into the named registry slot. The parse runs inside the
+// registry's single-flight loader, so concurrent loads of one name
+// collapse; the parse error (if any) comes back out of Load and maps
+// to the same statuses as before.
+func (d *daemon) handleLoad(w http.ResponseWriter, r *http.Request, name string) {
 	if r.Method != http.MethodPost {
 		writeJSON(w, http.StatusMethodNotAllowed, map[string]any{"error": "POST required"})
 		return
 	}
 	var (
-		g      *graph.CSR
-		mapped *mmio.MappedGraph
 		desc   string
-		err    error
+		source serve.GraphSource
 	)
 	if path := r.URL.Query().Get("path"); path != "" {
-		g, mapped, desc, err = openGraphFile(path, d.maxBody)
-		if err != nil {
-			status := http.StatusInternalServerError
-			switch {
-			case errors.Is(err, errFileTooLarge):
-				status = http.StatusRequestEntityTooLarge
-			case errors.Is(err, mmio.ErrMalformed):
-				status = http.StatusBadRequest
-			}
-			writeJSON(w, status, map[string]any{"error": err.Error()})
-			return
+		desc = path
+		maxBody := d.maxBody
+		source = func(context.Context) (*graph.CSR, *mmio.MappedGraph, error) {
+			g, mapped, _, err := openGraphFile(path, maxBody)
+			return g, mapped, err
 		}
 	} else if kind := r.URL.Query().Get("gen"); kind != "" {
-		g, desc, err = generate(kind, r.URL.Query())
+		g, gdesc, err := generate(kind, r.URL.Query())
 		if err != nil {
 			writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
 			return
+		}
+		desc = gdesc
+		source = func(context.Context) (*graph.CSR, *mmio.MappedGraph, error) {
+			return g, nil, nil
 		}
 	} else {
 		format := r.URL.Query().Get("format")
 		if format == "" {
 			format = "edges"
 		}
+		desc = format + " upload"
+		// The body must be consumed on this request, single-flight or
+		// not: parse it eagerly, then hand the result to the loader.
 		body := http.MaxBytesReader(w, r.Body, d.maxBody)
+		var g *graph.CSR
+		var err error
 		switch format {
 		case "edges":
 			g, err = mmio.ReadEdgeList(body)
@@ -245,7 +328,6 @@ func (d *daemon) handleLoad(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusBadRequest, map[string]any{"error": fmt.Sprintf("unknown format %q", format)})
 			return
 		}
-		desc = format + " upload"
 		if err != nil {
 			status := http.StatusInternalServerError
 			var mbe *http.MaxBytesError
@@ -260,23 +342,40 @@ func (d *daemon) handleLoad(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, status, map[string]any{"error": err.Error()})
 			return
 		}
-	}
-	guard, err := serve.New(g, d.cfg)
-	if err != nil {
-		if mapped != nil {
-			mapped.Release()
+		source = func(context.Context) (*graph.CSR, *mmio.MappedGraph, error) {
+			return g, nil, nil
 		}
-		writeJSON(w, http.StatusInternalServerError, map[string]any{"error": err.Error()})
+	}
+
+	if err := d.registry.Load(r.Context(), name, source); err != nil {
+		status := http.StatusInternalServerError
+		switch {
+		case errors.Is(err, errFileTooLarge):
+			status = http.StatusRequestEntityTooLarge
+		case errors.Is(err, mmio.ErrMalformed):
+			status = http.StatusBadRequest
+		case errors.Is(err, serve.ErrBudgetExceeded):
+			status = http.StatusInsufficientStorage
+		case errors.Is(err, serve.ErrClosed):
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, map[string]any{"error": err.Error()})
 		return
 	}
-	d.install(&loaded{g: g, guard: guard, desc: desc, mapped: mapped})
-	writeJSON(w, http.StatusOK, map[string]any{
-		"vertices":  g.NumVertices(),
-		"edges":     g.NumEdges(),
-		"algorithm": string(guard.Algorithm()),
-		"desc":      desc,
-		"mapped":    mapped != nil && mapped.Mapped(),
-	})
+	d.descs.Store(name, desc)
+
+	// Report the installed generation (it may already have been swapped
+	// or evicted by a concurrent writer; then report what Load did).
+	resp := map[string]any{"graph": name, "desc": desc}
+	if lease, err := d.registry.Acquire(name); err == nil {
+		resp["vertices"] = lease.Graph().NumVertices()
+		resp["edges"] = lease.Graph().NumEdges()
+		resp["gen"] = lease.Gen()
+		resp["algorithm"] = string(lease.Guard().Algorithm())
+		resp["mapped"] = lease.MappedGraph() != nil && lease.MappedGraph().Mapped()
+		lease.Release()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // generate builds a graph from generator query parameters.
@@ -323,27 +422,77 @@ func generate(kind string, q map[string][]string) (*graph.CSR, string, error) {
 	return g, fmt.Sprintf("%s(n=%d,m=%d,seed=%d)", kind, n, m, seed), nil
 }
 
+// beginQuery routes one query through admission + lease, writing the
+// error response itself when the query cannot run. explicit reports
+// whether the client named the graph (graph=); the legacy default
+// route keeps its historical 503 "no graph loaded" while named routes
+// get a proper 404.
+func (d *daemon) beginQuery(w http.ResponseWriter, r *http.Request, name string, explicit bool) *serve.Lease {
+	lease, err := d.registry.Begin(r.Context(), name)
+	if err == nil {
+		return lease
+	}
+	var shed *serve.ShedError
+	switch {
+	case errors.As(err, &shed):
+		// Backpressure, not outage: 429 with the admission controller's
+		// own wait estimate.
+		w.Header().Set("Retry-After", retryAfterSeconds(shed.EstimatedWait))
+		writeJSON(w, http.StatusTooManyRequests, map[string]any{
+			"error":                  err.Error(),
+			"shed":                   shed.Reason,
+			"estimated_wait_seconds": shed.EstimatedWait.Seconds(),
+		})
+	case errors.Is(err, serve.ErrOverloaded):
+		w.Header().Set("Retry-After", retryAfterSeconds(d.registry.EstimatedWait()))
+		writeJSON(w, http.StatusTooManyRequests, map[string]any{"error": err.Error()})
+	case errors.Is(err, serve.ErrLoading):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": fmt.Sprintf("graph %q still loading", name)})
+	case errors.Is(err, serve.ErrClosed):
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": "draining"})
+	case errors.Is(err, serve.ErrNotFound):
+		if explicit {
+			writeJSON(w, http.StatusNotFound, map[string]any{"error": fmt.Sprintf("graph %q not found", name)})
+		} else {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": "no graph loaded"})
+		}
+	case errors.Is(err, context.DeadlineExceeded):
+		writeJSON(w, http.StatusGatewayTimeout, map[string]any{"error": err.Error()})
+	default:
+		writeJSON(w, http.StatusInternalServerError, map[string]any{"error": err.Error()})
+	}
+	return nil
+}
+
 func (d *daemon) handleQuery(w http.ResponseWriter, r *http.Request) {
-	cur := d.acquire()
-	if cur == nil {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"error": "no graph loaded"})
+	name := r.URL.Query().Get("graph")
+	explicit := name != ""
+	if !explicit {
+		name = defaultGraph
+	} else if _, err := graphName(name); err != nil {
+		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
 		return
 	}
-	// The pin taken by acquire keeps a mapped graph's pages resident for
-	// the whole request — the projection and validation reads below touch
-	// cur.g after the guard query returns, past the point a concurrent
-	// /load swap may have retired (and otherwise unmapped) the graph.
-	defer func() { cur.release() }()
+	lease := d.beginQuery(w, r, name, explicit)
+	if lease == nil {
+		return
+	}
+	// The lease pins the graph generation for the whole request: the
+	// projection and validation reads below touch the CSR after the
+	// guard query returns, past the point a concurrent swap/evict may
+	// have retired (and otherwise unmapped) the graph.
+	defer func() { lease.Release() }()
 	if d.testHookAfterSnapshot != nil {
 		d.testHookAfterSnapshot()
 	}
 	switch kind := r.URL.Query().Get("kind"); kind {
 	case "", "bfs":
 	case "components":
-		d.handleComponents(w, cur)
+		d.handleComponents(w, lease)
 		return
 	case "ecc":
-		d.handleEcc(w, r, cur)
+		d.handleEcc(w, r, lease)
 		return
 	default:
 		writeJSON(w, http.StatusBadRequest, map[string]any{"error": fmt.Sprintf("unknown kind %q (want bfs, components, or ecc)", kind)})
@@ -355,7 +504,7 @@ func (d *daemon) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	src := int32(src64)
-	goal, dst, err := parseGoal(r, cur.g.NumVertices())
+	goal, dst, err := parseGoal(r, lease.Graph().NumVertices())
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error()})
 		return
@@ -369,15 +518,16 @@ func (d *daemon) handleQuery(w http.ResponseWriter, r *http.Request) {
 	// Batched (fused) admission is the default; ?batch=0 opts a query
 	// out to solo dispatch.
 	batched := r.URL.Query().Get("batch") != "0"
-	ans, err := queryGuard(r.Context(), cur, src, goal, batched)
+	ans, err := queryLease(r.Context(), lease, src, goal, batched)
 	if errors.Is(err, serve.ErrClosed) {
-		// The snapshot lost a race with a concurrent /load swap: the old
-		// guard drained under us while a fresh one is serving. Re-fetch
-		// (swapping the pin) and retry once before admitting defeat.
-		if next := d.acquire(); next != nil {
-			cur.release()
-			cur = next
-			ans, err = queryGuard(r.Context(), cur, src, goal, batched)
+		// The lease lost a race with a concurrent swap/evict: the old
+		// guard drained under us while a fresh generation may be
+		// serving. Re-lease (releasing the old pin) and retry once
+		// before admitting defeat.
+		if next, nerr := d.registry.Begin(r.Context(), name); nerr == nil {
+			lease.Release()
+			lease = next
+			ans, err = queryLease(r.Context(), lease, src, goal, batched)
 		}
 	}
 	if err != nil {
@@ -388,7 +538,7 @@ func (d *daemon) handleQuery(w http.ResponseWriter, r *http.Request) {
 			resp := answerFields(src, ans)
 			resp["error"] = err.Error()
 			resp["partial"] = true
-			addProjection(resp, r, cur, ans)
+			addProjection(resp, r, lease.Graph(), ans)
 			writeJSON(w, http.StatusGatewayTimeout, resp)
 			return
 		}
@@ -397,8 +547,10 @@ func (d *daemon) handleQuery(w http.ResponseWriter, r *http.Request) {
 		case errors.Is(err, serve.ErrBadSource), errors.Is(err, serve.ErrBadGoal):
 			status = http.StatusBadRequest
 		case errors.Is(err, serve.ErrOverloaded):
-			status = http.StatusServiceUnavailable
-			w.Header().Set("Retry-After", "1")
+			// Guard-level shed: the fleet stayed busy past its queue
+			// wait. Same backpressure semantics as an admission shed.
+			status = http.StatusTooManyRequests
+			w.Header().Set("Retry-After", retryAfterSeconds(d.registry.EstimatedWait()))
 		case errors.Is(err, serve.ErrClosed):
 			status = http.StatusServiceUnavailable
 		case errors.Is(err, context.DeadlineExceeded):
@@ -408,6 +560,10 @@ func (d *daemon) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := answerFields(src, ans)
+	if explicit {
+		resp["graph"] = name
+		resp["graph_gen"] = lease.Gen()
+	}
 	if dst >= 0 {
 		resp["dst"] = dst
 		resp["dist"] = ans.Dist[dst]
@@ -425,7 +581,7 @@ func (d *daemon) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if r.URL.Query().Get("validate") == "1" {
-		if verr := validateAnswer(cur.g, src, goal, ans); verr != nil {
+		if verr := validateAnswer(lease.Graph(), src, goal, ans); verr != nil {
 			writeJSON(w, http.StatusInternalServerError, map[string]any{"error": verr.Error(), "valid": false})
 			return
 		}
@@ -472,38 +628,49 @@ func walkPath(src, dst int32, ans *serve.Answer) []int32 {
 	return path
 }
 
-// handleComponents serves kind=components from the per-load cache.
-func (d *daemon) handleComponents(w http.ResponseWriter, cur *loaded) {
-	cur.compOnce.Do(func() {
-		_, sizes, err := analysis.Components(cur.g, core.Options{Workers: d.cfg.Options.Workers})
-		cur.compSizes, cur.compErr = sizes, err
+// compCache is the per-generation components cache, living in the
+// lease's Ext map so a swap naturally invalidates it.
+type compCache struct {
+	once  sync.Once
+	sizes []int64
+	err   error
+}
+
+// handleComponents serves kind=components from the per-generation cache.
+func (d *daemon) handleComponents(w http.ResponseWriter, lease *serve.Lease) {
+	ci, _ := lease.Ext().LoadOrStore("components", &compCache{})
+	c := ci.(*compCache)
+	c.once.Do(func() {
+		_, sizes, err := analysis.Components(lease.Graph(), core.Options{Workers: d.cfg.Options.Workers})
+		c.sizes, c.err = sizes, err
 	})
-	if cur.compErr != nil {
-		writeJSON(w, http.StatusInternalServerError, map[string]any{"error": cur.compErr.Error()})
+	if c.err != nil {
+		writeJSON(w, http.StatusInternalServerError, map[string]any{"error": c.err.Error()})
 		return
 	}
 	var largest int64
-	for _, s := range cur.compSizes {
+	for _, s := range c.sizes {
 		if s > largest {
 			largest = s
 		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"kind":       "components",
-		"components": len(cur.compSizes),
+		"components": len(c.sizes),
 		"largest":    largest,
 	})
 }
 
 // handleEcc serves kind=ecc: one full BFS from src, reduced to the
 // eccentricity of its reachable set.
-func (d *daemon) handleEcc(w http.ResponseWriter, r *http.Request, cur *loaded) {
+func (d *daemon) handleEcc(w http.ResponseWriter, r *http.Request, lease *serve.Lease) {
+	g := lease.Graph()
 	src64, err := strconv.ParseInt(r.URL.Query().Get("src"), 10, 32)
-	if err != nil || src64 < 0 || int32(src64) >= cur.g.NumVertices() {
+	if err != nil || src64 < 0 || int32(src64) >= g.NumVertices() {
 		writeJSON(w, http.StatusBadRequest, map[string]any{"error": fmt.Sprintf("bad src %q", r.URL.Query().Get("src"))})
 		return
 	}
-	eccs, err := analysis.Eccentricities(cur.g, []int32{int32(src64)}, core.Options{Workers: d.cfg.Options.Workers})
+	eccs, err := analysis.Eccentricities(g, []int32{int32(src64)}, core.Options{Workers: d.cfg.Options.Workers})
 	if err != nil {
 		writeJSON(w, http.StatusInternalServerError, map[string]any{"error": err.Error()})
 		return
@@ -515,12 +682,12 @@ func (d *daemon) handleEcc(w http.ResponseWriter, r *http.Request, cur *loaded) 
 	})
 }
 
-// queryGuard dispatches one query solo or through the fused batcher.
-func queryGuard(ctx context.Context, cur *loaded, src int32, goal core.Goal, batched bool) (*serve.Answer, error) {
+// queryLease dispatches one query solo or through the fused batcher.
+func queryLease(ctx context.Context, lease *serve.Lease, src int32, goal core.Goal, batched bool) (*serve.Answer, error) {
 	if batched {
-		return cur.guard.QueryFusedGoal(ctx, src, goal)
+		return lease.Guard().QueryFusedGoal(ctx, src, goal)
 	}
-	return cur.guard.QueryGoal(ctx, src, goal)
+	return lease.Guard().QueryGoal(ctx, src, goal)
 }
 
 // answerFields builds the response fields every answer — complete or
@@ -547,9 +714,9 @@ func answerFields(src int32, ans *serve.Answer) map[string]any {
 // addProjection attaches the dst/full projections to a partial-answer
 // response; bad projection params are simply omitted (the request
 // already failed its deadline — the error field dominates).
-func addProjection(resp map[string]any, r *http.Request, cur *loaded, ans *serve.Answer) {
+func addProjection(resp map[string]any, r *http.Request, g *graph.CSR, ans *serve.Answer) {
 	if dstS := r.URL.Query().Get("dst"); dstS != "" {
-		if dst64, derr := strconv.ParseInt(dstS, 10, 32); derr == nil && dst64 >= 0 && int32(dst64) < cur.g.NumVertices() {
+		if dst64, derr := strconv.ParseInt(dstS, 10, 32); derr == nil && dst64 >= 0 && int32(dst64) < g.NumVertices() {
 			resp["dst"] = dst64
 			resp["dist"] = ans.Dist[dst64]
 			if ans.Parent != nil {
@@ -659,20 +826,19 @@ func openGraphFile(path string, maxBody int64) (*graph.CSR, *mmio.MappedGraph, s
 }
 
 // loadFile serves -load at startup: a graph file by extension, under
-// the same size budget and mmap path as POST /load?path=.
+// the same size budget and mmap path as POST /load?path=, installed as
+// the default graph.
 func loadFile(d *daemon, path string) error {
-	g, mapped, desc, err := openGraphFile(path, d.maxBody)
+	maxBody := d.maxBody
+	err := d.registry.Load(context.Background(), defaultGraph,
+		func(context.Context) (*graph.CSR, *mmio.MappedGraph, error) {
+			g, mapped, _, err := openGraphFile(path, maxBody)
+			return g, mapped, err
+		})
 	if err != nil {
 		return err
 	}
-	guard, err := serve.New(g, d.cfg)
-	if err != nil {
-		if mapped != nil {
-			mapped.Release()
-		}
-		return err
-	}
-	d.install(&loaded{g: g, guard: guard, desc: desc, mapped: mapped})
+	d.descs.Store(defaultGraph, path)
 	return nil
 }
 
@@ -687,17 +853,21 @@ func main() {
 		workers      = flag.Int("workers", 0, "workers per engine (0 = GOMAXPROCS)")
 		shards       = flag.Int("shards", 1, "graph shards per engine (each with its own worker set)")
 		hybrid       = flag.Bool("hybrid", false, "direction-optimizing engines: bottom-up levels on large frontiers (single-source path; fused MS-BFS batches ignore it)")
-		concurrency  = flag.Int("concurrency", 2, "engine fleet size (max queries in flight)")
+		concurrency  = flag.Int("concurrency", 2, "engine fleet size per graph (max queries in flight per graph)")
 		deadline     = flag.Duration("deadline", 5*time.Second, "default per-query deadline")
 		stallTimeout = flag.Duration("stall-timeout", time.Second, "watchdog window for wedged workers")
 		grace        = flag.Duration("grace", time.Second, "post-deadline grace before an engine is abandoned")
 		queueWait    = flag.Duration("queue-wait", 100*time.Millisecond, "max wait for a free engine before shedding")
 		drainTimeout = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown budget on SIGTERM")
-		load         = flag.String("load", "", "graph file to serve at startup (.mtx, .bin, else edge list)")
+		load         = flag.String("load", "", "graph file to serve at startup as the default graph (.mtx, .bin, else edge list)")
 		maxBody      = flag.Int64("max-body", 1<<30, "maximum /load request body bytes")
 		batch        = flag.Bool("batch", true, "fuse concurrent queries into multi-source batched runs (per-query opt-out: ?batch=0)")
 		batchWindow  = flag.Duration("batch-window", time.Millisecond, "how long a batch collects lanes before dispatch")
 		batchLanes   = flag.Int("batch-lanes", 64, "max fused lanes per batch (<= 64)")
+		memBudget    = flag.Int64("mem-budget", 0, "registry memory budget in bytes: inserts past it evict idle graphs LRU-first (0 = unlimited)")
+		admInflight  = flag.Int("admit-inflight", 0, "global concurrent-query cap across all graphs (0 = max(8, 2×GOMAXPROCS))")
+		admQueue     = flag.Int("admit-queue", 0, "admission queue depth (0 = 256, negative = shed immediately when saturated)")
+		admQueueWait = flag.Duration("admit-queue-wait", time.Second, "max admission-queue wait before shedding")
 	)
 	flag.Parse()
 
@@ -721,12 +891,17 @@ func main() {
 			MaxLanes: *batchLanes,
 		},
 	}
-	d := newDaemon(cfg, reg, *maxBody)
+	adm := serve.AdmissionConfig{
+		MaxInFlight: *admInflight,
+		MaxQueue:    *admQueue,
+		QueueWait:   *admQueueWait,
+	}
+	d := newDaemonFull(cfg, adm, *memBudget, reg, *maxBody)
 	if *load != "" {
 		if err := loadFile(d, *load); err != nil {
 			log.Fatalf("bfsd: loading %s: %v", *load, err)
 		}
-		log.Printf("bfsd: serving %s", d.current().desc)
+		log.Printf("bfsd: serving %s as %q", *load, defaultGraph)
 	}
 
 	srv, err := obs.ServeHandler(*addr, d.handler())
@@ -748,6 +923,8 @@ func main() {
 		srv.Close()
 		code = 1
 	}
+	// Close the registry: fleets drain and close in eviction (LRU)
+	// order, mappings release after their last reader.
 	d.closeGuard()
 	log.Printf("bfsd: bye")
 	os.Exit(code)

@@ -1,0 +1,255 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"optibfs/internal/core"
+	"optibfs/internal/gen"
+	"optibfs/internal/graph"
+	"optibfs/internal/mmio"
+	"optibfs/internal/obs"
+	"optibfs/internal/serve"
+)
+
+// TestGeneratorParamValidation: the bad-parameter matrix for /load's
+// generators must die with 400s before reaching a generator.
+func TestGeneratorParamValidation(t *testing.T) {
+	_, ts := testDaemon(t)
+	cases := []struct {
+		name  string
+		query string
+		want  int
+	}{
+		{"negative m", "gen=rmat&n=64&m=-1", http.StatusBadRequest},
+		{"huge m", "gen=rmat&n=64&m=99999999999999", http.StatusBadRequest},
+		{"negative m er", "gen=er&n=64&m=-5", http.StatusBadRequest},
+		{"zero n", "gen=rmat&n=0&m=8", http.StatusBadRequest},
+		{"negative n", "gen=rmat&n=-4&m=8", http.StatusBadRequest},
+		{"huge n", "gen=rmat&n=999999999999&m=8", http.StatusBadRequest},
+		{"unparsable n", "gen=rmat&n=banana", http.StatusBadRequest},
+		{"unparsable m", "gen=rmat&n=64&m=banana", http.StatusBadRequest},
+		{"unparsable seed", "gen=rmat&n=64&m=128&seed=banana", http.StatusBadRequest},
+		{"unknown generator", "gen=tree&n=64&m=128", http.StatusBadRequest},
+		{"valid rmat", "gen=rmat&n=64&m=256&seed=2", http.StatusOK},
+		{"valid er", "gen=er&n=64&m=256&seed=2", http.StatusOK},
+		{"m zero ok", "gen=er&n=64&m=0", http.StatusOK},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			postJSON(t, ts.URL+"/load?"+tc.query, "", tc.want)
+		})
+	}
+}
+
+// TestQuerySurvivesLoadSwap forces the /load-swap race: the handler's
+// guard snapshot is synchronously closed (as a drained old guard after
+// a swap) before the query runs. The ErrClosed retry must re-fetch the
+// fresh guard and answer 200 instead of 503.
+func TestQuerySurvivesLoadSwap(t *testing.T) {
+	d, ts := testDaemon(t)
+	postJSON(t, ts.URL+"/load?gen=er&n=256&m=1024&seed=4", "", http.StatusOK)
+
+	var once sync.Once
+	d.testHookAfterSnapshot = func() {
+		once.Do(func() {
+			oldLease, err := d.registry.Acquire(defaultGraph)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			oldGuard := oldLease.Guard()
+			oldLease.Release()
+			g2, err := gen.ErdosRenyi(256, 1024, 9, gen.Options{})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := d.registry.Load(context.Background(), defaultGraph,
+				func(context.Context) (*graph.CSR, *mmio.MappedGraph, error) {
+					return g2, nil, nil
+				}); err != nil {
+				t.Error(err)
+				return
+			}
+			// Synchronous close (idempotent with the async retire): the
+			// guard the in-flight query leased is fully drained before
+			// the query dispatches into it.
+			oldGuard.Close()
+		})
+	}
+	q := getJSON(t, ts.URL+"/query?src=0&validate=1", http.StatusOK)
+	if q["valid"] != true {
+		t.Fatalf("post-swap query: %v", q)
+	}
+}
+
+// TestPartialAnswerOn504: a query whose deadline expires mid-run gets
+// a 504 carrying the partial answer fields, on both the fused and the
+// solo path.
+func TestPartialAnswerOn504(t *testing.T) {
+	d := newDaemon(serve.Config{
+		Algo:        core.BFSWL,
+		Concurrency: 1,
+		Deadline:    60 * time.Millisecond,
+		Grace:       5 * time.Second,
+		Batch:       serve.BatchConfig{Enabled: true, Window: time.Millisecond},
+		Options: core.Options{
+			Workers:      2,
+			StallTimeout: time.Minute, // slow progress is not a stall
+			Chaos:        slowHook(20 * time.Millisecond),
+		},
+	}, obs.New(), 1<<20)
+	ts := httptest.NewServer(d.handler())
+	defer func() {
+		ts.Close()
+		d.closeGuard()
+	}()
+	postJSON(t, ts.URL+"/load?gen=er&n=2000&m=12000&seed=7", "", http.StatusOK)
+
+	for _, mode := range []string{"", "&batch=0"} {
+		q := getJSON(t, ts.URL+"/query?src=0&full=1"+mode, http.StatusGatewayTimeout)
+		if q["outcome"] != "deadline" {
+			t.Fatalf("mode %q: outcome = %v, want deadline (body %v)", mode, q["outcome"], q)
+		}
+		if q["partial"] != true {
+			t.Fatalf("mode %q: partial flag missing: %v", mode, q)
+		}
+		if q["error"] == nil || q["dist_all"] == nil {
+			t.Fatalf("mode %q: 504 must carry error and partial dist_all", mode)
+		}
+		if n := len(q["dist_all"].([]any)); n != 2000 {
+			t.Fatalf("mode %q: dist_all has %d entries, want 2000", mode, n)
+		}
+	}
+}
+
+// slowHook is a ChaosHook that sleeps at every level barrier.
+type slowHook time.Duration
+
+func (s slowHook) At(p core.ChaosPoint, _ int, _ int64) {
+	if p == core.ChaosStall {
+		time.Sleep(time.Duration(s))
+	}
+}
+
+// TestBatchOptOutAndFusedMarking: concurrent default-path queries fuse
+// (answers say so); a lone query in its window solo-dispatches off the
+// fused engine (the singleton regression fix); ?batch=0 opts out
+// entirely.
+func TestBatchOptOutAndFusedMarking(t *testing.T) {
+	d := newDaemon(serve.Config{
+		Algo:        core.BFSWL,
+		Concurrency: 1,
+		Deadline:    10 * time.Second,
+		Options:     core.Options{Workers: 2},
+		Batch:       serve.BatchConfig{Enabled: true, Window: 250 * time.Millisecond, MaxLanes: 2},
+	}, obs.New(), 1<<20)
+	ts := httptest.NewServer(d.handler())
+	defer func() {
+		ts.Close()
+		d.closeGuard()
+	}()
+	postJSON(t, ts.URL+"/load?gen=er&n=256&m=1024&seed=4", "", http.StatusOK)
+
+	// Two concurrent queries seat in one window (MaxLanes 2 dispatches
+	// the moment both arrive) and come back fused.
+	fused := make([]map[string]any, 2)
+	var wg sync.WaitGroup
+	for i := range fused {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			fused[i] = getJSON(t, fmt.Sprintf("%s/query?src=%d&validate=1", ts.URL, i*7), http.StatusOK)
+		}(i)
+	}
+	wg.Wait()
+	for i, m := range fused {
+		if m["fused"] != true {
+			t.Fatalf("concurrent query %d not fused: %v", i, m)
+		}
+		if m["algorithm"] != string(core.MSBFSL) {
+			t.Fatalf("fused algorithm = %v, want %s", m["algorithm"], core.MSBFSL)
+		}
+		if lanes := m["batch_lanes"].(float64); lanes != 2 {
+			t.Fatalf("batch_lanes = %v, want 2", lanes)
+		}
+	}
+
+	// A lone query's window collapses to a singleton: it must dodge the
+	// fused engine and run on the solo fleet.
+	lone := getJSON(t, ts.URL+"/query?src=0&validate=1", http.StatusOK)
+	if _, ok := lone["fused"]; ok {
+		t.Fatalf("singleton window still fused: %v", lone)
+	}
+	if lone["algorithm"] != string(core.BFSWL) {
+		t.Fatalf("singleton algorithm = %v, want solo %s", lone["algorithm"], core.BFSWL)
+	}
+
+	solo := getJSON(t, ts.URL+"/query?src=0&validate=1&batch=0", http.StatusOK)
+	if _, ok := solo["fused"]; ok {
+		t.Fatalf("?batch=0 still fused: %v", solo)
+	}
+	if solo["algorithm"] != string(core.BFSWL) {
+		t.Fatalf("solo algorithm = %v, want %s", solo["algorithm"], core.BFSWL)
+	}
+}
+
+// TestConcurrentFusedQueriesValidate is the in-process twin of the
+// smoke script's batcher check: 64 concurrent validated queries, all
+// fused, with the occupancy metrics populated.
+func TestConcurrentFusedQueriesValidate(t *testing.T) {
+	d, ts := testDaemon(t)
+	postJSON(t, ts.URL+"/load?gen=rmat&n=512&m=4096&seed=3", "", http.StatusOK)
+	lease, err := d.registry.Acquire(defaultGraph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := lease.Graph().NumVertices()
+	lease.Release()
+
+	const q = 64
+	errs := make([]error, q)
+	var wg sync.WaitGroup
+	for i := 0; i < q; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			src := int32(i*17) % n
+			url := fmt.Sprintf("%s/query?src=%d&validate=1", ts.URL, src)
+			resp, err := http.Get(url)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			var m map[string]any
+			if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+				errs[i] = fmt.Errorf("query %d: decoding: %v", i, err)
+				return
+			}
+			if resp.StatusCode != http.StatusOK || m["valid"] != true {
+				errs[i] = fmt.Errorf("query %d: status %d body %v", i, resp.StatusCode, m)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c := d.reg.Counter("optibfs_serve_fused_lanes_total").Value(); c < q/2 {
+		t.Fatalf("fused lanes = %d, want most of %d queries fused", c, q)
+	}
+	if h := d.reg.Histogram("optibfs_serve_batch_lanes",
+		[]float64{1, 2, 4, 8, 16, 32, 48, 64}); h.Count() < 1 {
+		t.Fatal("batch occupancy histogram never observed")
+	}
+}

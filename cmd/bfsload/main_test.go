@@ -1,0 +1,126 @@
+package main
+
+import (
+	"net/http"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// Sheds (429) must be classified as deliberate backpressure, never as
+// hard errors; only 200 counts as admitted.
+func TestClassify(t *testing.T) {
+	cases := map[int]int{
+		http.StatusOK:                  classAdmitted,
+		http.StatusTooManyRequests:     classShed,
+		http.StatusServiceUnavailable:  classError,
+		http.StatusNotFound:            classError,
+		http.StatusBadRequest:          classError,
+		http.StatusGatewayTimeout:      classError,
+		http.StatusInternalServerError: classError,
+	}
+	for status, want := range cases {
+		if got := classify(status); got != want {
+			t.Errorf("classify(%d) = %d, want %d", status, got, want)
+		}
+	}
+}
+
+func TestParseLevels(t *testing.T) {
+	levels, err := parseLevels("2, 4,8,64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(levels) != 4 || levels[0] != 2 || levels[3] != 64 {
+		t.Fatalf("levels: %v", levels)
+	}
+	for _, bad := range []string{"", "0", "-1", "x", "4,x"} {
+		if _, err := parseLevels(bad); err == nil {
+			t.Fatalf("sweep %q accepted", bad)
+		}
+	}
+}
+
+// With -graphs, every query targets one of the named graphs and all
+// names are eventually drawn.
+func TestSamplerTargetsNamedGraphs(t *testing.T) {
+	s := newSampler(3, map[string]int{"st": 1, "components": 1}, 50, 4, false)
+	s.graphs = []string{"a", "b", "c"}
+	seen := map[string]bool{}
+	for i := 0; i < 300; i++ {
+		_, q := s.next()
+		hit := ""
+		for _, g := range s.graphs {
+			if strings.Contains(q, "graph="+g) {
+				hit = g
+				break
+			}
+		}
+		if hit == "" {
+			t.Fatalf("query %q targets no named graph", q)
+		}
+		seen[hit] = true
+	}
+	if len(seen) != 3 {
+		t.Fatalf("graphs drawn: %v, want all of a,b,c", seen)
+	}
+}
+
+func TestMixWeights(t *testing.T) {
+	w, err := mixWeights("st=40,khop=25,full=20,components=5,ecc=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w["st"] != 40 || w["ecc"] != 10 {
+		t.Fatalf("weights: %v", w)
+	}
+	for _, bad := range []string{"", "st", "st=x", "st=-1", "pagerank=10", "st=0,khop=0"} {
+		if _, err := mixWeights(bad); err == nil {
+			t.Fatalf("mix %q accepted", bad)
+		}
+	}
+}
+
+// The sampler must honor the weights (roughly) and emit well-formed
+// query strings whose vertices are in range.
+func TestSamplerDrawsMix(t *testing.T) {
+	w := map[string]int{"st": 50, "khop": 25, "full": 25}
+	s := newSampler(7, w, 100, 4, true)
+	counts := map[string]int{}
+	const draws = 4000
+	for i := 0; i < draws; i++ {
+		kind, q := s.next()
+		counts[kind]++
+		if q == "" {
+			t.Fatal("empty query")
+		}
+	}
+	if counts["components"] != 0 || counts["ecc"] != 0 {
+		t.Fatalf("zero-weight kinds drawn: %v", counts)
+	}
+	if counts["st"] < draws/3 {
+		t.Fatalf("st drawn %d of %d, want ~half", counts["st"], draws)
+	}
+	if counts["khop"] == 0 || counts["full"] == 0 {
+		t.Fatalf("weighted kinds never drawn: %v", counts)
+	}
+}
+
+func TestSummarizePercentiles(t *testing.T) {
+	samples := make([]float64, 100)
+	for i := range samples {
+		samples[i] = float64(i+1) / 1000 // 1ms..100ms
+	}
+	// Shuffle deterministically; summarize must sort.
+	sort.Slice(samples, func(i, j int) bool { return (i*37)%100 < (j*37)%100 })
+	ks := summarize(samples, 100)
+	if ks.P50MS < 49 || ks.P50MS > 52 {
+		t.Fatalf("p50 = %v, want ~50ms", ks.P50MS)
+	}
+	if ks.P99MS < 98 || ks.P99MS > 100 {
+		t.Fatalf("p99 = %v, want ~99ms", ks.P99MS)
+	}
+	if ks.MaxMS != 100 {
+		t.Fatalf("max = %v, want 100ms", ks.MaxMS)
+	}
+}

@@ -46,8 +46,21 @@ func main() {
 		metricsAddr = flag.String("metrics-addr", "", "serve live /metrics, /debug/vars, /debug/pprof on this address while sweeping (empty = off)")
 		shards      = flag.Int("shards", 0, "pin the CSR shard count for every run (0 = each run draws from {1,2,4})")
 		hybrid      = flag.Bool("hybrid", false, "pin direction-optimizing mode on for every run (default: each run draws it 1-in-4; serial cells always drop it)")
+		registry    = flag.Bool("registry", false, "run the serve.Registry lifecycle soak (load/evict/query/swap/close interleavings) instead of the engine sweep")
+		regRounds   = flag.Int("registry-rounds", 12, "registry soak rounds (every third round closes mid-flight)")
+		regWorkers  = flag.Int("registry-workers", 8, "registry soak concurrent clients per round")
+		regOps      = flag.Int("registry-ops", 16, "registry soak operations per client per round")
+		regGraphs   = flag.Int("registry-graphs", 4, "registry soak named-graph population per round")
 	)
 	flag.Parse()
+	if *registry {
+		code, err := runRegistry(os.Stdout, *regRounds, *regWorkers, *regOps, *regGraphs, *seed, *profiles, *verbose)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bfssoak:", err)
+			code = 2
+		}
+		os.Exit(code)
+	}
 	var reg *obs.Registry
 	var srv *obs.Server
 	if *metricsAddr != "" {
@@ -72,6 +85,49 @@ func main() {
 	}
 	obs.CloseGracefully(srv, 2*time.Second)
 	os.Exit(code)
+}
+
+// runRegistry executes the registry lifecycle soak and returns the
+// process exit code: 1 when any invariant was violated, 0 on a clean
+// sweep.
+func runRegistry(w io.Writer, rounds, workers, ops, graphs int, seed uint64, profiles string, verbose bool) (int, error) {
+	cfg := chaos.RegistrySoakConfig{
+		Rounds:       rounds,
+		Workers:      workers,
+		OpsPerWorker: ops,
+		Graphs:       graphs,
+		Seed:         seed,
+	}
+	if verbose {
+		cfg.Log = w
+	}
+	if profiles != "" && profiles != "all" {
+		names := strings.Split(profiles, ",")
+		if len(names) != 1 {
+			return 0, fmt.Errorf("-registry takes at most one -profiles name (got %q)", profiles)
+		}
+		p, err := chaos.ProfileByName(strings.TrimSpace(names[0]))
+		if err != nil {
+			return 0, err
+		}
+		cfg.Profile = &p
+	}
+	rep, err := chaos.RegistrySoak(cfg)
+	if err != nil {
+		return 0, err
+	}
+	fmt.Fprintln(w, rep)
+	if len(rep.Violations) > 0 {
+		for i, v := range rep.Violations {
+			if i >= 20 {
+				fmt.Fprintf(w, "... and %d more violations\n", len(rep.Violations)-20)
+				break
+			}
+			fmt.Fprintf(w, "violation %s\n", v)
+		}
+		return 1, nil
+	}
+	return 0, nil
 }
 
 // run executes the selected mode and returns the process exit code.

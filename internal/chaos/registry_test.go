@@ -1,0 +1,48 @@
+package chaos
+
+import (
+	"testing"
+)
+
+// TestRegistrySoakShort runs a reduced registry soak — enough rounds to
+// cross load/evict/query/swap with a mid-round Close and the
+// panic-storm profile — and requires zero invariant violations. The
+// full ≥1000-interleaving sweep runs in CI via bfssoak -registry.
+func TestRegistrySoakShort(t *testing.T) {
+	cfg := RegistrySoakConfig{
+		Rounds:       3, // covers benign, panic-storm, and mid-close rounds
+		Workers:      4,
+		OpsPerWorker: 8,
+		Graphs:       3,
+		Seed:         42,
+	}
+	if testing.Short() {
+		cfg.Rounds = 3
+	}
+	rep, err := RegistrySoak(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log(rep.String())
+	if len(rep.Violations) > 0 {
+		for i, v := range rep.Violations {
+			if i >= 10 {
+				t.Errorf("... and %d more", len(rep.Violations)-10)
+				break
+			}
+			t.Errorf("violation: %s", v)
+		}
+	}
+	if rep.Interleavings != 3*4*8 {
+		t.Fatalf("interleavings = %d, want %d", rep.Interleavings, 3*4*8)
+	}
+	if rep.Admitted == 0 {
+		t.Fatal("soak admitted no queries — load mix is broken")
+	}
+	if rep.MidCloses != 1 {
+		t.Fatalf("mid-closes = %d, want 1 (round 2)", rep.MidCloses)
+	}
+	if rep.Decisions == 0 {
+		t.Fatal("no admission decisions audited")
+	}
+}

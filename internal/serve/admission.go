@@ -1,0 +1,471 @@
+// Admission control for the multi-graph Registry: one global
+// concurrency gate layered over the per-Guard slot fleets. The Guard's
+// own QueueWait shedding protects a single engine fleet; the admission
+// controller protects the whole process when many named graphs share
+// it, and it is where overload policy lives:
+//
+//   - Global concurrency: at most MaxInFlight queries run across all
+//     graphs; excess arrivals queue (bounded) or shed.
+//   - Deadline-aware shedding: the controller keeps an EWMA of recent
+//     service times and derives an estimated wait for a new arrival;
+//     a query whose remaining context budget cannot cover that
+//     estimate is shed immediately — it would only burn a queue slot
+//     and time out anyway. The estimate rides on the ShedError so
+//     HTTP layers can surface it as Retry-After.
+//   - Per-graph fair share: slots are work-conserving (a free slot
+//     admits anyone), but once every slot is busy, a graph already
+//     holding at least MaxInFlight/graphs slots is shed rather than
+//     queued, so one hot graph cannot starve the rest of the registry.
+//   - Monotone decisions: admit/shed is a pure threshold on the
+//     recorded state (remaining budget vs estimate, occupancy vs
+//     caps), so under rising load sheds only become more likely —
+//     the property the chaos auditor checks via DecisionHook.
+package serve
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"optibfs/internal/obs"
+)
+
+// Shed reasons, as recorded in decisions, metrics, and ShedError.
+const (
+	// ShedDeadlineBudget: the caller's remaining deadline could not
+	// cover the estimated queue wait.
+	ShedDeadlineBudget = "deadline_budget"
+	// ShedFairShare: every slot is busy and this graph already holds
+	// its fair share of them.
+	ShedFairShare = "fair_share"
+	// ShedQueueFull: the admission queue is at capacity (or queueing
+	// is disabled).
+	ShedQueueFull = "queue_full"
+	// ShedQueueTimeout: the query waited its full queue budget and no
+	// slot freed.
+	ShedQueueTimeout = "queue_timeout"
+)
+
+// ShedError reports a query the admission controller refused to run.
+// errors.Is(err, ErrOverloaded) is true for every ShedError, so code
+// that handles Guard-level overload handles admission sheds too;
+// errors.As recovers the reason and the estimated wait (the value an
+// HTTP layer should round up into Retry-After).
+type ShedError struct {
+	Reason        string
+	EstimatedWait time.Duration
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("serve: admission shed (%s, estimated wait %s)", e.Reason, e.EstimatedWait)
+}
+
+// Is reports ShedError as a kind of ErrOverloaded.
+func (e *ShedError) Is(target error) bool { return target == ErrOverloaded }
+
+// AdmissionDecision is one admit/shed verdict with the state it was
+// taken under, exposed through AdmissionConfig.DecisionHook so the
+// chaos auditor can check every decision against the policy (and the
+// monotone-under-load property) after the fact.
+type AdmissionDecision struct {
+	Graph    string
+	Admitted bool
+	// Reason is "" for an immediate admit, "queued" for an admit after
+	// waiting, or one of the Shed* constants.
+	Reason string
+	// Remaining is the caller's remaining deadline budget at decision
+	// time (NoDeadline when the context carried none).
+	Remaining time.Duration
+	// Estimate is the controller's estimated wait at decision time
+	// (for "queued" grants: at enqueue time).
+	Estimate    time.Duration
+	InFlight    int
+	Queued      int
+	PerGraph    int
+	Share       int
+	MaxInFlight int
+	MaxQueue    int
+}
+
+// NoDeadline is the Remaining value recorded for callers without a
+// context deadline (effectively infinite budget).
+const NoDeadline = time.Duration(1<<63 - 1)
+
+// AdmissionConfig tunes the registry's admission controller. The zero
+// value selects the documented defaults.
+type AdmissionConfig struct {
+	// MaxInFlight is the global concurrent-query cap across all graphs.
+	// Default max(8, 2×GOMAXPROCS).
+	MaxInFlight int
+	// MaxQueue bounds how many queries may wait for a slot. 0 selects
+	// the default 256; negative disables queueing entirely (every
+	// arrival past MaxInFlight sheds immediately).
+	MaxQueue int
+	// QueueWait caps how long a queued query waits for a slot before
+	// shedding (the caller's remaining deadline budget can shorten it
+	// further). Default 1s.
+	QueueWait time.Duration
+	// EWMAAlpha is the service-time EWMA smoothing factor in (0,1].
+	// Default 0.2.
+	EWMAAlpha float64
+	// InitialEstimate seeds the EWMA before any query completes.
+	// Default 5ms.
+	InitialEstimate time.Duration
+	// DecisionHook, when non-nil, receives every admission decision
+	// (called outside the controller's lock). Test/audit seam.
+	DecisionHook func(AdmissionDecision)
+}
+
+func (c AdmissionConfig) withDefaults() AdmissionConfig {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
+		if c.MaxInFlight < 8 {
+			c.MaxInFlight = 8
+		}
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 256
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = time.Second
+	}
+	if c.EWMAAlpha <= 0 || c.EWMAAlpha > 1 {
+		c.EWMAAlpha = 0.2
+	}
+	if c.InitialEstimate <= 0 {
+		c.InitialEstimate = 5 * time.Millisecond
+	}
+	return c
+}
+
+// CheckDecision audits one admission decision against the policy: every
+// verdict must be the threshold rule applied to the state recorded in
+// the decision itself. This is what makes shedding monotone under
+// rising load — the thresholds only tighten as occupancy and queue
+// depth grow — and it is the property the chaos auditor replays over
+// every decision a soak produced.
+func CheckDecision(d AdmissionDecision) error {
+	if d.Admitted {
+		switch d.Reason {
+		case "":
+			// Immediate admits snapshot state before taking the slot:
+			// one must have been free.
+			if d.InFlight >= d.MaxInFlight {
+				return fmt.Errorf("immediate admit with no free slot (%d/%d)", d.InFlight, d.MaxInFlight)
+			}
+		case "queued":
+			// A queued grant implies queueing was enabled and the
+			// deadline budget covered the estimate at enqueue time.
+			if d.MaxQueue < 0 {
+				return fmt.Errorf("queued grant with queueing disabled")
+			}
+			if d.Remaining < d.Estimate {
+				return fmt.Errorf("queued a query whose budget %v was under the estimate %v", d.Remaining, d.Estimate)
+			}
+		default:
+			return fmt.Errorf("admit with unknown reason %q", d.Reason)
+		}
+		return nil
+	}
+	switch d.Reason {
+	case ShedDeadlineBudget:
+		if d.InFlight < d.MaxInFlight {
+			return fmt.Errorf("deadline_budget shed with a free slot (%d/%d)", d.InFlight, d.MaxInFlight)
+		}
+		if d.Remaining >= d.Estimate {
+			return fmt.Errorf("deadline_budget shed with budget %v covering estimate %v", d.Remaining, d.Estimate)
+		}
+	case ShedFairShare:
+		if d.InFlight < d.MaxInFlight {
+			return fmt.Errorf("fair_share shed with a free slot (%d/%d)", d.InFlight, d.MaxInFlight)
+		}
+		if d.PerGraph < d.Share {
+			return fmt.Errorf("fair_share shed under share (%d < %d)", d.PerGraph, d.Share)
+		}
+	case ShedQueueFull:
+		if d.InFlight < d.MaxInFlight {
+			return fmt.Errorf("queue_full shed with a free slot (%d/%d)", d.InFlight, d.MaxInFlight)
+		}
+		if d.MaxQueue >= 0 && d.Queued < d.MaxQueue {
+			return fmt.Errorf("queue_full shed with queue space (%d/%d)", d.Queued, d.MaxQueue)
+		}
+	case ShedQueueTimeout:
+		// The elapsed wait is the evidence; occupancy may have changed
+		// between the grant race and the shed snapshot.
+	default:
+		return fmt.Errorf("shed with unknown reason %q", d.Reason)
+	}
+	return nil
+}
+
+// admWaiter is one queued query. ready is closed exactly once, by the
+// granter; a waiter that gives up (timeout, cancel) must first remove
+// itself from the queue under the lock — if it is already gone, the
+// grant won and the waiter owns an admitted slot it must hand back.
+type admWaiter struct {
+	graph string
+	ready chan struct{}
+}
+
+// admission is the controller. All mutable state sits behind mu; the
+// obs handles are resolved once at construction.
+type admission struct {
+	cfg AdmissionConfig
+
+	mu       sync.Mutex
+	inflight int
+	perGraph map[string]int
+	graphs   int // active graph count (set by the registry)
+	queue    []*admWaiter
+	ewma     float64 // seconds per query
+
+	sheds     func(reason string) *obs.Counter
+	estWait   *obs.Gauge
+	inflightG *obs.Gauge
+	queuedG   *obs.Gauge
+	queueHist *obs.Histogram
+}
+
+func newAdmission(cfg AdmissionConfig, reg *obs.Registry) *admission {
+	cfg = cfg.withDefaults()
+	a := &admission{
+		cfg:      cfg,
+		perGraph: map[string]int{},
+		graphs:   1,
+		ewma:     cfg.InitialEstimate.Seconds(),
+	}
+	a.sheds = func(reason string) *obs.Counter {
+		return reg.Counter("optibfs_admission_sheds_total", obs.L("reason", reason))
+	}
+	a.estWait = reg.Gauge("optibfs_admission_estimated_wait_seconds")
+	a.inflightG = reg.Gauge("optibfs_admission_inflight")
+	a.queuedG = reg.Gauge("optibfs_admission_queued")
+	a.queueHist = reg.Histogram("optibfs_admission_queue_wait_seconds",
+		[]float64{0.0001, 0.001, 0.005, 0.025, 0.1, 0.5, 2})
+	return a
+}
+
+// setGraphs tells the controller how many graphs are being served, so
+// the fair share tracks registry inserts and evictions.
+func (a *admission) setGraphs(n int) {
+	if n < 1 {
+		n = 1
+	}
+	a.mu.Lock()
+	a.graphs = n
+	a.mu.Unlock()
+}
+
+// shareLocked is the per-graph fair-share slot count.
+func (a *admission) shareLocked() int {
+	s := a.cfg.MaxInFlight / a.graphs
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// estimateLocked approximates how long a new arrival would wait for a
+// slot: zero while one is free; otherwise the queue-ahead depth (plus
+// this arrival) times the EWMA service time, divided by the slot count
+// (under steady load a slot frees roughly every ewma/MaxInFlight).
+func (a *admission) estimateLocked() time.Duration {
+	if a.inflight < a.cfg.MaxInFlight {
+		return 0
+	}
+	perSlot := a.ewma / float64(a.cfg.MaxInFlight)
+	return time.Duration(perSlot * float64(len(a.queue)+1) * float64(time.Second))
+}
+
+// EstimatedWait is the current wait estimate (what a query arriving
+// now should expect before it runs). HTTP layers round it up into
+// Retry-After.
+func (a *admission) EstimatedWait() time.Duration {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.estimateLocked()
+}
+
+// remainingBudget reads the caller's deadline budget.
+func remainingBudget(ctx context.Context) time.Duration {
+	if dl, ok := ctx.Deadline(); ok {
+		return time.Until(dl)
+	}
+	return NoDeadline
+}
+
+// emit delivers a decision to the hook, outside the lock.
+func (a *admission) emit(d AdmissionDecision) {
+	if a.cfg.DecisionHook != nil {
+		a.cfg.DecisionHook(d)
+	}
+}
+
+// decisionLocked snapshots the current state into a decision record.
+func (a *admission) decisionLocked(graph string, admitted bool, reason string, remaining, est time.Duration) AdmissionDecision {
+	return AdmissionDecision{
+		Graph:       graph,
+		Admitted:    admitted,
+		Reason:      reason,
+		Remaining:   remaining,
+		Estimate:    est,
+		InFlight:    a.inflight,
+		Queued:      len(a.queue),
+		PerGraph:    a.perGraph[graph],
+		Share:       a.shareLocked(),
+		MaxInFlight: a.cfg.MaxInFlight,
+		MaxQueue:    a.cfg.MaxQueue,
+	}
+}
+
+// shed records a shed decision and returns its typed error. Called
+// with the lock held; unlocks.
+func (a *admission) shed(graph, reason string, remaining, est time.Duration) error {
+	d := a.decisionLocked(graph, false, reason, remaining, est)
+	a.mu.Unlock()
+	a.sheds(reason).Inc()
+	a.emit(d)
+	return &ShedError{Reason: reason, EstimatedWait: est}
+}
+
+// admit gates one query on graph `name`. On success it returns the
+// release func the caller must invoke when the query finishes (it
+// feeds the service-time EWMA and grants queued waiters). On failure
+// the error is a *ShedError or the context's own error.
+func (a *admission) admit(ctx context.Context, name string) (release func(), err error) {
+	a.mu.Lock()
+	est := a.estimateLocked()
+	a.estWait.Set(est.Seconds())
+	remaining := remainingBudget(ctx)
+	if a.inflight < a.cfg.MaxInFlight {
+		// Work-conserving: a free slot admits regardless of fair share.
+		d := a.decisionLocked(name, true, "", remaining, est)
+		a.inflight++
+		a.perGraph[name]++
+		a.inflightG.Set(float64(a.inflight))
+		a.mu.Unlock()
+		a.emit(d)
+		return a.releaser(name, true), nil
+	}
+	// Every slot is busy. Shed checks are pure thresholds on the state
+	// just read, so decisions stay monotone under rising load.
+	if remaining < est {
+		return nil, a.shed(name, ShedDeadlineBudget, remaining, est)
+	}
+	if a.graphs > 1 && a.perGraph[name] >= a.shareLocked() {
+		// Fair share only bites when there is another tenant to
+		// protect; a single graph may use the whole fleet.
+		return nil, a.shed(name, ShedFairShare, remaining, est)
+	}
+	if a.cfg.MaxQueue < 0 || len(a.queue) >= a.cfg.MaxQueue {
+		return nil, a.shed(name, ShedQueueFull, remaining, est)
+	}
+	w := &admWaiter{graph: name, ready: make(chan struct{})}
+	a.queue = append(a.queue, w)
+	a.queuedG.Set(float64(len(a.queue)))
+	a.mu.Unlock()
+
+	wait := a.cfg.QueueWait
+	if remaining != NoDeadline && remaining-est < wait {
+		wait = remaining - est
+	}
+	enq := time.Now()
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case <-w.ready:
+		a.queueHist.Observe(time.Since(enq).Seconds())
+		a.mu.Lock()
+		d := a.decisionLocked(name, true, "queued", remaining, est)
+		a.mu.Unlock()
+		a.emit(d)
+		return a.releaser(name, true), nil
+	case <-ctx.Done():
+		if a.abandon(w) {
+			return nil, ctx.Err()
+		}
+		// The grant raced the cancellation: the slot is ours; hand it
+		// back unused (no service-time sample).
+		<-w.ready
+		a.releaser(name, false)()
+		return nil, ctx.Err()
+	case <-t.C:
+		if a.abandon(w) {
+			a.mu.Lock()
+			est = a.estimateLocked()
+			return nil, a.shed(name, ShedQueueTimeout, remaining, est)
+		}
+		<-w.ready
+		a.queueHist.Observe(time.Since(enq).Seconds())
+		a.mu.Lock()
+		d := a.decisionLocked(name, true, "queued", remaining, est)
+		a.mu.Unlock()
+		a.emit(d)
+		return a.releaser(name, true), nil
+	}
+}
+
+// abandon removes w from the queue if it is still waiting; false means
+// a grant already claimed it (w.ready is, or is about to be, closed).
+func (a *admission) abandon(w *admWaiter) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for i, q := range a.queue {
+		if q == w {
+			a.queue = append(a.queue[:i], a.queue[i+1:]...)
+			a.queuedG.Set(float64(len(a.queue)))
+			return true
+		}
+	}
+	return false
+}
+
+// releaser builds the idempotent slot-release func for an admitted
+// query. sample=false skips the EWMA update (for slots handed back
+// unused after a grant/cancel race).
+func (a *admission) releaser(name string, sample bool) func() {
+	start := time.Now()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			el := time.Since(start).Seconds()
+			a.mu.Lock()
+			if sample {
+				al := a.cfg.EWMAAlpha
+				a.ewma = al*el + (1-al)*a.ewma
+			}
+			a.inflight--
+			if a.perGraph[name]--; a.perGraph[name] <= 0 {
+				delete(a.perGraph, name)
+			}
+			a.grantLocked()
+			a.inflightG.Set(float64(a.inflight))
+			a.queuedG.Set(float64(len(a.queue)))
+			a.mu.Unlock()
+		})
+	}
+}
+
+// grantLocked hands freed slots to queued waiters: the first waiter
+// whose graph is under its fair share wins; if every queued graph is
+// at share, the head wins (work conserving — an idle slot is never
+// held back).
+func (a *admission) grantLocked() {
+	for a.inflight < a.cfg.MaxInFlight && len(a.queue) > 0 {
+		share := a.shareLocked()
+		idx := 0
+		for i, w := range a.queue {
+			if a.perGraph[w.graph] < share {
+				idx = i
+				break
+			}
+		}
+		w := a.queue[idx]
+		a.queue = append(a.queue[:idx], a.queue[idx+1:]...)
+		a.inflight++
+		a.perGraph[w.graph]++
+		close(w.ready)
+	}
+}

@@ -1,0 +1,270 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"optibfs/internal/obs"
+)
+
+func newTestAdmission(cfg AdmissionConfig) *admission {
+	return newAdmission(cfg, obs.New())
+}
+
+func TestAdmitImmediate(t *testing.T) {
+	a := newTestAdmission(AdmissionConfig{MaxInFlight: 2})
+	r1, err := a.admit(context.Background(), "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := a.admit(context.Background(), "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1()
+	r2()
+	r2() // idempotent
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.inflight != 0 || len(a.perGraph) != 0 {
+		t.Fatalf("inflight=%d perGraph=%v after releases", a.inflight, a.perGraph)
+	}
+}
+
+// TestShedQueueFull: with queueing disabled, arrivals past MaxInFlight
+// shed immediately with a typed reason, and errors.Is(ErrOverloaded).
+func TestShedQueueFull(t *testing.T) {
+	a := newTestAdmission(AdmissionConfig{MaxInFlight: 1, MaxQueue: -1})
+	rel, err := a.admit(context.Background(), "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	_, err = a.admit(context.Background(), "g")
+	var shed *ShedError
+	if !errors.As(err, &shed) {
+		t.Fatalf("got %v, want ShedError", err)
+	}
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatal("ShedError should Is() ErrOverloaded")
+	}
+	if shed.Reason != ShedQueueFull {
+		t.Fatalf("reason = %q, want %q", shed.Reason, ShedQueueFull)
+	}
+}
+
+// TestShedDeadlineBudget: a caller whose remaining deadline cannot
+// cover the estimated wait sheds immediately with deadline_budget.
+func TestShedDeadlineBudget(t *testing.T) {
+	a := newTestAdmission(AdmissionConfig{
+		MaxInFlight:     1,
+		InitialEstimate: time.Second, // est = 1s × (queue+1) once saturated
+	})
+	rel, err := a.admit(context.Background(), "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err = a.admit(ctx, "g")
+	var shed *ShedError
+	if !errors.As(err, &shed) {
+		t.Fatalf("got %v, want ShedError", err)
+	}
+	if shed.Reason != ShedDeadlineBudget {
+		t.Fatalf("reason = %q, want %q", shed.Reason, ShedDeadlineBudget)
+	}
+	if shed.EstimatedWait <= 0 {
+		t.Fatalf("EstimatedWait = %v, want > 0", shed.EstimatedWait)
+	}
+}
+
+// TestShedFairShare: once saturated, a graph at or above its fair
+// share sheds with fair_share while an under-share graph may queue.
+func TestShedFairShare(t *testing.T) {
+	a := newTestAdmission(AdmissionConfig{MaxInFlight: 2, QueueWait: 50 * time.Millisecond})
+	a.setGraphs(2) // share = 1
+	r1, err := a.admit(context.Background(), "hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := a.admit(context.Background(), "hot") // work-conserving: free slot
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = a.admit(context.Background(), "hot")
+	var shed *ShedError
+	if !errors.As(err, &shed) || shed.Reason != ShedFairShare {
+		t.Fatalf("hot graph over share: got %v, want fair_share shed", err)
+	}
+	// The cold graph is under share: it queues and is granted when a
+	// hot slot frees.
+	done := make(chan error, 1)
+	go func() {
+		rel, err := a.admit(context.Background(), "cold")
+		if err == nil {
+			rel()
+		}
+		done <- err
+	}()
+	time.Sleep(5 * time.Millisecond)
+	r1()
+	if err := <-done; err != nil {
+		t.Fatalf("cold graph should be granted after a release: %v", err)
+	}
+	r2()
+}
+
+// TestQueueTimeout: a queued query that never gets a slot sheds with
+// queue_timeout after QueueWait.
+func TestQueueTimeout(t *testing.T) {
+	a := newTestAdmission(AdmissionConfig{MaxInFlight: 1, QueueWait: 20 * time.Millisecond})
+	a.setGraphs(2) // share 1... but work conserving lets "g" hold the slot
+	rel, err := a.admit(context.Background(), "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rel()
+	start := time.Now()
+	_, err = a.admit(context.Background(), "other")
+	var shed *ShedError
+	if !errors.As(err, &shed) || shed.Reason != ShedQueueTimeout {
+		t.Fatalf("got %v, want queue_timeout shed", err)
+	}
+	if time.Since(start) < 15*time.Millisecond {
+		t.Fatal("shed before the queue wait elapsed")
+	}
+}
+
+// TestMonotoneSheds: decisions are threshold rules on recorded state —
+// replaying every decision's own snapshot must reproduce its verdict,
+// and under strictly rising queue depth the estimate is nondecreasing.
+func TestMonotoneSheds(t *testing.T) {
+	var mu sync.Mutex
+	var decisions []AdmissionDecision
+	a := newTestAdmission(AdmissionConfig{
+		MaxInFlight: 1,
+		MaxQueue:    -1,
+		DecisionHook: func(d AdmissionDecision) {
+			mu.Lock()
+			decisions = append(decisions, d)
+			mu.Unlock()
+		},
+	})
+	rel, err := a.admit(context.Background(), "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		a.admit(context.Background(), "g")
+	}
+	rel()
+	mu.Lock()
+	defer mu.Unlock()
+	for i, d := range decisions {
+		if err := CheckDecision(d); err != nil {
+			t.Fatalf("decision %d inconsistent: %v (%+v)", i, err, d)
+		}
+	}
+}
+
+// TestCheckDecisionRejectsBad: the auditor actually fails on a
+// fabricated inconsistent decision.
+func TestCheckDecisionRejectsBad(t *testing.T) {
+	bad := AdmissionDecision{
+		Admitted: false, Reason: ShedDeadlineBudget,
+		Remaining: time.Hour, Estimate: time.Millisecond,
+		InFlight: 1, MaxInFlight: 1, MaxQueue: -1,
+	}
+	if err := CheckDecision(bad); err == nil {
+		t.Fatal("CheckDecision accepted a deadline_budget shed with ample budget")
+	}
+	badAdmit := AdmissionDecision{
+		Admitted: true, Reason: "",
+		InFlight: 2, MaxInFlight: 1,
+	}
+	if err := CheckDecision(badAdmit); err == nil {
+		t.Fatal("CheckDecision accepted an immediate admit with no free slot")
+	}
+}
+
+// TestEstimatedWaitGrows: the wait estimate is 0 with free slots and
+// grows with queue depth.
+func TestEstimatedWaitGrows(t *testing.T) {
+	a := newTestAdmission(AdmissionConfig{MaxInFlight: 1, QueueWait: 200 * time.Millisecond, InitialEstimate: 50 * time.Millisecond})
+	if est := a.EstimatedWait(); est != 0 {
+		t.Fatalf("empty controller estimate = %v, want 0", est)
+	}
+	rel, err := a.admit(context.Background(), "g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	est1 := a.EstimatedWait()
+	if est1 <= 0 {
+		t.Fatalf("saturated estimate = %v, want > 0", est1)
+	}
+	var wg sync.WaitGroup
+	ctx, cancel := context.WithCancel(context.Background())
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a.admit(ctx, "other")
+		}()
+	}
+	deadline := time.Now().Add(time.Second)
+	for a.EstimatedWait() <= est1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if est2 := a.EstimatedWait(); est2 <= est1 {
+		t.Fatalf("estimate did not grow with queue depth: %v -> %v", est1, est2)
+	}
+	cancel()
+	wg.Wait()
+	rel()
+}
+
+// TestGrantCancelRace: a waiter whose context cancels just as a grant
+// lands must hand the slot back rather than leak it.
+func TestGrantCancelRace(t *testing.T) {
+	a := newTestAdmission(AdmissionConfig{MaxInFlight: 1, QueueWait: time.Second})
+	for i := 0; i < 50; i++ {
+		rel, err := a.admit(context.Background(), "g")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			r2, err := a.admit(ctx, "g")
+			if err == nil {
+				r2()
+			}
+		}()
+		time.Sleep(time.Duration(i%3) * time.Millisecond / 2)
+		// Release and cancel concurrently: the grant and the
+		// cancellation race.
+		go rel()
+		cancel()
+		<-done
+		// Whatever won, the slot must be fully recovered.
+		deadline := time.Now().Add(time.Second)
+		for {
+			a.mu.Lock()
+			free := a.inflight == 0 && len(a.queue) == 0
+			a.mu.Unlock()
+			if free {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("slot leaked after grant/cancel race")
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+}

@@ -103,6 +103,76 @@ curl -fsS "${BASE}/query?src=0&validate=1" -o query2.json
 grep -q '"valid":true' query2.json || { echo "mapped query did not validate:"; cat query2.json; exit 1; }
 rm -f smoke.bin2 load2.json query2.json
 
+# Multi-graph registry: load three named graphs, list them, query each
+# by name, then evict one and require 404s on all its routes while the
+# survivors keep answering.
+for name in alpha beta gamma; do
+  curl -fsS -X POST "${BASE}/graphs/${name}?gen=er&n=1024&m=8192&seed=3" -o "g_${name}.json"
+  grep -q "\"graph\":\"${name}\"" "g_${name}.json" || {
+    echo "bad /graphs/${name} load response:"; cat "g_${name}.json"; exit 1; }
+done
+curl -fsS "${BASE}/graphs" -o graphs.json
+for name in alpha beta gamma; do
+  grep -q "\"graph\":\"${name}\"" graphs.json || {
+    echo "graph ${name} missing from /graphs:"; cat graphs.json; exit 1; }
+  curl -fsS "${BASE}/query?src=0&graph=${name}&validate=1" -o "q_${name}.json"
+  grep -q '"valid":true' "q_${name}.json" || {
+    echo "named query on ${name} did not validate:"; cat "q_${name}.json"; exit 1; }
+  curl -fsS "${BASE}/readyz?graph=${name}" >/dev/null
+done
+curl -fsS -X DELETE "${BASE}/graphs/beta" -o evict.json
+grep -q '"evicted":"beta"' evict.json || { echo "bad evict response:"; cat evict.json; exit 1; }
+for probe in "graphs/beta" "query?src=0&graph=beta" "readyz?graph=beta"; do
+  STATUS=$(curl -s -o /dev/null -w '%{http_code}' "${BASE}/${probe}")
+  [ "$STATUS" = "404" ] || { echo "${probe} after evict: $STATUS, want 404"; exit 1; }
+done
+curl -fsS "${BASE}/query?src=0&graph=alpha&validate=1" -o q_alpha2.json
+grep -q '"valid":true' q_alpha2.json || {
+  echo "survivor query after evict did not validate:"; cat q_alpha2.json; exit 1; }
+rm -f g_*.json q_*.json graphs.json evict.json
+
+# Overload: a daemon pinned to one global admission slot and no queue
+# must shed a concurrent burst with 429s carrying a derived Retry-After
+# (integer seconds), never the old hardcoded 503.
+OPORT=$((PORT + 1))
+OBASE="http://127.0.0.1:${OPORT}"
+./bfsd -addr "127.0.0.1:${OPORT}" -admit-inflight 1 -admit-queue -1 -workers 1 &
+OBFSD_PID=$!
+trap 'kill -9 "$BFSD_PID" "$OBFSD_PID" 2>/dev/null || true' EXIT
+for i in $(seq 1 50); do
+  curl -fsS "${OBASE}/healthz" -o /dev/null 2>/dev/null && break
+  sleep 0.2
+done
+curl -fsS -X POST "${OBASE}/load?gen=er&n=100000&m=800000&seed=5" -o /dev/null
+OVER_PIDS=()
+for i in $(seq 0 23); do
+  curl -s -D "over_h_${i}.txt" -o /dev/null \
+    -w '%{http_code}' "${OBASE}/query?src=$(( i * 97 ))&full=1" > "over_s_${i}.txt" &
+  OVER_PIDS+=("$!")
+done
+wait "${OVER_PIDS[@]}"
+SHED=0
+for i in $(seq 0 23); do
+  STATUS=$(cat "over_s_${i}.txt")
+  case "$STATUS" in
+    200) ;;
+    429)
+      SHED=$((SHED + 1))
+      RA=$(tr -d '\r' < "over_h_${i}.txt" | awk 'tolower($1) == "retry-after:" {print $2}')
+      case "$RA" in
+        ''|*[!0-9]*) echo "429 without integer Retry-After (got '$RA'):"; cat "over_h_${i}.txt"; exit 1 ;;
+      esac
+      [ "$RA" -ge 1 ] && [ "$RA" -le 30 ] || { echo "Retry-After $RA out of [1,30]"; exit 1; }
+      ;;
+    *) echo "burst query $i: status $STATUS, want 200 or 429"; exit 1 ;;
+  esac
+done
+[ "$SHED" -ge 1 ] || { echo "no burst query was shed with 429"; exit 1; }
+rm -f over_h_*.txt over_s_*.txt
+kill -TERM "$OBFSD_PID"
+wait "$OBFSD_PID" || { echo "overload daemon did not drain cleanly"; exit 1; }
+trap 'kill -9 "$BFSD_PID" 2>/dev/null || true' EXIT
+
 # Graceful drain: SIGTERM must exit 0.
 kill -TERM "$BFSD_PID"
 WAIT_CODE=0
